@@ -1,0 +1,43 @@
+// Ablation: the MAY-belief confidence threshold (paper Section 2.2.4).
+// Sweeps the threshold and reports how many control dependencies survive;
+// the VSFTP listen/listen_ipv6 pattern shows why 0.75 is the sweet spot.
+#include "src/corpus/pipeline.h"
+#include "src/support/table.h"
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+#include <iostream>
+
+using namespace spex;
+
+int main() {
+  std::cout << "SPEX reproduction bench — ablation: control-dependency confidence threshold\n\n";
+
+  const double kThresholds[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  TextTable table("Control dependencies kept per threshold (paper default: 0.75)");
+  table.SetHeader({"Software", "t=0", "t=0.25", "t=0.5", "t=0.75", "t=1.0"});
+
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  for (const TargetSpec& spec : EvaluatedTargets()) {
+    std::vector<std::string> cells = {spec.display_name};
+    for (double threshold : kThresholds) {
+      DiagnosticEngine diags;
+      TargetBundle bundle = SynthesizeTarget(spec);
+      auto unit = ParseSource(bundle.source, spec.name + ".c", &diags);
+      auto module = LowerToIr(*unit, &diags);
+      SpexOptions options;
+      options.confidence_threshold = threshold;
+      SpexEngine engine(*module, apis, options);
+      AnnotationFile annotations = ParseAnnotations(bundle.annotations, &diags);
+      ModuleConstraints constraints = engine.Run(annotations, &diags);
+      cells.push_back(std::to_string(constraints.control_deps.size()));
+    }
+    table.AddRow(cells);
+  }
+  std::cout << table.Render();
+  std::cout << "\nReading: low thresholds admit coincidental guards (every branch that\n"
+               "happens to dominate a use); at 1.0 only airtight dependencies remain.\n"
+               "The paper's 0.75 keeps real dependencies while filtering the VSFTP-style\n"
+               "half-confidence pairs.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures and
+// prints measured values next to the paper's published ones. AllAnalyses()
+// runs the full synthesize->parse->lower->infer pipeline once per target and
+// caches the results for the lifetime of the binary.
+#ifndef SPEX_BENCH_BENCH_UTIL_H_
+#define SPEX_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <vector>
+
+#include "src/corpus/pipeline.h"
+#include "src/support/table.h"
+
+namespace spex {
+
+inline const std::vector<TargetAnalysis>& AllAnalyses() {
+  static const std::vector<TargetAnalysis>* kAnalyses = [] {
+    auto* analyses = new std::vector<TargetAnalysis>();
+    ApiRegistry apis = ApiRegistry::BuiltinC();
+    for (const TargetSpec& spec : EvaluatedTargets()) {
+      DiagnosticEngine diags;
+      analyses->push_back(AnalyzeTarget(spec, apis, &diags));
+      if (diags.HasErrors()) {
+        std::cerr << "corpus analysis diagnostics for " << spec.name << ":\n"
+                  << diags.Render();
+      }
+    }
+    return analyses;
+  }();
+  return *kAnalyses;
+}
+
+// Standard bench preamble: title + scale note.
+inline void BenchHeader(const std::string& what) {
+  std::cout << "SPEX reproduction bench — " << what << "\n";
+  std::cout << "(corpus is calibrated at ~quarter scale of the paper's systems; compare\n"
+               " shapes and ratios, not absolute counts — see EXPERIMENTS.md)\n\n";
+}
+
+}  // namespace spex
+
+#endif  // SPEX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// Figure 6: error-prone configuration design examples, detected live.
+#include "src/design/detectors.h"
+
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+namespace {
+
+const TargetAnalysis& Find(const char* name) {
+  for (const TargetAnalysis& analysis : AllAnalyses()) {
+    if (analysis.bundle.name == name) {
+      return analysis;
+    }
+  }
+  std::abort();
+}
+
+void Show(const char* label, const char* target, DesignFlawKind kind, const char* param_hint,
+          const char* paper) {
+  const TargetAnalysis& analysis = Find(target);
+  DesignAuditor auditor(analysis.constraints, analysis.manual);
+  std::cout << "--- " << label << "\n    paper: " << paper << "\n";
+  bool shown = false;
+  for (const DesignFinding& finding : auditor.Audit()) {
+    if (finding.kind != kind) {
+      continue;
+    }
+    if (param_hint != nullptr && finding.param.find(param_hint) == std::string::npos) {
+      continue;
+    }
+    std::cout << "    found: " << finding.ToString() << "\n";
+    shown = true;
+    if (param_hint != nullptr) {
+      break;
+    }
+  }
+  if (!shown) {
+    std::cout << "    (no matching finding)\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  BenchHeader("Figure 6: error-prone design and handling");
+
+  Show("(a) case-sensitivity inconsistency (MySQL innodb_file_format_check)", "mysql",
+       DesignFlawKind::kCaseInconsistency, "innodb_file_format_check",
+       "values are case sensitive unlike most MySQL enum options");
+  Show("(b) unit inconsistency (Apache MaxMemFree in KB)", "apache",
+       DesignFlawKind::kUnitInconsistency, "MaxMemFree",
+       "uses Kilobytes while other size parameters use Bytes");
+  Show("(c) silent overruling (Squid boolean parameters)", "squid",
+       DesignFlawKind::kSilentOverruling, nullptr,
+       "\"yes\"/\"enable\" silently treated as \"off\"");
+  Show("(d) unsafe API (Squid sscanf/atoi parsing)", "squid", DesignFlawKind::kUnsafeApi,
+       nullptr, "return value of invalid input is undefined");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of each
+// pipeline stage on the largest corpus target. Not a paper table — these
+// guard against performance regressions in the reproduction itself.
+#include <benchmark/benchmark.h>
+
+#include "src/corpus/pipeline.h"
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+namespace {
+
+const TargetBundle& SquidBundle() {
+  static const TargetBundle* kBundle = new TargetBundle(SynthesizeTarget(FindTarget("squid")));
+  return *kBundle;
+}
+
+void BM_Synthesize(benchmark::State& state) {
+  const TargetSpec& spec = FindTarget("squid");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SynthesizeTarget(spec));
+  }
+}
+BENCHMARK(BM_Synthesize);
+
+void BM_ParseAndLower(benchmark::State& state) {
+  const TargetBundle& bundle = SquidBundle();
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto unit = ParseSource(bundle.source, "squid.c", &diags);
+    benchmark::DoNotOptimize(LowerToIr(*unit, &diags));
+  }
+}
+BENCHMARK(BM_ParseAndLower);
+
+void BM_InferConstraints(benchmark::State& state) {
+  const TargetBundle& bundle = SquidBundle();
+  DiagnosticEngine diags;
+  auto unit = ParseSource(bundle.source, "squid.c", &diags);
+  auto module = LowerToIr(*unit, &diags);
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  AnnotationFile annotations = ParseAnnotations(bundle.annotations, &diags);
+  for (auto _ : state) {
+    SpexEngine engine(*module, apis);
+    benchmark::DoNotOptimize(engine.Run(annotations, &diags));
+  }
+}
+BENCHMARK(BM_InferConstraints);
+
+void BM_SingleInjection(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+  InjectionCampaign campaign(*analysis.module, analysis.bundle.sut,
+                             OsSimulator::StandardEnvironment());
+  ConfigFile template_config =
+      ConfigFile::Parse(analysis.bundle.template_config, analysis.bundle.dialect);
+  Misconfiguration config;
+  config.param = "client_lifetime_0";
+  config.value = "9000000000";
+  config.kind = ViolationKind::kBasicType;
+  config.rule = "bench";
+  config.intended_numeric = 9000000000LL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign.RunOne(template_config, config));
+  }
+}
+BENCHMARK(BM_SingleInjection);
+
+void BM_InterpreterStartup(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+  OsSimulator os = OsSimulator::StandardEnvironment();
+  for (auto _ : state) {
+    Interpreter interp(*analysis.module, &os);
+    benchmark::DoNotOptimize(interp.Call("server_init", {}));
+  }
+}
+BENCHMARK(BM_InterpreterStartup);
+
+}  // namespace
+}  // namespace spex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Table 1: parameter-to-variable mapping conventions. The 18 projects the
+// paper examined are listed with their convention, and each of the three
+// toolkit families (plus the hybrid) is demonstrated live on a snippet.
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+#include "src/mapping/extractor.h"
+#include "src/support/table.h"
+
+#include <iostream>
+
+using namespace spex;
+
+namespace {
+
+size_t CountMappings(const char* source, const char* annotations) {
+  DiagnosticEngine diags;
+  auto unit = ParseSource(source, "snippet.c", &diags);
+  auto module = LowerToIr(*unit, &diags);
+  AnalysisContext context(*module);
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  MappingExtractor extractor(*module, context, apis);
+  AnnotationFile file = ParseAnnotations(annotations, &diags);
+  auto mappings = extractor.Extract(file, &diags);
+  if (diags.HasErrors()) {
+    std::cerr << diags.Render();
+  }
+  return mappings.size();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "SPEX reproduction bench — Table 1: mapping conventions\n\n";
+
+  TextTable table("Table 1 — conventions of 18 widely-used projects (paper)");
+  table.SetHeader({"Software", "Type", "Software", "Type"});
+  table.AddRow({"Storage-A", "struct", "Squid", "comparison"});
+  table.AddRow({"MySQL", "struct", "Redis", "comparison"});
+  table.AddRow({"PostgreSQL", "struct", "ntpd", "comparison"});
+  table.AddRow({"Apache httpd", "struct", "CVS", "comparison"});
+  table.AddRow({"lighttpd", "struct", "Hypertable", "container"});
+  table.AddRow({"Nginx", "struct", "MongoDB", "container"});
+  table.AddRow({"OpenSSH", "struct", "AOLServer", "container"});
+  table.AddRow({"Postfix", "struct", "Subversion", "container"});
+  table.AddRow({"VSFTP", "struct", "OpenLDAP", "hybrid"});
+  std::cout << table.Render() << "\n";
+
+  TextTable demo("Toolkit demonstrations (mappings extracted from live snippets)");
+  demo.SetHeader({"Convention", "Annotation", "Mappings found"});
+
+  demo.AddRow({"structure (direct)", "@STRUCT table { par = 0, var = 1 }",
+               std::to_string(CountMappings(
+                   R"(struct config_int { char *name; int *variable; };
+                      int deadlock_timeout; int max_connections;
+                      struct config_int table[] = {
+                        { "deadlock_timeout", &deadlock_timeout },
+                        { "max_connections", &max_connections },
+                      };)",
+                   "@STRUCT table { par = 0, var = 1 }"))});
+  demo.AddRow({"structure (function)", "@STRUCT cmds { par = 0, func = 1, arg = 0 }",
+               std::to_string(CountMappings(
+                   R"(struct command_rec { char *name; char *handler; };
+                      char *document_root;
+                      int set_document_root(char *arg) { document_root = arg; return 0; }
+                      struct command_rec cmds[] = { { "DocumentRoot", set_document_root } };)",
+                   "@STRUCT cmds { par = 0, func = 1, arg = 0 }"))});
+  demo.AddRow({"comparison", "@PARSER load_config { par = arg0, var = arg1 }",
+               std::to_string(CountMappings(
+                   R"(int maxidletime; int port;
+                      void load_config(char *key, char *value) {
+                        if (!strcasecmp(key, "timeout")) { maxidletime = atoi(value); }
+                        else if (!strcasecmp(key, "port")) { port = atoi(value); }
+                      })",
+                   "@PARSER load_config { par = arg0, var = arg1 }"))});
+  demo.AddRow({"container", "@GETTER get_i32 { par = 0, var = ret }",
+               std::to_string(CountMappings(
+                   R"(extern int get_i32(char *key);
+                      int retry_interval;
+                      void setup() { retry_interval = get_i32("Connection.Retry.Interval"); })",
+                   "@GETTER get_i32 { par = 0, var = ret }"))});
+  std::cout << demo.Render();
+  return 0;
+}

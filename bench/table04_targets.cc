@@ -1,0 +1,38 @@
+// Table 4: evaluated software systems — LoC, parameter counts, and lines of
+// annotation (LoA) needed to bootstrap the mapping toolkits.
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+int main() {
+  BenchHeader("Table 4: evaluated software systems");
+
+  struct PaperRow {
+    const char* name;
+    const char* loc;
+    const char* params;
+    const char* loa;
+  };
+  const PaperRow kPaper[] = {
+      {"Storage-A", "(confidential)", "(confidential)", "5"},
+      {"Apache", "148K", "103", "4"},
+      {"MySQL", "1.2M", "272", "29"},
+      {"PostgreSQL", "757K", "231", "7"},
+      {"OpenLDAP", "292K", "86", "4"},
+      {"VSFTP", "16K", "124", "5"},
+      {"Squid", "180K", "335", "2"},
+  };
+
+  TextTable table("Table 4 — evaluated systems (measured | paper)");
+  table.SetHeader({"Software", "LoC", "#Parameter", "LoA", "paper #Param", "paper LoA"});
+  size_t i = 0;
+  for (const TargetAnalysis& analysis : AllAnalyses()) {
+    table.AddRow({analysis.bundle.display_name, std::to_string(analysis.bundle.lines_of_code),
+                  std::to_string(analysis.bundle.param_count),
+                  std::to_string(analysis.lines_of_annotation), kPaper[i].params,
+                  kPaper[i].loa});
+    ++i;
+  }
+  std::cout << table.Render();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 5: misconfiguration vulnerabilities exposed by SPEX-INJ, by reaction
+// category (a), and the unique source-code locations behind them (b).
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+int main() {
+  BenchHeader("Table 5: misconfiguration vulnerabilities (full injection campaign)");
+
+  struct PaperRow {
+    const char* name;
+    int crash, early, func, sviol, sign, total, locs;
+  };
+  const PaperRow kPaper[] = {
+      {"Storage-A", 0, 0, 7, 74, 83, 164, 119}, {"Apache", 5, 4, 9, 29, 5, 52, 52},
+      {"MySQL", 5, 10, 12, 71, 16, 114, 46},    {"PostgreSQL", 1, 10, 2, 1, 35, 49, 44},
+      {"OpenLDAP", 1, 3, 6, 7, 0, 17, 17},      {"VSFTP", 12, 5, 18, 23, 68, 126, 107},
+      {"Squid", 2, 3, 29, 173, 14, 221, 62},
+  };
+
+  TextTable table("Table 5(a) — vulnerabilities by reaction (measured, paper total in last col)");
+  table.SetHeader({"Software", "Crash/Hang", "EarlyTerm", "FuncFail", "SilentViol", "SilentIgn",
+                   "Total", "(paper)"});
+  TextTable locs("Table 5(b) — unique source-code locations (measured | paper)");
+  locs.SetHeader({"Software", "Locations", "(paper)"});
+
+  size_t crash = 0, early = 0, func = 0, sviol = 0, sign = 0, total = 0, all_locs = 0;
+  size_t i = 0;
+  for (const TargetAnalysis& analysis : AllAnalyses()) {
+    CampaignSummary summary = RunCampaign(analysis);
+    auto count = [&summary](ReactionCategory category) {
+      return summary.CountCategory(category);
+    };
+    size_t c = count(ReactionCategory::kCrashHang);
+    size_t e = count(ReactionCategory::kEarlyTermination);
+    size_t f = count(ReactionCategory::kFunctionalFailure);
+    size_t v = count(ReactionCategory::kSilentViolation);
+    size_t g = count(ReactionCategory::kSilentIgnorance);
+    size_t t = summary.TotalVulnerabilities();
+    size_t l = summary.UniqueVulnerabilityLocations();
+    crash += c;
+    early += e;
+    func += f;
+    sviol += v;
+    sign += g;
+    total += t;
+    all_locs += l;
+    table.AddRow({analysis.bundle.display_name, std::to_string(c), std::to_string(e),
+                  std::to_string(f), std::to_string(v), std::to_string(g), std::to_string(t),
+                  std::to_string(kPaper[i].total)});
+    locs.AddRow({analysis.bundle.display_name, std::to_string(l),
+                 std::to_string(kPaper[i].locs)});
+    ++i;
+  }
+  table.AddFooterRow({"Total", std::to_string(crash), std::to_string(early),
+                      std::to_string(func), std::to_string(sviol), std::to_string(sign),
+                      std::to_string(total), "743"});
+  locs.AddFooterRow({"Total", std::to_string(all_locs), "448"});
+  std::cout << table.Render() << "\n" << locs.Render();
+  std::cout << "\nPaper shape checks:\n";
+  std::cout << "  silent violation is the dominant category: "
+            << (sviol >= crash && sviol >= early && sviol >= func && sviol >= sign ? "yes"
+                                                                                   : "NO")
+            << "\n";
+  std::cout << "  Storage-A exposes no crashes/hangs (commercial hardening): "
+            << (AllAnalyses().empty() ? "n/a" : "see row above") << "\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 6: case-sensitivity requirements of string-valued parameters.
+#include "src/design/detectors.h"
+
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+int main() {
+  BenchHeader("Table 6: case-sensitivity requirements");
+
+  struct PaperRow {
+    const char* sensitive;
+    const char* insensitive;
+  };
+  const PaperRow kPaper[] = {
+      {"32 (7.1%)", "453 (92.9%)"}, {"3 (11.5%)", "26 (88.5%)"}, {"1 (1.7%)", "58 (98.3%)"},
+      {"0 (0.0%)", "92 (100%)"},    {"0 (0.0%)", "9 (100%)"},    {"0 (0.0%)", "73 (100%)"},
+      {"85 (52.8%)", "76 (47.2%)"},
+  };
+
+  TextTable table("Table 6 — case sensitivity (measured | paper)");
+  table.SetHeader({"Software", "Sensitive", "Insensitive", "Inconsistent?", "paper sens.",
+                   "paper insens."});
+  size_t i = 0;
+  for (const TargetAnalysis& analysis : AllAnalyses()) {
+    DesignAuditor auditor(analysis.constraints, analysis.manual);
+    CaseSensitivityStats stats = auditor.CaseStats();
+    table.AddRow({analysis.bundle.display_name, std::to_string(stats.sensitive),
+                  std::to_string(stats.insensitive), stats.Inconsistent() ? "yes" : "no",
+                  kPaper[i].sensitive, kPaper[i].insensitive});
+    ++i;
+  }
+  std::cout << table.Render();
+  std::cout << "\nPaper shape check: Squid mixes both conventions heavily; MySQL has a\n"
+               "lone case-sensitive outlier (innodb_file_format_check, Figure 6(a)).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 8: other error-prone configuration design and handling — silent
+// overruling, unsafe parsing APIs, undocumented constraints.
+#include "src/design/detectors.h"
+
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+int main() {
+  BenchHeader("Table 8: error-prone design and handling");
+
+  struct PaperRow {
+    int overruling, unsafe, range, dep, rel;
+  };
+  const PaperRow kPaper[] = {
+      {0, 28, 2, 0, 2}, {1, 27, 0, 1, 0}, {0, 0, 4, 3, 1},   {0, 0, 3, 3, 2},
+      {0, 0, 2, 0, 0},  {0, 20, 3, 47, 1}, {73, 115, 3, 4, 4},
+  };
+
+  TextTable table("Table 8 — error-prone constraints (measured | paper in parens)");
+  table.SetHeader({"Software", "SilentOverrule", "UnsafeAPI", "Undoc.range", "Undoc.dep",
+                   "Undoc.rel"});
+  size_t i = 0;
+  for (const TargetAnalysis& analysis : AllAnalyses()) {
+    DesignAuditor auditor(analysis.constraints, analysis.manual);
+    ErrorProneCounts counts = auditor.ErrorProne();
+    auto cell = [](size_t measured, int paper) {
+      return std::to_string(measured) + " (" + std::to_string(paper) + ")";
+    };
+    table.AddRow({analysis.bundle.display_name,
+                  cell(counts.silent_overruling_params, kPaper[i].overruling),
+                  cell(counts.unsafe_api_params, kPaper[i].unsafe),
+                  cell(counts.undocumented_ranges, kPaper[i].range),
+                  cell(counts.undocumented_ctrl_deps, kPaper[i].dep),
+                  cell(counts.undocumented_value_rels, kPaper[i].rel)});
+    ++i;
+  }
+  std::cout << table.Render();
+  std::cout << "\nPaper shape checks: Squid leads both silent overruling and unsafe-API\n"
+               "use; the strict-table systems (MySQL, PostgreSQL) have zero unsafe\n"
+               "parses because every option goes through uniform checked parsing.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 9: share of historical real-world misconfiguration cases whose bad
+// reactions SPEX could have avoided.
+#include "src/cases/case_db.h"
+
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+int main() {
+  BenchHeader("Table 9: benefits to real-world configuration problems");
+
+  struct PaperRow {
+    const char* name;
+    const char* target;
+    int samples;
+    const char* avoided;
+  };
+  const PaperRow kPaper[] = {
+      {"Storage-A", "storage_a", 246, "68 (27.6%)"},
+      {"Apache", "apache", 50, "19 (38.0%)"},
+      {"MySQL", "mysql", 47, "14 (29.8%)"},
+      {"OpenLDAP", "openldap", 49, "12 (24.5%)"},
+  };
+
+  TextTable table("Table 9 — avoidable historical cases (measured | paper)");
+  table.SetHeader({"Software", "Sampled cases", "Avoidable", "Ratio", "paper"});
+  for (const PaperRow& row : kPaper) {
+    const TargetAnalysis* analysis = nullptr;
+    for (const TargetAnalysis& candidate : AllAnalyses()) {
+      if (candidate.bundle.name == row.target) {
+        analysis = &candidate;
+      }
+    }
+    if (analysis == nullptr) {
+      continue;
+    }
+    std::vector<std::string> constrained;
+    for (const ParamConstraints& param : analysis->constraints.params) {
+      if (param.basic_type.has_value() || !param.semantic_types.empty() ||
+          param.range.has_value()) {
+        constrained.push_back(param.param);
+      }
+    }
+    auto cases = BuildCaseDb(row.target, static_cast<size_t>(row.samples), constrained);
+    BenefitBreakdown breakdown = AnalyzeBenefit(cases, analysis->constraints);
+    char ratio[32];
+    snprintf(ratio, sizeof(ratio), "%.1f%%", breakdown.AvoidableRatio() * 100);
+    table.AddRow({row.name, std::to_string(breakdown.total),
+                  std::to_string(breakdown.avoidable), ratio, row.avoided});
+  }
+  std::cout << table.Render();
+  std::cout << "\nPaper shape check: 24%-38% of sampled cases are avoidable — roughly a\n"
+               "third of parameter misconfiguration reports.\n";
+  return 0;
+}

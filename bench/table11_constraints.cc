@@ -1,0 +1,50 @@
+// Table 11: configuration constraints inferred by SPEX, by kind.
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+int main() {
+  BenchHeader("Table 11: inferred configuration constraints");
+
+  struct PaperRow {
+    int basic, semantic, range, dep, rel;
+  };
+  const PaperRow kPaper[] = {
+      {922, 111, 490, 81, 20}, {103, 22, 42, 1, 9},  {272, 74, 213, 35, 10},
+      {231, 52, 186, 44, 6},   {75, 15, 20, 0, 2},   {130, 34, 84, 68, 1},
+      {258, 46, 120, 14, 9},
+  };
+
+  TextTable table("Table 11 — constraints by kind (measured | paper in parens)");
+  table.SetHeader({"Software", "Basic type", "Semantic", "Data range", "Ctrl dep", "Value rel"});
+  size_t totals[5] = {0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (const TargetAnalysis& analysis : AllAnalyses()) {
+    const ModuleConstraints& constraints = analysis.constraints;
+    size_t basic = constraints.CountBasicTypes();
+    size_t semantic = constraints.CountSemanticTypes();
+    size_t range = constraints.CountRanges();
+    size_t dep = constraints.control_deps.size();
+    size_t rel = constraints.value_rels.size();
+    totals[0] += basic;
+    totals[1] += semantic;
+    totals[2] += range;
+    totals[3] += dep;
+    totals[4] += rel;
+    auto cell = [](size_t measured, int paper) {
+      return std::to_string(measured) + " (" + std::to_string(paper) + ")";
+    };
+    table.AddRow({analysis.bundle.display_name, cell(basic, kPaper[i].basic),
+                  cell(semantic, kPaper[i].semantic), cell(range, kPaper[i].range),
+                  cell(dep, kPaper[i].dep), cell(rel, kPaper[i].rel)});
+    ++i;
+  }
+  table.AddFooterRow({"Total", std::to_string(totals[0]) + " (1991)",
+                      std::to_string(totals[1]) + " (354)", std::to_string(totals[2]) + " (1155)",
+                      std::to_string(totals[3]) + " (243)", std::to_string(totals[4]) + " (57)"});
+  std::cout << table.Render();
+  std::cout << "\nPaper shape checks: basic types exist for every parameter; semantic types\n"
+               "are a small subset (only API-reaching parameters); ranges are plentiful in\n"
+               "table-driven systems; VSFTP leads control dependencies.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 12: accuracy of constraint inference, measured against the corpus
+// ground truth. Inaccuracy comes from the planted pointer-alias patterns —
+// the same root cause as in the paper, where OpenLDAP fares worst.
+#include "src/corpus/truth.h"
+
+#include "bench/bench_util.h"
+
+using namespace spex;
+
+int main() {
+  BenchHeader("Table 12: accuracy of constraint inference");
+
+  struct PaperRow {
+    const char* basic;
+    const char* semantic;
+    const char* range;
+    const char* dep;
+    const char* rel;
+  };
+  const PaperRow kPaper[] = {
+      {"97.0%", "95.7%", "87.1%", "84.1%", "94.1%"},
+      {"96.1%", "91.7%", "94.6%", "100%", "81.8%"},
+      {"100%", "98.7%", "99.1%", "94.7%", "71.4%"},
+      {"100%", "96.3%", "97.3%", "91.7%", "85.7%"},
+      {"88.2%", "93.7%", "73.1%", "N/A", "50.0%"},
+      {"100%", "100%", "100%", "63.9%", "100%"},
+      {"77.0%", "100%", "100%", "77.8%", "100%"},
+  };
+
+  TextTable table("Table 12 — inference accuracy (measured | paper in parens)");
+  table.SetHeader({"Software", "Basic type", "Semantic", "Data range", "Ctrl dep", "Value rel"});
+  size_t i = 0;
+  double min_range_accuracy = 2.0;
+  std::string min_range_system;
+  for (const TargetAnalysis& analysis : AllAnalyses()) {
+    AccuracyReport report = EvaluateAccuracy(analysis.constraints, analysis.bundle.truth);
+    auto cell = [](const KindAccuracy& accuracy, const char* paper) {
+      if (accuracy.inferred == 0) {
+        return std::string("N/A (") + paper + ")";
+      }
+      char buffer[48];
+      snprintf(buffer, sizeof(buffer), "%.1f%% [%zu/%zu] (%s)", accuracy.Ratio() * 100,
+               accuracy.correct, accuracy.inferred, paper);
+      return std::string(buffer);
+    };
+    if (report.range.inferred > 0 && report.range.Ratio() < min_range_accuracy) {
+      min_range_accuracy = report.range.Ratio();
+      min_range_system = analysis.bundle.display_name;
+    }
+    table.AddRow({analysis.bundle.display_name, cell(report.basic_type, kPaper[i].basic),
+                  cell(report.semantic_type, kPaper[i].semantic),
+                  cell(report.range, kPaper[i].range), cell(report.control_dep, kPaper[i].dep),
+                  cell(report.value_rel, kPaper[i].rel)});
+    ++i;
+  }
+  std::cout << table.Render();
+  std::cout << "\nPaper shape checks: accuracy above 90% for most cells; the weakest range\n"
+               "accuracy belongs to the alias-heavy system (paper: OpenLDAP at 73.1%;\n"
+               "measured minimum: " << min_range_system << ").\n";
+  return 0;
+}

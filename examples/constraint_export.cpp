@@ -1,0 +1,62 @@
+// Export inferred constraints as a Markdown configuration reference — the
+// "give the constraints to developers and doc writers" use case from
+// Section 6 of the paper (and a direct cure for the undocumented-constraint
+// findings of Table 8).
+//
+// Build & run:  ./build/examples/constraint_export [target]
+#include <iostream>
+#include <string>
+
+#include "src/corpus/pipeline.h"
+
+int main(int argc, char** argv) {
+  std::string target = argc > 1 ? argv[1] : "mysql";
+  spex::DiagnosticEngine diags;
+  spex::ApiRegistry apis = spex::ApiRegistry::BuiltinC();
+  spex::TargetAnalysis analysis = spex::AnalyzeTarget(spex::FindTarget(target), apis, &diags);
+  if (diags.HasErrors()) {
+    std::cerr << diags.Render();
+    return 1;
+  }
+  const spex::ModuleConstraints& constraints = analysis.constraints;
+
+  std::cout << "# " << analysis.bundle.display_name << " configuration reference\n\n";
+  std::cout << "Generated from source code by SPEX. " << constraints.params.size()
+            << " parameters, " << constraints.TotalConstraints() << " constraints.\n\n";
+
+  size_t shown = 0;
+  for (const spex::ParamConstraints& param : constraints.params) {
+    if (++shown > 20) {
+      std::cout << "... (" << (constraints.params.size() - 20) << " more parameters)\n";
+      break;
+    }
+    std::cout << "## `" << param.param << "`\n\n";
+    if (param.basic_type.has_value()) {
+      std::cout << "* type: `" << param.basic_type->ToString() << "`\n";
+    }
+    for (const spex::SemanticTypeConstraint& semantic : param.semantic_types) {
+      std::cout << "* semantics: " << semantic.ToString() << "\n";
+    }
+    if (param.range.has_value()) {
+      std::cout << "* accepted values: " << param.range->ToString() << "\n";
+    }
+    if (param.case_sensitivity == spex::CaseSensitivity::kSensitive) {
+      std::cout << "* values are case-SENSITIVE\n";
+    } else if (param.case_sensitivity == spex::CaseSensitivity::kInsensitive) {
+      std::cout << "* values are case-insensitive\n";
+    }
+    for (const spex::ControlDepConstraint& dep : constraints.control_deps) {
+      if (dep.dependent == param.param) {
+        std::cout << "* only takes effect when `" << dep.master << "` "
+                  << IrCmpPredName(dep.pred) << " " << dep.value << "\n";
+      }
+    }
+    for (const spex::ValueRelConstraint& rel : constraints.value_rels) {
+      if (rel.lhs == param.param || rel.rhs == param.param) {
+        std::cout << "* must satisfy: " << rel.ToString() << "\n";
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Audit a system's configuration design for error-prone patterns — the
+// Squid interaction from Section 5 of the paper: silent overruling of
+// boolean values, unsafe atoi/sscanf parsing, case-sensitivity chaos, and
+// undocumented constraints.
+//
+// Build & run:  ./build/examples/design_audit
+#include <iostream>
+#include <map>
+
+#include "src/corpus/pipeline.h"
+#include "src/design/detectors.h"
+
+int main() {
+  spex::DiagnosticEngine diags;
+  spex::ApiRegistry apis = spex::ApiRegistry::BuiltinC();
+  spex::TargetAnalysis analysis = spex::AnalyzeTarget(spex::FindTarget("squid"), apis, &diags);
+  if (diags.HasErrors()) {
+    std::cerr << diags.Render();
+    return 1;
+  }
+
+  spex::DesignAuditor auditor(analysis.constraints, analysis.manual);
+  std::vector<spex::DesignFinding> findings = auditor.Audit();
+
+  std::map<spex::DesignFlawKind, int> per_kind;
+  for (const spex::DesignFinding& finding : findings) {
+    ++per_kind[finding.kind];
+  }
+  std::cout << "Design audit of " << analysis.bundle.display_name << ": " << findings.size()
+            << " findings\n\n";
+  for (const auto& [kind, count] : per_kind) {
+    std::cout << "  " << DesignFlawKindName(kind) << ": " << count << "\n";
+  }
+
+  std::cout << "\nDetails (first 15):\n";
+  int shown = 0;
+  for (const spex::DesignFinding& finding : findings) {
+    if (shown++ >= 15) {
+      break;
+    }
+    std::cout << "  - " << finding.ToString() << "\n";
+  }
+
+  spex::CaseSensitivityStats stats = auditor.CaseStats();
+  std::cout << "\nCase sensitivity: " << stats.sensitive << " sensitive vs "
+            << stats.insensitive << " insensitive parameters"
+            << (stats.Inconsistent() ? " — inconsistent, users will guess wrong." : ".")
+            << "\n";
+  std::cout << "\nAfter the paper reported these, Squid fixed all silent-overruling\n"
+               "cases and reworked its parsing library (Section 5.1).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: infer configuration constraints for a small server.
+//
+//   1. Write (or point at) the target's source code.
+//   2. Annotate the parameter-to-variable mapping interface (one line per
+//      mapping convention — not per parameter).
+//   3. Run SpexEngine and read the constraints.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "src/core/engine.h"
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+int main() {
+  // A 40-line "server": a PostgreSQL-style config table plus some use sites.
+  const char* kSource = R"(
+    struct config_int { char *name; int *variable; int min; int max; };
+    int worker_threads = 4;
+    int idle_timeout = 60;
+    int listen_port = 8080;
+    char *data_dir = "/srv/data";
+    struct config_int int_options[] = {
+      { "worker_threads", &worker_threads, 1, 64 },
+      { "idle_timeout", &idle_timeout, 0, 3600 },
+      { "listen_port", &listen_port, 1, 65535 },
+    };
+    int server_start() {
+      if (chdir(data_dir) < 0) {
+        log_error("cannot enter data_dir '%s'", data_dir);
+        return -1;
+      }
+      int fd = socket();
+      if (bind(fd, listen_port) < 0) {
+        log_error("cannot bind listen_port %d", listen_port);
+        return -1;
+      }
+      sleep(idle_timeout);
+      return 0;
+    }
+  )";
+  const char* kAnnotations = "@STRUCT int_options { par = 0, var = 1, min = 2, max = 3 }";
+
+  spex::DiagnosticEngine diags;
+  auto unit = spex::ParseSource(kSource, "quickstart.c", &diags);
+  auto module = spex::LowerToIr(*unit, &diags);
+  if (diags.HasErrors()) {
+    std::cerr << diags.Render();
+    return 1;
+  }
+
+  spex::ApiRegistry apis = spex::ApiRegistry::BuiltinC();
+  spex::SpexEngine engine(*module, apis);
+  spex::AnnotationFile annotations = spex::ParseAnnotations(kAnnotations, &diags);
+  spex::ModuleConstraints constraints = engine.Run(annotations, &diags);
+
+  std::cout << "Inferred constraints (" << constraints.TotalConstraints() << " total):\n\n";
+  for (const spex::ParamConstraints& param : constraints.params) {
+    std::cout << "\"" << param.param << "\"\n";
+    if (param.basic_type.has_value()) {
+      std::cout << "  basic type:     " << param.basic_type->ToString() << "\n";
+    }
+    for (const spex::SemanticTypeConstraint& semantic : param.semantic_types) {
+      std::cout << "  semantic type:  " << semantic.ToString() << "\n";
+    }
+    if (param.range.has_value()) {
+      std::cout << "  value range:    " << param.range->ToString() << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Abstract memory locations.
+//
+// The unit of field-sensitivity: a MemLoc names a storage root (a global
+// variable or an alloca) plus a path of field indices into it. Array
+// subscripts are collapsed to a wildcard element (-1) — distinguishing rows
+// of a config table is the mapping toolkits' job (they read the constant
+// initializer), not the data-flow engine's.
+#ifndef SPEX_ANALYSIS_MEMLOC_H_
+#define SPEX_ANALYSIS_MEMLOC_H_
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace spex {
+
+struct MemLoc {
+  const Value* root = nullptr;  // GlobalVariable or Alloca instruction.
+  std::vector<int> path;        // Field indices; -1 = any array element.
+
+  bool IsValid() const { return root != nullptr; }
+
+  std::string ToString() const {
+    std::string out = root != nullptr ? root->Label() : "<null>";
+    for (int step : path) {
+      out += step == -1 ? "[*]" : ("." + std::to_string(step));
+    }
+    return out;
+  }
+
+  friend bool operator==(const MemLoc& a, const MemLoc& b) {
+    return a.root == b.root && a.path == b.path;
+  }
+  friend bool operator<(const MemLoc& a, const MemLoc& b) {
+    return std::tie(a.root, a.path) < std::tie(b.root, b.path);
+  }
+};
+
+}  // namespace spex
+
+#endif  // SPEX_ANALYSIS_MEMLOC_H_

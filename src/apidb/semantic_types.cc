@@ -1,0 +1,138 @@
+#include "src/apidb/semantic_types.h"
+
+namespace spex {
+
+const char* SemanticTypeName(SemanticType type) {
+  switch (type) {
+    case SemanticType::kNone:
+      return "NONE";
+    case SemanticType::kFilePath:
+      return "FILE";
+    case SemanticType::kDirPath:
+      return "DIR";
+    case SemanticType::kPort:
+      return "PORT";
+    case SemanticType::kIpAddress:
+      return "IP";
+    case SemanticType::kHostname:
+      return "HOST";
+    case SemanticType::kUserName:
+      return "USER";
+    case SemanticType::kGroupName:
+      return "GROUP";
+    case SemanticType::kPermissionMask:
+      return "PERM";
+    case SemanticType::kTime:
+      return "TIME";
+    case SemanticType::kSize:
+      return "SIZE";
+    case SemanticType::kCount:
+      return "COUNT";
+    case SemanticType::kBoolean:
+      return "BOOL";
+    case SemanticType::kCommand:
+      return "COMMAND";
+  }
+  return "?";
+}
+
+const char* TimeUnitName(TimeUnit unit) {
+  switch (unit) {
+    case TimeUnit::kNone:
+      return "-";
+    case TimeUnit::kMicroseconds:
+      return "us";
+    case TimeUnit::kMilliseconds:
+      return "ms";
+    case TimeUnit::kSeconds:
+      return "s";
+    case TimeUnit::kMinutes:
+      return "m";
+    case TimeUnit::kHours:
+      return "h";
+  }
+  return "?";
+}
+
+const char* SizeUnitName(SizeUnit unit) {
+  switch (unit) {
+    case SizeUnit::kNone:
+      return "-";
+    case SizeUnit::kBytes:
+      return "B";
+    case SizeUnit::kKilobytes:
+      return "KB";
+    case SizeUnit::kMegabytes:
+      return "MB";
+    case SizeUnit::kGigabytes:
+      return "GB";
+  }
+  return "?";
+}
+
+TimeUnit ScaleTimeUnit(TimeUnit api_unit, int64_t factor) {
+  // The parameter feeds the API after multiplication by `factor`, so the
+  // parameter's unit is `factor` times coarser than the API's.
+  struct Step {
+    TimeUnit unit;
+    int64_t to_next;  // Multiplier to the next coarser unit.
+  };
+  static const Step kLadder[] = {
+      {TimeUnit::kMicroseconds, 1000},
+      {TimeUnit::kMilliseconds, 1000},
+      {TimeUnit::kSeconds, 60},
+      {TimeUnit::kMinutes, 60},
+      {TimeUnit::kHours, 0},
+  };
+  if (factor == 1) {
+    return api_unit;
+  }
+  int index = -1;
+  for (int i = 0; i < 5; ++i) {
+    if (kLadder[i].unit == api_unit) {
+      index = i;
+      break;
+    }
+  }
+  if (index < 0) {
+    return TimeUnit::kNone;
+  }
+  int64_t remaining = factor;
+  while (remaining > 1 && index < 4 && kLadder[index].to_next != 0) {
+    if (remaining % kLadder[index].to_next != 0) {
+      return TimeUnit::kNone;
+    }
+    remaining /= kLadder[index].to_next;
+    ++index;
+  }
+  return remaining == 1 ? kLadder[index].unit : TimeUnit::kNone;
+}
+
+SizeUnit ScaleSizeUnit(SizeUnit api_unit, int64_t factor) {
+  static const SizeUnit kLadder[] = {SizeUnit::kBytes, SizeUnit::kKilobytes,
+                                     SizeUnit::kMegabytes, SizeUnit::kGigabytes};
+  if (factor == 1) {
+    return api_unit;
+  }
+  int index = -1;
+  for (int i = 0; i < 4; ++i) {
+    if (kLadder[i] == api_unit) {
+      index = i;
+      break;
+    }
+  }
+  if (index < 0) {
+    return SizeUnit::kNone;
+  }
+  int64_t remaining = factor;
+  while (remaining > 1 && index < 3) {
+    if (remaining % 1024 != 0) {
+      return SizeUnit::kNone;
+    }
+    remaining /= 1024;
+    ++index;
+  }
+  return remaining == 1 ? kLadder[index] : SizeUnit::kNone;
+}
+
+}  // namespace spex

@@ -1,0 +1,45 @@
+// Semantic types and units for configuration parameters.
+//
+// Basic types (i32, string, ...) say how a value is represented; semantic
+// types say what it *means* — a file path, a port, a timeout — and therefore
+// which misconfigurations are worth injecting (Section 2.1 of the paper).
+#ifndef SPEX_APIDB_SEMANTIC_TYPES_H_
+#define SPEX_APIDB_SEMANTIC_TYPES_H_
+
+#include <string>
+
+namespace spex {
+
+enum class SemanticType {
+  kNone,
+  kFilePath,
+  kDirPath,
+  kPort,
+  kIpAddress,
+  kHostname,
+  kUserName,
+  kGroupName,
+  kPermissionMask,
+  kTime,
+  kSize,
+  kCount,
+  kBoolean,
+  kCommand,
+};
+
+enum class TimeUnit { kNone, kMicroseconds, kMilliseconds, kSeconds, kMinutes, kHours };
+enum class SizeUnit { kNone, kBytes, kKilobytes, kMegabytes, kGigabytes };
+
+const char* SemanticTypeName(SemanticType type);
+const char* TimeUnitName(TimeUnit unit);
+const char* SizeUnitName(SizeUnit unit);
+
+// Unit arithmetic for transform-aware unit inference (Figure 6(b)): a
+// parameter multiplied by 1024 before reaching a Bytes-unit API is itself in
+// Kilobytes. Returns kNone when the factor does not map to a unit boundary.
+TimeUnit ScaleTimeUnit(TimeUnit api_unit, int64_t factor);
+SizeUnit ScaleSizeUnit(SizeUnit api_unit, int64_t factor);
+
+}  // namespace spex
+
+#endif  // SPEX_APIDB_SEMANTIC_TYPES_H_

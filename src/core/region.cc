@@ -1,0 +1,84 @@
+#include "src/core/region.h"
+
+#include <algorithm>
+#include <set>
+
+namespace spex {
+
+std::vector<const BasicBlock*> RegionAnalyzer::RegionBlocks(const ControlDependence& cdeps,
+                                                            const Function& fn,
+                                                            const Instruction* branch,
+                                                            int edge) const {
+  ControlDep want{branch, edge};
+  std::vector<const BasicBlock*> blocks;
+  for (const auto& block : fn.blocks()) {
+    auto deps = cdeps.TransitiveDeps(block.get());
+    if (std::find(deps.begin(), deps.end(), want) != deps.end()) {
+      blocks.push_back(block.get());
+    }
+  }
+  return blocks;
+}
+
+std::vector<const BasicBlock*> RegionAnalyzer::DirectRegionBlocks(
+    const ControlDependence& cdeps, const Function& fn, const Instruction* branch,
+    int edge) const {
+  ControlDep want{branch, edge};
+  std::vector<const BasicBlock*> blocks;
+  for (const auto& block : fn.blocks()) {
+    const auto& deps = cdeps.DirectDeps(block.get());
+    if (std::find(deps.begin(), deps.end(), want) != deps.end()) {
+      blocks.push_back(block.get());
+    }
+  }
+  return blocks;
+}
+
+RegionBehavior RegionAnalyzer::Classify(const std::vector<const BasicBlock*>& blocks,
+                                        const ParamDataflow& df) const {
+  RegionBehavior behavior;
+  behavior.empty = blocks.empty();
+  std::set<const BasicBlock*> region(blocks.begin(), blocks.end());
+
+  for (const BasicBlock* block : blocks) {
+    for (const auto& instr : block->instructions()) {
+      switch (instr->instr_kind()) {
+        case InstrKind::kCall: {
+          const ApiSpec* spec = apis_.Find(instr->callee());
+          if (spec != nullptr) {
+            if (spec->is_terminating) {
+              behavior.terminates = true;
+            }
+            if (spec->is_logging) {
+              behavior.logs = true;
+            }
+            if (spec->is_error_logging) {
+              behavior.error_log = true;
+            }
+          }
+          break;
+        }
+        case InstrKind::kRet: {
+          if (instr->operand_count() == 1 &&
+              instr->operand(0)->value_kind() == ValueKind::kConstantInt &&
+              instr->operand(0)->constant_int() < 0) {
+            behavior.error_return = true;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  // A reset is a store into one of the parameter's locations whose stored
+  // value does not come from the parameter itself.
+  for (const StoreDef& store : df.stores) {
+    if (!store.value_tainted && region.count(store.store->parent()) > 0) {
+      behavior.resets_param = true;
+    }
+  }
+  return behavior;
+}
+
+}  // namespace spex

@@ -1,0 +1,32 @@
+#include "src/corpus/pipeline.h"
+
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+
+TargetAnalysis AnalyzeTarget(const TargetSpec& spec, const ApiRegistry& apis,
+                             DiagnosticEngine* diags) {
+  TargetAnalysis analysis;
+  analysis.bundle = SynthesizeTarget(spec);
+  auto unit = ParseSource(analysis.bundle.source, spec.name + ".c", diags);
+  analysis.module = LowerToIr(*unit, diags);
+  analysis.engine = std::make_unique<SpexEngine>(*analysis.module, apis);
+  AnnotationFile annotations = ParseAnnotations(analysis.bundle.annotations, diags);
+  analysis.lines_of_annotation = annotations.lines_of_annotation;
+  analysis.constraints = analysis.engine->Run(annotations, diags);
+  analysis.manual = ManualModel::Parse(analysis.bundle.manual_text, diags);
+  return analysis;
+}
+
+CampaignSummary RunCampaign(const TargetAnalysis& analysis, CampaignOptions options) {
+  MisconfigGenerator generator;
+  std::vector<Misconfiguration> configs = generator.Generate(analysis.constraints);
+  InjectionCampaign campaign(*analysis.module, analysis.bundle.sut,
+                             OsSimulator::StandardEnvironment(), options);
+  ConfigFile template_config =
+      ConfigFile::Parse(analysis.bundle.template_config, analysis.bundle.dialect);
+  return campaign.RunAll(template_config, configs);
+}
+
+}  // namespace spex

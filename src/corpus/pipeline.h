@@ -1,0 +1,39 @@
+// End-to-end pipeline over corpus targets.
+//
+// Bundles the full SPEX flow for one synthesized system: parse + lower the
+// MiniC source, run constraint inference, and (on demand) run the SPEX-INJ
+// campaign. All benches and the examples go through this.
+#ifndef SPEX_CORPUS_PIPELINE_H_
+#define SPEX_CORPUS_PIPELINE_H_
+
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/corpus/spec.h"
+#include "src/corpus/synthesizer.h"
+#include "src/design/manual_model.h"
+#include "src/inject/campaign.h"
+
+namespace spex {
+
+struct TargetAnalysis {
+  TargetBundle bundle;
+  std::unique_ptr<Module> module;
+  std::unique_ptr<SpexEngine> engine;
+  ModuleConstraints constraints;
+  ManualModel manual;
+  size_t lines_of_annotation = 0;
+};
+
+// Synthesize + analyze one target. Aborts via diags on internal errors; a
+// clean corpus never produces diagnostics.
+TargetAnalysis AnalyzeTarget(const TargetSpec& spec, const ApiRegistry& apis,
+                             DiagnosticEngine* diags);
+
+// Generate misconfigurations from the inferred constraints and run the full
+// injection campaign against the target.
+CampaignSummary RunCampaign(const TargetAnalysis& analysis, CampaignOptions options = {});
+
+}  // namespace spex
+
+#endif  // SPEX_CORPUS_PIPELINE_H_

@@ -1,0 +1,900 @@
+#include "src/corpus/synthesizer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+namespace {
+
+// One expanded (multiplicity-resolved) parameter.
+struct GenParam {
+  ParamSpec spec;
+  std::string key;
+  std::string var;
+  bool is_string = false;
+  bool comparison_parsed = false;
+  bool handler_parsed = false;
+  bool table_parsed = false;
+  int shard = 0;  // Which int table this parameter lives in.
+};
+
+bool IsStringArchetype(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kPlainString:
+    case Archetype::kFile:
+    case Archetype::kDir:
+    case Archetype::kUser:
+    case Archetype::kHost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsValueComparedArchetype(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kBoolSilent:
+    case Archetype::kBoolReject:
+    case Archetype::kEnumSensitive:
+    case Archetype::kEnumInsensitive:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string DefaultStringFor(const ParamSpec& spec) {
+  if (!spec.def_str.empty()) {
+    return spec.def_str;
+  }
+  switch (spec.archetype) {
+    case Archetype::kFile:
+      return "/etc/mime.types";
+    case Archetype::kDir:
+      return "/var/www";
+    case Archetype::kUser:
+      return "www-data";
+    case Archetype::kHost:
+      return "localhost";
+    default:
+      return "default-value";
+  }
+}
+
+class Synthesis {
+ public:
+  explicit Synthesis(const TargetSpec& spec) : spec_(spec) {}
+
+  TargetBundle Build();
+
+ private:
+  void ExpandParams();
+  void EmitGlobals(std::ostringstream& src);
+  void EmitTables(std::ostringstream& src);
+  void EmitHandlers(std::ostringstream& src);
+  void EmitHelpers(std::ostringstream& src);
+  void EmitParseFunction(std::ostringstream& src);
+  void EmitServerInit(std::ostringstream& src);
+  void EmitSetupBody(std::ostringstream& src, const GenParam& param);
+  void EmitTests(std::ostringstream& src);
+
+  std::string ComparisonParseSnippet(const GenParam& param) const;
+  std::string IntParseBody(const GenParam& param, const std::string& source_var) const;
+  std::string FailSnippet(const GenParam& param, const std::string& detail_fmt) const;
+  void RecordTruth(const GenParam& param);
+
+  const GenParam* Find(const std::string& key) const {
+    for (const GenParam& param : params_) {
+      if (param.key == key) {
+        return &param;
+      }
+    }
+    return nullptr;
+  }
+  std::string VarOf(const std::string& key) const {
+    const GenParam* param = Find(key);
+    return param != nullptr ? param->var : key;
+  }
+
+  const TargetSpec& spec_;
+  std::vector<GenParam> params_;
+  TargetBundle bundle_;
+  int next_port_ = 7100;
+  int test_cost_cycle_ = 0;
+};
+
+void Synthesis::ExpandParams() {
+  int shard_cursor = 0;
+  for (const ParamSpec& proto : spec_.params) {
+    for (int i = 0; i < proto.count; ++i) {
+      GenParam param;
+      param.spec = proto;
+      param.key = proto.count == 1 ? proto.key : proto.key + "_" + std::to_string(i);
+      param.var = proto.count == 1 ? proto.var : proto.var + "_" + std::to_string(i);
+      param.is_string = IsStringArchetype(proto.archetype);
+      if (proto.archetype == Archetype::kPort && proto.def_int == 8) {
+        param.spec.def_int = next_port_++;
+      }
+      if (IsValueComparedArchetype(proto.archetype) && param.spec.enum_values.empty()) {
+        param.spec.enum_values = {"on", "off"};
+      }
+      // Parse-path selection: value-compared and strict parameters always go
+      // through custom comparison code; the rest follow the target's primary
+      // convention.
+      if (IsValueComparedArchetype(proto.archetype) ||
+          proto.archetype == Archetype::kStrictInt ||
+          proto.archetype == Archetype::kAdHocInt ||
+          (!spec_.uses_struct_table && !spec_.uses_handler_table)) {
+        param.comparison_parsed = true;
+      } else if (spec_.uses_handler_table) {
+        param.handler_parsed = true;
+      } else {
+        param.table_parsed = true;
+        param.shard = shard_cursor++ % std::max(1, spec_.table_shards);
+      }
+      params_.push_back(std::move(param));
+    }
+  }
+}
+
+std::string Synthesis::FailSnippet(const GenParam& param, const std::string& detail_fmt) const {
+  switch (param.spec.fail) {
+    case FailMode::kSilentSkip:
+      if (param.spec.archetype == Archetype::kSizeBytes ||
+          param.spec.archetype == Archetype::kSizeKbScaled) {
+        // Unchecked allocation failure: the classic null-pointer write.
+        return "scratch_pool[99] = 1;";
+      }
+      return "ok_" + param.var + " = 0;";
+    case FailMode::kExitNoMsg:
+      return "exit(1);";
+    case FailMode::kExitMisleading:
+      return "log_fatal(\"FATAL: cannot initialize service resources\"); exit(1);";
+    case FailMode::kExitPinpoint:
+      return "log_error(\"" + detail_fmt + "\", " + param.var + "); return -1;";
+    case FailMode::kLogContinue:
+      return "log_warn(\"" + detail_fmt + "\", " + param.var + "); ok_" + param.var + " = 1;";
+  }
+  return "";
+}
+
+void Synthesis::EmitGlobals(std::ostringstream& src) {
+  src << "int scratch_pool[8];\n";
+  for (const GenParam& param : params_) {
+    const ParamSpec& spec = param.spec;
+    if (param.is_string) {
+      src << "char *" << param.var << " = \"" << DefaultStringFor(spec) << "\";\n";
+    } else {
+      src << "int " << param.var << " = " << spec.def_int << ";\n";
+    }
+    switch (spec.archetype) {
+      case Archetype::kPort:
+      case Archetype::kFile:
+      case Archetype::kDir:
+      case Archetype::kUser:
+      case Archetype::kHost:
+      case Archetype::kSizeBytes:
+      case Archetype::kSizeKbScaled:
+        src << "int ok_" << param.var << " = 1;\n";
+        break;
+      case Archetype::kCrashArrayCount:
+        src << "int slots_" << param.var << "[" << spec.cap << "];\n";
+        break;
+      case Archetype::kDivisorInt:
+        src << "int stride_" << param.var << " = 1;\n";
+        break;
+      case Archetype::kDependent:
+        src << "int tuned_" << param.var << " = 0;\n";
+        break;
+      default:
+        break;
+    }
+  }
+  src << "\n";
+}
+
+void Synthesis::EmitTables(std::ostringstream& src) {
+  if (spec_.uses_struct_table) {
+    src << "struct config_int { char *name; int *variable; int min; int max; };\n";
+    src << "struct config_str { char *name; char **variable; };\n";
+    int shards = std::max(1, spec_.table_shards);
+    for (int shard = 0; shard < shards; ++shard) {
+      src << "struct config_int int_table_" << shard << "[] = {\n";
+      for (const GenParam& param : params_) {
+        if (!param.table_parsed || param.is_string || param.shard != shard) {
+          continue;
+        }
+        int64_t lo = -2000000000;
+        int64_t hi = 2000000000;
+        if (param.spec.archetype == Archetype::kRangeTable) {
+          lo = param.spec.min;
+          hi = param.spec.max;
+        }
+        src << "  { \"" << param.key << "\", &" << param.var << ", " << lo << ", " << hi
+            << " },\n";
+      }
+      src << "};\n";
+    }
+    src << "struct config_str str_table[] = {\n";
+    for (const GenParam& param : params_) {
+      if (param.table_parsed && param.is_string) {
+        src << "  { \"" << param.key << "\", &" << param.var << " },\n";
+      }
+    }
+    src << "};\n\n";
+  }
+  if (spec_.uses_handler_table) {
+    src << "struct command_rec { char *name; char *handler; };\n";
+    src << "struct command_rec cmd_table[] = {\n";
+    for (const GenParam& param : params_) {
+      if (param.handler_parsed) {
+        src << "  { \"" << param.key << "\", set_" << param.var << " },\n";
+      }
+    }
+    src << "};\n\n";
+  }
+}
+
+std::string Synthesis::IntParseBody(const GenParam& param, const std::string& source_var) const {
+  const ParamSpec& spec = param.spec;
+  std::ostringstream out;
+  if (spec.unsafe_parse) {
+    out << "    " << param.var << " = atoi(" << source_var << ");\n";
+    out << "    return 0;\n";
+  } else {
+    out << "    int v;\n";
+    out << "    if (parse_int_strict(" << source_var << ", &v) < 0) {\n";
+    out << "      log_error(\"invalid value '%s' for parameter " << param.key
+        << "\", " << source_var << ");\n";
+    out << "      return -1;\n";
+    out << "    }\n";
+    out << "    " << param.var << " = v;\n";
+    out << "    return 0;\n";
+  }
+  return out.str();
+}
+
+std::string Synthesis::ComparisonParseSnippet(const GenParam& param) const {
+  const ParamSpec& spec = param.spec;
+  std::ostringstream out;
+  out << "  if (!strcasecmp(key, \"" << param.key << "\")) {\n";
+  switch (spec.archetype) {
+    case Archetype::kBoolSilent:
+      // The Squid Figure 6(c) pattern: anything that is not the first
+      // accepted word silently means "off".
+      out << "    if (!strcasecmp(value, \"" << spec.enum_values[0] << "\")) {\n";
+      out << "      " << param.var << " = 1;\n";
+      out << "    } else {\n";
+      out << "      " << param.var << " = 0;\n";
+      out << "    }\n";
+      out << "    return 0;\n";
+      break;
+    case Archetype::kBoolReject: {
+      out << "    if (!strcasecmp(value, \"" << spec.enum_values[0] << "\")) {\n";
+      out << "      " << param.var << " = 1;\n";
+      out << "    } else if (!strcasecmp(value, \""
+          << (spec.enum_values.size() > 1 ? spec.enum_values[1] : "off") << "\")) {\n";
+      out << "      " << param.var << " = 0;\n";
+      out << "    } else {\n";
+      out << "      log_error(\"parameter " << param.key
+          << " expects on/off, got '%s'\", value);\n";
+      out << "      return -1;\n";
+      out << "    }\n";
+      out << "    return 0;\n";
+      break;
+    }
+    case Archetype::kEnumSensitive:
+    case Archetype::kEnumInsensitive: {
+      const char* cmp = spec.archetype == Archetype::kEnumSensitive ? "strcmp" : "strcasecmp";
+      for (size_t i = 0; i < spec.enum_values.size(); ++i) {
+        out << (i == 0 ? "    if (!" : "    } else if (!") << cmp << "(value, \""
+            << spec.enum_values[i] << "\")) {\n";
+        out << "      " << param.var << " = " << i << ";\n";
+      }
+      if (spec.archetype == Archetype::kEnumSensitive) {
+        out << "    } else {\n";
+        out << "      " << param.var << " = 0;\n";  // Silent default.
+        out << "    }\n";
+        out << "    return 0;\n";
+      } else {
+        out << "    } else {\n";
+        out << "      log_error(\"unknown value '%s' for parameter " << param.key
+            << "\", value);\n";
+        out << "      return -1;\n";
+        out << "    }\n";
+        out << "    return 0;\n";
+      }
+      break;
+    }
+    default:
+      if (param.is_string) {
+        out << "    " << param.var << " = strdup(value);\n";
+        out << "    return 0;\n";
+      } else if (spec.archetype == Archetype::kStrictInt || !spec.unsafe_parse) {
+        GenParam strict = param;
+        strict.spec.unsafe_parse = false;
+        out << IntParseBody(strict, "value");
+      } else {
+        out << IntParseBody(param, "value");
+      }
+      break;
+  }
+  out << "  }\n";
+  return out.str();
+}
+
+void Synthesis::EmitHandlers(std::ostringstream& src) {
+  for (const GenParam& param : params_) {
+    if (!param.handler_parsed) {
+      continue;
+    }
+    src << "int set_" << param.var << "(char *arg) {\n";
+    if (param.is_string) {
+      src << "  " << param.var << " = strdup(arg);\n";
+      src << "  return 0;\n";
+    } else {
+      src << IntParseBody(param, "arg");
+    }
+    src << "}\n\n";
+  }
+}
+
+void Synthesis::EmitHelpers(std::ostringstream& src) {}
+
+void Synthesis::EmitParseFunction(std::ostringstream& src) {
+  src << "int handle_config_line(char *key, char *value) {\n";
+  for (const GenParam& param : params_) {
+    if (param.comparison_parsed) {
+      src << ComparisonParseSnippet(param);
+    }
+  }
+  if (spec_.uses_struct_table) {
+    src << "  int i;\n";
+    int shards = std::max(1, spec_.table_shards);
+    for (int shard = 0; shard < shards; ++shard) {
+      size_t rows = 0;
+      for (const GenParam& param : params_) {
+        rows += (param.table_parsed && !param.is_string && param.shard == shard) ? 1 : 0;
+      }
+      if (rows == 0) {
+        continue;
+      }
+      src << "  for (i = 0; i < " << rows << "; i++) {\n";
+      src << "    if (!strcmp(int_table_" << shard << "[i].name, key)) {\n";
+      if (spec_.table_parse == TableParseStyle::kStrictRange) {
+        src << "      int v;\n";
+        src << "      if (parse_int_strict(value, &v) < 0) {\n";
+        src << "        log_error(\"parameter %s requires an integer, got '%s'\", key, "
+               "value);\n";
+        src << "        return -1;\n";
+        src << "      }\n";
+        src << "      if (v < int_table_" << shard << "[i].min || v > int_table_" << shard
+            << "[i].max) {\n";
+        src << "        log_error(\"parameter %s outside its valid range\", key);\n";
+        src << "        return -1;\n";
+        src << "      }\n";
+        src << "      *int_table_" << shard << "[i].variable = v;\n";
+      } else {
+        src << "      *int_table_" << shard << "[i].variable = atoi(value);\n";
+      }
+      src << "      return 0;\n";
+      src << "    }\n";
+      src << "  }\n";
+    }
+    size_t str_rows = 0;
+    for (const GenParam& param : params_) {
+      str_rows += (param.table_parsed && param.is_string) ? 1 : 0;
+    }
+    if (str_rows > 0) {
+      src << "  for (i = 0; i < " << str_rows << "; i++) {\n";
+      src << "    if (!strcmp(str_table[i].name, key)) {\n";
+      src << "      *str_table[i].variable = strdup(value);\n";
+      src << "      return 0;\n";
+      src << "    }\n";
+      src << "  }\n";
+    }
+  }
+  if (spec_.uses_handler_table) {
+    size_t rows = 0;
+    for (const GenParam& param : params_) {
+      rows += param.handler_parsed ? 1 : 0;
+    }
+    src << "  int i;\n";
+    src << "  for (i = 0; i < " << rows << "; i++) {\n";
+    src << "    if (!strcasecmp(cmd_table[i].name, key)) {\n";
+    src << "      return invoke_handler1(cmd_table[i].handler, value);\n";
+    src << "    }\n";
+    src << "  }\n";
+  }
+  src << "  log_warn(\"unknown directive: %s\", key);\n";
+  src << "  return 0;\n";
+  src << "}\n\n";
+}
+
+void Synthesis::EmitServerInit(std::ostringstream& src) {
+  // One setup function per parameter. Real systems validate options in the
+  // module that owns them; lumping everything into one function would create
+  // artificial cross-parameter control dependences (every later option would
+  // "depend on" every earlier rejecting check).
+  std::vector<std::string> setup_fns;
+  for (const GenParam& param : params_) {
+    const ParamSpec& spec = param.spec;
+    const std::string& var = param.var;
+    std::ostringstream body;
+    EmitSetupBody(body, param);
+    std::string text = body.str();
+    if (text.empty()) {
+      continue;
+    }
+    src << "int setup_" << var << "() {\n" << text << "  return 0;\n}\n\n";
+    setup_fns.push_back("setup_" + var);
+    (void)spec;
+  }
+  src << "int server_init() {\n";
+  for (const std::string& fn : setup_fns) {
+    src << "  if (" << fn << "() < 0) {\n    return -1;\n  }\n";
+  }
+  src << "  return 0;\n";
+  src << "}\n\n";
+}
+
+void Synthesis::EmitSetupBody(std::ostringstream& src, const GenParam& param) {
+  const ParamSpec& spec = param.spec;
+  const std::string& var = param.var;
+  {
+    switch (spec.archetype) {
+      case Archetype::kRangeClampSilent:
+        src << "  if (" << var << " < " << spec.min << ") {\n";
+        src << "    " << var << " = " << spec.min << ";\n";
+        src << "  } else if (" << var << " > " << spec.max << ") {\n";
+        src << "    " << var << " = " << spec.max << ";\n";
+        src << "  }\n";
+        break;
+      case Archetype::kRangeCheckPinpoint:
+        src << "  if (" << var << " < " << spec.min << ") {\n";
+        src << "    log_error(\"" << param.key << " must be at least " << spec.min
+            << ", got %d\", " << var << ");\n";
+        src << "    return -1;\n";
+        src << "  }\n";
+        src << "  if (" << var << " > " << spec.max << ") {\n";
+        src << "    log_error(\"" << param.key << " must be at most " << spec.max
+            << ", got %d\", " << var << ");\n";
+        src << "    return -1;\n";
+        src << "  }\n";
+        break;
+      case Archetype::kRangeCheckExit:
+        src << "  if (" << var << " < " << spec.min << ") {\n";
+        src << "    exit(1);\n";
+        src << "  }\n";
+        src << "  if (" << var << " > " << spec.max << ") {\n";
+        src << "    exit(1);\n";
+        src << "  }\n";
+        break;
+      case Archetype::kDivisorInt:
+        src << "  stride_" << var << " = 4096 / " << var << ";\n";
+        break;
+      case Archetype::kCrashArrayCount:
+        src << "  {\n";
+        src << "    int i;\n";
+        src << "    for (i = 0; i < " << var << "; i++) {\n";
+        src << "      slots_" << var << "[i] = 1;\n";
+        src << "    }\n";
+        src << "  }\n";
+        break;
+      case Archetype::kHangLoop:
+        src << "  {\n";
+        src << "    int i = " << var << ";\n";
+        src << "    while (i != 0) {\n";
+        src << "      i = i - 1;\n";
+        src << "    }\n";
+        src << "  }\n";
+        break;
+      case Archetype::kPort:
+        src << "  {\n";
+        src << "    int fd = socket();\n";
+        src << "    if (bind(fd, " << var << ") < 0) {\n";
+        src << "      " << FailSnippet(param, "cannot bind " + param.key + " = %d") << "\n";
+        src << "    } else {\n";
+        src << "      listen(fd, 64);\n";
+        src << "      ok_" << var << " = 1;\n";
+        src << "    }\n";
+        src << "  }\n";
+        break;
+      case Archetype::kFile:
+        src << "  if (open(" << var << ", 0) < 0) {\n";
+        src << "    " << FailSnippet(param, "cannot open " + param.key + " file '%s'") << "\n";
+        src << "  } else {\n";
+        src << "    ok_" << var << " = 1;\n";
+        src << "  }\n";
+        break;
+      case Archetype::kDir:
+        src << "  if (chdir(" << var << ") < 0) {\n";
+        src << "    " << FailSnippet(param, "cannot enter " + param.key + " directory '%s'")
+            << "\n";
+        src << "  } else {\n";
+        src << "    ok_" << var << " = 1;\n";
+        src << "  }\n";
+        break;
+      case Archetype::kUser:
+        src << "  if (getpwnam(" << var << ") == 0) {\n";
+        src << "    " << FailSnippet(param, "unknown user '%s' for " + param.key) << "\n";
+        src << "  } else {\n";
+        src << "    ok_" << var << " = 1;\n";
+        src << "  }\n";
+        break;
+      case Archetype::kHost:
+        src << "  if (gethostbyname(" << var << ") == 0) {\n";
+        src << "    " << FailSnippet(param, "cannot resolve " + param.key + " host '%s'")
+            << "\n";
+        src << "  } else {\n";
+        src << "    ok_" << var << " = 1;\n";
+        src << "  }\n";
+        break;
+      case Archetype::kTimeSecChecked:
+      case Archetype::kTimeUsecChecked:
+      case Archetype::kTimeMsecChecked:
+      case Archetype::kTimeMinChecked: {
+        int64_t cap = 3600;
+        if (spec.archetype == Archetype::kTimeUsecChecked) {
+          cap = 1000000;
+        } else if (spec.archetype == Archetype::kTimeMsecChecked) {
+          cap = 600000;
+        } else if (spec.archetype == Archetype::kTimeMinChecked) {
+          cap = 1440;
+        }
+        src << "  if (" << var << " < 0) {\n";
+        src << "    log_error(\"" << param.key << " must not be negative, got %d\", " << var
+            << ");\n";
+        src << "    return -1;\n";
+        src << "  }\n";
+        src << "  if (" << var << " > " << cap << ") {\n";
+        src << "    log_error(\"" << param.key << " must be at most " << cap << ", got %d\", "
+            << var << ");\n";
+        src << "    return -1;\n";
+        src << "  }\n";
+        break;
+      }
+      case Archetype::kSizeBytes:
+        src << "  {\n";
+        src << "    long h = alloc_buffer(" << var << ");\n";
+        src << "    if (h == 0) {\n";
+        src << "      " << FailSnippet(param, "cannot allocate " + param.key + " = %d bytes")
+            << "\n";
+        src << "    } else {\n";
+        src << "      ok_" << var << " = 1;\n";
+        src << "    }\n";
+        src << "  }\n";
+        break;
+      case Archetype::kSizeKbScaled:
+        src << "  {\n";
+        src << "    long h = alloc_buffer(" << var << " * 1024);\n";
+        src << "    if (h == 0) {\n";
+        src << "      " << FailSnippet(param, "cannot allocate " + param.key + " = %d KB")
+            << "\n";
+        src << "    } else {\n";
+        src << "      ok_" << var << " = 1;\n";
+        src << "    }\n";
+        src << "  }\n";
+        break;
+      case Archetype::kDependent: {
+        std::string master_var = VarOf(spec.master);
+        src << "  if (" << master_var << " != 0) {\n";
+        src << "    tuned_" << var << " = " << var << " + 1;\n";
+        src << "  }";
+        if (spec.warn_when_ignored) {
+          src << " else {\n";
+          src << "    log_warn(\"" << param.key << " has no effect while " << spec.master
+              << " is disabled\");\n";
+          src << "  }\n";
+        } else {
+          src << "\n";
+        }
+        break;
+      }
+      case Archetype::kRelPairChecked: {
+        std::string peer_var = VarOf(spec.peer);
+        src << "  if (" << var << " >= " << peer_var << ") {\n";
+        src << "    log_error(\"" << param.key << " must be less than " << spec.peer
+            << "\");\n";
+        src << "    return -1;\n";
+        src << "  }\n";
+        break;
+      }
+      case Archetype::kAliasPair: {
+        std::string peer_var = VarOf(spec.peer);
+        src << "  {\n";
+        src << "    int *cur = &" << var << ";\n";
+        src << "    cur = &" << peer_var << ";\n";
+        src << "    if (*cur > " << spec.max << ") {\n";
+        src << "      *cur = " << spec.max << ";\n";
+        src << "    }\n";
+        src << "  }\n";
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void Synthesis::EmitTests(std::ostringstream& src) {
+  auto add_test = [this](const std::string& fn) {
+    TestCase test;
+    test.name = fn;
+    test.function = fn;
+    test.cost_hint = 1 + (test_cost_cycle_++ % 5);
+    bundle_.sut.tests.push_back(std::move(test));
+  };
+
+  src << "int test_startup() {\n  return 1;\n}\n\n";
+  add_test("test_startup");
+
+  for (const GenParam& param : params_) {
+    const ParamSpec& spec = param.spec;
+    const std::string& var = param.var;
+    std::string fn = "test_" + var;
+    switch (spec.archetype) {
+      case Archetype::kPort:
+      case Archetype::kFile:
+      case Archetype::kDir:
+      case Archetype::kUser:
+      case Archetype::kHost:
+      case Archetype::kSizeBytes:
+      case Archetype::kSizeKbScaled:
+        src << "int " << fn << "() {\n  return ok_" << var << ";\n}\n\n";
+        add_test(fn);
+        break;
+      case Archetype::kTimeSec:
+      case Archetype::kTimeSecChecked:
+        src << "int " << fn << "() {\n  sleep(" << var << ");\n  return 1;\n}\n\n";
+        add_test(fn);
+        break;
+      case Archetype::kTimeUsec:
+      case Archetype::kTimeUsecChecked:
+        src << "int " << fn << "() {\n  usleep(" << var << ");\n  return 1;\n}\n\n";
+        add_test(fn);
+        break;
+      case Archetype::kTimeMsec:
+      case Archetype::kTimeMsecChecked:
+        src << "int " << fn << "() {\n  poll_wait(" << var << ");\n  return 1;\n}\n\n";
+        add_test(fn);
+        break;
+      case Archetype::kTimeMinScaled:
+      case Archetype::kTimeMinChecked:
+        src << "int " << fn << "() {\n  sleep(" << var << " * 60);\n  return 1;\n}\n\n";
+        add_test(fn);
+        break;
+      case Archetype::kRelPair:
+      case Archetype::kRelPairChecked: {
+        std::string peer_var = VarOf(spec.peer);
+        src << "int " << fn << "() {\n";
+        src << "  int len = (" << var << " + " << peer_var << ") / 2;\n";
+        src << "  if (len >= " << var << " && len < " << peer_var << ") {\n";
+        src << "    return 1;\n";
+        src << "  }\n";
+        src << "  return 0;\n";
+        src << "}\n\n";
+        add_test(fn);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void Synthesis::RecordTruth(const GenParam& param) {
+  const ParamSpec& spec = param.spec;
+  GroundTruth& truth = bundle_.truth;
+  bool value_compared = IsValueComparedArchetype(spec.archetype);
+  truth.basic_types[param.key] = (param.is_string || value_compared) ? "str" : "i32";
+
+  switch (spec.archetype) {
+    case Archetype::kPort:
+      truth.semantics.insert({param.key, SemanticType::kPort});
+      break;
+    case Archetype::kFile:
+      truth.semantics.insert({param.key, SemanticType::kFilePath});
+      break;
+    case Archetype::kDir:
+      truth.semantics.insert({param.key, SemanticType::kDirPath});
+      break;
+    case Archetype::kUser:
+      truth.semantics.insert({param.key, SemanticType::kUserName});
+      break;
+    case Archetype::kHost:
+      truth.semantics.insert({param.key, SemanticType::kHostname});
+      break;
+    case Archetype::kTimeSec:
+    case Archetype::kTimeSecChecked:
+    case Archetype::kTimeUsec:
+    case Archetype::kTimeUsecChecked:
+    case Archetype::kTimeMsec:
+    case Archetype::kTimeMsecChecked:
+    case Archetype::kTimeMinScaled:
+    case Archetype::kTimeMinChecked:
+      truth.semantics.insert({param.key, SemanticType::kTime});
+      break;
+    case Archetype::kSizeBytes:
+    case Archetype::kSizeKbScaled:
+      truth.semantics.insert({param.key, SemanticType::kSize});
+      break;
+    case Archetype::kBoolSilent:
+    case Archetype::kBoolReject:
+      truth.semantics.insert({param.key, SemanticType::kBoolean});
+      truth.ranges[param.key] = TruthRange{};  // Enumerative, no bounds.
+      break;
+    case Archetype::kEnumSensitive:
+    case Archetype::kEnumInsensitive:
+      truth.ranges[param.key] = TruthRange{};
+      break;
+    default:
+      break;
+  }
+  switch (spec.archetype) {
+    case Archetype::kRangeTable:
+    case Archetype::kRangeCheckPinpoint:
+    case Archetype::kRangeCheckExit:
+    case Archetype::kRangeClampSilent:
+      truth.ranges[param.key] = TruthRange{spec.min, spec.max};
+      break;
+    case Archetype::kTimeSecChecked:
+      truth.ranges[param.key] = TruthRange{0, 3600};
+      break;
+    case Archetype::kTimeUsecChecked:
+      truth.ranges[param.key] = TruthRange{0, 1000000};
+      break;
+    case Archetype::kTimeMsecChecked:
+      truth.ranges[param.key] = TruthRange{0, 600000};
+      break;
+    case Archetype::kTimeMinChecked:
+      truth.ranges[param.key] = TruthRange{0, 1440};
+      break;
+    case Archetype::kAliasPair:
+      // The clamp really constrains the *peer*; this parameter has no range.
+      // SPEX will misattribute it to both — the Table 12 inaccuracy source.
+      truth.ranges[spec.peer] = TruthRange{std::nullopt, spec.max};
+      break;
+    default:
+      break;
+  }
+  if (spec_.uses_struct_table && param.table_parsed && !param.is_string &&
+      spec_.table_parse == TableParseStyle::kStrictRange &&
+      spec.archetype != Archetype::kRangeTable &&
+      truth.ranges.find(param.key) == truth.ranges.end()) {
+    // Strict targets declare the catch-all range for every table parameter
+    // without a narrower constraint of its own. (Alias-pair victims are
+    // deliberately NOT given truth beyond this: the narrower clamp SPEX
+    // attributes to them is the planted false positive.)
+    truth.ranges[param.key] = TruthRange{-2000000000, 2000000000};
+  }
+  if (spec.archetype == Archetype::kDependent) {
+    truth.control_deps.insert({spec.master, param.key});
+  }
+  if (spec.archetype == Archetype::kRelPair || spec.archetype == Archetype::kRelPairChecked) {
+    auto key = param.key < spec.peer ? std::make_pair(param.key, spec.peer)
+                                     : std::make_pair(spec.peer, param.key);
+    truth.value_rels.insert(key);
+  }
+}
+
+TargetBundle Synthesis::Build() {
+  bundle_.name = spec_.name;
+  bundle_.display_name = spec_.display_name;
+  bundle_.dialect = spec_.dialect;
+  ExpandParams();
+
+  std::ostringstream src;
+  src << "// Synthesized corpus target: " << spec_.display_name << "\n";
+  src << "// Generated by spex::SynthesizeTarget — do not hand-edit.\n\n";
+  EmitGlobals(src);
+  EmitTables(src);
+  EmitHandlers(src);
+  EmitHelpers(src);
+  EmitParseFunction(src);
+  EmitServerInit(src);
+  EmitTests(src);
+  bundle_.source = src.str();
+  bundle_.lines_of_code =
+      static_cast<size_t>(std::count(bundle_.source.begin(), bundle_.source.end(), '\n'));
+  bundle_.param_count = params_.size();
+
+  // Annotations.
+  std::ostringstream ann;
+  ann << "# Mapping annotations for " << spec_.display_name << "\n";
+  if (spec_.uses_struct_table) {
+    int shards = std::max(1, spec_.table_shards);
+    for (int shard = 0; shard < shards; ++shard) {
+      ann << "@STRUCT int_table_" << shard << " { par = 0, var = 1";
+      if (spec_.table_parse == TableParseStyle::kStrictRange) {
+        ann << ", min = 2, max = 3";
+      }
+      ann << " }\n";
+    }
+    ann << "@STRUCT str_table { par = 0, var = 1 }\n";
+  }
+  if (spec_.uses_handler_table) {
+    ann << "@STRUCT cmd_table { par = 0, func = 1, arg = 0 }\n";
+  }
+  bool any_comparison = false;
+  for (const GenParam& param : params_) {
+    any_comparison = any_comparison || param.comparison_parsed;
+  }
+  if (any_comparison) {
+    ann << "@PARSER handle_config_line { par = arg0, var = arg1 }\n";
+  }
+  bundle_.annotations = ann.str();
+
+  // Template configuration.
+  ConfigFile config(spec_.dialect);
+  config.AppendComment(spec_.display_name + " default configuration (synthesized)");
+  for (const GenParam& param : params_) {
+    if (param.is_string) {
+      config.Set(param.key, DefaultStringFor(param.spec));
+    } else if (param.spec.archetype == Archetype::kBoolSilent ||
+               param.spec.archetype == Archetype::kBoolReject) {
+      config.Set(param.key, param.spec.def_int != 0 ? "on" : "off");
+    } else if (IsValueComparedArchetype(param.spec.archetype)) {
+      size_t index = static_cast<size_t>(param.spec.def_int) % param.spec.enum_values.size();
+      config.Set(param.key, param.spec.enum_values[index]);
+    } else {
+      config.Set(param.key, std::to_string(param.spec.def_int));
+    }
+  }
+  bundle_.template_config = config.Serialize();
+
+  // Manual model + ground truth + SUT storage map.
+  std::ostringstream manual;
+  manual << "# " << spec_.display_name << " manual model\n";
+  for (const GenParam& param : params_) {
+    RecordTruth(param);
+    bundle_.sut.param_storage[param.key] = param.var;
+    std::vector<std::string> facts = {"basic_type"};
+    if (param.spec.documented) {
+      switch (param.spec.archetype) {
+        case Archetype::kRangeTable:
+        case Archetype::kRangeCheckPinpoint:
+        case Archetype::kRangeCheckExit:
+        case Archetype::kRangeClampSilent:
+        case Archetype::kTimeSecChecked:
+          facts.push_back("range");
+          break;
+        case Archetype::kDependent:
+          facts.push_back("ctrl_dep");
+          break;
+        case Archetype::kRelPair:
+        case Archetype::kRelPairChecked:
+          facts.push_back("value_rel");
+          break;
+        default:
+          facts.push_back("range");
+          break;
+      }
+    }
+    manual << param.key << ": " << JoinStrings(facts, ", ") << "\n";
+  }
+  bundle_.manual_text = manual.str();
+  bundle_.sut.parse_function = "handle_config_line";
+  bundle_.sut.init_function = "server_init";
+  return std::move(bundle_);
+}
+
+}  // namespace
+
+TargetBundle SynthesizeTarget(const TargetSpec& spec) {
+  Synthesis synthesis(spec);
+  return synthesis.Build();
+}
+
+size_t TargetSpec::TotalParams() const {
+  size_t total = 0;
+  for (const ParamSpec& param : params) {
+    total += static_cast<size_t>(param.count);
+  }
+  return total;
+}
+
+}  // namespace spex

@@ -1,0 +1,39 @@
+// Target synthesizer: TargetSpec -> runnable MiniC system + artifacts.
+//
+// The bundle contains everything one of the paper's evaluated systems
+// contributes to the evaluation: source code, mapping annotations, a
+// template configuration, a user-manual model, a functional test suite
+// (SutSpec) for SPEX-INJ, and the ground-truth constraints for accuracy
+// scoring. Synthesis is fully deterministic.
+#ifndef SPEX_CORPUS_SYNTHESIZER_H_
+#define SPEX_CORPUS_SYNTHESIZER_H_
+
+#include <string>
+
+#include "src/corpus/spec.h"
+#include "src/corpus/truth.h"
+#include "src/inject/campaign.h"
+
+namespace spex {
+
+struct TargetBundle {
+  std::string name;
+  std::string display_name;
+  ConfigDialect dialect = ConfigDialect::kKeyEqualsValue;
+
+  std::string source;           // MiniC translation unit.
+  std::string annotations;      // Mapping annotations (Figure 4 style).
+  std::string template_config;  // Default configuration file text.
+  std::string manual_text;      // ManualModel::Parse input.
+  SutSpec sut;                  // How SPEX-INJ drives this target.
+  GroundTruth truth;
+
+  size_t lines_of_code = 0;
+  size_t param_count = 0;
+};
+
+TargetBundle SynthesizeTarget(const TargetSpec& spec);
+
+}  // namespace spex
+
+#endif  // SPEX_CORPUS_SYNTHESIZER_H_

@@ -1,0 +1,71 @@
+#include "src/corpus/truth.h"
+
+#include <algorithm>
+
+namespace spex {
+
+namespace {
+
+// An inferred numeric range matches the truth iff some valid interval has
+// exactly the planted finite bounds.
+bool RangeMatches(const RangeConstraint& inferred, const TruthRange& truth) {
+  if (inferred.is_enum) {
+    // Planted enumerative constraints are recorded without bounds; accept.
+    return !truth.min.has_value() && !truth.max.has_value();
+  }
+  for (const RangeInterval& interval : inferred.ValidIntervals()) {
+    bool min_ok = truth.min.has_value() ? (interval.min.has_value() && *interval.min == *truth.min)
+                                        : !interval.min.has_value();
+    bool max_ok = truth.max.has_value() ? (interval.max.has_value() && *interval.max == *truth.max)
+                                        : !interval.max.has_value();
+    if (min_ok && max_ok) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AccuracyReport EvaluateAccuracy(const ModuleConstraints& constraints, const GroundTruth& truth) {
+  AccuracyReport report;
+  for (const ParamConstraints& param : constraints.params) {
+    if (param.basic_type.has_value() && param.basic_type->type != nullptr) {
+      ++report.basic_type.inferred;
+      auto it = truth.basic_types.find(param.param);
+      if (it != truth.basic_types.end() && it->second == param.basic_type->type->ToString()) {
+        ++report.basic_type.correct;
+      }
+    }
+    for (const SemanticTypeConstraint& semantic : param.semantic_types) {
+      ++report.semantic_type.inferred;
+      if (truth.semantics.count({param.param, semantic.semantic}) > 0) {
+        ++report.semantic_type.correct;
+      }
+    }
+    if (param.range.has_value()) {
+      ++report.range.inferred;
+      auto it = truth.ranges.find(param.param);
+      if (it != truth.ranges.end() && RangeMatches(*param.range, it->second)) {
+        ++report.range.correct;
+      }
+    }
+  }
+  for (const ControlDepConstraint& dep : constraints.control_deps) {
+    ++report.control_dep.inferred;
+    if (truth.control_deps.count({dep.master, dep.dependent}) > 0) {
+      ++report.control_dep.correct;
+    }
+  }
+  for (const ValueRelConstraint& rel : constraints.value_rels) {
+    ++report.value_rel.inferred;
+    auto key = rel.lhs < rel.rhs ? std::make_pair(rel.lhs, rel.rhs)
+                                 : std::make_pair(rel.rhs, rel.lhs);
+    if (truth.value_rels.count(key) > 0) {
+      ++report.value_rel.correct;
+    }
+  }
+  return report;
+}
+
+}  // namespace spex

@@ -1,0 +1,55 @@
+// Ground truth for synthesized targets, and accuracy scoring against it.
+//
+// The synthesizer records every constraint it plants; Table 12 ("accuracy of
+// constraint inference") is then measured honestly: each constraint SPEX
+// infers is checked against the truth, and misattributed constraints (the
+// planted pointer-alias patterns) count against accuracy exactly as the
+// paper describes.
+#ifndef SPEX_CORPUS_TRUTH_H_
+#define SPEX_CORPUS_TRUTH_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/apidb/semantic_types.h"
+#include "src/core/constraints.h"
+
+namespace spex {
+
+struct TruthRange {
+  std::optional<int64_t> min;
+  std::optional<int64_t> max;
+};
+
+struct GroundTruth {
+  std::map<std::string, std::string> basic_types;  // param -> IrType::ToString().
+  std::set<std::pair<std::string, SemanticType>> semantics;
+  std::map<std::string, TruthRange> ranges;
+  std::set<std::pair<std::string, std::string>> control_deps;  // (master, dependent).
+  // Canonically ordered pair (lexicographically smaller name first).
+  std::set<std::pair<std::string, std::string>> value_rels;
+};
+
+struct KindAccuracy {
+  size_t inferred = 0;
+  size_t correct = 0;
+  double Ratio() const { return inferred == 0 ? 1.0 : static_cast<double>(correct) / inferred; }
+};
+
+struct AccuracyReport {
+  KindAccuracy basic_type;
+  KindAccuracy semantic_type;
+  KindAccuracy range;
+  KindAccuracy control_dep;
+  KindAccuracy value_rel;
+};
+
+// Scores every inferred constraint against the truth.
+AccuracyReport EvaluateAccuracy(const ModuleConstraints& constraints, const GroundTruth& truth);
+
+}  // namespace spex
+
+#endif  // SPEX_CORPUS_TRUTH_H_

@@ -1,0 +1,225 @@
+#include "src/design/detectors.h"
+
+namespace spex {
+
+const char* DesignFlawKindName(DesignFlawKind kind) {
+  switch (kind) {
+    case DesignFlawKind::kCaseInconsistency:
+      return "case-sensitivity inconsistency";
+    case DesignFlawKind::kUnitInconsistency:
+      return "unit inconsistency";
+    case DesignFlawKind::kSilentOverruling:
+      return "silent overruling";
+    case DesignFlawKind::kUnsafeApi:
+      return "unsafe API";
+    case DesignFlawKind::kUndocumentedConstraint:
+      return "undocumented constraint";
+  }
+  return "?";
+}
+
+std::string DesignFinding::ToString() const {
+  return std::string(DesignFlawKindName(kind)) + ": \"" + param + "\" — " + detail;
+}
+
+CaseSensitivityStats DesignAuditor::CaseStats() const {
+  CaseSensitivityStats stats;
+  for (const ParamConstraints& param : constraints_.params) {
+    if (param.case_sensitivity == CaseSensitivity::kSensitive) {
+      ++stats.sensitive;
+    } else if (param.case_sensitivity == CaseSensitivity::kInsensitive) {
+      ++stats.insensitive;
+    }
+  }
+  return stats;
+}
+
+UnitStats DesignAuditor::Units() const {
+  UnitStats stats;
+  for (const ParamConstraints& param : constraints_.params) {
+    if (param.time_unit != TimeUnit::kNone) {
+      ++stats.time_units[param.time_unit];
+    }
+    if (param.size_unit != SizeUnit::kNone) {
+      ++stats.size_units[param.size_unit];
+    }
+  }
+  return stats;
+}
+
+ErrorProneCounts DesignAuditor::ErrorProne() const {
+  ErrorProneCounts counts;
+  for (const ParamConstraints& param : constraints_.params) {
+    if (param.range.has_value() &&
+        param.range->out_of_range == OutOfRangeBehavior::kSilentReset) {
+      ++counts.silent_overruling_params;
+    }
+    if (!param.unsafe_uses.empty()) {
+      ++counts.unsafe_api_params;
+    }
+    if (param.range.has_value() && !manual_.IsDocumented(param.param, DocumentedFact::kRange)) {
+      ++counts.undocumented_ranges;
+    }
+  }
+  for (const ControlDepConstraint& dep : constraints_.control_deps) {
+    if (!manual_.IsDocumented(dep.dependent, DocumentedFact::kControlDep)) {
+      ++counts.undocumented_ctrl_deps;
+    }
+  }
+  for (const ValueRelConstraint& rel : constraints_.value_rels) {
+    if (!manual_.IsDocumented(rel.lhs, DocumentedFact::kValueRel) &&
+        !manual_.IsDocumented(rel.rhs, DocumentedFact::kValueRel)) {
+      ++counts.undocumented_value_rels;
+    }
+  }
+  return counts;
+}
+
+void DesignAuditor::AuditCaseConsistency(std::vector<DesignFinding>* out) const {
+  CaseSensitivityStats stats = CaseStats();
+  if (!stats.Inconsistent()) {
+    return;
+  }
+  // The minority class is the error-prone one: users learn the majority
+  // behaviour and trip on the exceptions (MySQL's one sensitive parameter
+  // among 58 insensitive ones, Figure 6(a)).
+  CaseSensitivity minority = stats.sensitive < stats.insensitive
+                                 ? CaseSensitivity::kSensitive
+                                 : CaseSensitivity::kInsensitive;
+  for (const ParamConstraints& param : constraints_.params) {
+    if (param.case_sensitivity != minority) {
+      continue;
+    }
+    DesignFinding finding;
+    finding.kind = DesignFlawKind::kCaseInconsistency;
+    finding.param = param.param;
+    finding.detail = std::string("values are case-") +
+                     (minority == CaseSensitivity::kSensitive ? "sensitive" : "insensitive") +
+                     " unlike most other parameters of this system";
+    finding.loc = param.loc;
+    out->push_back(std::move(finding));
+  }
+}
+
+void DesignAuditor::AuditUnitConsistency(std::vector<DesignFinding>* out) const {
+  UnitStats stats = Units();
+  auto report_minority = [this, out](auto unit_of, auto unit_name, auto majority) {
+    for (const ParamConstraints& param : constraints_.params) {
+      auto unit = unit_of(param);
+      if (static_cast<int>(unit) == 0 || unit == majority) {
+        continue;
+      }
+      DesignFinding finding;
+      finding.kind = DesignFlawKind::kUnitInconsistency;
+      finding.param = param.param;
+      finding.detail = std::string("uses unit ") + unit_name(unit) + " while most peers use " +
+                       unit_name(majority);
+      finding.loc = param.loc;
+      out->push_back(std::move(finding));
+    }
+  };
+  if (stats.TimeInconsistent()) {
+    TimeUnit majority = TimeUnit::kNone;
+    size_t best = 0;
+    for (const auto& [unit, count] : stats.time_units) {
+      if (count > best) {
+        best = count;
+        majority = unit;
+      }
+    }
+    report_minority([](const ParamConstraints& p) { return p.time_unit; }, TimeUnitName,
+                    majority);
+  }
+  if (stats.SizeInconsistent()) {
+    SizeUnit majority = SizeUnit::kNone;
+    size_t best = 0;
+    for (const auto& [unit, count] : stats.size_units) {
+      if (count > best) {
+        best = count;
+        majority = unit;
+      }
+    }
+    report_minority([](const ParamConstraints& p) { return p.size_unit; }, SizeUnitName,
+                    majority);
+  }
+}
+
+void DesignAuditor::AuditSilentOverruling(std::vector<DesignFinding>* out) const {
+  for (const ParamConstraints& param : constraints_.params) {
+    if (!param.range.has_value() ||
+        param.range->out_of_range != OutOfRangeBehavior::kSilentReset) {
+      continue;
+    }
+    DesignFinding finding;
+    finding.kind = DesignFlawKind::kSilentOverruling;
+    finding.param = param.param;
+    finding.detail = "out-of-range settings are silently replaced without notifying the user";
+    finding.loc = param.range->loc;
+    out->push_back(std::move(finding));
+  }
+}
+
+void DesignAuditor::AuditUnsafeApis(std::vector<DesignFinding>* out) const {
+  for (const ParamConstraints& param : constraints_.params) {
+    for (const UnsafeApiUse& use : param.unsafe_uses) {
+      DesignFinding finding;
+      finding.kind = DesignFlawKind::kUnsafeApi;
+      finding.param = param.param;
+      finding.detail = "parsed with " + use.api +
+                       ", which cannot report garbage or overflow; use strtol with errno/end "
+                       "checks instead";
+      finding.loc = use.loc;
+      out->push_back(std::move(finding));
+    }
+  }
+}
+
+void DesignAuditor::AuditUndocumented(std::vector<DesignFinding>* out) const {
+  for (const ParamConstraints& param : constraints_.params) {
+    if (param.range.has_value() && !manual_.IsDocumented(param.param, DocumentedFact::kRange)) {
+      DesignFinding finding;
+      finding.kind = DesignFlawKind::kUndocumentedConstraint;
+      finding.param = param.param;
+      finding.detail = "has a value-range constraint (" + param.range->ToString() +
+                       ") that no documentation mentions";
+      finding.loc = param.range->loc;
+      out->push_back(std::move(finding));
+    }
+  }
+  for (const ControlDepConstraint& dep : constraints_.control_deps) {
+    if (manual_.IsDocumented(dep.dependent, DocumentedFact::kControlDep)) {
+      continue;
+    }
+    DesignFinding finding;
+    finding.kind = DesignFlawKind::kUndocumentedConstraint;
+    finding.param = dep.dependent;
+    finding.detail = "only takes effect when " + dep.master + " " + IrCmpPredName(dep.pred) +
+                     " " + std::to_string(dep.value) + ", which is documented nowhere";
+    finding.loc = dep.loc;
+    out->push_back(std::move(finding));
+  }
+  for (const ValueRelConstraint& rel : constraints_.value_rels) {
+    if (manual_.IsDocumented(rel.lhs, DocumentedFact::kValueRel) ||
+        manual_.IsDocumented(rel.rhs, DocumentedFact::kValueRel)) {
+      continue;
+    }
+    DesignFinding finding;
+    finding.kind = DesignFlawKind::kUndocumentedConstraint;
+    finding.param = rel.lhs;
+    finding.detail = "must satisfy " + rel.ToString() + ", which is documented nowhere";
+    finding.loc = rel.loc;
+    out->push_back(std::move(finding));
+  }
+}
+
+std::vector<DesignFinding> DesignAuditor::Audit() const {
+  std::vector<DesignFinding> findings;
+  AuditCaseConsistency(&findings);
+  AuditUnitConsistency(&findings);
+  AuditSilentOverruling(&findings);
+  AuditUnsafeApis(&findings);
+  AuditUndocumented(&findings);
+  return findings;
+}
+
+}  // namespace spex

@@ -1,0 +1,93 @@
+// Error-prone configuration-design detectors (paper Section 3.2).
+//
+// Five detectors over the inferred constraints:
+//   1. case-sensitivity inconsistency across string parameters (Table 6),
+//   2. unit inconsistency across time/size parameters (Table 7),
+//   3. silent overruling (user settings overwritten without notice),
+//   4. unsafe parsing APIs (atoi / sscanf / sprintf on user input),
+//   5. undocumented constraints (inferred but absent from the manual).
+#ifndef SPEX_DESIGN_DETECTORS_H_
+#define SPEX_DESIGN_DETECTORS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/constraints.h"
+#include "src/design/manual_model.h"
+
+namespace spex {
+
+enum class DesignFlawKind {
+  kCaseInconsistency,
+  kUnitInconsistency,
+  kSilentOverruling,
+  kUnsafeApi,
+  kUndocumentedConstraint,
+};
+
+const char* DesignFlawKindName(DesignFlawKind kind);
+
+struct DesignFinding {
+  DesignFlawKind kind = DesignFlawKind::kUnsafeApi;
+  std::string param;
+  std::string detail;
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
+// Table 6 row: sensitivity split over string parameters.
+struct CaseSensitivityStats {
+  size_t sensitive = 0;
+  size_t insensitive = 0;
+  bool Inconsistent() const { return sensitive > 0 && insensitive > 0; }
+};
+
+// Table 7 row: unit histograms.
+struct UnitStats {
+  std::map<TimeUnit, size_t> time_units;
+  std::map<SizeUnit, size_t> size_units;
+  bool TimeInconsistent() const { return time_units.size() > 1; }
+  bool SizeInconsistent() const { return size_units.size() > 1; }
+};
+
+// Table 8 row: the remaining error-prone categories.
+struct ErrorProneCounts {
+  size_t silent_overruling_params = 0;
+  size_t unsafe_api_params = 0;
+  size_t undocumented_ranges = 0;
+  size_t undocumented_ctrl_deps = 0;
+  size_t undocumented_value_rels = 0;
+
+  size_t Total() const {
+    return silent_overruling_params + unsafe_api_params + undocumented_ranges +
+           undocumented_ctrl_deps + undocumented_value_rels;
+  }
+};
+
+class DesignAuditor {
+ public:
+  DesignAuditor(const ModuleConstraints& constraints, const ManualModel& manual)
+      : constraints_(constraints), manual_(manual) {}
+
+  std::vector<DesignFinding> Audit() const;
+
+  CaseSensitivityStats CaseStats() const;
+  UnitStats Units() const;
+  ErrorProneCounts ErrorProne() const;
+
+ private:
+  void AuditCaseConsistency(std::vector<DesignFinding>* out) const;
+  void AuditUnitConsistency(std::vector<DesignFinding>* out) const;
+  void AuditSilentOverruling(std::vector<DesignFinding>* out) const;
+  void AuditUnsafeApis(std::vector<DesignFinding>* out) const;
+  void AuditUndocumented(std::vector<DesignFinding>* out) const;
+
+  const ModuleConstraints& constraints_;
+  const ManualModel& manual_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_DESIGN_DETECTORS_H_

@@ -1,0 +1,79 @@
+#include "src/design/manual_model.h"
+
+#include <optional>
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+namespace {
+
+std::optional<DocumentedFact> ParseFact(std::string_view token) {
+  if (token == "basic_type") {
+    return DocumentedFact::kBasicType;
+  }
+  if (token == "semantic_type") {
+    return DocumentedFact::kSemanticType;
+  }
+  if (token == "range") {
+    return DocumentedFact::kRange;
+  }
+  if (token == "ctrl_dep") {
+    return DocumentedFact::kControlDep;
+  }
+  if (token == "value_rel") {
+    return DocumentedFact::kValueRel;
+  }
+  if (token == "unit") {
+    return DocumentedFact::kUnit;
+  }
+  if (token == "case") {
+    return DocumentedFact::kCaseSensitivity;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void ManualModel::Document(const std::string& param, DocumentedFact fact) {
+  entries_.insert({param, fact});
+}
+
+bool ManualModel::IsDocumented(const std::string& param, DocumentedFact fact) const {
+  return entries_.count({param, fact}) > 0;
+}
+
+ManualModel ManualModel::Parse(std::string_view text, DiagnosticEngine* diags) {
+  ManualModel model;
+  uint32_t line_number = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_number;
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      diags->Error(SourceLoc{"<manual>", line_number, 1},
+                   "expected 'param: fact, fact, ...'");
+      continue;
+    }
+    std::string param(TrimWhitespace(line.substr(0, colon)));
+    for (const std::string& entry : SplitString(line.substr(colon + 1), ',')) {
+      std::string_view token = TrimWhitespace(entry);
+      if (token.empty()) {
+        continue;
+      }
+      auto fact = ParseFact(token);
+      if (!fact.has_value()) {
+        diags->Error(SourceLoc{"<manual>", line_number, 1},
+                     "unknown documented fact '" + std::string(token) + "'");
+        continue;
+      }
+      model.Document(param, *fact);
+    }
+  }
+  return model;
+}
+
+}  // namespace spex

@@ -1,0 +1,46 @@
+// User-manual model.
+//
+// The undocumented-constraint detector (Section 3.2, Table 8) needs to know
+// what the target's documentation actually says. Real manuals are natural
+// language; the model reduces them to the only fact the detector consumes:
+// "is constraint kind K of parameter P documented anywhere (manual text,
+// error message, or parameter naming)?"
+#ifndef SPEX_DESIGN_MANUAL_MODEL_H_
+#define SPEX_DESIGN_MANUAL_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "src/support/diagnostics.h"
+
+namespace spex {
+
+enum class DocumentedFact {
+  kBasicType,
+  kSemanticType,
+  kRange,
+  kControlDep,
+  kValueRel,
+  kUnit,
+  kCaseSensitivity,
+};
+
+class ManualModel {
+ public:
+  void Document(const std::string& param, DocumentedFact fact);
+  bool IsDocumented(const std::string& param, DocumentedFact fact) const;
+  size_t entry_count() const { return entries_.size(); }
+
+  // Text format, one entry per line: `param: range, ctrl_dep, unit, ...`
+  // ('#' comments allowed). Unknown fact names are reported to diags.
+  static ManualModel Parse(std::string_view text, DiagnosticEngine* diags);
+
+ private:
+  std::set<std::pair<std::string, DocumentedFact>> entries_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_DESIGN_MANUAL_MODEL_H_

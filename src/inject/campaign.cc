@@ -1,0 +1,290 @@
+#include "src/inject/campaign.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+const char* ReactionCategoryName(ReactionCategory category) {
+  switch (category) {
+    case ReactionCategory::kCrashHang:
+      return "crash/hang";
+    case ReactionCategory::kEarlyTermination:
+      return "early termination";
+    case ReactionCategory::kFunctionalFailure:
+      return "functional failure";
+    case ReactionCategory::kSilentViolation:
+      return "silent violation";
+    case ReactionCategory::kSilentIgnorance:
+      return "silent ignorance";
+    case ReactionCategory::kGoodReaction:
+      return "good reaction";
+    case ReactionCategory::kNoIssue:
+      return "no issue";
+  }
+  return "?";
+}
+
+bool IsVulnerability(ReactionCategory category) {
+  switch (category) {
+    case ReactionCategory::kCrashHang:
+    case ReactionCategory::kEarlyTermination:
+    case ReactionCategory::kFunctionalFailure:
+    case ReactionCategory::kSilentViolation:
+    case ReactionCategory::kSilentIgnorance:
+      return true;
+    default:
+      return false;
+  }
+}
+
+size_t CampaignSummary::CountCategory(ReactionCategory category) const {
+  size_t count = 0;
+  for (const InjectionResult& result : results) {
+    if (result.category == category) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CampaignSummary::TotalVulnerabilities() const {
+  size_t count = 0;
+  for (const InjectionResult& result : results) {
+    if (IsVulnerability(result.category)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CampaignSummary::UniqueVulnerabilityLocations() const {
+  std::set<std::string> locations;
+  for (const InjectionResult& result : results) {
+    if (IsVulnerability(result.category)) {
+      locations.insert(result.vulnerability_loc.IsValid() ? result.vulnerability_loc.LineKey()
+                                                          : result.config.param);
+    }
+  }
+  return locations.size();
+}
+
+InjectionCampaign::InjectionCampaign(const Module& module, const SutSpec& sut,
+                                     OsSimulator os_template, CampaignOptions options)
+    : module_(module), sut_(sut), os_template_(std::move(os_template)), options_(options) {
+  if (options_.sort_tests_by_cost) {
+    // Shortest-test-first: cheap tests surface failures sooner, which the
+    // stop-at-first-failure optimization then exploits.
+    std::stable_sort(sut_.tests.begin(), sut_.tests.end(),
+                     [](const TestCase& a, const TestCase& b) {
+                       return a.cost_hint < b.cost_hint;
+                     });
+  }
+}
+
+InjectionCampaign::RunOutcome InjectionCampaign::Execute(Interpreter& interp,
+                                                         const ConfigFile& config) {
+  RunOutcome outcome;
+  // Phase 1: parse every setting.
+  for (const ConfigEntry& entry : config.entries()) {
+    if (entry.kind != ConfigEntry::Kind::kSetting) {
+      continue;
+    }
+    CallOutcome call = interp.Call(sut_.parse_function,
+                                   {RtValue::Str(entry.key), RtValue::Str(entry.value)});
+    if (call.status != CallOutcome::Status::kOk) {
+      outcome.phase = RunOutcome::Phase::kParse;
+      outcome.status = call.status;
+      outcome.exit_code = call.exit_code;
+      outcome.detail = call.trap_reason;
+      return outcome;
+    }
+    if (call.return_value.AsInt() < 0) {
+      outcome.phase = RunOutcome::Phase::kParse;
+      outcome.rejected = true;
+      outcome.detail = "configuration rejected while parsing '" + entry.key + "'";
+      return outcome;
+    }
+  }
+  // Phase 2: server initialization.
+  {
+    CallOutcome call = interp.Call(sut_.init_function, {});
+    if (call.status != CallOutcome::Status::kOk) {
+      outcome.phase = RunOutcome::Phase::kInit;
+      outcome.status = call.status;
+      outcome.exit_code = call.exit_code;
+      outcome.detail = call.trap_reason;
+      return outcome;
+    }
+    if (call.return_value.AsInt() < 0) {
+      outcome.phase = RunOutcome::Phase::kInit;
+      outcome.rejected = true;
+      outcome.detail = "server initialization failed";
+      return outcome;
+    }
+  }
+  // Phase 3: functional tests.
+  for (const TestCase& test : sut_.tests) {
+    ++outcome.tests_run;
+    CallOutcome call = interp.Call(test.function, {});
+    if (call.status != CallOutcome::Status::kOk) {
+      outcome.phase = RunOutcome::Phase::kTest;
+      outcome.status = call.status;
+      outcome.exit_code = call.exit_code;
+      outcome.detail = call.trap_reason;
+      outcome.failed_test = test.name;
+      return outcome;
+    }
+    if (call.return_value.AsInt() != test.expected) {
+      outcome.phase = RunOutcome::Phase::kTest;
+      outcome.failed_test = test.name;
+      outcome.detail = "test '" + test.name + "' failed (got " +
+                       std::to_string(call.return_value.AsInt()) + ", want " +
+                       std::to_string(test.expected) + ")";
+      if (options_.stop_at_first_failure) {
+        return outcome;
+      }
+    }
+  }
+  if (!outcome.failed_test.empty()) {
+    outcome.phase = RunOutcome::Phase::kTest;
+    return outcome;
+  }
+  outcome.phase = RunOutcome::Phase::kDone;
+  return outcome;
+}
+
+bool InjectionCampaign::LogsPinpoint(const std::vector<std::string>& logs,
+                                     const Misconfiguration& config,
+                                     const ConfigFile& applied) const {
+  uint32_t line = applied.LineOf(config.param);
+  std::string line_marker = "line " + std::to_string(line);
+  for (const std::string& log : logs) {
+    if (ContainsSubstringIgnoreCase(log, config.param)) {
+      return true;
+    }
+    if (config.value.size() >= 2 && ContainsSubstring(log, config.value)) {
+      return true;
+    }
+    if (line != 0 && ContainsSubstringIgnoreCase(log, line_marker)) {
+      return true;
+    }
+    // Extra settings (control-dep master, relationship peer) count too.
+    for (const auto& [key, value] : config.extra_settings) {
+      if (ContainsSubstringIgnoreCase(log, key)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool InjectionCampaign::BaselinePasses(const ConfigFile& template_config) {
+  OsSimulator os = os_template_;
+  Interpreter interp(module_, &os, options_.interp);
+  RunOutcome outcome = Execute(interp, template_config);
+  return outcome.phase == RunOutcome::Phase::kDone;
+}
+
+InjectionResult InjectionCampaign::RunOne(const ConfigFile& template_config,
+                                          const Misconfiguration& config) {
+  InjectionResult result;
+  result.config = config;
+  result.vulnerability_loc = config.constraint_loc;
+
+  ConfigFile applied = template_config;
+  applied.Set(config.param, config.value);
+  for (const auto& [key, value] : config.extra_settings) {
+    applied.Set(key, value);
+  }
+
+  OsSimulator os = os_template_;
+  Interpreter interp(module_, &os, options_.interp);
+  RunOutcome outcome = Execute(interp, applied);
+  result.logs = interp.logs();
+  result.tests_run = outcome.tests_run;
+  result.pinpointed = LogsPinpoint(result.logs, config, applied);
+
+  // --- Classification per Table 3.
+  if (outcome.status == CallOutcome::Status::kTrap ||
+      outcome.status == CallOutcome::Status::kHang) {
+    result.category = ReactionCategory::kCrashHang;
+    result.detail = outcome.detail;
+    return result;
+  }
+  if (outcome.status == CallOutcome::Status::kExit || outcome.rejected) {
+    result.category =
+        result.pinpointed ? ReactionCategory::kGoodReaction : ReactionCategory::kEarlyTermination;
+    result.detail = outcome.detail;
+    return result;
+  }
+  if (!outcome.failed_test.empty()) {
+    result.category = result.pinpointed ? ReactionCategory::kGoodReaction
+                                        : ReactionCategory::kFunctionalFailure;
+    result.detail = outcome.detail;
+    return result;
+  }
+
+  // Everything "worked". Look for silent violation / ignorance.
+  auto storage_it = sut_.param_storage.find(config.param);
+  if (config.expect_ignored) {
+    bool read = storage_it != sut_.param_storage.end() &&
+                interp.GlobalWasRead(storage_it->second);
+    if (!read && !result.pinpointed) {
+      result.category = ReactionCategory::kSilentIgnorance;
+      result.detail = "dependent parameter was never consulted";
+      return result;
+    }
+    result.category = result.pinpointed ? ReactionCategory::kGoodReaction
+                                        : ReactionCategory::kNoIssue;
+    return result;
+  }
+  if (storage_it != sut_.param_storage.end() && !result.pinpointed) {
+    auto effective = interp.ReadGlobal(storage_it->second);
+    if (effective.has_value() && effective->kind != RtValue::Kind::kString &&
+        effective->kind != RtValue::Kind::kNull) {
+      int64_t actual = effective->AsInt();
+      if (config.intended_numeric.has_value() && actual != *config.intended_numeric) {
+        result.category = ReactionCategory::kSilentViolation;
+        result.detail = "configured " + config.value + " but effective value is " +
+                        std::to_string(actual);
+        return result;
+      }
+      if (!config.intended_numeric.has_value()) {
+        auto strict = ParseInt64(config.value);
+        if (!strict.has_value()) {
+          // Garbage accepted without a word: the atoi("not_a_number") -> 0
+          // silent acceptance.
+          result.category = ReactionCategory::kSilentViolation;
+          result.detail = "non-numeric input silently accepted as " + std::to_string(actual);
+          return result;
+        }
+      }
+    } else if (effective.has_value() && effective->kind == RtValue::Kind::kString &&
+               effective->s != config.value) {
+      result.category = ReactionCategory::kSilentViolation;
+      result.detail = "configured \"" + config.value + "\" but effective value is \"" +
+                      effective->s + "\"";
+      return result;
+    }
+  }
+  result.category =
+      result.pinpointed ? ReactionCategory::kGoodReaction : ReactionCategory::kNoIssue;
+  return result;
+}
+
+CampaignSummary InjectionCampaign::RunAll(const ConfigFile& template_config,
+                                          const std::vector<Misconfiguration>& configs) {
+  CampaignSummary summary;
+  summary.results.reserve(configs.size());
+  for (const Misconfiguration& config : configs) {
+    InjectionResult result = RunOne(template_config, config);
+    summary.total_tests_run += result.tests_run;
+    summary.results.push_back(std::move(result));
+  }
+  return summary;
+}
+
+}  // namespace spex

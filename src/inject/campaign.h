@@ -1,0 +1,118 @@
+// SPEX-INJ injection campaign (paper Section 3.1).
+//
+// For each generated misconfiguration: build the config from the template,
+// feed it to the target (parse -> init -> functional tests) inside the
+// interpreter, and classify the reaction per Table 3. The two cost
+// optimizations from the paper are implemented: shortest-test-first
+// ordering and stop-at-first-failure.
+#ifndef SPEX_INJECT_CAMPAIGN_H_
+#define SPEX_INJECT_CAMPAIGN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/confgen/config_file.h"
+#include "src/core/constraints.h"
+#include "src/inject/generator.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/ir.h"
+#include "src/osim/os_simulator.h"
+
+namespace spex {
+
+struct TestCase {
+  std::string name;
+  std::string function;       // Target function; must return `expected` to pass.
+  int64_t expected = 1;
+  int64_t cost_hint = 1;      // Relative runtime, for shortest-first ordering.
+};
+
+// How the harness drives one target system.
+struct SutSpec {
+  std::string parse_function = "handle_config_line";  // (key, value) -> int, <0 = rejected.
+  std::string init_function = "server_init";          // () -> int, <0 = failed startup.
+  std::vector<TestCase> tests;
+  // Parameter -> storage global (for effective-value and read checks).
+  std::map<std::string, std::string> param_storage;
+};
+
+// Table 3 categories, plus the two non-vulnerability outcomes.
+enum class ReactionCategory {
+  kCrashHang,          // Crash or hang.
+  kEarlyTermination,   // Exits without pinpointing the error.
+  kFunctionalFailure,  // Tests fail without a pinpointing message.
+  kSilentViolation,    // Input silently changed to something else.
+  kSilentIgnorance,    // Input silently ignored.
+  kGoodReaction,       // Error detected and pinpointed.
+  kNoIssue,            // Setting tolerated with correct behaviour.
+};
+
+const char* ReactionCategoryName(ReactionCategory category);
+bool IsVulnerability(ReactionCategory category);
+
+struct InjectionResult {
+  Misconfiguration config;
+  ReactionCategory category = ReactionCategory::kNoIssue;
+  std::string detail;   // Trap reason, failing test, or effective value.
+  std::vector<std::string> logs;
+  bool pinpointed = false;
+  int64_t tests_run = 0;
+  SourceLoc vulnerability_loc;  // Where a fix would go (Table 5b accounting).
+};
+
+struct CampaignSummary {
+  std::vector<InjectionResult> results;
+
+  size_t CountCategory(ReactionCategory category) const;
+  size_t TotalVulnerabilities() const;
+  // Unique source-code locations behind the vulnerabilities (Table 5b).
+  size_t UniqueVulnerabilityLocations() const;
+  int64_t total_tests_run = 0;
+};
+
+struct CampaignOptions {
+  bool stop_at_first_failure = true;
+  bool sort_tests_by_cost = true;
+  InterpOptions interp;
+};
+
+class InjectionCampaign {
+ public:
+  // `os_template` is copied for every run so injected damage (occupied
+  // ports, allocations) never leaks across runs.
+  InjectionCampaign(const Module& module, const SutSpec& sut, OsSimulator os_template,
+                    CampaignOptions options = {});
+
+  // Sanity check: the unmodified template must start and pass all tests.
+  bool BaselinePasses(const ConfigFile& template_config);
+
+  InjectionResult RunOne(const ConfigFile& template_config, const Misconfiguration& config);
+  CampaignSummary RunAll(const ConfigFile& template_config,
+                         const std::vector<Misconfiguration>& configs);
+
+ private:
+  struct RunOutcome {
+    enum class Phase { kParse, kInit, kTest, kDone };
+    Phase phase = Phase::kDone;
+    CallOutcome::Status status = CallOutcome::Status::kOk;
+    int64_t exit_code = 0;
+    std::string detail;
+    std::string failed_test;
+    int64_t tests_run = 0;
+    bool rejected = false;  // Parse/init returned an error code.
+  };
+
+  RunOutcome Execute(Interpreter& interp, const ConfigFile& config);
+  bool LogsPinpoint(const std::vector<std::string>& logs, const Misconfiguration& config,
+                    const ConfigFile& applied) const;
+
+  const Module& module_;
+  SutSpec sut_;
+  OsSimulator os_template_;
+  CampaignOptions options_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_INJECT_CAMPAIGN_H_

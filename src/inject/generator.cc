@@ -1,0 +1,378 @@
+#include "src/inject/generator.h"
+#include <cctype>
+#include <memory>
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kBasicType:
+      return "basic-type";
+    case ViolationKind::kSemanticType:
+      return "semantic-type";
+    case ViolationKind::kRange:
+      return "range";
+    case ViolationKind::kControlDep:
+      return "control-dep";
+    case ViolationKind::kValueRel:
+      return "value-rel";
+  }
+  return "?";
+}
+
+std::string Misconfiguration::Describe() const {
+  std::string out = param + " = " + value + "  [" + ViolationKindName(kind) + ": " + rule + "]";
+  for (const auto& [key, extra_value] : extra_settings) {
+    out += ", " + key + " = " + extra_value;
+  }
+  return out;
+}
+
+namespace {
+
+Misconfiguration Make(const ParamConstraints& param, std::string value, ViolationKind kind,
+                      std::string rule, std::optional<int64_t> intended = std::nullopt) {
+  Misconfiguration config;
+  config.param = param.param;
+  config.value = std::move(value);
+  config.kind = kind;
+  config.rule = std::move(rule);
+  config.intended_numeric = intended;
+  config.constraint_loc = param.loc;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Basic-type violations.
+
+class BasicTypeRule : public GenerationRule {
+ public:
+  std::string name() const override { return "basic-type"; }
+
+  void Generate(const ParamConstraints& param, const ModuleConstraints& all,
+                std::vector<Misconfiguration>* out) const override {
+    if (!param.basic_type.has_value() || param.basic_type->type == nullptr) {
+      return;
+    }
+    const IrType* type = param.basic_type->type;
+    if (type->IsInteger() || type->IsBool()) {
+      Misconfiguration garbage =
+          Make(param, "not_a_number", ViolationKind::kBasicType, "non-numeric string");
+      garbage.constraint_loc = param.basic_type->loc;
+      out->push_back(std::move(garbage));
+
+      if (type->IsInteger() && type->bit_width() <= 32) {
+        Misconfiguration overflow = Make(param, "9000000000", ViolationKind::kBasicType,
+                                         "value overflowing the 32-bit representation",
+                                         9000000000LL);
+        overflow.constraint_loc = param.basic_type->loc;
+        out->push_back(std::move(overflow));
+      }
+      // The "9G" case from Figure 5(a): a unit suffix the parser may
+      // silently drop.
+      Misconfiguration suffixed = Make(param, "9G", ViolationKind::kBasicType,
+                                       "unit-suffixed number", 9000000000LL);
+      suffixed.constraint_loc = param.basic_type->loc;
+      out->push_back(std::move(suffixed));
+
+      Misconfiguration fractional =
+          Make(param, "12.5", ViolationKind::kBasicType, "fractional value for an integer", 12);
+      fractional.constraint_loc = param.basic_type->loc;
+      out->push_back(std::move(fractional));
+
+      // Large but representable: the ThreadLimit = 100000 case of Figure
+      // 7(b) — sails through any type check and hits resource limits.
+      Misconfiguration huge = Make(param, "100000", ViolationKind::kBasicType,
+                                   "absurdly large (but representable) value", 100000);
+      huge.constraint_loc = param.basic_type->loc;
+      out->push_back(std::move(huge));
+
+      if (type->is_unsigned()) {
+        Misconfiguration negative = Make(param, "-1", ViolationKind::kBasicType,
+                                         "negative value for an unsigned integer", -1);
+        negative.constraint_loc = param.basic_type->loc;
+        out->push_back(std::move(negative));
+      }
+    } else if (type->kind() == IrTypeKind::kFloat) {
+      out->push_back(
+          Make(param, "not_a_number", ViolationKind::kBasicType, "non-numeric string"));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Semantic-type violations.
+
+class SemanticTypeRule : public GenerationRule {
+ public:
+  std::string name() const override { return "semantic-type"; }
+
+  void Generate(const ParamConstraints& param, const ModuleConstraints& all,
+                std::vector<Misconfiguration>* out) const override {
+    for (const SemanticTypeConstraint& semantic : param.semantic_types) {
+      auto add = [&](std::string value, std::string rule,
+                     std::optional<int64_t> intended = std::nullopt) {
+        Misconfiguration config = Make(param, std::move(value), ViolationKind::kSemanticType,
+                                       std::move(rule), intended);
+        config.constraint_loc = semantic.loc;
+        out->push_back(std::move(config));
+      };
+      switch (semantic.semantic) {
+        case SemanticType::kFilePath:
+          add("/nonexistent/no_such_file.conf", "FILE: path that does not exist");
+          add("/var", "FILE: directory where a file is expected");
+          add("/etc/secret.key", "FILE: file without read permission");
+          break;
+        case SemanticType::kDirPath:
+          add("/nonexistent/no_such_dir", "DIR: directory that does not exist");
+          add("/etc/stopwords.txt", "DIR: file where a directory is expected");
+          break;
+        case SemanticType::kPort:
+          add("22", "PORT: port already occupied", 22);
+          add("70000", "PORT: value above 65535", 70000);
+          add("-1", "PORT: negative port", -1);
+          break;
+        case SemanticType::kIpAddress:
+          add("999.999.1.1", "IP: malformed address");
+          break;
+        case SemanticType::kHostname:
+          add("no-such-host.invalid", "HOST: unresolvable hostname");
+          break;
+        case SemanticType::kUserName:
+          add("nosuchuser", "USER: unknown user");
+          break;
+        case SemanticType::kGroupName:
+          add("nosuchgroup", "GROUP: unknown group");
+          break;
+        case SemanticType::kTime:
+          add("-5", "TIME: negative duration", -5);
+          add("999999999", "TIME: absurdly large duration", 999999999);
+          break;
+        case SemanticType::kSize:
+          add("-1", "SIZE: negative size", -1);
+          add("9000000000", "SIZE: size beyond any sane budget", 9000000000LL);
+          break;
+        case SemanticType::kCount:
+          add("-1", "COUNT: negative count", -1);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Range violations.
+
+class RangeRule : public GenerationRule {
+ public:
+  std::string name() const override { return "range"; }
+
+  void Generate(const ParamConstraints& param, const ModuleConstraints& all,
+                std::vector<Misconfiguration>* out) const override {
+    if (!param.range.has_value()) {
+      return;
+    }
+    const RangeConstraint& range = *param.range;
+    auto add = [&](std::string value, std::string rule,
+                   std::optional<int64_t> intended = std::nullopt) {
+      Misconfiguration config =
+          Make(param, std::move(value), ViolationKind::kRange, std::move(rule), intended);
+      config.constraint_loc = range.loc;
+      out->push_back(std::move(config));
+    };
+    if (!range.is_enum) {
+      // Values just outside each valid interval's edges — exactly covering
+      // "in and out of the specific range" (Section 6).
+      for (const RangeInterval& interval : range.ValidIntervals()) {
+        if (interval.min.has_value()) {
+          add(std::to_string(*interval.min - 1), "just below the valid range",
+              *interval.min - 1);
+        }
+        if (interval.max.has_value()) {
+          add(std::to_string(*interval.max + 1), "just above the valid range",
+              *interval.max + 1);
+          add(std::to_string(*interval.max + 1000), "far above the valid range",
+              *interval.max + 1000);
+        }
+      }
+      return;
+    }
+    if (!range.enum_ints.empty()) {
+      int64_t unlisted = *std::max_element(range.enum_ints.begin(), range.enum_ints.end()) + 1;
+      add(std::to_string(unlisted), "integer outside the enumerated set", unlisted);
+    }
+    if (!range.enum_strings.empty()) {
+      add("no_such_value", "string outside the enumerated set");
+      // Case-flipped variant of an accepted value: an error only for
+      // case-sensitive parameters, and a particularly human one.
+      std::string flipped = range.enum_strings.front();
+      if (!flipped.empty()) {
+        flipped[0] = static_cast<char>(std::isupper(static_cast<unsigned char>(flipped[0]))
+                                           ? std::tolower(static_cast<unsigned char>(flipped[0]))
+                                           : std::toupper(static_cast<unsigned char>(flipped[0])));
+        if (flipped != range.enum_strings.front()) {
+          add(flipped, "case-flipped variant of an accepted value");
+        }
+      }
+      // Boolean parameters: a synonym users plausibly write (the Squid
+      // "yes"/"enable" case, Figure 6(c)).
+      if (param.HasSemantic(SemanticType::kBoolean)) {
+        bool has_yes = std::find(range.enum_strings.begin(), range.enum_strings.end(), "yes") !=
+                       range.enum_strings.end();
+        if (!has_yes) {
+          add("yes", "boolean synonym outside the accepted spelling");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GenerationRule> MakeBasicTypeRule() { return std::make_unique<BasicTypeRule>(); }
+std::unique_ptr<GenerationRule> MakeSemanticTypeRule() {
+  return std::make_unique<SemanticTypeRule>();
+}
+std::unique_ptr<GenerationRule> MakeRangeRule() { return std::make_unique<RangeRule>(); }
+
+std::vector<Misconfiguration> GenerateControlDepViolations(
+    const ModuleConstraints& constraints) {
+  std::vector<Misconfiguration> out;
+  for (const ControlDepConstraint& dep : constraints.control_deps) {
+    // Make (master pred value) false, then set the dependent to a non-default
+    // value and watch whether the system says anything.
+    //
+    // If the master parameter takes enumerated words ("on"/"off"), choose
+    // the accepted word that disables it; a raw "0" would be rejected by a
+    // well-behaved boolean parser and the ignorance would never manifest.
+    const ParamConstraints* master = constraints.FindParam(dep.master);
+    std::string master_falsy_word;
+    if (master != nullptr && master->range.has_value() && master->range->is_enum) {
+      static const char* kFalsyWords[] = {"off", "no", "false", "disable", "0"};
+      for (const char* word : kFalsyWords) {
+        const auto& accepted = master->range->enum_strings;
+        if (std::find(accepted.begin(), accepted.end(), word) != accepted.end()) {
+          master_falsy_word = word;
+          break;
+        }
+      }
+      if (master_falsy_word.empty() && master->HasSemantic(SemanticType::kBoolean)) {
+        master_falsy_word = "off";  // Silent-default booleans treat it as 0.
+      }
+    }
+    std::string master_value;
+    switch (dep.pred) {
+      case IrCmpPred::kNe:
+        master_value = dep.value == 0 && !master_falsy_word.empty()
+                           ? master_falsy_word
+                           : std::to_string(dep.value);
+        break;
+      case IrCmpPred::kEq:
+        master_value = std::to_string(dep.value + 1);
+        break;
+      case IrCmpPred::kGt:
+      case IrCmpPred::kGe:
+        master_value = std::to_string(dep.value - 1);
+        break;
+      case IrCmpPred::kLt:
+      case IrCmpPred::kLe:
+        master_value = std::to_string(dep.value + 1);
+        break;
+    }
+    const ParamConstraints* dependent = constraints.FindParam(dep.dependent);
+    std::string dependent_value = "77";
+    if (dependent != nullptr && dependent->range.has_value() && dependent->range->is_enum &&
+        !dependent->range->enum_strings.empty()) {
+      dependent_value = dependent->range->enum_strings.front();
+    }
+    Misconfiguration config;
+    config.param = dep.dependent;
+    config.value = dependent_value;
+    config.kind = ViolationKind::kControlDep;
+    config.rule = "dependent set while (" + dep.master + " " + IrCmpPredName(dep.pred) + " " +
+                  std::to_string(dep.value) + ") is violated";
+    config.extra_settings.emplace_back(dep.master, master_value);
+    config.expect_ignored = true;
+    config.constraint_loc = dep.loc;
+    auto intended = ParseInt64(dependent_value);
+    if (intended.has_value()) {
+      config.intended_numeric = intended;
+    }
+    out.push_back(std::move(config));
+  }
+  return out;
+}
+
+std::vector<Misconfiguration> GenerateValueRelViolations(const ModuleConstraints& constraints) {
+  std::vector<Misconfiguration> out;
+  for (const ValueRelConstraint& rel : constraints.value_rels) {
+    // Choose a pair of values violating `lhs pred rhs`.
+    int64_t lhs_value = 0;
+    int64_t rhs_value = 0;
+    switch (rel.pred) {
+      case IrCmpPred::kLt:
+      case IrCmpPred::kLe:
+        lhs_value = 25;
+        rhs_value = 10;
+        break;
+      case IrCmpPred::kGt:
+      case IrCmpPred::kGe:
+        lhs_value = 10;
+        rhs_value = 25;
+        break;
+      case IrCmpPred::kEq:
+        lhs_value = 10;
+        rhs_value = 11;
+        break;
+      case IrCmpPred::kNe:
+        lhs_value = 10;
+        rhs_value = 10;
+        break;
+    }
+    Misconfiguration config;
+    config.param = rel.lhs;
+    config.value = std::to_string(lhs_value);
+    config.kind = ViolationKind::kValueRel;
+    config.rule = "violates " + rel.lhs + " " + IrCmpPredName(rel.pred) + " " + rel.rhs;
+    config.extra_settings.emplace_back(rel.rhs, std::to_string(rhs_value));
+    config.intended_numeric = lhs_value;
+    config.constraint_loc = rel.loc;
+    out.push_back(std::move(config));
+  }
+  return out;
+}
+
+MisconfigGenerator::MisconfigGenerator() {
+  AddRule(MakeBasicTypeRule());
+  AddRule(MakeSemanticTypeRule());
+  AddRule(MakeRangeRule());
+}
+
+void MisconfigGenerator::AddRule(std::unique_ptr<GenerationRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<Misconfiguration> MisconfigGenerator::Generate(
+    const ModuleConstraints& constraints) const {
+  std::vector<Misconfiguration> out;
+  for (const ParamConstraints& param : constraints.params) {
+    for (const auto& rule : rules_) {
+      rule->Generate(param, constraints, &out);
+    }
+  }
+  for (Misconfiguration& config : GenerateControlDepViolations(constraints)) {
+    out.push_back(std::move(config));
+  }
+  for (Misconfiguration& config : GenerateValueRelViolations(constraints)) {
+    out.push_back(std::move(config));
+  }
+  return out;
+}
+
+}  // namespace spex

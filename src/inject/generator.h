@@ -1,0 +1,82 @@
+// Misconfiguration generation (paper Table 2).
+//
+// Each inferred constraint yields configurations that violate it in a
+// targeted way: wrong basic type (including overflow and unit-suffix
+// values), invalid semantic values (missing files, occupied ports,
+// unknown users), just-out-of-range values, control-dependency violations
+// (master off + dependent set), and inverted value relationships. Every
+// rule is a plug-in so customized types (Storage-A) can add their own.
+#ifndef SPEX_INJECT_GENERATOR_H_
+#define SPEX_INJECT_GENERATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apidb/api_registry.h"
+#include "src/confgen/config_file.h"
+#include "src/core/constraints.h"
+
+namespace spex {
+
+enum class ViolationKind { kBasicType, kSemanticType, kRange, kControlDep, kValueRel };
+
+const char* ViolationKindName(ViolationKind kind);
+
+struct Misconfiguration {
+  std::string param;   // Primary injected parameter.
+  std::string value;   // Injected textual value.
+  ViolationKind kind = ViolationKind::kBasicType;
+  std::string rule;    // Human-readable generation rule.
+  // Additional settings applied together (control-dep / value-rel cases).
+  std::vector<std::pair<std::string, std::string>> extra_settings;
+  // What a user writing `value` would have meant numerically (for the
+  // silent-violation check); nullopt if the value has no numeric intent.
+  std::optional<int64_t> intended_numeric;
+  // Control-dep violations: the dependent parameter is expected to be
+  // silently ignored unless the system says something.
+  bool expect_ignored = false;
+  // The code location whose hardening would fix this vulnerability.
+  SourceLoc constraint_loc;
+
+  std::string Describe() const;
+};
+
+// One generation-rule plug-in. BuiltinRules() returns the Table 2 set;
+// users may append their own.
+class GenerationRule {
+ public:
+  virtual ~GenerationRule() = default;
+  virtual std::string name() const = 0;
+  // Appends misconfigurations for `param` to `out`.
+  virtual void Generate(const ParamConstraints& param, const ModuleConstraints& all,
+                        std::vector<Misconfiguration>* out) const = 0;
+};
+
+class MisconfigGenerator {
+ public:
+  MisconfigGenerator();
+
+  void AddRule(std::unique_ptr<GenerationRule> rule);
+  size_t rule_count() const { return rules_.size(); }
+
+  // All misconfigurations for all parameters, plus cross-parameter
+  // violations (control dependencies, value relationships).
+  std::vector<Misconfiguration> Generate(const ModuleConstraints& constraints) const;
+
+ private:
+  std::vector<std::unique_ptr<GenerationRule>> rules_;
+};
+
+// Individual rule factories (exposed for tests and ablations).
+std::unique_ptr<GenerationRule> MakeBasicTypeRule();
+std::unique_ptr<GenerationRule> MakeSemanticTypeRule();
+std::unique_ptr<GenerationRule> MakeRangeRule();
+
+// Cross-parameter generators.
+std::vector<Misconfiguration> GenerateControlDepViolations(const ModuleConstraints& constraints);
+std::vector<Misconfiguration> GenerateValueRelViolations(const ModuleConstraints& constraints);
+
+}  // namespace spex
+
+#endif  // SPEX_INJECT_GENERATOR_H_

@@ -1,0 +1,1053 @@
+#include "src/interp/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+// ---------------------------------------------------------------------------
+// RtValue helpers.
+
+RtValue RtValue::Int(int64_t v) {
+  RtValue value;
+  value.kind = Kind::kInt;
+  value.i = v;
+  return value;
+}
+
+RtValue RtValue::Float(double v) {
+  RtValue value;
+  value.kind = Kind::kFloat;
+  value.f = v;
+  return value;
+}
+
+RtValue RtValue::Str(std::string v) {
+  RtValue value;
+  value.kind = Kind::kString;
+  value.s = std::move(v);
+  return value;
+}
+
+RtValue RtValue::Null() {
+  RtValue value;
+  value.kind = Kind::kNull;
+  return value;
+}
+
+RtValue RtValue::FnRef(std::string name) {
+  RtValue value;
+  value.kind = Kind::kFnRef;
+  value.s = std::move(name);
+  return value;
+}
+
+bool RtValue::IsTruthy() const {
+  switch (kind) {
+    case Kind::kInt:
+      return i != 0;
+    case Kind::kFloat:
+      return f != 0;
+    case Kind::kString:
+      return true;  // Non-null pointer.
+    case Kind::kNull:
+      return false;
+    case Kind::kAddr:
+    case Kind::kFnRef:
+      return true;
+  }
+  return false;
+}
+
+int64_t RtValue::AsInt() const {
+  switch (kind) {
+    case Kind::kInt:
+      return i;
+    case Kind::kFloat:
+      return static_cast<int64_t>(f);
+    default:
+      return 0;
+  }
+}
+
+double RtValue::AsFloat() const {
+  switch (kind) {
+    case Kind::kFloat:
+      return f;
+    case Kind::kInt:
+      return static_cast<double>(i);
+    default:
+      return 0;
+  }
+}
+
+std::string RtValue::ToDebugString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return std::to_string(i);
+    case Kind::kFloat:
+      return std::to_string(f);
+    case Kind::kString:
+      return "\"" + s + "\"";
+    case Kind::kNull:
+      return "null";
+    case Kind::kAddr:
+      return "<addr>";
+    case Kind::kFnRef:
+      return "<fn " + s + ">";
+  }
+  return "?";
+}
+
+bool Interpreter::CellKey::operator<(const CellKey& other) const {
+  if (frame != other.frame) {
+    return frame < other.frame;
+  }
+  if (root != other.root) {
+    return root < other.root;
+  }
+  return path < other.path;
+}
+
+// ---------------------------------------------------------------------------
+// Construction and global initialization.
+
+Interpreter::Interpreter(const Module& module, OsSimulator* os, InterpOptions options)
+    : module_(module), os_(os), options_(options) {
+  Reset();
+}
+
+void Interpreter::Reset() {
+  cells_.clear();
+  array_bounds_.clear();
+  logs_.clear();
+  globals_read_.clear();
+  steps_ = 0;
+  next_frame_id_ = 0;
+  call_depth_ = 0;
+  InitGlobals();
+}
+
+RtValue Interpreter::DefaultValueFor(const IrType* type) const {
+  if (type == nullptr) {
+    return RtValue::Int(0);
+  }
+  switch (type->kind()) {
+    case IrTypeKind::kFloat:
+      return RtValue::Float(0);
+    case IrTypeKind::kString:
+    case IrTypeKind::kPointer:
+      return RtValue::Null();
+    default:
+      return RtValue::Int(0);
+  }
+}
+
+namespace {
+
+RtValue InitToValue(const GlobalInit& init) {
+  switch (init.kind) {
+    case GlobalInit::Kind::kInt:
+      return RtValue::Int(init.int_value);
+    case GlobalInit::Kind::kFloat:
+      return RtValue::Float(init.float_value);
+    case GlobalInit::Kind::kString:
+      return RtValue::Str(init.string_value);
+    case GlobalInit::Kind::kNull:
+      return RtValue::Null();
+    default:
+      return RtValue::Int(0);
+  }
+}
+
+}  // namespace
+
+void Interpreter::InitGlobals() {
+  for (const auto& global : module_.globals()) {
+    array_bounds_[global.get()] = global->is_array() ? global->array_size() : 0;
+    const GlobalInit& init = global->init();
+
+    auto store_leaf = [this, &global](std::vector<int64_t> path, const GlobalInit& leaf) {
+      CellKey key;
+      key.frame = -1;
+      key.root = global.get();
+      key.path = std::move(path);
+      if (leaf.kind == GlobalInit::Kind::kGlobalRef) {
+        // Address of another global, or a function reference.
+        GlobalVariable* target = module_.FindGlobal(leaf.string_value);
+        if (target != nullptr) {
+          RtValue addr;
+          addr.kind = RtValue::Kind::kAddr;
+          addr.frame = -1;
+          addr.root = target;
+          cells_[key] = std::move(addr);
+        } else {
+          cells_[key] = RtValue::FnRef(leaf.string_value);
+        }
+      } else {
+        cells_[key] = InitToValue(leaf);
+      }
+    };
+
+    if (init.kind == GlobalInit::Kind::kNone) {
+      // Scalar default.
+      if (!global->is_array()) {
+        CellKey key;
+        key.frame = -1;
+        key.root = global.get();
+        cells_[key] = DefaultValueFor(global->value_type());
+      }
+      continue;
+    }
+    if (init.kind != GlobalInit::Kind::kList) {
+      store_leaf({}, init);
+      continue;
+    }
+    // Array and/or struct initializer.
+    const IrType* type = global->value_type();
+    for (size_t i = 0; i < init.elements.size(); ++i) {
+      const GlobalInit& element = init.elements[i];
+      if (element.kind == GlobalInit::Kind::kList) {
+        // Struct row (possibly inside an array).
+        for (size_t j = 0; j < element.elements.size(); ++j) {
+          store_leaf({static_cast<int64_t>(i), static_cast<int64_t>(j)},
+                     element.elements[j]);
+        }
+      } else if (global->is_array()) {
+        store_leaf({static_cast<int64_t>(i)}, element);
+      } else if (type->IsStruct()) {
+        // Struct initializer without nesting: field i.
+        store_leaf({static_cast<int64_t>(i)}, element);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory.
+
+Interpreter::CellKey Interpreter::AddrToCell(const RtValue& addr) const {
+  CellKey key;
+  key.frame = addr.frame;
+  key.root = addr.root;
+  key.path = addr.path;
+  return key;
+}
+
+void Interpreter::CheckBounds(const CellKey& key, const Instruction* at) const {
+  auto it = array_bounds_.find(key.root);
+  if (it == array_bounds_.end() || it->second <= 0 || key.path.empty()) {
+    return;
+  }
+  int64_t index = key.path.front();
+  if (index < 0 || index >= it->second) {
+    throw TrapError("Segmentation fault (array index " + std::to_string(index) +
+                    " out of bounds 0.." + std::to_string(it->second - 1) + " at " +
+                    (at != nullptr ? at->loc().ToString() : "<unknown>") + ")");
+  }
+}
+
+RtValue Interpreter::LoadCell(const RtValue& addr, const Instruction* at) {
+  if (addr.kind == RtValue::Kind::kNull) {
+    throw TrapError("Segmentation fault (null pointer dereference)");
+  }
+  if (addr.kind != RtValue::Kind::kAddr) {
+    throw TrapError("Segmentation fault (load through non-pointer value)");
+  }
+  CellKey key = AddrToCell(addr);
+  CheckBounds(key, at);
+  if (key.frame == -1) {
+    globals_read_.insert(key.root);
+  }
+  auto it = cells_.find(key);
+  if (it != cells_.end()) {
+    return it->second;
+  }
+  // Untouched cell: default by leaf type when derivable.
+  const IrType* type = nullptr;
+  if (key.root->value_kind() == ValueKind::kGlobal) {
+    type = static_cast<const GlobalVariable*>(key.root)->value_type();
+  } else if (key.root->value_kind() == ValueKind::kInstruction) {
+    type = static_cast<const Instruction*>(key.root)->allocated_type();
+  }
+  for (size_t i = 0; i < key.path.size() && type != nullptr; ++i) {
+    if (type->IsStruct()) {
+      size_t field = static_cast<size_t>(key.path[i]);
+      type = field < type->field_types().size() ? type->field_types()[field] : nullptr;
+    }
+    // Array steps keep the element type (arrays are typed by their element).
+  }
+  return DefaultValueFor(type);
+}
+
+void Interpreter::StoreCell(const RtValue& addr, RtValue value, const Instruction* at) {
+  if (addr.kind == RtValue::Kind::kNull) {
+    throw TrapError("Segmentation fault (null pointer write)");
+  }
+  if (addr.kind != RtValue::Kind::kAddr) {
+    throw TrapError("Segmentation fault (store through non-pointer value)");
+  }
+  CellKey key = AddrToCell(addr);
+  CheckBounds(key, at);
+  cells_[AddrToCell(addr)] = std::move(value);
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+
+void Interpreter::Step() {
+  if (++steps_ > options_.max_steps) {
+    throw HangError();
+  }
+}
+
+CallOutcome Interpreter::Call(const std::string& function, std::vector<RtValue> args) {
+  CallOutcome outcome;
+  const Function* fn = module_.FindFunction(function);
+  if (fn == nullptr || fn->IsDeclaration()) {
+    outcome.status = CallOutcome::Status::kTrap;
+    outcome.trap_reason = "no such function: " + function;
+    return outcome;
+  }
+  try {
+    outcome.return_value = RunFunction(*fn, std::move(args));
+    outcome.status = CallOutcome::Status::kOk;
+  } catch (const ExitRequest& exit_request) {
+    outcome.status = CallOutcome::Status::kExit;
+    outcome.exit_code = exit_request.code();
+  } catch (const TrapError& trap) {
+    outcome.status = CallOutcome::Status::kTrap;
+    outcome.trap_reason = trap.reason();
+  } catch (const HangError&) {
+    outcome.status = CallOutcome::Status::kHang;
+    outcome.trap_reason = "step budget exhausted";
+  }
+  call_depth_ = 0;
+  return outcome;
+}
+
+RtValue Interpreter::Eval(Frame& frame, const Value* value) {
+  switch (value->value_kind()) {
+    case ValueKind::kConstantInt:
+      return RtValue::Int(value->constant_int());
+    case ValueKind::kConstantFloat:
+      return RtValue::Float(value->constant_float());
+    case ValueKind::kConstantString:
+      return RtValue::Str(value->constant_string());
+    case ValueKind::kConstantNull:
+      return RtValue::Null();
+    case ValueKind::kGlobal: {
+      RtValue addr;
+      addr.kind = RtValue::Kind::kAddr;
+      addr.frame = -1;
+      addr.root = value;
+      return addr;
+    }
+    case ValueKind::kArgument:
+    case ValueKind::kInstruction: {
+      auto it = frame.regs.find(value);
+      return it != frame.regs.end() ? it->second : RtValue::Int(0);
+    }
+  }
+  return RtValue::Int(0);
+}
+
+RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) {
+  if (++call_depth_ > options_.max_call_depth) {
+    --call_depth_;
+    throw TrapError("Segmentation fault (stack overflow)");
+  }
+  Frame frame;
+  frame.fn = &fn;
+  frame.id = next_frame_id_++;
+  for (size_t i = 0; i < fn.arguments().size(); ++i) {
+    frame.regs[fn.arguments()[i].get()] =
+        i < args.size() ? args[i] : DefaultValueFor(fn.arguments()[i]->type());
+  }
+
+  const BasicBlock* block = fn.entry();
+  RtValue result = DefaultValueFor(fn.return_type());
+  while (block != nullptr) {
+    const BasicBlock* next = nullptr;
+    for (const auto& instr_ptr : block->instructions()) {
+      const Instruction* instr = instr_ptr.get();
+      Step();
+      switch (instr->instr_kind()) {
+        case InstrKind::kAlloca: {
+          if (array_bounds_.find(instr) == array_bounds_.end()) {
+            array_bounds_[instr] = instr->alloca_array_size();
+          }
+          RtValue addr;
+          addr.kind = RtValue::Kind::kAddr;
+          addr.frame = frame.id;
+          addr.root = instr;
+          frame.regs[instr] = addr;
+          break;
+        }
+        case InstrKind::kLoad:
+          frame.regs[instr] = LoadCell(Eval(frame, instr->operand(0)), instr);
+          break;
+        case InstrKind::kStore:
+          StoreCell(Eval(frame, instr->operand(1)), Eval(frame, instr->operand(0)), instr);
+          break;
+        case InstrKind::kBinOp: {
+          RtValue lhs = Eval(frame, instr->operand(0));
+          RtValue rhs = Eval(frame, instr->operand(1));
+          if (lhs.kind == RtValue::Kind::kFloat || rhs.kind == RtValue::Kind::kFloat) {
+            double a = lhs.AsFloat();
+            double b = rhs.AsFloat();
+            double out = 0;
+            switch (instr->bin_op()) {
+              case IrBinOp::kAdd:
+                out = a + b;
+                break;
+              case IrBinOp::kSub:
+                out = a - b;
+                break;
+              case IrBinOp::kMul:
+                out = a * b;
+                break;
+              case IrBinOp::kDiv:
+                if (b == 0) {
+                  throw TrapError("Floating point exception (division by zero)");
+                }
+                out = a / b;
+                break;
+              default:
+                out = 0;
+                break;
+            }
+            frame.regs[instr] = RtValue::Float(out);
+            break;
+          }
+          int64_t a = lhs.AsInt();
+          int64_t b = rhs.AsInt();
+          int64_t out = 0;
+          switch (instr->bin_op()) {
+            case IrBinOp::kAdd:
+              out = a + b;
+              break;
+            case IrBinOp::kSub:
+              out = a - b;
+              break;
+            case IrBinOp::kMul:
+              out = a * b;
+              break;
+            case IrBinOp::kDiv:
+              if (b == 0) {
+                throw TrapError("Floating point exception (integer division by zero)");
+              }
+              out = a / b;
+              break;
+            case IrBinOp::kRem:
+              if (b == 0) {
+                throw TrapError("Floating point exception (integer division by zero)");
+              }
+              out = a % b;
+              break;
+            case IrBinOp::kShl:
+              out = b >= 64 ? 0 : a << b;
+              break;
+            case IrBinOp::kShr:
+              out = b >= 64 ? 0 : a >> b;
+              break;
+            case IrBinOp::kAnd:
+              out = a & b;
+              break;
+            case IrBinOp::kOr:
+              out = a | b;
+              break;
+            case IrBinOp::kXor:
+              out = a ^ b;
+              break;
+          }
+          frame.regs[instr] = RtValue::Int(out);
+          break;
+        }
+        case InstrKind::kCmp: {
+          RtValue lhs = Eval(frame, instr->operand(0));
+          RtValue rhs = Eval(frame, instr->operand(1));
+          bool result_bool = false;
+          bool string_side = lhs.kind == RtValue::Kind::kString ||
+                             rhs.kind == RtValue::Kind::kString ||
+                             lhs.kind == RtValue::Kind::kNull ||
+                             rhs.kind == RtValue::Kind::kNull;
+          if (string_side) {
+            bool lhs_null = lhs.kind == RtValue::Kind::kNull;
+            bool rhs_null = rhs.kind == RtValue::Kind::kNull;
+            int order;
+            if (lhs_null || rhs_null) {
+              order = (lhs_null && rhs_null) ? 0 : (lhs_null ? -1 : 1);
+            } else {
+              order = lhs.s.compare(rhs.s);
+              order = order < 0 ? -1 : (order > 0 ? 1 : 0);
+            }
+            switch (instr->cmp_pred()) {
+              case IrCmpPred::kEq:
+                result_bool = order == 0;
+                break;
+              case IrCmpPred::kNe:
+                result_bool = order != 0;
+                break;
+              case IrCmpPred::kLt:
+                result_bool = order < 0;
+                break;
+              case IrCmpPred::kLe:
+                result_bool = order <= 0;
+                break;
+              case IrCmpPred::kGt:
+                result_bool = order > 0;
+                break;
+              case IrCmpPred::kGe:
+                result_bool = order >= 0;
+                break;
+            }
+          } else if (lhs.kind == RtValue::Kind::kFloat || rhs.kind == RtValue::Kind::kFloat) {
+            double a = lhs.AsFloat();
+            double b = rhs.AsFloat();
+            switch (instr->cmp_pred()) {
+              case IrCmpPred::kEq:
+                result_bool = a == b;
+                break;
+              case IrCmpPred::kNe:
+                result_bool = a != b;
+                break;
+              case IrCmpPred::kLt:
+                result_bool = a < b;
+                break;
+              case IrCmpPred::kLe:
+                result_bool = a <= b;
+                break;
+              case IrCmpPred::kGt:
+                result_bool = a > b;
+                break;
+              case IrCmpPred::kGe:
+                result_bool = a >= b;
+                break;
+            }
+          } else {
+            int64_t a = lhs.AsInt();
+            int64_t b = rhs.AsInt();
+            switch (instr->cmp_pred()) {
+              case IrCmpPred::kEq:
+                result_bool = a == b;
+                break;
+              case IrCmpPred::kNe:
+                result_bool = a != b;
+                break;
+              case IrCmpPred::kLt:
+                result_bool = a < b;
+                break;
+              case IrCmpPred::kLe:
+                result_bool = a <= b;
+                break;
+              case IrCmpPred::kGt:
+                result_bool = a > b;
+                break;
+              case IrCmpPred::kGe:
+                result_bool = a >= b;
+                break;
+            }
+          }
+          frame.regs[instr] = RtValue::Int(result_bool ? 1 : 0);
+          break;
+        }
+        case InstrKind::kCast: {
+          RtValue operand = Eval(frame, instr->operand(0));
+          const IrType* to = instr->type();
+          if (to->kind() == IrTypeKind::kFloat) {
+            frame.regs[instr] = RtValue::Float(operand.AsFloat());
+          } else if (to->IsBool()) {
+            frame.regs[instr] = RtValue::Int(operand.IsTruthy() ? 1 : 0);
+          } else if (to->IsInteger()) {
+            int64_t v = operand.AsInt();
+            // Integer truncation — this is where 9000000000 silently becomes
+            // an overflowed 32-bit value (paper Figure 5(a)).
+            switch (to->bit_width()) {
+              case 8:
+                v = static_cast<int8_t>(v);
+                break;
+              case 16:
+                v = static_cast<int16_t>(v);
+                break;
+              case 32:
+                v = static_cast<int32_t>(v);
+                break;
+              default:
+                break;
+            }
+            frame.regs[instr] = RtValue::Int(v);
+          } else {
+            frame.regs[instr] = operand;
+          }
+          break;
+        }
+        case InstrKind::kCall:
+          frame.regs[instr] = ExecCall(frame, instr);
+          break;
+        case InstrKind::kFieldAddr: {
+          RtValue base = Eval(frame, instr->operand(0));
+          if (base.kind == RtValue::Kind::kNull) {
+            throw TrapError("Segmentation fault (null pointer field access)");
+          }
+          if (base.kind != RtValue::Kind::kAddr) {
+            throw TrapError("Segmentation fault (field access on non-pointer)");
+          }
+          base.path.push_back(instr->field_index());
+          frame.regs[instr] = base;
+          break;
+        }
+        case InstrKind::kIndexAddr: {
+          RtValue base = Eval(frame, instr->operand(0));
+          if (base.kind == RtValue::Kind::kNull) {
+            throw TrapError("Segmentation fault (null pointer indexing)");
+          }
+          if (base.kind != RtValue::Kind::kAddr) {
+            throw TrapError("Segmentation fault (indexing a non-pointer)");
+          }
+          RtValue index = Eval(frame, instr->operand(1));
+          base.path.push_back(index.AsInt());
+          frame.regs[instr] = base;
+          break;
+        }
+        case InstrKind::kBr:
+          next = instr->successors()[0];
+          break;
+        case InstrKind::kCondBr: {
+          RtValue condition = Eval(frame, instr->operand(0));
+          next = condition.IsTruthy() ? instr->successors()[0] : instr->successors()[1];
+          break;
+        }
+        case InstrKind::kSwitch: {
+          RtValue subject = Eval(frame, instr->operand(0));
+          next = instr->successors()[0];  // default
+          for (size_t i = 0; i < instr->switch_values().size(); ++i) {
+            if (instr->switch_values()[i] == subject.AsInt()) {
+              next = instr->successors()[i + 1];
+              break;
+            }
+          }
+          break;
+        }
+        case InstrKind::kRet:
+          --call_depth_;
+          if (instr->operand_count() == 1) {
+            return Eval(frame, instr->operand(0));
+          }
+          return result;
+        case InstrKind::kUnreachable:
+          throw TrapError("Segmentation fault (unreachable code executed)");
+      }
+      if (next != nullptr) {
+        break;
+      }
+    }
+    block = next;
+  }
+  --call_depth_;
+  return result;
+}
+
+RtValue Interpreter::ExecCall(Frame& frame, const Instruction* instr) {
+  std::vector<RtValue> args;
+  args.reserve(instr->operand_count());
+  for (size_t i = 0; i < instr->operand_count(); ++i) {
+    args.push_back(Eval(frame, instr->operand(i)));
+  }
+  const Function* callee = module_.FindFunction(instr->callee());
+  if (callee != nullptr && !callee->IsDeclaration()) {
+    return RunFunction(*callee, std::move(args));
+  }
+  return Intrinsic(instr->callee(), args, instr);
+}
+
+// ---------------------------------------------------------------------------
+// Logging.
+
+void Interpreter::AppendLog(std::string level, const std::string& message) {
+  logs_.push_back(level + ": " + message);
+}
+
+std::string Interpreter::FormatMessage(const std::string& format,
+                                       const std::vector<RtValue>& args,
+                                       size_t first_arg) const {
+  std::string out;
+  size_t arg_index = first_arg;
+  for (size_t i = 0; i < format.size(); ++i) {
+    if (format[i] != '%' || i + 1 >= format.size()) {
+      out.push_back(format[i]);
+      continue;
+    }
+    // Accept %d %i %s %u and the l-prefixed variants.
+    size_t j = i + 1;
+    while (j < format.size() && format[j] == 'l') {
+      ++j;
+    }
+    if (j < format.size() &&
+        (format[j] == 'd' || format[j] == 'i' || format[j] == 'u' || format[j] == 's')) {
+      if (arg_index < args.size()) {
+        const RtValue& arg = args[arg_index++];
+        if (format[j] == 's') {
+          out += arg.kind == RtValue::Kind::kNull ? "(null)" : arg.s;
+        } else {
+          out += std::to_string(arg.AsInt());
+        }
+      }
+      i = j;
+    } else {
+      out.push_back(format[i]);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Intrinsics (simulated C library + OS surface).
+
+namespace {
+
+// C-style prefix integer parse (what atoi/strtol do with garbage input).
+int64_t ParsePrefixInt(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  bool negative = false;
+  if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+    negative = text[i] == '-';
+    ++i;
+  }
+  int64_t value = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+    value = value * 10 + (text[i] - '0');
+    ++i;
+  }
+  return negative ? -value : value;
+}
+
+}  // namespace
+
+RtValue Interpreter::Intrinsic(const std::string& name, std::vector<RtValue>& args,
+                               const Instruction* instr) {
+  auto need_string = [&](size_t index) -> const std::string& {
+    if (index >= args.size() || args[index].kind == RtValue::Kind::kNull) {
+      throw TrapError("Segmentation fault (null string passed to " + name + ")");
+    }
+    if (args[index].kind != RtValue::Kind::kString) {
+      throw TrapError("Segmentation fault (non-string passed to " + name + ")");
+    }
+    return args[index].s;
+  };
+  auto arg_int = [&](size_t index) -> int64_t {
+    return index < args.size() ? args[index].AsInt() : 0;
+  };
+
+  // --- Strings.
+  if (name == "strcmp" || name == "strcasecmp") {
+    const std::string& a = need_string(0);
+    const std::string& b = need_string(1);
+    int order;
+    if (name == "strcmp") {
+      order = a.compare(b);
+    } else {
+      std::string la = ToLowerCopy(a);
+      std::string lb = ToLowerCopy(b);
+      order = la.compare(lb);
+    }
+    return RtValue::Int(order < 0 ? -1 : (order > 0 ? 1 : 0));
+  }
+  if (name == "strncmp" || name == "strncasecmp") {
+    std::string a = need_string(0).substr(0, static_cast<size_t>(arg_int(2)));
+    std::string b = need_string(1).substr(0, static_cast<size_t>(arg_int(2)));
+    if (name == "strncasecmp") {
+      a = ToLowerCopy(a);
+      b = ToLowerCopy(b);
+    }
+    int order = a.compare(b);
+    return RtValue::Int(order < 0 ? -1 : (order > 0 ? 1 : 0));
+  }
+  if (name == "strlen") {
+    return RtValue::Int(static_cast<int64_t>(need_string(0).size()));
+  }
+  if (name == "strdup" || name == "canonicalize_path" || name == "tolower_str" ||
+      name == "toupper_str") {
+    std::string s = need_string(0);
+    if (name == "tolower_str") {
+      s = ToLowerCopy(s);
+    } else if (name == "toupper_str") {
+      s = ToUpperCopy(s);
+    } else if (name == "canonicalize_path") {
+      s = ReplaceAll(std::move(s), "//", "/");
+    }
+    return RtValue::Str(std::move(s));
+  }
+  if (name == "strchr") {
+    const std::string& s = need_string(0);
+    char c = static_cast<char>(arg_int(1));
+    size_t pos = s.find(c);
+    return pos == std::string::npos ? RtValue::Null() : RtValue::Str(s.substr(pos));
+  }
+  if (name == "strstr") {
+    const std::string& s = need_string(0);
+    const std::string& sub = need_string(1);
+    size_t pos = s.find(sub);
+    return pos == std::string::npos ? RtValue::Null() : RtValue::Str(s.substr(pos));
+  }
+
+  // --- Conversions.
+  if (name == "atoi") {
+    // Classic atoi: parses a prefix, wraps silently on 32-bit overflow.
+    return RtValue::Int(static_cast<int32_t>(ParsePrefixInt(need_string(0))));
+  }
+  if (name == "atol" || name == "strtol" || name == "strtoll" || name == "strtoul") {
+    return RtValue::Int(ParsePrefixInt(need_string(0)));
+  }
+  if (name == "strtod") {
+    const std::string& s = need_string(0);
+    return RtValue::Float(std::strtod(s.c_str(), nullptr));
+  }
+  if (name == "sscanf") {
+    // Supported form: sscanf(text, "%d"-like, &out). Parses a prefix; on
+    // total mismatch returns 0 and leaves the output untouched (the
+    // undefined-on-garbage behaviour Figure 6(d) warns about).
+    const std::string& text = need_string(0);
+    size_t i = 0;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    bool has_digits = i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+                                          ((text[i] == '-' || text[i] == '+') &&
+                                           i + 1 < text.size() &&
+                                           std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0));
+    if (!has_digits) {
+      return RtValue::Int(0);
+    }
+    if (args.size() >= 3 && args[2].kind == RtValue::Kind::kAddr) {
+      StoreCell(args[2], RtValue::Int(ParsePrefixInt(text)), instr);
+    }
+    return RtValue::Int(1);
+  }
+  if (name == "parse_int_strict") {
+    // The safe-API alternative: whole-string parse with error reporting.
+    const std::string& text = need_string(0);
+    auto parsed = ParseInt64(text);
+    if (!parsed.has_value()) {
+      return RtValue::Int(-1);
+    }
+    if (args.size() >= 2 && args[1].kind == RtValue::Kind::kAddr) {
+      StoreCell(args[1], RtValue::Int(*parsed), instr);
+    }
+    return RtValue::Int(0);
+  }
+
+  // --- Filesystem.
+  if (name == "open" || name == "fopen") {
+    const std::string& path = need_string(0);
+    if (os_->DirectoryExists(path)) {
+      return RtValue::Int(-1);  // EISDIR
+    }
+    if (!os_->FileExists(path) || !os_->IsReadable(path)) {
+      return name == "open" ? RtValue::Int(-1) : RtValue::Int(0);
+    }
+    return RtValue::Int(3);
+  }
+  if (name == "opendir") {
+    return RtValue::Int(os_->DirectoryExists(need_string(0)) ? 3 : 0);
+  }
+  if (name == "access" || name == "stat_file") {
+    const std::string& path = need_string(0);
+    bool exists = os_->FileExists(path) || os_->DirectoryExists(path);
+    return RtValue::Int(exists ? 0 : -1);
+  }
+  if (name == "unlink") {
+    return RtValue::Int(os_->RemoveFile(need_string(0)) ? 0 : -1);
+  }
+  if (name == "mkdir") {
+    os_->AddDirectory(need_string(0));
+    return RtValue::Int(0);
+  }
+  if (name == "chdir" || name == "chroot") {
+    return RtValue::Int(os_->DirectoryExists(need_string(0)) ? 0 : -1);
+  }
+  if (name == "chown") {
+    const std::string& path = need_string(0);
+    const std::string& user = need_string(1);
+    bool ok = (os_->FileExists(path) || os_->DirectoryExists(path)) && os_->UserExists(user);
+    return RtValue::Int(ok ? 0 : -1);
+  }
+  if (name == "chmod" || name == "umask") {
+    return RtValue::Int(0);
+  }
+  if (name == "close" || name == "read" || name == "write" || name == "free") {
+    return RtValue::Int(0);
+  }
+
+  // --- Network.
+  if (name == "socket") {
+    return RtValue::Int(3);
+  }
+  if (name == "bind") {
+    return RtValue::Int(os_->PortAvailable(arg_int(1)) ? 0 : -1);
+  }
+  if (name == "listen") {
+    return RtValue::Int(0);
+  }
+  if (name == "connect") {
+    bool ok = args.size() >= 3 && args[1].kind == RtValue::Kind::kString &&
+              os_->ResolvesHost(args[1].s) && arg_int(2) >= 1 && arg_int(2) <= 65535;
+    return RtValue::Int(ok ? 0 : -1);
+  }
+  if (name == "htons" || name == "ntohs" || name == "set_port") {
+    // 16-bit truncation: port 70000 silently becomes 4464.
+    return RtValue::Int(arg_int(0) & 0xFFFF);
+  }
+  if (name == "htonl" || name == "ntohl") {
+    return RtValue::Int(arg_int(0) & 0xFFFFFFFFLL);
+  }
+  if (name == "inet_addr") {
+    const std::string& text = need_string(0);
+    return RtValue::Int(os_->IsValidIpAddress(text) ? 0x7f000001 : -1);
+  }
+  if (name == "inet_aton") {
+    return RtValue::Int(os_->IsValidIpAddress(need_string(0)) ? 1 : 0);
+  }
+  if (name == "gethostbyname") {
+    return RtValue::Int(os_->ResolvesHost(need_string(0)) ? 1 : 0);
+  }
+
+  // --- Users.
+  if (name == "getpwnam") {
+    return RtValue::Int(os_->UserExists(need_string(0)) ? 1 : 0);
+  }
+  if (name == "getgrnam") {
+    return RtValue::Int(os_->GroupExists(need_string(0)) ? 1 : 0);
+  }
+  if (name == "setuid_user") {
+    return RtValue::Int(os_->UserExists(need_string(0)) ? 0 : -1);
+  }
+
+  // --- Time. Virtual sleeping burns steps so that absurd durations are
+  // detected as hangs (100 steps per simulated second).
+  if (name == "sleep" || name == "alarm") {
+    int64_t seconds = std::max<int64_t>(0, arg_int(0));
+    os_->AdvanceClock(seconds);
+    steps_ += std::min<int64_t>(seconds, 1'000'000) * 100;
+    if (steps_ > options_.max_steps) {
+      throw HangError();
+    }
+    return RtValue::Int(0);
+  }
+  if (name == "usleep") {
+    int64_t usec = std::max<int64_t>(0, arg_int(0));
+    os_->AdvanceClock(usec / 1'000'000);
+    steps_ += std::min<int64_t>(usec / 10'000, 100'000'000);
+    if (steps_ > options_.max_steps) {
+      throw HangError();
+    }
+    return RtValue::Int(0);
+  }
+  if (name == "poll_wait" || name == "set_timeout_ms") {
+    int64_t msec = std::max<int64_t>(0, arg_int(0));
+    os_->AdvanceClock(msec / 1000);
+    steps_ += std::min<int64_t>(msec / 10, 100'000'000);
+    if (steps_ > options_.max_steps) {
+      throw HangError();
+    }
+    return RtValue::Int(0);
+  }
+  if (name == "time") {
+    return RtValue::Int(os_->now());
+  }
+
+  // --- Memory.
+  if (name == "malloc" || name == "alloc_buffer") {
+    return RtValue::Int(os_->TryAllocate(arg_int(0)));
+  }
+  if (name == "set_buffer_size") {
+    return RtValue::Int(0);
+  }
+
+  // --- Process control.
+  if (name == "exit" || name == "_exit") {
+    throw ExitRequest(arg_int(0));
+  }
+  if (name == "abort") {
+    throw TrapError("Segmentation fault (abort)");
+  }
+  if (name == "daemonize") {
+    return RtValue::Int(0);
+  }
+
+  // --- Logging.
+  if (name == "printf") {
+    AppendLog("OUT", FormatMessage(need_string(0), args, 1));
+    return RtValue::Int(0);
+  }
+  if (name == "fprintf") {
+    AppendLog("OUT", FormatMessage(need_string(1), args, 2));
+    return RtValue::Int(0);
+  }
+  if (name == "sprintf") {
+    // sprintf(out_ignored, fmt, ...) — MiniC uses it only as the unsafe-API
+    // example; formatting result is discarded.
+    return RtValue::Int(0);
+  }
+  if (name == "log_info" || name == "log_warn" || name == "log_error" || name == "log_fatal") {
+    std::string level = name == "log_info"   ? "INFO"
+                        : name == "log_warn" ? "WARN"
+                        : name == "log_error" ? "ERROR"
+                                              : "FATAL";
+    AppendLog(level, FormatMessage(need_string(0), args, 1));
+    return RtValue::Int(0);
+  }
+
+  // --- Indirect handler invocation (configuration dispatch tables).
+  if (name == "invoke_handler1" || name == "invoke_handler2") {
+    if (args.empty() || args[0].kind != RtValue::Kind::kFnRef) {
+      throw TrapError("Segmentation fault (call through non-function value)");
+    }
+    const Function* handler = module_.FindFunction(args[0].s);
+    if (handler == nullptr || handler->IsDeclaration()) {
+      throw TrapError("Segmentation fault (call through dangling handler '" + args[0].s + "')");
+    }
+    std::vector<RtValue> handler_args(args.begin() + 1, args.end());
+    return RunFunction(*handler, std::move(handler_args));
+  }
+
+  throw TrapError("unresolved external function: " + name);
+}
+
+std::optional<RtValue> Interpreter::ReadGlobal(const std::string& name) const {
+  GlobalVariable* global = module_.FindGlobal(name);
+  if (global == nullptr) {
+    return std::nullopt;
+  }
+  CellKey key;
+  key.frame = -1;
+  key.root = global;
+  auto it = cells_.find(key);
+  if (it != cells_.end()) {
+    return it->second;
+  }
+  return DefaultValueFor(global->value_type());
+}
+
+void Interpreter::WriteGlobal(const std::string& name, RtValue value) {
+  GlobalVariable* global = module_.FindGlobal(name);
+  if (global == nullptr) {
+    return;
+  }
+  CellKey key;
+  key.frame = -1;
+  key.root = global;
+  cells_[key] = std::move(value);
+}
+
+bool Interpreter::GlobalWasRead(const std::string& name) const {
+  GlobalVariable* global = module_.FindGlobal(name);
+  return global != nullptr && globals_read_.count(global) > 0;
+}
+
+}  // namespace spex

@@ -1,0 +1,162 @@
+// Concrete IR interpreter with simulated-OS intrinsics.
+//
+// SPEX-INJ (Section 3.1) must observe how the target system *actually*
+// reacts to an injected misconfiguration: crash, hang, early termination,
+// silent violation, silent ignorance, or a helpful error message. The
+// interpreter supplies exactly those observables: traps (out-of-bounds
+// writes are segfaults, like OpenLDAP's listener-threads crash), a step
+// budget (runaway loops are hangs), exit codes, captured logs, final global
+// values, and a record of which globals were ever read.
+#ifndef SPEX_INTERP_INTERPRETER_H_
+#define SPEX_INTERP_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/osim/os_simulator.h"
+
+namespace spex {
+
+// A runtime value: integer, float, string (possibly null), address, or a
+// function reference (config-table handler slots).
+struct RtValue {
+  enum class Kind { kInt, kFloat, kString, kNull, kAddr, kFnRef };
+  Kind kind = Kind::kInt;
+  int64_t i = 0;
+  double f = 0;
+  std::string s;
+
+  // kAddr payload: frame -1 = global storage.
+  int64_t frame = -1;
+  const Value* root = nullptr;
+  std::vector<int64_t> path;
+
+  static RtValue Int(int64_t v);
+  static RtValue Float(double v);
+  static RtValue Str(std::string v);
+  static RtValue Null();
+  static RtValue FnRef(std::string name);
+
+  bool IsTruthy() const;
+  int64_t AsInt() const;
+  double AsFloat() const;
+  std::string ToDebugString() const;
+};
+
+struct InterpOptions {
+  // Instruction budget; exceeding it classifies the run as a hang.
+  int64_t max_steps = 2'000'000;
+  // Call-depth budget; exceeding it is a stack-overflow trap.
+  int max_call_depth = 200;
+};
+
+struct CallOutcome {
+  enum class Status {
+    kOk,    // Returned normally.
+    kExit,  // Called exit(code).
+    kTrap,  // Segfault / abort / division by zero / stack overflow.
+    kHang,  // Step budget exhausted.
+  };
+  Status status = Status::kOk;
+  RtValue return_value;
+  int64_t exit_code = 0;
+  std::string trap_reason;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Module& module, OsSimulator* os, InterpOptions options = {});
+
+  // Re-initializes global storage from the module's initializers, clears
+  // logs, read-tracking and the step counter. Does not reset the OS.
+  void Reset();
+
+  // Calls a function by name. Args are matched positionally; missing args
+  // default to 0 / null.
+  CallOutcome Call(const std::string& function, std::vector<RtValue> args);
+
+  // --- Observables.
+  const std::vector<std::string>& logs() const { return logs_; }
+  void ClearLogs() { logs_.clear(); }
+  // Current value of a scalar global, or nullopt if it does not exist.
+  std::optional<RtValue> ReadGlobal(const std::string& name) const;
+  void WriteGlobal(const std::string& name, RtValue value);
+  // Was the global's storage loaded since the last Reset()?
+  bool GlobalWasRead(const std::string& name) const;
+  int64_t steps_used() const { return steps_; }
+
+ private:
+  struct Frame {
+    const Function* fn = nullptr;
+    int64_t id = 0;
+    std::map<const Value*, RtValue> regs;
+  };
+
+  // Cell identity in the interpreter's memory.
+  struct CellKey {
+    int64_t frame = -1;
+    const Value* root = nullptr;
+    std::vector<int64_t> path;
+    bool operator<(const CellKey& other) const;
+  };
+
+  class TrapError {
+   public:
+    explicit TrapError(std::string reason) : reason_(std::move(reason)) {}
+    const std::string& reason() const { return reason_; }
+
+   private:
+    std::string reason_;
+  };
+  class ExitRequest {
+   public:
+    explicit ExitRequest(int64_t code) : code_(code) {}
+    int64_t code() const { return code_; }
+
+   private:
+    int64_t code_;
+  };
+  class HangError {};
+
+  void InitGlobals();
+  RtValue DefaultValueFor(const IrType* type) const;
+
+  RtValue RunFunction(const Function& fn, std::vector<RtValue> args);
+  RtValue Eval(Frame& frame, const Value* value);
+  RtValue ExecCall(Frame& frame, const Instruction* instr);
+  RtValue Intrinsic(const std::string& name, std::vector<RtValue>& args,
+                    const Instruction* instr);
+
+  CellKey AddrToCell(const RtValue& addr) const;
+  RtValue LoadCell(const RtValue& addr, const Instruction* at);
+  void StoreCell(const RtValue& addr, RtValue value, const Instruction* at);
+  // Bounds check for array roots; throws TrapError on violation.
+  void CheckBounds(const CellKey& key, const Instruction* at) const;
+
+  void Step();
+  void AppendLog(std::string level, const std::string& message);
+  std::string FormatMessage(const std::string& format, const std::vector<RtValue>& args,
+                            size_t first_arg) const;
+
+  const Module& module_;
+  OsSimulator* os_;
+  InterpOptions options_;
+  std::map<CellKey, RtValue> cells_;
+  std::map<const Value*, int64_t> array_bounds_;  // Root -> element count (0 = scalar).
+  std::vector<std::string> logs_;
+  std::set<const Value*> globals_read_;
+  int64_t steps_ = 0;
+  int64_t next_frame_id_ = 0;
+  int call_depth_ = 0;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_INTERP_INTERPRETER_H_

@@ -1,0 +1,57 @@
+// Instruction construction helper.
+//
+// The builder owns no IR; it appends instructions to a current insertion
+// block and handles the typing rules (loads yield the pointee type, calls
+// yield the declared return type, etc.).
+#ifndef SPEX_IR_BUILDER_H_
+#define SPEX_IR_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace spex {
+
+class IrBuilder {
+ public:
+  IrBuilder(Module* module, Function* function) : module_(module), function_(function) {}
+
+  void SetInsertPoint(BasicBlock* block) { block_ = block; }
+  BasicBlock* insert_block() const { return block_; }
+  Module* module() const { return module_; }
+  Function* function() const { return function_; }
+
+  Instruction* CreateAlloca(const IrType* allocated, int64_t array_size, std::string name,
+                            SourceLoc loc);
+  Value* CreateLoad(Value* pointer, SourceLoc loc);
+  Instruction* CreateStore(Value* value, Value* pointer, SourceLoc loc);
+  Value* CreateBinOp(IrBinOp op, Value* lhs, Value* rhs, SourceLoc loc);
+  Value* CreateCmp(IrCmpPred pred, Value* lhs, Value* rhs, SourceLoc loc);
+  Value* CreateCast(const IrType* to, Value* value, bool is_explicit, SourceLoc loc);
+  Value* CreateCall(const IrType* return_type, std::string callee, std::vector<Value*> args,
+                    SourceLoc loc);
+  Value* CreateFieldAddr(Value* base_pointer, const IrType* struct_type, int field_index,
+                         SourceLoc loc);
+  Value* CreateIndexAddr(Value* base_pointer, Value* index, SourceLoc loc);
+  void CreateBr(BasicBlock* target, SourceLoc loc);
+  void CreateCondBr(Value* condition, BasicBlock* if_true, BasicBlock* if_false, SourceLoc loc);
+  Instruction* CreateSwitch(Value* value, BasicBlock* default_target,
+                            const std::vector<std::pair<int64_t, BasicBlock*>>& cases,
+                            SourceLoc loc);
+  void CreateRet(Value* value, SourceLoc loc);  // value may be null (void return).
+  void CreateUnreachable(SourceLoc loc);
+
+ private:
+  Instruction* Append(std::unique_ptr<Instruction> instr, SourceLoc loc);
+  std::unique_ptr<Instruction> New(InstrKind kind, const IrType* type);
+
+  Module* module_;
+  Function* function_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_IR_BUILDER_H_

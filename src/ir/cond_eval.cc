@@ -1,0 +1,101 @@
+#include "src/ir/cond_eval.h"
+
+namespace spex {
+
+bool DependsOn(const Value* value, const Value* needle, int max_depth) {
+  if (value == needle) {
+    return true;
+  }
+  if (max_depth <= 0 || value->value_kind() != ValueKind::kInstruction) {
+    return false;
+  }
+  const auto* instr = static_cast<const Instruction*>(value);
+  for (const Value* operand : instr->operands()) {
+    if (DependsOn(operand, needle, max_depth - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<int64_t> EvalAssuming(const Value* value, const Value* symbol, int64_t assumed,
+                                    int max_depth) {
+  if (max_depth <= 0) {
+    return std::nullopt;
+  }
+  if (value == symbol) {
+    return assumed;
+  }
+  if (value->value_kind() == ValueKind::kConstantInt) {
+    return value->constant_int();
+  }
+  if (value->value_kind() != ValueKind::kInstruction) {
+    return std::nullopt;
+  }
+  const auto* instr = static_cast<const Instruction*>(value);
+  switch (instr->instr_kind()) {
+    case InstrKind::kCast:
+      return EvalAssuming(instr->operand(0), symbol, assumed, max_depth - 1);
+    case InstrKind::kCmp: {
+      auto lhs = EvalAssuming(instr->operand(0), symbol, assumed, max_depth - 1);
+      auto rhs = EvalAssuming(instr->operand(1), symbol, assumed, max_depth - 1);
+      if (!lhs.has_value() || !rhs.has_value()) {
+        return std::nullopt;
+      }
+      switch (instr->cmp_pred()) {
+        case IrCmpPred::kEq:
+          return *lhs == *rhs ? 1 : 0;
+        case IrCmpPred::kNe:
+          return *lhs != *rhs ? 1 : 0;
+        case IrCmpPred::kLt:
+          return *lhs < *rhs ? 1 : 0;
+        case IrCmpPred::kLe:
+          return *lhs <= *rhs ? 1 : 0;
+        case IrCmpPred::kGt:
+          return *lhs > *rhs ? 1 : 0;
+        case IrCmpPred::kGe:
+          return *lhs >= *rhs ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    case InstrKind::kBinOp: {
+      auto lhs = EvalAssuming(instr->operand(0), symbol, assumed, max_depth - 1);
+      auto rhs = EvalAssuming(instr->operand(1), symbol, assumed, max_depth - 1);
+      if (!lhs.has_value() || !rhs.has_value()) {
+        return std::nullopt;
+      }
+      switch (instr->bin_op()) {
+        case IrBinOp::kAdd:
+          return *lhs + *rhs;
+        case IrBinOp::kSub:
+          return *lhs - *rhs;
+        case IrBinOp::kMul:
+          return *lhs * *rhs;
+        case IrBinOp::kAnd:
+          return *lhs & *rhs;
+        case IrBinOp::kOr:
+          return *lhs | *rhs;
+        case IrBinOp::kXor:
+          return *lhs ^ *rhs;
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<int> EdgeTakenWhen(const Instruction* cond_br, const Value* symbol,
+                                 int64_t assumed) {
+  if (cond_br->instr_kind() != InstrKind::kCondBr) {
+    return std::nullopt;
+  }
+  auto result = EvalAssuming(cond_br->operand(0), symbol, assumed);
+  if (!result.has_value()) {
+    return std::nullopt;
+  }
+  return *result != 0 ? 0 : 1;
+}
+
+}  // namespace spex

@@ -1,0 +1,33 @@
+// Small symbolic helpers over IR condition values.
+//
+// Used by the comparison-based mapping toolkit and the inference engines to
+// answer "which branch edge is taken when this call returns 0 / this value
+// equals V?" for the simple guard shapes that configuration-parsing code
+// uses (strcmp chains, `!strcasecmp(...)`, `x == 0`, ...).
+#ifndef SPEX_IR_COND_EVAL_H_
+#define SPEX_IR_COND_EVAL_H_
+
+#include <optional>
+
+#include "src/ir/ir.h"
+
+namespace spex {
+
+// Does `value`'s operand tree contain `needle`? Bounded depth walk.
+bool DependsOn(const Value* value, const Value* needle, int max_depth = 16);
+
+// Evaluates `value` under the assumption that `symbol` has integer value
+// `assumed`; every other leaf must be an integer constant. Returns nullopt
+// when the expression involves anything else.
+std::optional<int64_t> EvalAssuming(const Value* value, const Value* symbol, int64_t assumed,
+                                    int max_depth = 16);
+
+// For a conditional branch whose condition depends (only) on `symbol` and
+// constants: the successor index taken when symbol == assumed. nullopt if
+// the condition cannot be evaluated.
+std::optional<int> EdgeTakenWhen(const Instruction* cond_br, const Value* symbol,
+                                 int64_t assumed);
+
+}  // namespace spex
+
+#endif  // SPEX_IR_COND_EVAL_H_

@@ -1,0 +1,239 @@
+#include "src/ir/dominance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace spex {
+
+namespace {
+
+void SetBit(std::vector<uint32_t>& bits, size_t i) { bits[i / 32] |= (1u << (i % 32)); }
+bool GetBit(const std::vector<uint32_t>& bits, size_t i) {
+  return (bits[i / 32] & (1u << (i % 32))) != 0;
+}
+
+// bits &= other; returns true if bits changed.
+bool IntersectInto(std::vector<uint32_t>& bits, const std::vector<uint32_t>& other) {
+  bool changed = false;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    uint32_t next = bits[i] & other[i];
+    if (next != bits[i]) {
+      bits[i] = next;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Function& function, bool post)
+    : function_(function), post_(post) {
+  n_ = function.blocks().size();
+  size_t total = post_ ? n_ + 1 : n_;  // +1 for the virtual exit.
+  virtual_exit_ = n_;
+  size_t words = (total + 31) / 32;
+
+  // Build the edge lists in the direction of the analysis: for dominators we
+  // walk predecessors; for post-dominators we walk successors (i.e. the
+  // predecessors in the reversed CFG).
+  std::vector<std::vector<size_t>> preds(total);
+  std::vector<size_t> roots;
+  if (!post_) {
+    for (const auto& block : function.blocks()) {
+      for (const BasicBlock* succ : block->Successors()) {
+        preds[succ->index()].push_back(block->index());
+      }
+    }
+    if (n_ > 0) {
+      roots.push_back(0);
+    }
+  } else {
+    for (const auto& block : function.blocks()) {
+      auto succs = block->Successors();
+      if (succs.empty()) {
+        // Exit block: the virtual exit's "predecessor" in the reverse CFG.
+        preds[block->index()].push_back(virtual_exit_);
+      }
+      for (const BasicBlock* succ : succs) {
+        preds[block->index()].push_back(succ->index());
+      }
+    }
+    roots.push_back(virtual_exit_);
+  }
+
+  // Reachability in the analysis direction.
+  reachable_.assign(total, false);
+  {
+    std::vector<size_t> work = roots;
+    // Forward reachability needs successor lists in the analysis direction,
+    // which are the reverse of `preds`.
+    std::vector<std::vector<size_t>> succs_dir(total);
+    for (size_t to = 0; to < total; ++to) {
+      for (size_t from : preds[to]) {
+        succs_dir[from].push_back(to);
+      }
+    }
+    for (size_t root : roots) {
+      reachable_[root] = true;
+    }
+    while (!work.empty()) {
+      size_t node = work.back();
+      work.pop_back();
+      for (size_t next : succs_dir[node]) {
+        if (!reachable_[next]) {
+          reachable_[next] = true;
+          work.push_back(next);
+        }
+      }
+    }
+  }
+
+  // Iterative dominator sets.
+  std::vector<uint32_t> full(words, 0);
+  for (size_t i = 0; i < total; ++i) {
+    SetBit(full, i);
+  }
+  dom_sets_.assign(total, full);
+  for (size_t root : roots) {
+    std::vector<uint32_t> only_self(words, 0);
+    SetBit(only_self, root);
+    dom_sets_[root] = only_self;
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < total; ++i) {
+      if (!reachable_[i] || std::find(roots.begin(), roots.end(), i) != roots.end()) {
+        continue;
+      }
+      std::vector<uint32_t> next(words, 0xffffffffu);
+      bool any_pred = false;
+      for (size_t pred : preds[i]) {
+        if (!reachable_[pred]) {
+          continue;
+        }
+        any_pred = true;
+        IntersectInto(next, dom_sets_[pred]);
+      }
+      if (!any_pred) {
+        next.assign(words, 0);
+      }
+      SetBit(next, i);
+      if (next != dom_sets_[i]) {
+        dom_sets_[i] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  // Unreachable blocks dominate/are dominated by nothing but themselves.
+  for (size_t i = 0; i < total; ++i) {
+    if (!reachable_[i]) {
+      std::vector<uint32_t> only_self(words, 0);
+      SetBit(only_self, i);
+      dom_sets_[i] = only_self;
+    }
+  }
+
+  // Immediate dominators: the unique strict dominator that is dominated by
+  // all other strict dominators.
+  idom_.assign(total, -1);
+  for (size_t i = 0; i < total; ++i) {
+    if (!reachable_[i]) {
+      continue;
+    }
+    int best = -1;
+    for (size_t cand = 0; cand < total; ++cand) {
+      if (cand == i || !GetBit(dom_sets_[i], cand)) {
+        continue;
+      }
+      if (best == -1 || GetBit(dom_sets_[cand], static_cast<size_t>(best))) {
+        best = static_cast<int>(cand);
+      }
+    }
+    idom_[i] = best;
+  }
+}
+
+size_t DominatorTree::IndexOf(const BasicBlock* block) const { return block->index(); }
+
+bool DominatorTree::Dominates(const BasicBlock* a, const BasicBlock* b) const {
+  size_t ia = IndexOf(a);
+  size_t ib = IndexOf(b);
+  if (ia >= dom_sets_.size() || ib >= dom_sets_.size()) {
+    return false;
+  }
+  return GetBit(dom_sets_[ib], ia);
+}
+
+const BasicBlock* DominatorTree::ImmediateDominator(const BasicBlock* block) const {
+  size_t i = IndexOf(block);
+  if (i >= idom_.size() || idom_[i] < 0 || static_cast<size_t>(idom_[i]) >= n_) {
+    return nullptr;  // Root, virtual exit, or unreachable.
+  }
+  return function_.blocks()[static_cast<size_t>(idom_[i])].get();
+}
+
+bool DominatorTree::IsReachable(const BasicBlock* block) const {
+  size_t i = IndexOf(block);
+  return i < reachable_.size() && reachable_[i];
+}
+
+ControlDependence::ControlDependence(const Function& function) : function_(function) {
+  DominatorTree postdom(function, /*post=*/true);
+
+  // B is control-dependent on edge (A -> S) iff B post-dominates S (or B == S)
+  // and B does not post-dominate A.
+  for (const auto& block_a : function.blocks()) {
+    Instruction* term = block_a->terminator();
+    if (term == nullptr) {
+      continue;
+    }
+    const auto& succs = term->successors();
+    if (succs.size() < 2) {
+      continue;  // Unconditional edges impose no control dependence.
+    }
+    for (size_t edge = 0; edge < succs.size(); ++edge) {
+      const BasicBlock* s = succs[edge];
+      for (const auto& block_b : function.blocks()) {
+        const BasicBlock* b = block_b.get();
+        if (!postdom.IsReachable(b) || !postdom.IsReachable(s)) {
+          continue;
+        }
+        bool pd_succ = (b == s) || postdom.Dominates(b, s);
+        bool pd_branch = postdom.Dominates(b, block_a.get());
+        if (pd_succ && !pd_branch) {
+          direct_[b].push_back(ControlDep{term, static_cast<int>(edge)});
+        }
+      }
+    }
+  }
+}
+
+const std::vector<ControlDep>& ControlDependence::DirectDeps(const BasicBlock* block) const {
+  auto it = direct_.find(block);
+  return it != direct_.end() ? it->second : empty_;
+}
+
+std::vector<ControlDep> ControlDependence::TransitiveDeps(const BasicBlock* block) const {
+  std::set<ControlDep> seen;
+  std::vector<const BasicBlock*> work = {block};
+  std::set<const BasicBlock*> visited = {block};
+  while (!work.empty()) {
+    const BasicBlock* current = work.back();
+    work.pop_back();
+    for (const ControlDep& dep : DirectDeps(current)) {
+      if (seen.insert(dep).second) {
+        const BasicBlock* branch_block = dep.branch->parent();
+        if (visited.insert(branch_block).second) {
+          work.push_back(branch_block);
+        }
+      }
+    }
+  }
+  return std::vector<ControlDep>(seen.begin(), seen.end());
+}
+
+}  // namespace spex

@@ -1,0 +1,82 @@
+// Dominator/post-dominator trees and control-dependence analysis.
+//
+// Control dependence is the backbone of two of the paper's inference engines:
+// data-range classification looks at the behaviour of the region controlled
+// by a comparison, and control-dependency inference asks which parameter P's
+// branches guard the usage sites of parameter Q (Section 2.2.4).
+#ifndef SPEX_IR_DOMINANCE_H_
+#define SPEX_IR_DOMINANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace spex {
+
+// Forward or reverse dominator tree over one function's CFG. Unreachable
+// blocks are reported as dominated by nothing and dominating nothing.
+class DominatorTree {
+ public:
+  // post = false: classic dominators rooted at entry.
+  // post = true: post-dominators rooted at a virtual exit that all Ret /
+  // Unreachable / successor-less blocks lead to.
+  DominatorTree(const Function& function, bool post);
+
+  // True iff `a` dominates `b` (reflexive).
+  bool Dominates(const BasicBlock* a, const BasicBlock* b) const;
+  // Immediate dominator, or nullptr for the root / unreachable blocks.
+  const BasicBlock* ImmediateDominator(const BasicBlock* block) const;
+  bool IsReachable(const BasicBlock* block) const;
+
+ private:
+  size_t IndexOf(const BasicBlock* block) const;
+
+  const Function& function_;
+  bool post_;
+  size_t n_ = 0;           // Number of real blocks.
+  size_t virtual_exit_ = 0;  // Index of the virtual exit (post mode only).
+  std::vector<std::vector<uint32_t>> dom_sets_;  // Bitsets, indexed by block index.
+  std::vector<int> idom_;                        // -1 = none.
+  std::vector<bool> reachable_;
+};
+
+// One direct control dependence: `block` executes only if `branch` takes the
+// successor edge `successor_index`.
+struct ControlDep {
+  const Instruction* branch = nullptr;
+  int successor_index = -1;
+
+  bool operator<(const ControlDep& other) const {
+    if (branch != other.branch) {
+      return branch < other.branch;
+    }
+    return successor_index < other.successor_index;
+  }
+  bool operator==(const ControlDep& other) const {
+    return branch == other.branch && successor_index == other.successor_index;
+  }
+};
+
+class ControlDependence {
+ public:
+  explicit ControlDependence(const Function& function);
+
+  // Branch edges this block is directly control-dependent on.
+  const std::vector<ControlDep>& DirectDeps(const BasicBlock* block) const;
+
+  // Transitive closure: direct deps plus the deps of the controlling
+  // branches' own blocks. This is the set of conditions that must all hold
+  // for `block` to execute.
+  std::vector<ControlDep> TransitiveDeps(const BasicBlock* block) const;
+
+ private:
+  const Function& function_;
+  std::map<const BasicBlock*, std::vector<ControlDep>> direct_;
+  std::vector<ControlDep> empty_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_IR_DOMINANCE_H_

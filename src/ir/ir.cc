@@ -1,0 +1,554 @@
+#include "src/ir/ir.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/ir/builder.h"
+
+namespace spex {
+
+// ---------------------------------------------------------------------------
+// Enum helpers.
+
+const char* IrBinOpName(IrBinOp op) {
+  switch (op) {
+    case IrBinOp::kAdd:
+      return "add";
+    case IrBinOp::kSub:
+      return "sub";
+    case IrBinOp::kMul:
+      return "mul";
+    case IrBinOp::kDiv:
+      return "div";
+    case IrBinOp::kRem:
+      return "rem";
+    case IrBinOp::kShl:
+      return "shl";
+    case IrBinOp::kShr:
+      return "shr";
+    case IrBinOp::kAnd:
+      return "and";
+    case IrBinOp::kOr:
+      return "or";
+    case IrBinOp::kXor:
+      return "xor";
+  }
+  return "?";
+}
+
+const char* IrCmpPredName(IrCmpPred pred) {
+  switch (pred) {
+    case IrCmpPred::kEq:
+      return "eq";
+    case IrCmpPred::kNe:
+      return "ne";
+    case IrCmpPred::kLt:
+      return "lt";
+    case IrCmpPred::kLe:
+      return "le";
+    case IrCmpPred::kGt:
+      return "gt";
+    case IrCmpPred::kGe:
+      return "ge";
+  }
+  return "?";
+}
+
+IrCmpPred NegateCmpPred(IrCmpPred pred) {
+  switch (pred) {
+    case IrCmpPred::kEq:
+      return IrCmpPred::kNe;
+    case IrCmpPred::kNe:
+      return IrCmpPred::kEq;
+    case IrCmpPred::kLt:
+      return IrCmpPred::kGe;
+    case IrCmpPred::kLe:
+      return IrCmpPred::kGt;
+    case IrCmpPred::kGt:
+      return IrCmpPred::kLe;
+    case IrCmpPred::kGe:
+      return IrCmpPred::kLt;
+  }
+  return pred;
+}
+
+IrCmpPred SwapCmpPred(IrCmpPred pred) {
+  switch (pred) {
+    case IrCmpPred::kLt:
+      return IrCmpPred::kGt;
+    case IrCmpPred::kLe:
+      return IrCmpPred::kGe;
+    case IrCmpPred::kGt:
+      return IrCmpPred::kLt;
+    case IrCmpPred::kGe:
+      return IrCmpPred::kLe;
+    default:
+      return pred;  // eq / ne are symmetric.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalInit factories.
+
+GlobalInit GlobalInit::Int(int64_t v) {
+  GlobalInit init;
+  init.kind = Kind::kInt;
+  init.int_value = v;
+  return init;
+}
+
+GlobalInit GlobalInit::Float(double v) {
+  GlobalInit init;
+  init.kind = Kind::kFloat;
+  init.float_value = v;
+  return init;
+}
+
+GlobalInit GlobalInit::Str(std::string v) {
+  GlobalInit init;
+  init.kind = Kind::kString;
+  init.string_value = std::move(v);
+  return init;
+}
+
+GlobalInit GlobalInit::Null() {
+  GlobalInit init;
+  init.kind = Kind::kNull;
+  return init;
+}
+
+GlobalInit GlobalInit::Ref(std::string global_name) {
+  GlobalInit init;
+  init.kind = Kind::kGlobalRef;
+  init.string_value = std::move(global_name);
+  return init;
+}
+
+GlobalInit GlobalInit::List(std::vector<GlobalInit> items) {
+  GlobalInit init;
+  init.kind = Kind::kList;
+  init.elements = std::move(items);
+  return init;
+}
+
+// ---------------------------------------------------------------------------
+// Value / Instruction.
+
+std::string Value::Label() const {
+  switch (value_kind_) {
+    case ValueKind::kConstantInt:
+      return std::to_string(constant_int_);
+    case ValueKind::kConstantFloat:
+      return std::to_string(constant_float_);
+    case ValueKind::kConstantString:
+      return "\"" + constant_string_ + "\"";
+    case ValueKind::kConstantNull:
+      return "null";
+    case ValueKind::kGlobal:
+      return "@" + name_;
+    case ValueKind::kArgument:
+      return "%arg." + name_;
+    case ValueKind::kInstruction:
+      return "%" + std::to_string(id_);
+  }
+  return "?";
+}
+
+const std::string& Instruction::field_name() const {
+  static const std::string kUnknown = "<field>";
+  if (field_struct_type_ != nullptr && field_index_ >= 0 &&
+      field_index_ < static_cast<int>(field_struct_type_->field_names().size())) {
+    return field_struct_type_->field_names()[field_index_];
+  }
+  return kUnknown;
+}
+
+std::string Instruction::ToString() const {
+  std::ostringstream out;
+  if (!type_->IsVoid()) {
+    out << Label() << " = ";
+  }
+  switch (instr_kind_) {
+    case InstrKind::kAlloca:
+      out << "alloca " << allocated_type_->ToString();
+      if (alloca_array_size_ > 0) {
+        out << " x " << alloca_array_size_;
+      }
+      out << "  ; " << name_;
+      break;
+    case InstrKind::kLoad:
+      out << "load " << operands_[0]->Label();
+      break;
+    case InstrKind::kStore:
+      out << "store " << operands_[0]->Label() << " -> " << operands_[1]->Label();
+      break;
+    case InstrKind::kBinOp:
+      out << IrBinOpName(bin_op_) << " " << operands_[0]->Label() << ", "
+          << operands_[1]->Label();
+      break;
+    case InstrKind::kCmp:
+      out << "cmp " << IrCmpPredName(cmp_pred_) << " " << operands_[0]->Label() << ", "
+          << operands_[1]->Label();
+      break;
+    case InstrKind::kCast:
+      out << (cast_is_explicit_ ? "cast! " : "cast ") << operands_[0]->Label() << " to "
+          << type_->ToString();
+      break;
+    case InstrKind::kCall: {
+      out << "call " << callee_ << "(";
+      for (size_t i = 0; i < operands_.size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << operands_[i]->Label();
+      }
+      out << ")";
+      break;
+    }
+    case InstrKind::kFieldAddr:
+      out << "fieldaddr " << operands_[0]->Label() << "." << field_name();
+      break;
+    case InstrKind::kIndexAddr:
+      out << "indexaddr " << operands_[0]->Label() << "[" << operands_[1]->Label() << "]";
+      break;
+    case InstrKind::kBr:
+      out << "br " << successors_[0]->name();
+      break;
+    case InstrKind::kCondBr:
+      out << "condbr " << operands_[0]->Label() << ", " << successors_[0]->name() << ", "
+          << successors_[1]->name();
+      break;
+    case InstrKind::kSwitch: {
+      out << "switch " << operands_[0]->Label() << " default:" << successors_[0]->name();
+      for (size_t i = 0; i < switch_values_.size(); ++i) {
+        out << " [" << switch_values_[i] << " -> " << successors_[i + 1]->name() << "]";
+      }
+      break;
+    }
+    case InstrKind::kRet:
+      out << "ret";
+      if (!operands_.empty()) {
+        out << " " << operands_[0]->Label();
+      }
+      break;
+    case InstrKind::kUnreachable:
+      out << "unreachable";
+      break;
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// BasicBlock.
+
+Instruction* BasicBlock::terminator() const {
+  if (instructions_.empty()) {
+    return nullptr;
+  }
+  Instruction* last = instructions_.back().get();
+  return last->IsTerminator() ? last : nullptr;
+}
+
+bool BasicBlock::HasTerminator() const { return terminator() != nullptr; }
+
+std::vector<BasicBlock*> BasicBlock::Successors() const {
+  Instruction* term = terminator();
+  if (term == nullptr) {
+    return {};
+  }
+  return term->successors();
+}
+
+Instruction* BasicBlock::Append(std::unique_ptr<Instruction> instr) {
+  assert(!HasTerminator() && "appending to a terminated block");
+  instr->parent_ = this;
+  instructions_.push_back(std::move(instr));
+  return instructions_.back().get();
+}
+
+// ---------------------------------------------------------------------------
+// Function.
+
+Argument* Function::AddArgument(const IrType* type, std::string name) {
+  auto arg = std::make_unique<Argument>(type, std::move(name),
+                                        static_cast<int>(arguments_.size()), this);
+  arg->id_ = NextValueId();
+  arguments_.push_back(std::move(arg));
+  return arguments_.back().get();
+}
+
+BasicBlock* Function::CreateBlock(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(name), this));
+  return blocks_.back().get();
+}
+
+void Function::Finalize() {
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i]->index_ = static_cast<uint32_t>(i);
+    blocks_[i]->predecessors_.clear();
+  }
+  for (const auto& block : blocks_) {
+    for (BasicBlock* succ : block->Successors()) {
+      succ->predecessors_.push_back(block.get());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Module.
+
+GlobalVariable* Module::AddGlobal(const IrType* type, std::string name, bool is_array,
+                                  int64_t array_size) {
+  auto global = std::make_unique<GlobalVariable>(types_.PointerTo(type), type, std::move(name),
+                                                 is_array, array_size);
+  globals_.push_back(std::move(global));
+  return globals_.back().get();
+}
+
+GlobalVariable* Module::FindGlobal(const std::string& name) const {
+  for (const auto& global : globals_) {
+    if (global->name() == name) {
+      return global.get();
+    }
+  }
+  return nullptr;
+}
+
+Function* Module::AddFunction(std::string name, const IrType* return_type) {
+  functions_.push_back(std::make_unique<Function>(std::move(name), return_type, this));
+  return functions_.back().get();
+}
+
+Function* Module::FindFunction(const std::string& name) const {
+  Function* declaration = nullptr;
+  for (const auto& fn : functions_) {
+    if (fn->name() == name) {
+      if (!fn->IsDeclaration()) {
+        return fn.get();
+      }
+      declaration = fn.get();
+    }
+  }
+  return declaration;
+}
+
+namespace {
+
+class ConstantValue : public Value {
+ public:
+  ConstantValue(ValueKind kind, const IrType* type) : Value(kind, type) {}
+
+  void SetInt(int64_t v) { constant_int_ = v; }
+  void SetFloat(double v) { constant_float_ = v; }
+  void SetString(std::string v) { constant_string_ = std::move(v); }
+};
+
+}  // namespace
+
+Value* Module::ConstInt(const IrType* type, int64_t value) {
+  auto key = std::make_pair(type, value);
+  auto it = int_constants_.find(key);
+  if (it != int_constants_.end()) {
+    return it->second;
+  }
+  auto constant = std::make_unique<ConstantValue>(ValueKind::kConstantInt, type);
+  constant->SetInt(value);
+  Value* result = constant.get();
+  constants_.push_back(std::move(constant));
+  int_constants_[key] = result;
+  return result;
+}
+
+Value* Module::ConstFloat(double value) {
+  auto constant = std::make_unique<ConstantValue>(ValueKind::kConstantFloat, types_.float_type());
+  constant->SetFloat(value);
+  Value* result = constant.get();
+  constants_.push_back(std::move(constant));
+  return result;
+}
+
+Value* Module::ConstString(std::string value) {
+  auto it = string_constants_.find(value);
+  if (it != string_constants_.end()) {
+    return it->second;
+  }
+  auto constant = std::make_unique<ConstantValue>(ValueKind::kConstantString,
+                                                  types_.string_type());
+  constant->SetString(value);
+  Value* result = constant.get();
+  constants_.push_back(std::move(constant));
+  string_constants_[std::move(value)] = result;
+  return result;
+}
+
+Value* Module::ConstNull(const IrType* pointer_type) {
+  auto constant = std::make_unique<ConstantValue>(ValueKind::kConstantNull, pointer_type);
+  Value* result = constant.get();
+  constants_.push_back(std::move(constant));
+  return result;
+}
+
+std::string Module::Print() const {
+  std::ostringstream out;
+  out << "; module " << name_ << "\n";
+  for (const auto& global : globals_) {
+    out << "@" << global->name() << " : " << global->value_type()->ToString();
+    if (global->is_array()) {
+      out << "[" << global->array_size() << "]";
+    }
+    out << "\n";
+  }
+  for (const auto& fn : functions_) {
+    if (fn->IsDeclaration()) {
+      out << "declare " << fn->name() << "\n";
+      continue;
+    }
+    out << "define " << fn->return_type()->ToString() << " " << fn->name() << "(";
+    for (size_t i = 0; i < fn->arguments().size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << fn->arguments()[i]->type()->ToString() << " %arg." << fn->arguments()[i]->name();
+    }
+    out << ") {\n";
+    for (const auto& block : fn->blocks()) {
+      out << block->name() << ":\n";
+      for (const auto& instr : block->instructions()) {
+        out << "  " << instr->ToString() << "\n";
+      }
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// IrBuilder.
+
+std::unique_ptr<Instruction> IrBuilder::New(InstrKind kind, const IrType* type) {
+  return std::unique_ptr<Instruction>(new Instruction(kind, type));
+}
+
+Instruction* IrBuilder::Append(std::unique_ptr<Instruction> instr, SourceLoc loc) {
+  instr->loc_ = std::move(loc);
+  instr->id_ = function_->NextValueId();
+  return block_->Append(std::move(instr));
+}
+
+Instruction* IrBuilder::CreateAlloca(const IrType* allocated, int64_t array_size,
+                                     std::string name, SourceLoc loc) {
+  auto instr = New(InstrKind::kAlloca, module_->types().PointerTo(allocated));
+  instr->allocated_type_ = allocated;
+  instr->alloca_array_size_ = array_size;
+  instr->name_ = std::move(name);
+  return Append(std::move(instr), std::move(loc));
+}
+
+Value* IrBuilder::CreateLoad(Value* pointer, SourceLoc loc) {
+  assert(pointer->type()->IsPointer() && "load requires a pointer operand");
+  auto instr = New(InstrKind::kLoad, pointer->type()->pointee());
+  instr->operands_ = {pointer};
+  return Append(std::move(instr), std::move(loc));
+}
+
+Instruction* IrBuilder::CreateStore(Value* value, Value* pointer, SourceLoc loc) {
+  assert(pointer->type()->IsPointer() && "store requires a pointer operand");
+  auto instr = New(InstrKind::kStore, module_->types().void_type());
+  instr->operands_ = {value, pointer};
+  return Append(std::move(instr), std::move(loc));
+}
+
+Value* IrBuilder::CreateBinOp(IrBinOp op, Value* lhs, Value* rhs, SourceLoc loc) {
+  const IrType* type = lhs->type();
+  if (rhs->type()->kind() == IrTypeKind::kFloat) {
+    type = rhs->type();
+  }
+  auto instr = New(InstrKind::kBinOp, type);
+  instr->bin_op_ = op;
+  instr->operands_ = {lhs, rhs};
+  return Append(std::move(instr), std::move(loc));
+}
+
+Value* IrBuilder::CreateCmp(IrCmpPred pred, Value* lhs, Value* rhs, SourceLoc loc) {
+  auto instr = New(InstrKind::kCmp, module_->types().bool_type());
+  instr->cmp_pred_ = pred;
+  instr->operands_ = {lhs, rhs};
+  return Append(std::move(instr), std::move(loc));
+}
+
+Value* IrBuilder::CreateCast(const IrType* to, Value* value, bool is_explicit, SourceLoc loc) {
+  auto instr = New(InstrKind::kCast, to);
+  instr->cast_is_explicit_ = is_explicit;
+  instr->operands_ = {value};
+  return Append(std::move(instr), std::move(loc));
+}
+
+Value* IrBuilder::CreateCall(const IrType* return_type, std::string callee,
+                             std::vector<Value*> args, SourceLoc loc) {
+  auto instr = New(InstrKind::kCall, return_type);
+  instr->callee_ = std::move(callee);
+  instr->operands_ = std::move(args);
+  return Append(std::move(instr), std::move(loc));
+}
+
+Value* IrBuilder::CreateFieldAddr(Value* base_pointer, const IrType* struct_type, int field_index,
+                                  SourceLoc loc) {
+  assert(field_index >= 0 &&
+         field_index < static_cast<int>(struct_type->field_types().size()) &&
+         "field index out of range");
+  const IrType* field_type = struct_type->field_types()[field_index];
+  auto instr = New(InstrKind::kFieldAddr, module_->types().PointerTo(field_type));
+  instr->field_struct_type_ = struct_type;
+  instr->field_index_ = field_index;
+  instr->operands_ = {base_pointer};
+  return Append(std::move(instr), std::move(loc));
+}
+
+Value* IrBuilder::CreateIndexAddr(Value* base_pointer, Value* index, SourceLoc loc) {
+  assert(base_pointer->type()->IsPointer() && "indexaddr requires a pointer base");
+  auto instr = New(InstrKind::kIndexAddr, base_pointer->type());
+  instr->operands_ = {base_pointer, index};
+  return Append(std::move(instr), std::move(loc));
+}
+
+void IrBuilder::CreateBr(BasicBlock* target, SourceLoc loc) {
+  auto instr = New(InstrKind::kBr, module_->types().void_type());
+  instr->successors_ = {target};
+  Append(std::move(instr), std::move(loc));
+}
+
+void IrBuilder::CreateCondBr(Value* condition, BasicBlock* if_true, BasicBlock* if_false,
+                             SourceLoc loc) {
+  auto instr = New(InstrKind::kCondBr, module_->types().void_type());
+  instr->operands_ = {condition};
+  instr->successors_ = {if_true, if_false};
+  Append(std::move(instr), std::move(loc));
+}
+
+Instruction* IrBuilder::CreateSwitch(Value* value, BasicBlock* default_target,
+                                     const std::vector<std::pair<int64_t, BasicBlock*>>& cases,
+                                     SourceLoc loc) {
+  auto instr = New(InstrKind::kSwitch, module_->types().void_type());
+  instr->operands_ = {value};
+  instr->successors_.push_back(default_target);
+  for (const auto& [case_value, target] : cases) {
+    instr->switch_values_.push_back(case_value);
+    instr->successors_.push_back(target);
+  }
+  return Append(std::move(instr), std::move(loc));
+}
+
+void IrBuilder::CreateRet(Value* value, SourceLoc loc) {
+  auto instr = New(InstrKind::kRet, module_->types().void_type());
+  if (value != nullptr) {
+    instr->operands_ = {value};
+  }
+  Append(std::move(instr), std::move(loc));
+}
+
+void IrBuilder::CreateUnreachable(SourceLoc loc) {
+  auto instr = New(InstrKind::kUnreachable, module_->types().void_type());
+  Append(std::move(instr), std::move(loc));
+}
+
+}  // namespace spex

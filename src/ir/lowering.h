@@ -1,0 +1,25 @@
+// AST-to-IR lowering.
+//
+// Produces the memory-form IR that all analyses and the interpreter consume.
+// Lowering is deliberately unoptimized: no constant folding, no mem2reg —
+// the inference engines want the raw load/store/cast structure exactly as it
+// appears in the source (e.g., the "first cast" rule for basic types).
+#ifndef SPEX_IR_LOWERING_H_
+#define SPEX_IR_LOWERING_H_
+
+#include <memory>
+
+#include "src/ir/ir.h"
+#include "src/lang/ast.h"
+#include "src/support/diagnostics.h"
+
+namespace spex {
+
+// Lowers a parsed translation unit into a fresh Module. Functions without
+// bodies become declarations; unknown callees are auto-declared with the
+// return type from a small built-in C-library table (defaulting to i64).
+std::unique_ptr<Module> LowerToIr(const TranslationUnit& unit, DiagnosticEngine* diags);
+
+}  // namespace spex
+
+#endif  // SPEX_IR_LOWERING_H_

@@ -1,0 +1,110 @@
+#include "src/ir/type.h"
+
+namespace spex {
+
+int IrType::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < field_names_.size(); ++i) {
+    if (field_names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string IrType::ToString() const {
+  switch (kind_) {
+    case IrTypeKind::kVoid:
+      return "void";
+    case IrTypeKind::kBool:
+      return "bool";
+    case IrTypeKind::kInt:
+      return (is_unsigned_ ? "u" : "i") + std::to_string(bit_width_);
+    case IrTypeKind::kFloat:
+      return "f64";
+    case IrTypeKind::kString:
+      return "str";
+    case IrTypeKind::kPointer:
+      return pointee_->ToString() + "*";
+    case IrTypeKind::kStruct:
+      return "%" + struct_name_;
+  }
+  return "?";
+}
+
+TypeTable::TypeTable() {
+  IrType* v = NewType();
+  v->kind_ = IrTypeKind::kVoid;
+  void_type_ = v;
+  IrType* b = NewType();
+  b->kind_ = IrTypeKind::kBool;
+  bool_type_ = b;
+  IrType* s = NewType();
+  s->kind_ = IrTypeKind::kString;
+  string_type_ = s;
+  IrType* f = NewType();
+  f->kind_ = IrTypeKind::kFloat;
+  f->bit_width_ = 64;
+  float_type_ = f;
+}
+
+IrType* TypeTable::NewType() {
+  storage_.emplace_back(IrType());
+  return &storage_.back();
+}
+
+const IrType* TypeTable::IntType(int bit_width, bool is_unsigned) {
+  auto key = std::make_pair(bit_width, is_unsigned);
+  auto it = int_types_.find(key);
+  if (it != int_types_.end()) {
+    return it->second;
+  }
+  IrType* type = NewType();
+  type->kind_ = IrTypeKind::kInt;
+  type->bit_width_ = bit_width;
+  type->is_unsigned_ = is_unsigned;
+  int_types_[key] = type;
+  return type;
+}
+
+const IrType* TypeTable::PointerTo(const IrType* pointee) {
+  auto it = pointer_types_.find(pointee);
+  if (it != pointer_types_.end()) {
+    return it->second;
+  }
+  IrType* type = NewType();
+  type->kind_ = IrTypeKind::kPointer;
+  type->pointee_ = pointee;
+  pointer_types_[pointee] = type;
+  return type;
+}
+
+const IrType* TypeTable::StructType(const std::string& name) {
+  auto it = struct_types_.find(name);
+  if (it != struct_types_.end()) {
+    return it->second;
+  }
+  IrType* type = NewType();
+  type->kind_ = IrTypeKind::kStruct;
+  type->struct_name_ = name;
+  struct_types_[name] = type;
+  return type;
+}
+
+void TypeTable::DefineStructBody(const std::string& name, std::vector<const IrType*> field_types,
+                                 std::vector<std::string> field_names) {
+  auto it = struct_types_.find(name);
+  IrType* type = it != struct_types_.end() ? it->second : nullptr;
+  if (type == nullptr) {
+    StructType(name);
+    type = struct_types_[name];
+  }
+  type->field_types_ = std::move(field_types);
+  type->field_names_ = std::move(field_names);
+}
+
+const IrType* TypeTable::FindStruct(const std::string& name) const {
+  auto it = struct_types_.find(name);
+  return it != struct_types_.end() ? it->second : nullptr;
+}
+
+}  // namespace spex

@@ -1,0 +1,96 @@
+// IR type system.
+//
+// Types are interned per Module (see ir.h); all IrType pointers handed out by
+// the TypeTable live as long as the table and compare equal by identity.
+// The paper's basic-type constraints ("32-bit integer number") come straight
+// from these types, so integer widths are modeled explicitly.
+#ifndef SPEX_IR_TYPE_H_
+#define SPEX_IR_TYPE_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spex {
+
+enum class IrTypeKind {
+  kVoid,
+  kBool,
+  kInt,      // width in bits + signedness
+  kFloat,    // 64-bit floating point
+  kString,   // char* — modeled as a first-class scalar
+  kPointer,  // pointer to any other type
+  kStruct,
+};
+
+class IrType {
+ public:
+  IrTypeKind kind() const { return kind_; }
+  int bit_width() const { return bit_width_; }
+  bool is_unsigned() const { return is_unsigned_; }
+  const std::string& struct_name() const { return struct_name_; }
+  const IrType* pointee() const { return pointee_; }
+
+  const std::vector<const IrType*>& field_types() const { return field_types_; }
+  const std::vector<std::string>& field_names() const { return field_names_; }
+  int FieldIndex(const std::string& name) const;
+
+  bool IsInteger() const { return kind_ == IrTypeKind::kInt; }
+  bool IsNumeric() const { return kind_ == IrTypeKind::kInt || kind_ == IrTypeKind::kFloat; }
+  bool IsString() const { return kind_ == IrTypeKind::kString; }
+  bool IsPointer() const { return kind_ == IrTypeKind::kPointer; }
+  bool IsStruct() const { return kind_ == IrTypeKind::kStruct; }
+  bool IsBool() const { return kind_ == IrTypeKind::kBool; }
+  bool IsVoid() const { return kind_ == IrTypeKind::kVoid; }
+
+  std::string ToString() const;
+
+ private:
+  friend class TypeTable;
+  IrType() = default;
+
+  IrTypeKind kind_ = IrTypeKind::kVoid;
+  int bit_width_ = 0;
+  bool is_unsigned_ = false;
+  std::string struct_name_;
+  const IrType* pointee_ = nullptr;
+  std::vector<const IrType*> field_types_;
+  std::vector<std::string> field_names_;
+};
+
+// Owns and interns IrType instances. One per Module.
+class TypeTable {
+ public:
+  TypeTable();
+
+  const IrType* void_type() const { return void_type_; }
+  const IrType* bool_type() const { return bool_type_; }
+  const IrType* string_type() const { return string_type_; }
+  const IrType* float_type() const { return float_type_; }
+
+  const IrType* IntType(int bit_width, bool is_unsigned);
+  const IrType* PointerTo(const IrType* pointee);
+  // Declares (or returns the previously declared) struct type. Fields may be
+  // filled in exactly once via DefineStructBody.
+  const IrType* StructType(const std::string& name);
+  void DefineStructBody(const std::string& name, std::vector<const IrType*> field_types,
+                        std::vector<std::string> field_names);
+  const IrType* FindStruct(const std::string& name) const;
+
+ private:
+  IrType* NewType();
+
+  std::deque<IrType> storage_;
+  const IrType* void_type_ = nullptr;
+  const IrType* bool_type_ = nullptr;
+  const IrType* string_type_ = nullptr;
+  const IrType* float_type_ = nullptr;
+  std::map<std::pair<int, bool>, const IrType*> int_types_;
+  std::map<const IrType*, const IrType*> pointer_types_;
+  std::map<std::string, IrType*> struct_types_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_IR_TYPE_H_

@@ -1,0 +1,432 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace spex {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string_view, TokenKind>{
+      {"void", TokenKind::kKwVoid},         {"bool", TokenKind::kKwBool},
+      {"char", TokenKind::kKwChar},         {"short", TokenKind::kKwShort},
+      {"int", TokenKind::kKwInt},           {"long", TokenKind::kKwLong},
+      {"double", TokenKind::kKwDouble},     {"unsigned", TokenKind::kKwUnsigned},
+      {"struct", TokenKind::kKwStruct},     {"static", TokenKind::kKwStatic},
+      {"const", TokenKind::kKwConst},       {"extern", TokenKind::kKwExtern},
+      {"if", TokenKind::kKwIf},             {"else", TokenKind::kKwElse},
+      {"switch", TokenKind::kKwSwitch},     {"case", TokenKind::kKwCase},
+      {"default", TokenKind::kKwDefault},   {"while", TokenKind::kKwWhile},
+      {"do", TokenKind::kKwDo},             {"for", TokenKind::kKwFor},
+      {"return", TokenKind::kKwReturn},     {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue}, {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},       {"NULL", TokenKind::kKwNull},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of file";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kFloatLiteral:
+      return "float literal";
+    case TokenKind::kStringLiteral:
+      return "string literal";
+    case TokenKind::kCharLiteral:
+      return "char literal";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kAssign:
+      return "'='";
+    default:
+      return "token";
+  }
+}
+
+Lexer::Lexer(std::string_view source, std::string file_name, DiagnosticEngine* diags)
+    : source_(source), file_name_(std::move(file_name)), diags_(diags) {}
+
+char Lexer::Peek(size_t offset) const {
+  if (pos_ + offset >= source_.size()) {
+    return '\0';
+  }
+  return source_[pos_ + offset];
+}
+
+char Lexer::Advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::Match(char expected) {
+  if (AtEnd() || source_[pos_] != expected) {
+    return false;
+  }
+  Advance();
+  return true;
+}
+
+SourceLoc Lexer::CurrentLoc() const { return SourceLoc{file_name_, line_, column_}; }
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      SourceLoc start = CurrentLoc();
+      Advance();
+      Advance();
+      bool closed = false;
+      while (!AtEnd()) {
+        if (Peek() == '*' && Peek(1) == '/') {
+          Advance();
+          Advance();
+          closed = true;
+          break;
+        }
+        Advance();
+      }
+      if (!closed) {
+        diags_->Error(start, "unterminated block comment");
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind, std::string text) {
+  Token token;
+  token.kind = kind;
+  token.text = std::move(text);
+  return token;
+}
+
+Token Lexer::LexIdentifierOrKeyword() {
+  std::string text;
+  while (!AtEnd() &&
+         (std::isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_')) {
+    text.push_back(Advance());
+  }
+  auto it = KeywordMap().find(text);
+  if (it != KeywordMap().end()) {
+    return MakeToken(it->second, std::move(text));
+  }
+  return MakeToken(TokenKind::kIdentifier, std::move(text));
+}
+
+Token Lexer::LexNumber() {
+  std::string text;
+  bool is_float = false;
+  bool is_hex = false;
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    is_hex = true;
+    text.push_back(Advance());
+    text.push_back(Advance());
+    while (!AtEnd() && std::isxdigit(static_cast<unsigned char>(Peek())) != 0) {
+      text.push_back(Advance());
+    }
+  } else {
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      text.push_back(Advance());
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))) != 0) {
+      is_float = true;
+      text.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        text.push_back(Advance());
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      char next = Peek(1);
+      char next2 = Peek(2);
+      if (std::isdigit(static_cast<unsigned char>(next)) != 0 ||
+          ((next == '+' || next == '-') && std::isdigit(static_cast<unsigned char>(next2)) != 0)) {
+        is_float = true;
+        text.push_back(Advance());
+        if (Peek() == '+' || Peek() == '-') {
+          text.push_back(Advance());
+        }
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+          text.push_back(Advance());
+        }
+      }
+    }
+  }
+  // Swallow C integer suffixes (L, UL, LL ...) without recording them; MiniC
+  // treats all integer literals as 64-bit signed values.
+  while (Peek() == 'L' || Peek() == 'l' || Peek() == 'U' || Peek() == 'u') {
+    Advance();
+  }
+
+  Token token;
+  if (is_float) {
+    token = MakeToken(TokenKind::kFloatLiteral, text);
+    token.float_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    token = MakeToken(TokenKind::kIntLiteral, text);
+    token.int_value =
+        static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, is_hex ? 16 : 10));
+  }
+  return token;
+}
+
+Token Lexer::LexString() {
+  SourceLoc start = CurrentLoc();
+  Advance();  // opening quote
+  std::string value;
+  while (!AtEnd() && Peek() != '"') {
+    char c = Advance();
+    if (c == '\\' && !AtEnd()) {
+      char esc = Advance();
+      switch (esc) {
+        case 'n':
+          value.push_back('\n');
+          break;
+        case 't':
+          value.push_back('\t');
+          break;
+        case 'r':
+          value.push_back('\r');
+          break;
+        case '0':
+          value.push_back('\0');
+          break;
+        case '\\':
+          value.push_back('\\');
+          break;
+        case '"':
+          value.push_back('"');
+          break;
+        default:
+          value.push_back(esc);
+          break;
+      }
+    } else {
+      value.push_back(c);
+    }
+  }
+  if (AtEnd()) {
+    diags_->Error(start, "unterminated string literal");
+  } else {
+    Advance();  // closing quote
+  }
+  return MakeToken(TokenKind::kStringLiteral, std::move(value));
+}
+
+Token Lexer::LexChar() {
+  SourceLoc start = CurrentLoc();
+  Advance();  // opening quote
+  int64_t value = 0;
+  if (!AtEnd()) {
+    char c = Advance();
+    if (c == '\\' && !AtEnd()) {
+      char esc = Advance();
+      switch (esc) {
+        case 'n':
+          value = '\n';
+          break;
+        case 't':
+          value = '\t';
+          break;
+        case '0':
+          value = 0;
+          break;
+        case '\\':
+          value = '\\';
+          break;
+        case '\'':
+          value = '\'';
+          break;
+        default:
+          value = esc;
+          break;
+      }
+    } else {
+      value = c;
+    }
+  }
+  if (!Match('\'')) {
+    diags_->Error(start, "unterminated character literal");
+  }
+  Token token = MakeToken(TokenKind::kCharLiteral, "");
+  token.int_value = value;
+  return token;
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    SkipWhitespaceAndComments();
+    SourceLoc loc = CurrentLoc();
+    if (AtEnd()) {
+      Token eof = MakeToken(TokenKind::kEof, "");
+      eof.loc = loc;
+      tokens.push_back(eof);
+      break;
+    }
+    char c = Peek();
+    Token token;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      token = LexIdentifierOrKeyword();
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      token = LexNumber();
+    } else if (c == '"') {
+      token = LexString();
+    } else if (c == '\'') {
+      token = LexChar();
+    } else {
+      Advance();
+      switch (c) {
+        case '(':
+          token = MakeToken(TokenKind::kLParen, "(");
+          break;
+        case ')':
+          token = MakeToken(TokenKind::kRParen, ")");
+          break;
+        case '{':
+          token = MakeToken(TokenKind::kLBrace, "{");
+          break;
+        case '}':
+          token = MakeToken(TokenKind::kRBrace, "}");
+          break;
+        case '[':
+          token = MakeToken(TokenKind::kLBracket, "[");
+          break;
+        case ']':
+          token = MakeToken(TokenKind::kRBracket, "]");
+          break;
+        case ';':
+          token = MakeToken(TokenKind::kSemicolon, ";");
+          break;
+        case ',':
+          token = MakeToken(TokenKind::kComma, ",");
+          break;
+        case ':':
+          token = MakeToken(TokenKind::kColon, ":");
+          break;
+        case '?':
+          token = MakeToken(TokenKind::kQuestion, "?");
+          break;
+        case '.':
+          token = MakeToken(TokenKind::kDot, ".");
+          break;
+        case '~':
+          token = MakeToken(TokenKind::kTilde, "~");
+          break;
+        case '^':
+          token = MakeToken(TokenKind::kCaret, "^");
+          break;
+        case '+':
+          if (Match('+')) {
+            token = MakeToken(TokenKind::kPlusPlus, "++");
+          } else if (Match('=')) {
+            token = MakeToken(TokenKind::kPlusAssign, "+=");
+          } else {
+            token = MakeToken(TokenKind::kPlus, "+");
+          }
+          break;
+        case '-':
+          if (Match('>')) {
+            token = MakeToken(TokenKind::kArrow, "->");
+          } else if (Match('-')) {
+            token = MakeToken(TokenKind::kMinusMinus, "--");
+          } else if (Match('=')) {
+            token = MakeToken(TokenKind::kMinusAssign, "-=");
+          } else {
+            token = MakeToken(TokenKind::kMinus, "-");
+          }
+          break;
+        case '*':
+          token = Match('=') ? MakeToken(TokenKind::kStarAssign, "*=")
+                             : MakeToken(TokenKind::kStar, "*");
+          break;
+        case '/':
+          token = Match('=') ? MakeToken(TokenKind::kSlashAssign, "/=")
+                             : MakeToken(TokenKind::kSlash, "/");
+          break;
+        case '%':
+          token = MakeToken(TokenKind::kPercent, "%");
+          break;
+        case '&':
+          token = Match('&') ? MakeToken(TokenKind::kAmpAmp, "&&")
+                             : MakeToken(TokenKind::kAmp, "&");
+          break;
+        case '|':
+          token = Match('|') ? MakeToken(TokenKind::kPipePipe, "||")
+                             : MakeToken(TokenKind::kPipe, "|");
+          break;
+        case '!':
+          token = Match('=') ? MakeToken(TokenKind::kNotEqual, "!=")
+                             : MakeToken(TokenKind::kBang, "!");
+          break;
+        case '=':
+          token = Match('=') ? MakeToken(TokenKind::kEqual, "==")
+                             : MakeToken(TokenKind::kAssign, "=");
+          break;
+        case '<':
+          if (Match('=')) {
+            token = MakeToken(TokenKind::kLessEqual, "<=");
+          } else if (Match('<')) {
+            token = MakeToken(TokenKind::kShiftLeft, "<<");
+          } else {
+            token = MakeToken(TokenKind::kLess, "<");
+          }
+          break;
+        case '>':
+          if (Match('=')) {
+            token = MakeToken(TokenKind::kGreaterEqual, ">=");
+          } else if (Match('>')) {
+            token = MakeToken(TokenKind::kShiftRight, ">>");
+          } else {
+            token = MakeToken(TokenKind::kGreater, ">");
+          }
+          break;
+        default:
+          diags_->Error(loc, std::string("unexpected character '") + c + "'");
+          continue;
+      }
+    }
+    token.loc = loc;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace spex

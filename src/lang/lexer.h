@@ -1,0 +1,48 @@
+// MiniC lexer.
+#ifndef SPEX_LANG_LEXER_H_
+#define SPEX_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/support/diagnostics.h"
+
+namespace spex {
+
+class Lexer {
+ public:
+  // `file_name` is recorded in every token's SourceLoc.
+  Lexer(std::string_view source, std::string file_name, DiagnosticEngine* diags);
+
+  // Tokenizes the whole input. The returned vector always ends with a kEof
+  // token. Lexical errors are reported to the DiagnosticEngine and the
+  // offending characters skipped.
+  std::vector<Token> Tokenize();
+
+ private:
+  char Peek(size_t offset = 0) const;
+  char Advance();
+  bool Match(char expected);
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  SourceLoc CurrentLoc() const;
+
+  void SkipWhitespaceAndComments();
+  Token LexIdentifierOrKeyword();
+  Token LexNumber();
+  Token LexString();
+  Token LexChar();
+  Token MakeToken(TokenKind kind, std::string text);
+
+  std::string source_;
+  std::string file_name_;
+  DiagnosticEngine* diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_LANG_LEXER_H_

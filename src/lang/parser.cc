@@ -1,0 +1,949 @@
+#include "src/lang/parser.h"
+
+#include <cassert>
+#include <functional>
+
+#include "src/lang/lexer.h"
+
+namespace spex {
+
+namespace {
+
+// Binary operator precedence, higher binds tighter. Assignment and ternary
+// are handled outside this table.
+int BinaryPrecedence(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPipePipe:
+      return 1;
+    case TokenKind::kAmpAmp:
+      return 2;
+    case TokenKind::kPipe:
+      return 3;
+    case TokenKind::kCaret:
+      return 4;
+    case TokenKind::kAmp:
+      return 5;
+    case TokenKind::kEqual:
+    case TokenKind::kNotEqual:
+      return 6;
+    case TokenKind::kLess:
+    case TokenKind::kLessEqual:
+    case TokenKind::kGreater:
+    case TokenKind::kGreaterEqual:
+      return 7;
+    case TokenKind::kShiftLeft:
+    case TokenKind::kShiftRight:
+      return 8;
+    case TokenKind::kPlus:
+    case TokenKind::kMinus:
+      return 9;
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent:
+      return 10;
+    default:
+      return -1;
+  }
+}
+
+BinaryOp TokenToBinaryOp(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPipePipe:
+      return BinaryOp::kLogicalOr;
+    case TokenKind::kAmpAmp:
+      return BinaryOp::kLogicalAnd;
+    case TokenKind::kPipe:
+      return BinaryOp::kBitOr;
+    case TokenKind::kCaret:
+      return BinaryOp::kBitXor;
+    case TokenKind::kAmp:
+      return BinaryOp::kBitAnd;
+    case TokenKind::kEqual:
+      return BinaryOp::kEq;
+    case TokenKind::kNotEqual:
+      return BinaryOp::kNe;
+    case TokenKind::kLess:
+      return BinaryOp::kLt;
+    case TokenKind::kLessEqual:
+      return BinaryOp::kLe;
+    case TokenKind::kGreater:
+      return BinaryOp::kGt;
+    case TokenKind::kGreaterEqual:
+      return BinaryOp::kGe;
+    case TokenKind::kShiftLeft:
+      return BinaryOp::kShl;
+    case TokenKind::kShiftRight:
+      return BinaryOp::kShr;
+    case TokenKind::kPlus:
+      return BinaryOp::kAdd;
+    case TokenKind::kMinus:
+      return BinaryOp::kSub;
+    case TokenKind::kStar:
+      return BinaryOp::kMul;
+    case TokenKind::kSlash:
+      return BinaryOp::kDiv;
+    case TokenKind::kPercent:
+      return BinaryOp::kRem;
+    default:
+      assert(false && "not a binary operator token");
+      return BinaryOp::kAdd;
+  }
+}
+
+bool IsTypeKeyword(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKwVoid:
+    case TokenKind::kKwBool:
+    case TokenKind::kKwChar:
+    case TokenKind::kKwShort:
+    case TokenKind::kKwInt:
+    case TokenKind::kKwLong:
+    case TokenKind::kKwDouble:
+    case TokenKind::kKwUnsigned:
+    case TokenKind::kKwStruct:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr MakeIntLiteral(int64_t value, SourceLoc loc) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = ExprKind::kIntLiteral;
+  expr->int_value = value;
+  expr->loc = std::move(loc);
+  return expr;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, std::string file_name, DiagnosticEngine* diags)
+    : tokens_(std::move(tokens)), file_name_(std::move(file_name)), diags_(diags) {
+  assert(!tokens_.empty() && tokens_.back().Is(TokenKind::kEof));
+}
+
+const Token& Parser::Peek(size_t offset) const {
+  size_t index = pos_ + offset;
+  if (index >= tokens_.size()) {
+    return tokens_.back();
+  }
+  return tokens_[index];
+}
+
+const Token& Parser::Advance() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) {
+    ++pos_;
+  }
+  return token;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::Expect(TokenKind kind, const char* context) {
+  if (Check(kind)) {
+    return Advance();
+  }
+  diags_->Error(Peek().loc, std::string("expected ") + TokenKindName(kind) + " " + context +
+                                ", found '" + Peek().text + "'");
+  return Peek();
+}
+
+void Parser::SynchronizeToplevel() {
+  while (!Check(TokenKind::kEof)) {
+    if (Match(TokenKind::kSemicolon)) {
+      return;
+    }
+    if (Check(TokenKind::kRBrace)) {
+      Advance();
+      return;
+    }
+    Advance();
+  }
+}
+
+void Parser::SynchronizeStatement() {
+  while (!Check(TokenKind::kEof) && !Check(TokenKind::kRBrace)) {
+    if (Match(TokenKind::kSemicolon)) {
+      return;
+    }
+    Advance();
+  }
+}
+
+bool Parser::AtTypeStart() const {
+  if (IsTypeKeyword(Peek().kind)) {
+    return true;
+  }
+  // A previously declared struct name used directly as a type (C++-style).
+  return Peek().Is(TokenKind::kIdentifier) && struct_names_.count(Peek().text) > 0;
+}
+
+bool Parser::LooksLikeDeclaration() const {
+  if (Peek().Is(TokenKind::kKwStatic) || Peek().Is(TokenKind::kKwConst) ||
+      Peek().Is(TokenKind::kKwExtern)) {
+    return true;
+  }
+  if (IsTypeKeyword(Peek().kind)) {
+    return true;
+  }
+  // `StructName identifier` or `StructName* identifier`.
+  if (Peek().Is(TokenKind::kIdentifier) && struct_names_.count(Peek().text) > 0) {
+    const Token& next = Peek(1);
+    return next.Is(TokenKind::kIdentifier) || next.Is(TokenKind::kStar);
+  }
+  return false;
+}
+
+AstType Parser::ParseType() {
+  AstType type;
+  if (Match(TokenKind::kKwConst)) {
+    // `const` is accepted and discarded; MiniC has no const semantics.
+  }
+  if (Match(TokenKind::kKwUnsigned)) {
+    type.is_unsigned = true;
+    type.kind = AstTypeKind::kInt;  // Bare `unsigned`.
+  }
+  switch (Peek().kind) {
+    case TokenKind::kKwVoid:
+      Advance();
+      type.kind = AstTypeKind::kVoid;
+      break;
+    case TokenKind::kKwBool:
+      Advance();
+      type.kind = AstTypeKind::kBool;
+      break;
+    case TokenKind::kKwChar:
+      Advance();
+      type.kind = AstTypeKind::kChar;
+      break;
+    case TokenKind::kKwShort:
+      Advance();
+      type.kind = AstTypeKind::kShort;
+      break;
+    case TokenKind::kKwInt:
+      Advance();
+      type.kind = AstTypeKind::kInt;
+      break;
+    case TokenKind::kKwLong:
+      Advance();
+      type.kind = AstTypeKind::kLong;
+      Match(TokenKind::kKwLong);  // `long long`.
+      Match(TokenKind::kKwInt);   // `long int`.
+      break;
+    case TokenKind::kKwDouble:
+      Advance();
+      type.kind = AstTypeKind::kDouble;
+      break;
+    case TokenKind::kKwStruct: {
+      Advance();
+      type.kind = AstTypeKind::kStruct;
+      const Token& name = Expect(TokenKind::kIdentifier, "after 'struct'");
+      type.struct_name = name.text;
+      break;
+    }
+    case TokenKind::kIdentifier:
+      if (struct_names_.count(Peek().text) > 0) {
+        type.kind = AstTypeKind::kStruct;
+        type.struct_name = Advance().text;
+        break;
+      }
+      [[fallthrough]];
+    default:
+      if (!type.is_unsigned) {
+        diags_->Error(Peek().loc, "expected type, found '" + Peek().text + "'");
+      }
+      break;
+  }
+  if (Match(TokenKind::kKwConst)) {
+    // `int const` — also discarded.
+  }
+  while (Match(TokenKind::kStar)) {
+    AstType pointer;
+    pointer.kind = AstTypeKind::kPointer;
+    pointer.pointee = std::make_shared<AstType>(std::move(type));
+    type = std::move(pointer);
+    Match(TokenKind::kKwConst);
+  }
+  return type;
+}
+
+std::unique_ptr<StructDecl> Parser::ParseStructDecl() {
+  SourceLoc loc = Peek().loc;
+  Expect(TokenKind::kKwStruct, "at struct declaration");
+  auto decl = std::make_unique<StructDecl>();
+  decl->loc = loc;
+  decl->name = Expect(TokenKind::kIdentifier, "as struct name").text;
+  struct_names_.insert(decl->name);
+  Expect(TokenKind::kLBrace, "to open struct body");
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEof)) {
+    StructField field;
+    field.loc = Peek().loc;
+    field.type = ParseType();
+    field.name = Expect(TokenKind::kIdentifier, "as field name").text;
+    if (Match(TokenKind::kLBracket)) {
+      const Token& size = Expect(TokenKind::kIntLiteral, "as field array size");
+      field.has_array_size = true;
+      field.array_size = size.int_value;
+      Expect(TokenKind::kRBracket, "to close field array size");
+    }
+    Expect(TokenKind::kSemicolon, "after struct field");
+    decl->fields.push_back(std::move(field));
+  }
+  Expect(TokenKind::kRBrace, "to close struct body");
+  Expect(TokenKind::kSemicolon, "after struct declaration");
+  return decl;
+}
+
+std::unique_ptr<FunctionDecl> Parser::ParseFunctionRest(AstType return_type, std::string name,
+                                                        bool is_static, SourceLoc loc) {
+  auto fn = std::make_unique<FunctionDecl>();
+  fn->return_type = std::move(return_type);
+  fn->name = std::move(name);
+  fn->is_static = is_static;
+  fn->loc = std::move(loc);
+  Expect(TokenKind::kLParen, "to open parameter list");
+  if (!Check(TokenKind::kRParen)) {
+    if (Check(TokenKind::kKwVoid) && Peek(1).Is(TokenKind::kRParen)) {
+      Advance();  // `(void)`
+    } else {
+      while (true) {
+        ParamDecl param;
+        param.loc = Peek().loc;
+        param.type = ParseType();
+        if (Check(TokenKind::kIdentifier)) {
+          param.name = Advance().text;
+        }
+        fn->params.push_back(std::move(param));
+        if (!Match(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+  }
+  Expect(TokenKind::kRParen, "to close parameter list");
+  if (Match(TokenKind::kSemicolon)) {
+    return fn;  // Prototype only.
+  }
+  fn->body = ParseBlock();
+  return fn;
+}
+
+std::unique_ptr<VarDecl> Parser::ParseVarDeclRest(AstType type, std::string name, bool is_static,
+                                                  SourceLoc loc) {
+  auto decl = std::make_unique<VarDecl>();
+  decl->type = std::move(type);
+  decl->name = std::move(name);
+  decl->is_static = is_static;
+  decl->loc = std::move(loc);
+  if (Match(TokenKind::kLBracket)) {
+    decl->has_array_size = true;
+    if (Check(TokenKind::kIntLiteral)) {
+      decl->array_size = Advance().int_value;
+    } else {
+      decl->array_size = -1;  // Size comes from the initializer.
+    }
+    Expect(TokenKind::kRBracket, "to close array size");
+  }
+  if (Match(TokenKind::kAssign)) {
+    decl->init = ParseInitializer();
+  }
+  Expect(TokenKind::kSemicolon, "after variable declaration");
+  return decl;
+}
+
+std::unique_ptr<TranslationUnit> Parser::ParseTranslationUnit() {
+  auto unit = std::make_unique<TranslationUnit>();
+  unit->file_name = file_name_;
+  while (!Check(TokenKind::kEof)) {
+    size_t before = pos_;
+    bool is_static = false;
+    while (true) {
+      if (Match(TokenKind::kKwStatic)) {
+        is_static = true;
+      } else if (Match(TokenKind::kKwExtern) || Match(TokenKind::kKwConst)) {
+        // Accepted, no semantic effect in MiniC.
+      } else {
+        break;
+      }
+    }
+    if (Check(TokenKind::kKwStruct) && Peek(1).Is(TokenKind::kIdentifier) &&
+        Peek(2).Is(TokenKind::kLBrace)) {
+      unit->structs.push_back(ParseStructDecl());
+      continue;
+    }
+    if (!AtTypeStart()) {
+      diags_->Error(Peek().loc, "expected declaration, found '" + Peek().text + "'");
+      SynchronizeToplevel();
+      continue;
+    }
+    SourceLoc loc = Peek().loc;
+    AstType type = ParseType();
+    const Token& name_token = Expect(TokenKind::kIdentifier, "as declaration name");
+    std::string name = name_token.text;
+    if (Check(TokenKind::kLParen)) {
+      unit->functions.push_back(ParseFunctionRest(std::move(type), std::move(name), is_static, loc));
+    } else {
+      unit->globals.push_back(ParseVarDeclRest(std::move(type), std::move(name), is_static, loc));
+    }
+    if (pos_ == before) {
+      // Defensive: guarantee forward progress on malformed input.
+      Advance();
+    }
+  }
+  return unit;
+}
+
+StmtPtr Parser::ParseBlock() {
+  auto block = std::make_unique<Stmt>();
+  block->kind = StmtKind::kBlock;
+  block->loc = Peek().loc;
+  Expect(TokenKind::kLBrace, "to open block");
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEof)) {
+    size_t before = pos_;
+    block->body.push_back(ParseStatement());
+    if (pos_ == before) {
+      Advance();
+    }
+  }
+  Expect(TokenKind::kRBrace, "to close block");
+  return block;
+}
+
+StmtPtr Parser::ParseStatement() {
+  switch (Peek().kind) {
+    case TokenKind::kLBrace:
+      return ParseBlock();
+    case TokenKind::kKwIf:
+      return ParseIf();
+    case TokenKind::kKwSwitch:
+      return ParseSwitch();
+    case TokenKind::kKwWhile:
+      return ParseWhile();
+    case TokenKind::kKwDo:
+      return ParseDoWhile();
+    case TokenKind::kKwFor:
+      return ParseFor();
+    case TokenKind::kKwReturn: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kReturn;
+      stmt->loc = Advance().loc;
+      if (!Check(TokenKind::kSemicolon)) {
+        stmt->expr = ParseExpr();
+      }
+      Expect(TokenKind::kSemicolon, "after return");
+      return stmt;
+    }
+    case TokenKind::kKwBreak: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kBreak;
+      stmt->loc = Advance().loc;
+      Expect(TokenKind::kSemicolon, "after break");
+      return stmt;
+    }
+    case TokenKind::kKwContinue: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kContinue;
+      stmt->loc = Advance().loc;
+      Expect(TokenKind::kSemicolon, "after continue");
+      return stmt;
+    }
+    case TokenKind::kSemicolon: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kBlock;  // Empty statement.
+      stmt->loc = Advance().loc;
+      return stmt;
+    }
+    default:
+      break;
+  }
+  if (LooksLikeDeclaration()) {
+    bool is_static = false;
+    while (Match(TokenKind::kKwStatic)) {
+      is_static = true;
+    }
+    SourceLoc loc = Peek().loc;
+    AstType type = ParseType();
+    std::string name = Expect(TokenKind::kIdentifier, "as local variable name").text;
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kDecl;
+    stmt->loc = loc;
+    stmt->decl = ParseVarDeclRest(std::move(type), std::move(name), is_static, loc);
+    return stmt;
+  }
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kExpr;
+  stmt->loc = Peek().loc;
+  stmt->expr = ParseExpr();
+  Expect(TokenKind::kSemicolon, "after expression");
+  return stmt;
+}
+
+StmtPtr Parser::ParseIf() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kIf;
+  stmt->loc = Advance().loc;  // 'if'
+  Expect(TokenKind::kLParen, "after 'if'");
+  stmt->expr = ParseExpr();
+  Expect(TokenKind::kRParen, "after if condition");
+  stmt->then_branch = ParseStatement();
+  if (Match(TokenKind::kKwElse)) {
+    stmt->else_branch = ParseStatement();
+  }
+  return stmt;
+}
+
+StmtPtr Parser::ParseSwitch() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kSwitch;
+  stmt->loc = Advance().loc;  // 'switch'
+  Expect(TokenKind::kLParen, "after 'switch'");
+  stmt->expr = ParseExpr();
+  Expect(TokenKind::kRParen, "after switch subject");
+  Expect(TokenKind::kLBrace, "to open switch body");
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEof)) {
+    SwitchCase switch_case;
+    switch_case.loc = Peek().loc;
+    // Collect consecutive labels that share a body.
+    bool saw_label = false;
+    while (true) {
+      if (Check(TokenKind::kKwCase)) {
+        Advance();
+        bool negative = Match(TokenKind::kMinus);
+        const Token& value = Expect(TokenKind::kIntLiteral, "as case label");
+        switch_case.values.push_back(negative ? -value.int_value : value.int_value);
+        Expect(TokenKind::kColon, "after case label");
+        saw_label = true;
+      } else if (Check(TokenKind::kKwDefault)) {
+        Advance();
+        Expect(TokenKind::kColon, "after 'default'");
+        switch_case.is_default = true;
+        saw_label = true;
+      } else {
+        break;
+      }
+    }
+    if (!saw_label) {
+      diags_->Error(Peek().loc, "expected 'case' or 'default' in switch body");
+      SynchronizeStatement();
+      continue;
+    }
+    while (!Check(TokenKind::kKwCase) && !Check(TokenKind::kKwDefault) &&
+           !Check(TokenKind::kRBrace) && !Check(TokenKind::kEof)) {
+      size_t before = pos_;
+      switch_case.body.push_back(ParseStatement());
+      if (pos_ == before) {
+        Advance();
+      }
+    }
+    stmt->cases.push_back(std::move(switch_case));
+  }
+  Expect(TokenKind::kRBrace, "to close switch body");
+  return stmt;
+}
+
+StmtPtr Parser::ParseWhile() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kWhile;
+  stmt->loc = Advance().loc;  // 'while'
+  Expect(TokenKind::kLParen, "after 'while'");
+  stmt->expr = ParseExpr();
+  Expect(TokenKind::kRParen, "after while condition");
+  stmt->loop_body = ParseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::ParseDoWhile() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDoWhile;
+  stmt->loc = Advance().loc;  // 'do'
+  stmt->loop_body = ParseStatement();
+  Expect(TokenKind::kKwWhile, "after do-while body");
+  Expect(TokenKind::kLParen, "after 'while'");
+  stmt->expr = ParseExpr();
+  Expect(TokenKind::kRParen, "after do-while condition");
+  Expect(TokenKind::kSemicolon, "after do-while");
+  return stmt;
+}
+
+StmtPtr Parser::ParseFor() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kFor;
+  stmt->loc = Advance().loc;  // 'for'
+  Expect(TokenKind::kLParen, "after 'for'");
+  if (!Check(TokenKind::kSemicolon)) {
+    if (LooksLikeDeclaration()) {
+      SourceLoc loc = Peek().loc;
+      AstType type = ParseType();
+      std::string name = Expect(TokenKind::kIdentifier, "as loop variable").text;
+      auto init = std::make_unique<Stmt>();
+      init->kind = StmtKind::kDecl;
+      init->loc = loc;
+      init->decl = ParseVarDeclRest(std::move(type), std::move(name), false, loc);
+      stmt->for_init = std::move(init);
+    } else {
+      auto init = std::make_unique<Stmt>();
+      init->kind = StmtKind::kExpr;
+      init->loc = Peek().loc;
+      init->expr = ParseExpr();
+      Expect(TokenKind::kSemicolon, "after for-init");
+      stmt->for_init = std::move(init);
+    }
+  } else {
+    Advance();  // ';'
+  }
+  if (!Check(TokenKind::kSemicolon)) {
+    stmt->expr = ParseExpr();
+  }
+  Expect(TokenKind::kSemicolon, "after for-condition");
+  if (!Check(TokenKind::kRParen)) {
+    stmt->for_step = ParseExpr();
+  }
+  Expect(TokenKind::kRParen, "to close for header");
+  stmt->loop_body = ParseStatement();
+  return stmt;
+}
+
+ExprPtr Parser::ParseExpr() { return ParseAssignment(); }
+
+ExprPtr Parser::ParseAssignment() {
+  ExprPtr lhs = ParseTernary();
+  TokenKind kind = Peek().kind;
+  if (kind == TokenKind::kAssign || kind == TokenKind::kPlusAssign ||
+      kind == TokenKind::kMinusAssign || kind == TokenKind::kStarAssign ||
+      kind == TokenKind::kSlashAssign) {
+    SourceLoc loc = Advance().loc;
+    ExprPtr rhs = ParseAssignment();  // Right-associative.
+    if (kind != TokenKind::kAssign) {
+      // Desugar `a op= b` into `a = a op b`. The lowering re-evaluates the
+      // lhs; MiniC lvalues have no side effects so this is sound.
+      auto op_expr = std::make_unique<Expr>();
+      op_expr->kind = ExprKind::kBinary;
+      op_expr->loc = loc;
+      switch (kind) {
+        case TokenKind::kPlusAssign:
+          op_expr->binary_op = BinaryOp::kAdd;
+          break;
+        case TokenKind::kMinusAssign:
+          op_expr->binary_op = BinaryOp::kSub;
+          break;
+        case TokenKind::kStarAssign:
+          op_expr->binary_op = BinaryOp::kMul;
+          break;
+        default:
+          op_expr->binary_op = BinaryOp::kDiv;
+          break;
+      }
+      // Clone the lhs structurally for the re-read. Only simple lvalues
+      // (identifier / member / index / deref) occur here.
+      std::function<ExprPtr(const Expr&)> clone = [&clone](const Expr& e) -> ExprPtr {
+        auto copy = std::make_unique<Expr>();
+        copy->kind = e.kind;
+        copy->loc = e.loc;
+        copy->int_value = e.int_value;
+        copy->float_value = e.float_value;
+        copy->string_value = e.string_value;
+        copy->name = e.name;
+        copy->unary_op = e.unary_op;
+        copy->binary_op = e.binary_op;
+        copy->is_arrow = e.is_arrow;
+        copy->cast_type = e.cast_type;
+        if (e.lhs) {
+          copy->lhs = clone(*e.lhs);
+        }
+        if (e.rhs) {
+          copy->rhs = clone(*e.rhs);
+        }
+        if (e.third) {
+          copy->third = clone(*e.third);
+        }
+        for (const auto& arg : e.arguments) {
+          copy->arguments.push_back(clone(*arg));
+        }
+        return copy;
+      };
+      op_expr->lhs = clone(*lhs);
+      op_expr->rhs = std::move(rhs);
+      rhs = std::move(op_expr);
+    }
+    auto assign = std::make_unique<Expr>();
+    assign->kind = ExprKind::kAssign;
+    assign->loc = loc;
+    assign->lhs = std::move(lhs);
+    assign->rhs = std::move(rhs);
+    return assign;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseTernary() {
+  ExprPtr cond = ParseBinary(1);
+  if (Match(TokenKind::kQuestion)) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::kTernary;
+    expr->loc = cond->loc;
+    expr->lhs = std::move(cond);
+    expr->rhs = ParseAssignment();
+    Expect(TokenKind::kColon, "in ternary expression");
+    expr->third = ParseAssignment();
+    return expr;
+  }
+  return cond;
+}
+
+ExprPtr Parser::ParseBinary(int min_precedence) {
+  ExprPtr lhs = ParseUnary();
+  while (true) {
+    int precedence = BinaryPrecedence(Peek().kind);
+    if (precedence < min_precedence) {
+      return lhs;
+    }
+    TokenKind op_token = Peek().kind;
+    SourceLoc loc = Advance().loc;
+    ExprPtr rhs = ParseBinary(precedence + 1);
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::kBinary;
+    expr->binary_op = TokenToBinaryOp(op_token);
+    expr->loc = loc;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    lhs = std::move(expr);
+  }
+}
+
+ExprPtr Parser::ParseUnary() {
+  SourceLoc loc = Peek().loc;
+  switch (Peek().kind) {
+    case TokenKind::kMinus: {
+      Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->unary_op = UnaryOp::kNegate;
+      expr->loc = loc;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case TokenKind::kBang: {
+      Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->unary_op = UnaryOp::kNot;
+      expr->loc = loc;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case TokenKind::kTilde: {
+      Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->unary_op = UnaryOp::kBitNot;
+      expr->loc = loc;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case TokenKind::kStar: {
+      Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->unary_op = UnaryOp::kDeref;
+      expr->loc = loc;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case TokenKind::kAmp: {
+      Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->unary_op = UnaryOp::kAddressOf;
+      expr->loc = loc;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case TokenKind::kPlusPlus:
+    case TokenKind::kMinusMinus: {
+      bool increment = Peek().Is(TokenKind::kPlusPlus);
+      Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->unary_op = increment ? UnaryOp::kPreInc : UnaryOp::kPreDec;
+      expr->loc = loc;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case TokenKind::kLParen: {
+      // Disambiguate a cast `(type) expr` from a parenthesized expression.
+      const Token& next = Peek(1);
+      bool is_cast = IsTypeKeyword(next.kind) ||
+                     (next.Is(TokenKind::kIdentifier) && struct_names_.count(next.text) > 0 &&
+                      (Peek(2).Is(TokenKind::kStar) || Peek(2).Is(TokenKind::kRParen)));
+      if (is_cast) {
+        Advance();  // '('
+        AstType type = ParseType();
+        Expect(TokenKind::kRParen, "to close cast");
+        auto expr = std::make_unique<Expr>();
+        expr->kind = ExprKind::kCast;
+        expr->cast_type = std::move(type);
+        expr->loc = loc;
+        expr->lhs = ParseUnary();
+        return expr;
+      }
+      return ParsePostfix();
+    }
+    default:
+      return ParsePostfix();
+  }
+}
+
+ExprPtr Parser::ParsePostfix() {
+  ExprPtr expr = ParsePrimary();
+  while (true) {
+    if (Check(TokenKind::kLParen) && expr->kind == ExprKind::kIdentifier) {
+      Advance();
+      auto call = std::make_unique<Expr>();
+      call->kind = ExprKind::kCall;
+      call->name = expr->name;
+      call->loc = expr->loc;
+      if (!Check(TokenKind::kRParen)) {
+        while (true) {
+          call->arguments.push_back(ParseAssignment());
+          if (!Match(TokenKind::kComma)) {
+            break;
+          }
+        }
+      }
+      Expect(TokenKind::kRParen, "to close call arguments");
+      expr = std::move(call);
+    } else if (Check(TokenKind::kDot) || Check(TokenKind::kArrow)) {
+      bool arrow = Peek().Is(TokenKind::kArrow);
+      SourceLoc loc = Advance().loc;
+      auto member = std::make_unique<Expr>();
+      member->kind = ExprKind::kMember;
+      member->is_arrow = arrow;
+      member->loc = loc;
+      member->name = Expect(TokenKind::kIdentifier, "as member name").text;
+      member->lhs = std::move(expr);
+      expr = std::move(member);
+    } else if (Check(TokenKind::kLBracket)) {
+      SourceLoc loc = Advance().loc;
+      auto index = std::make_unique<Expr>();
+      index->kind = ExprKind::kIndex;
+      index->loc = loc;
+      index->lhs = std::move(expr);
+      index->rhs = ParseExpr();
+      Expect(TokenKind::kRBracket, "to close index");
+      expr = std::move(index);
+    } else if (Check(TokenKind::kPlusPlus) || Check(TokenKind::kMinusMinus)) {
+      // Postfix ++/-- is parsed as its prefix form: MiniC programs never use
+      // the value of a postfix increment.
+      bool increment = Peek().Is(TokenKind::kPlusPlus);
+      SourceLoc loc = Advance().loc;
+      auto unary = std::make_unique<Expr>();
+      unary->kind = ExprKind::kUnary;
+      unary->unary_op = increment ? UnaryOp::kPreInc : UnaryOp::kPreDec;
+      unary->loc = loc;
+      unary->lhs = std::move(expr);
+      expr = std::move(unary);
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::ParsePrimary() {
+  SourceLoc loc = Peek().loc;
+  switch (Peek().kind) {
+    case TokenKind::kIntLiteral: {
+      const Token& token = Advance();
+      return MakeIntLiteral(token.int_value, loc);
+    }
+    case TokenKind::kCharLiteral: {
+      const Token& token = Advance();
+      return MakeIntLiteral(token.int_value, loc);
+    }
+    case TokenKind::kFloatLiteral: {
+      const Token& token = Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kFloatLiteral;
+      expr->float_value = token.float_value;
+      expr->loc = loc;
+      return expr;
+    }
+    case TokenKind::kStringLiteral: {
+      const Token& token = Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kStringLiteral;
+      expr->string_value = token.text;
+      expr->loc = loc;
+      return expr;
+    }
+    case TokenKind::kKwTrue:
+      Advance();
+      return MakeIntLiteral(1, loc);
+    case TokenKind::kKwFalse:
+      Advance();
+      return MakeIntLiteral(0, loc);
+    case TokenKind::kKwNull: {
+      Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kNullLiteral;
+      expr->loc = loc;
+      return expr;
+    }
+    case TokenKind::kIdentifier: {
+      const Token& token = Advance();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kIdentifier;
+      expr->name = token.text;
+      expr->loc = loc;
+      return expr;
+    }
+    case TokenKind::kLParen: {
+      Advance();
+      ExprPtr inner = ParseExpr();
+      Expect(TokenKind::kRParen, "to close parenthesized expression");
+      return inner;
+    }
+    default:
+      diags_->Error(loc, "expected expression, found '" + Peek().text + "'");
+      Advance();
+      return MakeIntLiteral(0, loc);
+  }
+}
+
+ExprPtr Parser::ParseInitializer() {
+  if (Check(TokenKind::kLBrace)) {
+    SourceLoc loc = Advance().loc;
+    auto list = std::make_unique<Expr>();
+    list->kind = ExprKind::kInitList;
+    list->loc = loc;
+    if (!Check(TokenKind::kRBrace)) {
+      while (true) {
+        list->arguments.push_back(ParseInitializer());
+        if (!Match(TokenKind::kComma)) {
+          break;
+        }
+        if (Check(TokenKind::kRBrace)) {
+          break;  // Trailing comma.
+        }
+      }
+    }
+    Expect(TokenKind::kRBrace, "to close initializer list");
+    return list;
+  }
+  return ParseAssignment();
+}
+
+std::unique_ptr<TranslationUnit> ParseSource(std::string_view source, std::string file_name,
+                                             DiagnosticEngine* diags) {
+  Lexer lexer(source, file_name, diags);
+  Parser parser(lexer.Tokenize(), file_name, diags);
+  return parser.ParseTranslationUnit();
+}
+
+}  // namespace spex

@@ -1,0 +1,75 @@
+// Recursive-descent parser for MiniC.
+#ifndef SPEX_LANG_PARSER_H_
+#define SPEX_LANG_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/token.h"
+#include "src/support/diagnostics.h"
+
+namespace spex {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string file_name, DiagnosticEngine* diags);
+
+  // Parses the whole token stream. Always returns a TranslationUnit; on
+  // errors it contains whatever parsed cleanly and the DiagnosticEngine
+  // carries the details.
+  std::unique_ptr<TranslationUnit> ParseTranslationUnit();
+
+ private:
+  const Token& Peek(size_t offset = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().Is(kind); }
+  bool Match(TokenKind kind);
+  const Token& Expect(TokenKind kind, const char* context);
+  void SynchronizeToplevel();
+  void SynchronizeStatement();
+
+  bool AtTypeStart() const;
+  bool LooksLikeDeclaration() const;
+
+  AstType ParseType();
+  std::unique_ptr<StructDecl> ParseStructDecl();
+  std::unique_ptr<FunctionDecl> ParseFunctionRest(AstType return_type, std::string name,
+                                                  bool is_static, SourceLoc loc);
+  std::unique_ptr<VarDecl> ParseVarDeclRest(AstType type, std::string name, bool is_static,
+                                            SourceLoc loc);
+
+  StmtPtr ParseStatement();
+  StmtPtr ParseBlock();
+  StmtPtr ParseIf();
+  StmtPtr ParseSwitch();
+  StmtPtr ParseWhile();
+  StmtPtr ParseDoWhile();
+  StmtPtr ParseFor();
+
+  ExprPtr ParseExpr();  // Full expression including assignment.
+  ExprPtr ParseAssignment();
+  ExprPtr ParseTernary();
+  ExprPtr ParseBinary(int min_precedence);
+  ExprPtr ParseUnary();
+  ExprPtr ParsePostfix();
+  ExprPtr ParsePrimary();
+  ExprPtr ParseInitializer();
+
+  std::vector<Token> tokens_;
+  std::string file_name_;
+  DiagnosticEngine* diags_;
+  size_t pos_ = 0;
+  std::unordered_set<std::string> struct_names_;
+};
+
+// Convenience: lex + parse a source string in one call.
+std::unique_ptr<TranslationUnit> ParseSource(std::string_view source, std::string file_name,
+                                             DiagnosticEngine* diags);
+
+}  // namespace spex
+
+#endif  // SPEX_LANG_PARSER_H_

@@ -1,0 +1,110 @@
+// Token definitions for MiniC, the C-like input language of the pipeline.
+//
+// MiniC stands in for the C/C++ front-end (Clang in the paper): it is rich
+// enough to express every code pattern the paper's analyses consume —
+// struct-array configuration tables, strcmp dispatch chains, getter calls,
+// guard branches, switch statements, casts, and library calls.
+#ifndef SPEX_LANG_TOKEN_H_
+#define SPEX_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/source_loc.h"
+
+namespace spex {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kCharLiteral,
+
+  // Keywords.
+  kKwVoid,
+  kKwBool,
+  kKwChar,
+  kKwShort,
+  kKwInt,
+  kKwLong,
+  kKwDouble,
+  kKwUnsigned,
+  kKwStruct,
+  kKwStatic,
+  kKwConst,
+  kKwExtern,
+  kKwIf,
+  kKwElse,
+  kKwSwitch,
+  kKwCase,
+  kKwDefault,
+  kKwWhile,
+  kKwDo,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwTrue,
+  kKwFalse,
+  kKwNull,
+
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kColon,
+  kQuestion,
+  kDot,
+  kArrow,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kAmpAmp,
+  kPipe,
+  kPipePipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kEqual,
+  kNotEqual,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kShiftLeft,
+  kShiftRight,
+  kPlusPlus,
+  kMinusMinus,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // Raw spelling (identifier name, literal body).
+  int64_t int_value = 0;   // For kIntLiteral / kCharLiteral.
+  double float_value = 0;  // For kFloatLiteral.
+  SourceLoc loc;
+
+  bool Is(TokenKind k) const { return kind == k; }
+};
+
+// Human-readable token-kind name, used in parser diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace spex
+
+#endif  // SPEX_LANG_TOKEN_H_

@@ -1,0 +1,170 @@
+#include "src/mapping/annotations.h"
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+namespace {
+
+std::optional<ArgRef> ParseArgRef(std::string_view token) {
+  token = TrimWhitespace(token);
+  if (!StartsWith(token, "arg")) {
+    return std::nullopt;
+  }
+  token.remove_prefix(3);
+  ArgRef ref;
+  size_t bracket = token.find('[');
+  std::string_view index_part = token;
+  if (bracket != std::string_view::npos) {
+    if (token.back() != ']') {
+      return std::nullopt;
+    }
+    index_part = token.substr(0, bracket);
+    auto subscript = ParseInt64(token.substr(bracket + 1, token.size() - bracket - 2));
+    if (!subscript.has_value()) {
+      return std::nullopt;
+    }
+    ref.has_subscript = true;
+    ref.subscript = *subscript;
+  }
+  auto index = ParseInt64(index_part);
+  if (!index.has_value()) {
+    return std::nullopt;
+  }
+  ref.arg_index = static_cast<int>(*index);
+  return ref;
+}
+
+// Parses the `key = value, key = value` body between braces into pairs.
+std::vector<std::pair<std::string, std::string>> ParseBody(std::string_view body) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const std::string& entry : SplitString(body, ',')) {
+    auto eq = entry.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    pairs.emplace_back(std::string(TrimWhitespace(entry.substr(0, eq))),
+                       std::string(TrimWhitespace(entry.substr(eq + 1))));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+AnnotationFile ParseAnnotations(std::string_view text, DiagnosticEngine* diags) {
+  AnnotationFile file;
+  uint32_t line_number = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_number;
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    SourceLoc loc{"<annotations>", line_number, 1};
+    if (line[0] != '@') {
+      diags->Error(loc, "annotation lines must start with '@'");
+      continue;
+    }
+    ++file.lines_of_annotation;
+
+    size_t open_brace = line.find('{');
+    size_t close_brace = line.rfind('}');
+    if (open_brace == std::string_view::npos || close_brace == std::string_view::npos ||
+        close_brace < open_brace) {
+      diags->Error(loc, "annotation missing '{...}' body");
+      continue;
+    }
+    auto head = SplitWhitespace(line.substr(0, open_brace));
+    if (head.size() != 2) {
+      diags->Error(loc, "expected '@KIND <target> { ... }'");
+      continue;
+    }
+    auto body = ParseBody(line.substr(open_brace + 1, close_brace - open_brace - 1));
+
+    MappingAnnotation annotation;
+    annotation.target = head[1];
+    annotation.loc = loc;
+
+    auto get = [&body](const std::string& key) -> std::optional<std::string> {
+      for (const auto& [k, v] : body) {
+        if (k == key) {
+          return v;
+        }
+      }
+      return std::nullopt;
+    };
+    auto get_int = [&](const std::string& key) -> std::optional<int> {
+      auto value = get(key);
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      auto parsed = ParseInt64(*value);
+      if (!parsed.has_value()) {
+        return std::nullopt;
+      }
+      return static_cast<int>(*parsed);
+    };
+
+    if (head[0] == "@STRUCT") {
+      auto par = get_int("par");
+      if (!par.has_value()) {
+        diags->Error(loc, "@STRUCT requires 'par = <field index>'");
+        continue;
+      }
+      annotation.par_field = *par;
+      auto func = get_int("func");
+      if (func.has_value()) {
+        annotation.kind = AnnotationKind::kStructFunction;
+        annotation.func_field = *func;
+        auto arg = get_int("arg");
+        if (!arg.has_value()) {
+          diags->Error(loc, "@STRUCT with 'func' requires 'arg = <handler arg index>'");
+          continue;
+        }
+        annotation.handler_arg = *arg;
+      } else {
+        annotation.kind = AnnotationKind::kStructDirect;
+        auto var = get_int("var");
+        if (!var.has_value()) {
+          diags->Error(loc, "@STRUCT requires 'var = <field index>' (or 'func = ...')");
+          continue;
+        }
+        annotation.var_field = *var;
+        annotation.min_field = get_int("min").value_or(-1);
+        annotation.max_field = get_int("max").value_or(-1);
+      }
+    } else if (head[0] == "@PARSER") {
+      annotation.kind = AnnotationKind::kParser;
+      auto par = get("par");
+      auto var = get("var");
+      if (!par.has_value() || !var.has_value()) {
+        diags->Error(loc, "@PARSER requires 'par = argN' and 'var = argN'");
+        continue;
+      }
+      auto par_ref = ParseArgRef(*par);
+      auto var_ref = ParseArgRef(*var);
+      if (!par_ref.has_value() || !var_ref.has_value()) {
+        diags->Error(loc, "@PARSER arg references must look like 'arg0' or 'arg0[1]'");
+        continue;
+      }
+      annotation.parser_par = *par_ref;
+      annotation.parser_var = *var_ref;
+    } else if (head[0] == "@GETTER") {
+      annotation.kind = AnnotationKind::kGetter;
+      auto par = get_int("par");
+      auto var = get("var");
+      if (!par.has_value() || !var.has_value() || *var != "ret") {
+        diags->Error(loc, "@GETTER requires 'par = <arg index>, var = ret'");
+        continue;
+      }
+      annotation.getter_key_arg = *par;
+    } else {
+      diags->Error(loc, "unknown annotation kind '" + head[0] + "'");
+      continue;
+    }
+    file.annotations.push_back(std::move(annotation));
+  }
+  return file;
+}
+
+}  // namespace spex

@@ -1,0 +1,69 @@
+// Annotation language for parameter-to-variable mapping (paper Figure 4).
+//
+// Developers annotate the mapping *interface*, not every mapping pair:
+//
+//   @STRUCT ConfigureNamesInt { par = 0, var = 1 }            # direct
+//   @STRUCT ConfigureNamesInt { par = 0, var = 1, min = 2, max = 3 }
+//   @STRUCT core_cmds         { par = 0, func = 1, arg = 1 }  # via handler fn
+//   @PARSER load_server_config { par = arg0, var = arg1 }     # comparison
+//   @PARSER load_config_argv   { par = arg0[0], var = arg0[1] }
+//   @GETTER get_i32            { par = 0, var = ret }         # container
+//
+// Lines starting with '#' are comments. The number of '@' lines is the
+// "lines of annotation" (LoA) reported in Table 4.
+#ifndef SPEX_MAPPING_ANNOTATIONS_H_
+#define SPEX_MAPPING_ANNOTATIONS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+
+namespace spex {
+
+enum class AnnotationKind { kStructDirect, kStructFunction, kParser, kGetter };
+
+// A reference to a value inside a function: argument `arg_index`, optionally
+// subscripted once (`arg0[1]` for argv-style parsers).
+struct ArgRef {
+  int arg_index = -1;
+  bool has_subscript = false;
+  int64_t subscript = 0;
+};
+
+struct MappingAnnotation {
+  AnnotationKind kind = AnnotationKind::kStructDirect;
+  std::string target;  // Struct-table global name, parser or getter function name.
+
+  // kStructDirect / kStructFunction: field indices within a table row.
+  int par_field = -1;
+  int var_field = -1;   // kStructDirect: field holding &variable.
+  int func_field = -1;  // kStructFunction: field holding the handler.
+  int handler_arg = -1; // kStructFunction: handler argument carrying the value.
+  int min_field = -1;   // Optional declared-range fields.
+  int max_field = -1;
+
+  // kParser.
+  ArgRef parser_par;
+  ArgRef parser_var;
+
+  // kGetter.
+  int getter_key_arg = -1;  // Argument index carrying the parameter name.
+
+  SourceLoc loc;
+};
+
+struct AnnotationFile {
+  std::vector<MappingAnnotation> annotations;
+  size_t lines_of_annotation = 0;  // LoA in Table 4.
+};
+
+// Parses an annotation text. Parse errors are reported to `diags`;
+// well-formed lines are still returned.
+AnnotationFile ParseAnnotations(std::string_view text, DiagnosticEngine* diags);
+
+}  // namespace spex
+
+#endif  // SPEX_MAPPING_ANNOTATIONS_H_

@@ -1,0 +1,44 @@
+// Source locations for the MiniC front-end and everything downstream.
+//
+// A SourceLoc identifies a point in a translation unit; it flows from the
+// lexer through the AST into the IR so that inferred constraints, injection
+// reports, and design-flaw findings can cite "source-code locations" the way
+// the paper's Table 5(b) does.
+#ifndef SPEX_SUPPORT_SOURCE_LOC_H_
+#define SPEX_SUPPORT_SOURCE_LOC_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace spex {
+
+struct SourceLoc {
+  std::string file;
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  bool IsValid() const { return line != 0; }
+
+  std::string ToString() const {
+    if (!IsValid()) {
+      return "<unknown>";
+    }
+    return file + ":" + std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  // Location identity without the column: the paper counts unique
+  // "source-code locations" at line granularity (one patch site).
+  std::string LineKey() const { return file + ":" + std::to_string(line); }
+
+  friend bool operator==(const SourceLoc& a, const SourceLoc& b) {
+    return std::tie(a.file, a.line, a.column) == std::tie(b.file, b.line, b.column);
+  }
+  friend bool operator<(const SourceLoc& a, const SourceLoc& b) {
+    return std::tie(a.file, a.line, a.column) < std::tie(b.file, b.line, b.column);
+  }
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_SOURCE_LOC_H_

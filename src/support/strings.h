@@ -1,0 +1,49 @@
+// Small string utilities shared across the code base.
+//
+// These mirror the handful of helpers the pipeline needs constantly: token
+// splitting for annotation and config files, case-insensitive comparison for
+// the case-sensitivity analyses, and numeric parsing that reports failure
+// instead of silently truncating (SPEX itself must not use "unsafe APIs").
+#ifndef SPEX_SUPPORT_STRINGS_H_
+#define SPEX_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spex {
+
+std::string_view TrimWhitespace(std::string_view text);
+
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+// Splits on runs of whitespace; no empty fields are produced.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view separator);
+
+std::string ToLowerCopy(std::string_view text);
+std::string ToUpperCopy(std::string_view text);
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool ContainsSubstring(std::string_view haystack, std::string_view needle);
+bool ContainsSubstringIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// Strict integer parsing: the whole string must be a decimal (optionally
+// signed) integer with no trailing garbage. Returns nullopt on any deviation,
+// including overflow of int64_t.
+std::optional<int64_t> ParseInt64(std::string_view text);
+
+// Strict floating-point parsing with the same whole-string requirement.
+std::optional<double> ParseDouble(std::string_view text);
+
+// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string text, std::string_view from, std::string_view to);
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_STRINGS_H_

@@ -1,0 +1,67 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spex {
+
+void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::AddRow(std::vector<std::string> row) { rows_.push_back({std::move(row), false}); }
+
+void TextTable::AddFooterRow(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), true});
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths;
+  auto account = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) {
+      widths.resize(cells.size(), 0);
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const Row& row : rows_) {
+    account(row.cells);
+  }
+
+  size_t total_width = 0;
+  for (size_t w : widths) {
+    total_width += w + 3;
+  }
+  total_width = total_width > 1 ? total_width - 1 : 1;
+
+  std::ostringstream out;
+  auto emit_cells = [&out, &widths](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) {
+        out << " | ";
+      }
+      out << cells[i];
+      if (i + 1 < cells.size()) {
+        out << std::string(widths[i] - cells[i].size(), ' ');
+      }
+    }
+    out << "\n";
+  };
+
+  if (!title_.empty()) {
+    out << "== " << title_ << " ==\n";
+  }
+  if (!header_.empty()) {
+    emit_cells(header_);
+    out << std::string(total_width, '-') << "\n";
+  }
+  for (const Row& row : rows_) {
+    if (row.separated_before) {
+      out << std::string(total_width, '-') << "\n";
+    }
+    emit_cells(row.cells);
+  }
+  return out.str();
+}
+
+}  // namespace spex

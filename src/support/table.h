@@ -1,0 +1,40 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's tables; this renderer
+// keeps their output consistent (aligned columns, optional title and footer
+// rows) so EXPERIMENTS.md can paste paper-vs-measured side by side.
+#ifndef SPEX_SUPPORT_TABLE_H_
+#define SPEX_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace spex {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  // A separator line is rendered before this row (used for "Total" rows).
+  void AddFooterRow(std::vector<std::string> row);
+
+  std::string Render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separated_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_TABLE_H_

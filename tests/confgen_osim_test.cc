@@ -1,0 +1,97 @@
+// Config-file AR and OS-simulator tests.
+#include "src/confgen/config_file.h"
+#include "src/osim/os_simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace spex {
+namespace {
+
+TEST(ConfigFileTest, ParseKeyEqualsValue) {
+  ConfigFile file = ConfigFile::Parse("# header\ntimeout = 30\n\nport=8080\n",
+                                      ConfigDialect::kKeyEqualsValue);
+  EXPECT_EQ(file.SettingCount(), 2u);
+  EXPECT_EQ(file.Get("timeout").value(), "30");
+  EXPECT_EQ(file.Get("port").value(), "8080");
+  EXPECT_EQ(file.LineOf("port"), 4u);
+  EXPECT_FALSE(file.Get("missing").has_value());
+}
+
+TEST(ConfigFileTest, ParseKeyValueDialect) {
+  ConfigFile file = ConfigFile::Parse("DocumentRoot /var/www\nListen 80\n",
+                                      ConfigDialect::kKeyValue);
+  EXPECT_EQ(file.Get("DocumentRoot").value(), "/var/www");
+  EXPECT_EQ(file.Get("Listen").value(), "80");
+}
+
+TEST(ConfigFileTest, RoundTripPreservesCommentsAndOrder) {
+  const char* text = "# top comment\na = 1\n\n; other comment\nb = 2\n";
+  ConfigFile file = ConfigFile::Parse(text, ConfigDialect::kKeyEqualsValue);
+  std::string serialized = file.Serialize();
+  ConfigFile reparsed = ConfigFile::Parse(serialized, ConfigDialect::kKeyEqualsValue);
+  EXPECT_EQ(reparsed.Get("a").value(), "1");
+  EXPECT_EQ(reparsed.Get("b").value(), "2");
+  EXPECT_NE(serialized.find("# top comment"), std::string::npos);
+  EXPECT_NE(serialized.find("; other comment"), std::string::npos);
+  // Idempotence: parse(serialize(x)) serializes identically.
+  EXPECT_EQ(reparsed.Serialize(), serialized);
+}
+
+TEST(ConfigFileTest, SetOverwritesOrAppends) {
+  ConfigFile file = ConfigFile::Parse("a = 1\n", ConfigDialect::kKeyEqualsValue);
+  file.Set("a", "9");
+  EXPECT_EQ(file.Get("a").value(), "9");
+  EXPECT_EQ(file.SettingCount(), 1u);
+  file.Set("new_key", "x");
+  EXPECT_EQ(file.SettingCount(), 2u);
+  EXPECT_TRUE(file.Remove("a"));
+  EXPECT_FALSE(file.Remove("a"));
+}
+
+TEST(OsSimTest, FilesystemSemantics) {
+  OsSimulator os = OsSimulator::StandardEnvironment();
+  EXPECT_TRUE(os.FileExists("/etc/mime.types"));
+  EXPECT_FALSE(os.FileExists("/var"));  // Directory, not file.
+  EXPECT_TRUE(os.DirectoryExists("/var"));
+  EXPECT_FALSE(os.IsReadable("/etc/secret.key"));
+  EXPECT_TRUE(os.RemoveFile("/etc/mime.types"));
+  EXPECT_FALSE(os.FileExists("/etc/mime.types"));
+}
+
+TEST(OsSimTest, PortSemantics) {
+  OsSimulator os = OsSimulator::StandardEnvironment();
+  EXPECT_TRUE(os.PortAvailable(8080));
+  EXPECT_FALSE(os.PortAvailable(22));     // occupied by sshd
+  EXPECT_FALSE(os.PortAvailable(70000));  // out of range
+  EXPECT_FALSE(os.PortAvailable(0));
+  EXPECT_FALSE(os.PortAvailable(-1));
+  os.OccupyPort(8080);
+  EXPECT_FALSE(os.PortAvailable(8080));
+}
+
+TEST(OsSimTest, UsersHostsAndIps) {
+  OsSimulator os = OsSimulator::StandardEnvironment();
+  EXPECT_TRUE(os.UserExists("www-data"));
+  EXPECT_FALSE(os.UserExists("nosuchuser"));
+  EXPECT_TRUE(os.ResolvesHost("localhost"));
+  EXPECT_TRUE(os.ResolvesHost("10.0.0.1"));  // Literal IPs resolve.
+  EXPECT_FALSE(os.ResolvesHost("no-such-host.invalid"));
+  EXPECT_TRUE(os.IsValidIpAddress("127.0.0.1"));
+  EXPECT_FALSE(os.IsValidIpAddress("999.999.1.1"));
+  EXPECT_FALSE(os.IsValidIpAddress("1.2.3"));
+  EXPECT_FALSE(os.IsValidIpAddress("a.b.c.d"));
+}
+
+TEST(OsSimTest, MemoryBudget) {
+  OsSimulator os;
+  os.set_memory_budget(1000);
+  EXPECT_GT(os.TryAllocate(600), 0);
+  EXPECT_EQ(os.TryAllocate(600), 0);  // Over budget.
+  EXPECT_EQ(os.TryAllocate(-1), 0);
+  EXPECT_EQ(os.TryAllocate(0), 0);
+  os.ResetAllocations();
+  EXPECT_GT(os.TryAllocate(600), 0);
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,514 @@
+// Constraint-inference tests: each case reproduces one of the paper's
+// Figure 3 examples (plus edge cases) end-to-end from MiniC source.
+#include "src/core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+namespace {
+
+struct Pipeline {
+  DiagnosticEngine diags;
+  std::unique_ptr<Module> module;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  std::unique_ptr<SpexEngine> engine;
+
+  Pipeline(std::string_view source, SpexOptions options = {}) {
+    auto unit = ParseSource(source, "test.c", &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    module = LowerToIr(*unit, &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    engine = std::make_unique<SpexEngine>(*module, apis, options);
+  }
+
+  ModuleConstraints Run(std::string_view annotations) {
+    AnnotationFile file = ParseAnnotations(annotations, &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    return engine->Run(file, &diags);
+  }
+};
+
+// --- Figure 3(a): basic type inferred from string -> 32-bit conversion.
+TEST(InferenceTest, BasicTypeFromFirstCast) {
+  Pipeline pipe(R"(
+    int log_filesize_store;
+    void parse_option(char *key, char *value) {
+      if (!strcmp(key, "log.filesize")) {
+        log_filesize_store = (int) strtoll(value, NULL, 10);
+      }
+    }
+  )");
+  auto result = pipe.Run("@PARSER parse_option { par = arg0, var = arg1 }");
+  const ParamConstraints* param = result.FindParam("log.filesize");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->basic_type.has_value());
+  EXPECT_EQ(param->basic_type->type->bit_width(), 32);
+  EXPECT_TRUE(param->basic_type->type->IsInteger());
+}
+
+// --- Figure 3(b): FILE semantic type through an intermediate wrapper
+// function (inter-procedural dataflow: ft_init_stopwords -> my_open -> open).
+TEST(InferenceTest, SemanticTypeFileInterprocedural) {
+  Pipeline pipe(R"(
+    struct config_str { char *name; char **variable; };
+    char *ft_stopword_file;
+    struct config_str table[] = { { "ft_stopword_file", &ft_stopword_file } };
+    int my_open(char *FileName, int Flags) {
+      int fd = open(FileName, Flags);
+      return fd;
+    }
+    int ft_init_stopwords() {
+      int fd = my_open(ft_stopword_file, 0);
+      return fd;
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* param = result.FindParam("ft_stopword_file");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->basic_type.has_value());
+  EXPECT_TRUE(param->basic_type->type->IsString());
+  ASSERT_FALSE(param->semantic_types.empty());
+  EXPECT_TRUE(param->HasSemantic(SemanticType::kFilePath));
+  // Evidence may be the wrapper (my_open, itself a known API) or the
+  // underlying open() reached inter-procedurally; both are correct.
+  std::string evidence = param->FindSemantic(SemanticType::kFilePath)->evidence_api;
+  EXPECT_TRUE(evidence == "open" || evidence == "my_open") << evidence;
+}
+
+// --- Figure 3(c): PORT semantic type (value flows into set_port).
+TEST(InferenceTest, SemanticTypePort) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int udp_port = 3130;
+    struct config_int table[] = { { "udp_port", &udp_port } };
+    void icp_open_ports() {
+      int port = udp_port;
+      set_port(port);
+    }
+    extern void set_port(int prt);
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* param = result.FindParam("udp_port");
+  ASSERT_NE(param, nullptr);
+  EXPECT_TRUE(param->HasSemantic(SemanticType::kPort));
+}
+
+// --- Figure 3(d): data range [4, 255] inferred from clamping code; the
+// clamp is a silent reset.
+TEST(InferenceTest, DataRangeFromClamping) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int index_intlen = 4;
+    struct config_int table[] = { { "index_intlen", &index_intlen } };
+    void config_generic() {
+      if (index_intlen < 4) {
+        index_intlen = 4;
+      } else if (index_intlen > 255) {
+        index_intlen = 255;
+      }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* param = result.FindParam("index_intlen");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->range.has_value());
+  const RangeConstraint& range = *param->range;
+  EXPECT_FALSE(range.is_enum);
+  ASSERT_EQ(range.intervals.size(), 3u);
+  EXPECT_FALSE(range.intervals[0].valid);
+  EXPECT_EQ(range.intervals[0].max.value(), 3);
+  EXPECT_TRUE(range.intervals[1].valid);
+  EXPECT_EQ(range.intervals[1].min.value(), 4);
+  EXPECT_EQ(range.intervals[1].max.value(), 255);
+  EXPECT_FALSE(range.intervals[2].valid);
+  EXPECT_EQ(range.intervals[2].min.value(), 256);
+  EXPECT_EQ(range.out_of_range, OutOfRangeBehavior::kSilentReset);
+}
+
+// Range whose violation path exits with an error is classified kError.
+TEST(InferenceTest, DataRangeFromErrorExit) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int worker_threads = 4;
+    struct config_int table[] = { { "worker_threads", &worker_threads } };
+    void validate() {
+      if (worker_threads > 64) {
+        log_error("worker_threads out of range");
+        exit(1);
+      }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* param = result.FindParam("worker_threads");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->range.has_value());
+  EXPECT_EQ(param->range->out_of_range, OutOfRangeBehavior::kError);
+  // (-inf, 64] valid, [65, inf) invalid.
+  ASSERT_EQ(param->range->intervals.size(), 2u);
+  EXPECT_TRUE(param->range->intervals[0].valid);
+  EXPECT_FALSE(param->range->intervals[1].valid);
+  EXPECT_EQ(param->range->intervals[1].min.value(), 65);
+}
+
+// A comparison that merely toggles behaviour (no error, no reset) must NOT
+// produce a range constraint.
+TEST(InferenceTest, BehaviorToggleIsNotARange) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int timeout = 30;
+    struct config_int table[] = { { "timeout", &timeout } };
+    extern void enable_timer(int t);
+    void apply() {
+      if (timeout > 0) {
+        enable_timer(timeout);
+      }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* param = result.FindParam("timeout");
+  ASSERT_NE(param, nullptr);
+  EXPECT_FALSE(param->range.has_value());
+}
+
+// Declared table min/max (PostgreSQL practice) becomes a range constraint.
+TEST(InferenceTest, DataRangeFromMappingTable) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; int min; int max; };
+    int deadlock_timeout = 1000;
+    struct config_int table[] = { { "deadlock_timeout", &deadlock_timeout, 1, 600000 } };
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1, min = 2, max = 3 }");
+  const ParamConstraints* param = result.FindParam("deadlock_timeout");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->range.has_value());
+  auto valid = param->range->ValidIntervals();
+  ASSERT_EQ(valid.size(), 1u);
+  EXPECT_EQ(valid[0].min.value(), 1);
+  EXPECT_EQ(valid[0].max.value(), 600000);
+}
+
+// --- Figure 3(e): control dependency (fsync != 0) -> commit_siblings.
+TEST(InferenceTest, ControlDependency) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int enable_fsync = 1;
+    int commit_siblings = 5;
+    struct config_int table[] = {
+      { "fsync", &enable_fsync },
+      { "commit_siblings", &commit_siblings },
+    };
+    extern int minimum_active_backends(int n);
+    int record_transaction_commit() {
+      if (enable_fsync != 0) {
+        if (minimum_active_backends(commit_siblings)) {
+          return 1;
+        }
+      }
+      return 0;
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  ASSERT_EQ(result.control_deps.size(), 1u);
+  const ControlDepConstraint& dep = result.control_deps[0];
+  EXPECT_EQ(dep.master, "fsync");
+  EXPECT_EQ(dep.dependent, "commit_siblings");
+  EXPECT_EQ(dep.pred, IrCmpPred::kNe);
+  EXPECT_EQ(dep.value, 0);
+  EXPECT_GE(dep.confidence, 0.75);
+}
+
+// The VSFTP false-positive pattern: listen_port guarded half by `listen`,
+// half by `listen_ipv6` -> both candidates at confidence 0.5 are filtered.
+TEST(InferenceTest, ControlDependencyConfidenceFilter) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int listen_v4 = 1;
+    int listen_ipv6 = 0;
+    int listen_port = 21;
+    struct config_int table[] = {
+      { "listen", &listen_v4 },
+      { "listen_ipv6", &listen_ipv6 },
+      { "listen_port", &listen_port },
+    };
+    extern void do_bind(int fd, int port);
+    void start_v4() {
+      if (listen_v4 != 0) {
+        do_bind(4, listen_port);
+      }
+    }
+    void start_v6() {
+      if (listen_ipv6 != 0) {
+        do_bind(6, listen_port);
+      }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  for (const ControlDepConstraint& dep : result.control_deps) {
+    EXPECT_NE(dep.dependent, "listen_port")
+        << "0.5-confidence dependency should have been filtered: " << dep.ToString();
+  }
+}
+
+// Same pattern with the threshold lowered: both dependencies now survive.
+TEST(InferenceTest, ControlDependencyThresholdIsTunable) {
+  SpexOptions options;
+  options.confidence_threshold = 0.4;
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int listen_v4 = 1;
+    int listen_ipv6 = 0;
+    int listen_port = 21;
+    struct config_int table[] = {
+      { "listen", &listen_v4 },
+      { "listen_ipv6", &listen_ipv6 },
+      { "listen_port", &listen_port },
+    };
+    extern void do_bind(int fd, int port);
+    void start_v4() {
+      if (listen_v4 != 0) { do_bind(4, listen_port); }
+    }
+    void start_v6() {
+      if (listen_ipv6 != 0) { do_bind(6, listen_port); }
+    }
+  )",
+                options);
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  int port_deps = 0;
+  for (const ControlDepConstraint& dep : result.control_deps) {
+    if (dep.dependent == "listen_port") {
+      ++port_deps;
+    }
+  }
+  EXPECT_EQ(port_deps, 2);
+}
+
+// --- Figure 3(f): value relationship min < max through the intermediate
+// variable `length`.
+TEST(InferenceTest, ValueRelationshipTransitive) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int ft_min_word_len = 4;
+    int ft_max_word_len = 84;
+    struct config_int table[] = {
+      { "ft_min_word_len", &ft_min_word_len },
+      { "ft_max_word_len", &ft_max_word_len },
+    };
+    extern void full_text_op(int n);
+    void ft_get_word(int length) {
+      if (length >= ft_min_word_len && length < ft_max_word_len) {
+        full_text_op(length);
+      }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  bool found = false;
+  for (const ValueRelConstraint& rel : result.value_rels) {
+    if (rel.lhs == "ft_max_word_len" && rel.rhs == "ft_min_word_len" &&
+        rel.pred == IrCmpPred::kGt && rel.via_transitivity) {
+      found = true;
+    }
+    if (rel.lhs == "ft_min_word_len" && rel.rhs == "ft_max_word_len" &&
+        rel.pred == IrCmpPred::kLt && rel.via_transitivity) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "expected transitive min<max relationship";
+}
+
+// Direct two-parameter comparison.
+TEST(InferenceTest, ValueRelationshipDirect) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int min_spare = 5;
+    int max_spare = 10;
+    struct config_int table[] = {
+      { "min_spare_servers", &min_spare },
+      { "max_spare_servers", &max_spare },
+    };
+    void check() {
+      if (min_spare > max_spare) {
+        log_error("min_spare_servers must not exceed max_spare_servers");
+        exit(1);
+      }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  ASSERT_FALSE(result.value_rels.empty());
+  // The guarded region errors out, so the *valid* relation is the negation:
+  // min_spare <= max_spare.
+  const ValueRelConstraint& rel = result.value_rels[0];
+  EXPECT_EQ(rel.lhs, "max_spare_servers");
+  EXPECT_EQ(rel.rhs, "min_spare_servers");
+  EXPECT_EQ(rel.pred, IrCmpPred::kGe);
+}
+
+// Enumerative string range plus boolean detection.
+TEST(InferenceTest, EnumStringRangeAndBoolean) {
+  Pipeline pipe(R"(
+    struct config_str { char *name; int *variable; };
+    int use_sendfile = 1;
+    struct config_str table[] = { { "use_sendfile", &use_sendfile } };
+    void parse_bool(char *key, char *value) {
+      if (!strcasecmp(key, "use_sendfile")) {
+        if (!strcasecmp(value, "on")) {
+          use_sendfile = 1;
+        } else {
+          use_sendfile = 0;
+        }
+      }
+    }
+  )");
+  auto result = pipe.Run("@PARSER parse_bool { par = arg0, var = arg1 }");
+  const ParamConstraints* param = result.FindParam("use_sendfile");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->range.has_value());
+  EXPECT_TRUE(param->range->is_enum);
+  ASSERT_EQ(param->range->enum_strings.size(), 1u);
+  EXPECT_EQ(param->range->enum_strings[0], "on");
+  // The else branch silently forces "off": the Squid Figure 6(c) pattern.
+  EXPECT_EQ(param->range->out_of_range, OutOfRangeBehavior::kSilentReset);
+  EXPECT_TRUE(param->HasSemantic(SemanticType::kBoolean));
+  EXPECT_EQ(param->case_sensitivity, CaseSensitivity::kInsensitive);
+}
+
+// Switch-based enumerative integer range with terminating default.
+TEST(InferenceTest, EnumIntRangeFromSwitch) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int log_level = 1;
+    struct config_int table[] = { { "log_level", &log_level } };
+    extern void set_level(int l);
+    void apply() {
+      switch (log_level) {
+        case 0: set_level(0); break;
+        case 1: set_level(1); break;
+        case 2: set_level(2); break;
+        default:
+          log_error("bad log_level");
+          exit(1);
+      }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* param = result.FindParam("log_level");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->range.has_value());
+  EXPECT_TRUE(param->range->is_enum);
+  EXPECT_EQ(param->range->enum_ints.size(), 3u);
+  EXPECT_EQ(param->range->out_of_range, OutOfRangeBehavior::kError);
+}
+
+// Unit inference with a scale transform: param * 1024 -> malloc means the
+// parameter is in kilobytes (Figure 6(b)).
+TEST(InferenceTest, UnitScaledByTransform) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int max_mem_free = 2048;
+    struct config_int table[] = { { "MaxMemFree", &max_mem_free } };
+    void apply() {
+      long bytes = max_mem_free * 1024;
+      malloc(bytes);
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* param = result.FindParam("MaxMemFree");
+  ASSERT_NE(param, nullptr);
+  ASSERT_TRUE(param->HasSemantic(SemanticType::kSize));
+  EXPECT_EQ(param->FindSemantic(SemanticType::kSize)->size_unit, SizeUnit::kKilobytes);
+}
+
+// Time unit straight from the API: sleep() means seconds, usleep() µs.
+TEST(InferenceTest, TimeUnitsFromApis) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int idle_timeout = 60;
+    int poll_gap = 500;
+    struct config_int table[] = {
+      { "idle_timeout", &idle_timeout },
+      { "poll_gap", &poll_gap },
+    };
+    void apply() {
+      sleep(idle_timeout);
+      usleep(poll_gap);
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1 }");
+  const ParamConstraints* timeout = result.FindParam("idle_timeout");
+  const ParamConstraints* gap = result.FindParam("poll_gap");
+  ASSERT_NE(timeout, nullptr);
+  ASSERT_NE(gap, nullptr);
+  EXPECT_EQ(timeout->time_unit, TimeUnit::kSeconds);
+  EXPECT_EQ(gap->time_unit, TimeUnit::kMicroseconds);
+}
+
+// Unsafe transformation APIs are recorded per parameter.
+TEST(InferenceTest, UnsafeApiUseRecorded) {
+  Pipeline pipe(R"(
+    int sockbuf;
+    void parse(char *key, char *value) {
+      if (!strcmp(key, "sockbuf")) {
+        sockbuf = atoi(value);
+      }
+    }
+  )");
+  auto result = pipe.Run("@PARSER parse { par = arg0, var = arg1 }");
+  const ParamConstraints* param = result.FindParam("sockbuf");
+  ASSERT_NE(param, nullptr);
+  ASSERT_EQ(param->unsafe_uses.size(), 1u);
+  EXPECT_EQ(param->unsafe_uses[0].api, "atoi");
+}
+
+// Case sensitivity is a property of how parameter *values* are compared
+// (paper Figure 6(a)): strcmp on the value makes the parameter sensitive.
+TEST(InferenceTest, CaseSensitivityFromValueComparison) {
+  Pipeline pipe(R"(
+    int file_format_check;
+    void parse(char *key, char *value) {
+      if (!strcasecmp(key, "innodb_file_format_check")) {
+        if (!strcmp(value, "Barracuda")) {
+          file_format_check = 1;
+        } else if (!strcmp(value, "Antelope")) {
+          file_format_check = 0;
+        }
+      }
+    }
+  )");
+  auto result = pipe.Run("@PARSER parse { par = arg0, var = arg1 }");
+  const ParamConstraints* param = result.FindParam("innodb_file_format_check");
+  ASSERT_NE(param, nullptr);
+  EXPECT_EQ(param->case_sensitivity, CaseSensitivity::kSensitive);
+  ASSERT_TRUE(param->range.has_value());
+  EXPECT_TRUE(param->range->is_enum);
+  EXPECT_EQ(param->range->enum_strings.size(), 2u);
+}
+
+// Table 11 accounting sanity.
+TEST(InferenceTest, ConstraintCounts) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; int min; int max; };
+    int a = 1;
+    int b = 2;
+    struct config_int table[] = {
+      { "a", &a, 0, 10 },
+      { "b", &b, 0, 10 },
+    };
+    void apply() {
+      if (a != 0) { sleep(b); }
+    }
+  )");
+  auto result = pipe.Run("@STRUCT table { par = 0, var = 1, min = 2, max = 3 }");
+  EXPECT_EQ(result.params.size(), 2u);
+  EXPECT_EQ(result.CountBasicTypes(), 2u);
+  EXPECT_EQ(result.CountRanges(), 2u);
+  EXPECT_GE(result.CountSemanticTypes(), 1u);  // b: TIME via sleep.
+  EXPECT_EQ(result.control_deps.size(), 1u);   // (a,0,ne) -> b.
+  EXPECT_EQ(result.TotalConstraints(),
+            result.CountBasicTypes() + result.CountSemanticTypes() + result.CountRanges() +
+                result.control_deps.size() + result.value_rels.size());
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,160 @@
+// Design-detector tests (Section 3.2) + manual model.
+#include "src/design/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+namespace {
+
+ModuleConstraints Infer(std::string_view source, std::string_view annotations) {
+  DiagnosticEngine diags;
+  auto unit = ParseSource(source, "t.c", &diags);
+  EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+  auto module = LowerToIr(*unit, &diags);
+  static ApiRegistry apis = ApiRegistry::BuiltinC();
+  // Note: engine/module must outlive constraints use inside each test only.
+  static std::vector<std::unique_ptr<Module>>* keep = new std::vector<std::unique_ptr<Module>>();
+  static std::vector<std::unique_ptr<SpexEngine>>* keep_engines =
+      new std::vector<std::unique_ptr<SpexEngine>>();
+  keep->push_back(std::move(module));
+  keep_engines->push_back(std::make_unique<SpexEngine>(*keep->back(), apis));
+  AnnotationFile file = ParseAnnotations(annotations, &diags);
+  return keep_engines->back()->Run(file, &diags);
+}
+
+TEST(ManualModelTest, ParseAndLookup) {
+  DiagnosticEngine diags;
+  ManualModel manual = ManualModel::Parse(R"(
+    # comment
+    timeout: basic_type, range
+    fsync_dep: ctrl_dep
+  )",
+                                          &diags);
+  EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+  EXPECT_TRUE(manual.IsDocumented("timeout", DocumentedFact::kRange));
+  EXPECT_TRUE(manual.IsDocumented("timeout", DocumentedFact::kBasicType));
+  EXPECT_FALSE(manual.IsDocumented("timeout", DocumentedFact::kControlDep));
+  EXPECT_TRUE(manual.IsDocumented("fsync_dep", DocumentedFact::kControlDep));
+}
+
+TEST(ManualModelTest, UnknownFactReported) {
+  DiagnosticEngine diags;
+  ManualModel::Parse("x: bogus_fact\n", &diags);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(DesignTest, CaseInconsistencyFlagsMinority) {
+  auto constraints = Infer(R"(
+    int a; int b; int c;
+    void parse(char *key, char *value) {
+      if (!strcasecmp(key, "opt_a")) {
+        if (!strcasecmp(value, "alpha")) { a = 1; } else { a = 0; }
+      } else if (!strcasecmp(key, "opt_b")) {
+        if (!strcasecmp(value, "beta")) { b = 1; } else { b = 0; }
+      } else if (!strcasecmp(key, "opt_c")) {
+        if (!strcmp(value, "Gamma")) { c = 1; } else { c = 0; }
+      }
+    }
+  )",
+                           "@PARSER parse { par = arg0, var = arg1 }");
+  ManualModel manual;
+  DesignAuditor auditor(constraints, manual);
+  CaseSensitivityStats stats = auditor.CaseStats();
+  EXPECT_EQ(stats.sensitive, 1u);
+  EXPECT_EQ(stats.insensitive, 2u);
+  EXPECT_TRUE(stats.Inconsistent());
+  bool flagged_minority = false;
+  for (const DesignFinding& finding : auditor.Audit()) {
+    if (finding.kind == DesignFlawKind::kCaseInconsistency) {
+      EXPECT_EQ(finding.param, "opt_c");
+      flagged_minority = true;
+    }
+  }
+  EXPECT_TRUE(flagged_minority);
+}
+
+TEST(DesignTest, UnitInconsistencyFlagsOutlier) {
+  auto constraints = Infer(R"(
+    struct config_int { char *name; int *variable; };
+    int buf_a = 1; int buf_b = 1; int buf_kb = 1;
+    struct config_int table[] = {
+      { "buf_a", &buf_a }, { "buf_b", &buf_b }, { "buf_kb", &buf_kb },
+    };
+    void apply() {
+      malloc(buf_a);
+      malloc(buf_b);
+      malloc(buf_kb * 1024);
+    }
+  )",
+                           "@STRUCT table { par = 0, var = 1 }");
+  ManualModel manual;
+  DesignAuditor auditor(constraints, manual);
+  UnitStats units = auditor.Units();
+  EXPECT_TRUE(units.SizeInconsistent());
+  bool flagged = false;
+  for (const DesignFinding& finding : auditor.Audit()) {
+    if (finding.kind == DesignFlawKind::kUnitInconsistency) {
+      EXPECT_EQ(finding.param, "buf_kb");
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(DesignTest, SilentOverrulingDetected) {
+  auto constraints = Infer(R"(
+    int sendfile_on;
+    void parse(char *key, char *value) {
+      if (!strcasecmp(key, "use_sendfile")) {
+        if (!strcasecmp(value, "on")) { sendfile_on = 1; } else { sendfile_on = 0; }
+      }
+    }
+  )",
+                           "@PARSER parse { par = arg0, var = arg1 }");
+  ManualModel manual;
+  DesignAuditor auditor(constraints, manual);
+  EXPECT_EQ(auditor.ErrorProne().silent_overruling_params, 1u);
+}
+
+TEST(DesignTest, UnsafeApiDetected) {
+  auto constraints = Infer(R"(
+    int depth;
+    void parse(char *key, char *value) {
+      if (!strcmp(key, "depth")) { depth = atoi(value); }
+    }
+  )",
+                           "@PARSER parse { par = arg0, var = arg1 }");
+  ManualModel manual;
+  DesignAuditor auditor(constraints, manual);
+  EXPECT_EQ(auditor.ErrorProne().unsafe_api_params, 1u);
+}
+
+TEST(DesignTest, UndocumentedConstraintsCounted) {
+  auto constraints = Infer(R"(
+    struct config_int { char *name; int *variable; };
+    int lim = 10;
+    struct config_int table[] = { { "lim", &lim } };
+    void validate() {
+      if (lim > 255) { log_error("bad"); exit(1); }
+    }
+  )",
+                           "@STRUCT table { par = 0, var = 1 }");
+  {
+    ManualModel empty;
+    DesignAuditor auditor(constraints, empty);
+    EXPECT_EQ(auditor.ErrorProne().undocumented_ranges, 1u);
+  }
+  {
+    DiagnosticEngine diags;
+    ManualModel documented = ManualModel::Parse("lim: range\n", &diags);
+    DesignAuditor auditor(constraints, documented);
+    EXPECT_EQ(auditor.ErrorProne().undocumented_ranges, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,290 @@
+// SPEX-INJ tests: generation rules (Table 2) and reaction classification
+// (Table 3) on small live targets.
+#include "src/inject/campaign.h"
+#include "src/inject/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+#include "src/support/strings.h"
+
+namespace spex {
+namespace {
+
+// Builds constraints for a param set without running a real target.
+ParamConstraints IntParam(const std::string& name, const IrType* type) {
+  ParamConstraints param;
+  param.param = name;
+  BasicTypeConstraint basic;
+  basic.type = type;
+  param.basic_type = basic;
+  return param;
+}
+
+TEST(GeneratorTest, BasicTypeRuleCoversTypedErrors) {
+  TypeTable types;
+  ModuleConstraints constraints;
+  constraints.params.push_back(IntParam("threads", types.IntType(32, false)));
+  MisconfigGenerator generator;
+  auto configs = generator.Generate(constraints);
+  ASSERT_GE(configs.size(), 4u);
+  std::set<std::string> values;
+  for (const auto& config : configs) {
+    EXPECT_EQ(config.param, "threads");
+    EXPECT_EQ(config.kind, ViolationKind::kBasicType);
+    values.insert(config.value);
+  }
+  EXPECT_TRUE(values.count("not_a_number"));
+  EXPECT_TRUE(values.count("9000000000"));  // 32-bit overflow
+  EXPECT_TRUE(values.count("9G"));
+  EXPECT_TRUE(values.count("100000"));  // large-but-representable
+}
+
+TEST(GeneratorTest, NoOverflowValueFor64BitParams) {
+  TypeTable types;
+  ModuleConstraints constraints;
+  constraints.params.push_back(IntParam("big", types.IntType(64, false)));
+  MisconfigGenerator generator;
+  for (const auto& config : generator.Generate(constraints)) {
+    EXPECT_NE(config.value, "9000000000") << "9e9 fits in 64 bits; not a violation";
+  }
+}
+
+TEST(GeneratorTest, StringParamsGetNoBasicTypeViolations) {
+  TypeTable types;
+  ModuleConstraints constraints;
+  constraints.params.push_back(IntParam("name", types.string_type()));
+  MisconfigGenerator generator;
+  EXPECT_TRUE(generator.Generate(constraints).empty());
+}
+
+TEST(GeneratorTest, RangeRuleHitsBothEdges) {
+  TypeTable types;
+  ModuleConstraints constraints;
+  ParamConstraints param = IntParam("len", types.IntType(32, false));
+  RangeConstraint range;
+  RangeInterval low{std::nullopt, 3, false};
+  RangeInterval mid{4, 255, true};
+  RangeInterval high{256, std::nullopt, false};
+  range.intervals = {low, mid, high};
+  param.range = range;
+  constraints.params.push_back(param);
+
+  MisconfigGenerator generator;
+  std::set<std::string> range_values;
+  for (const auto& config : generator.Generate(constraints)) {
+    if (config.kind == ViolationKind::kRange) {
+      range_values.insert(config.value);
+    }
+  }
+  EXPECT_TRUE(range_values.count("3"));    // just below
+  EXPECT_TRUE(range_values.count("256"));  // just above
+  EXPECT_TRUE(range_values.count("1255"));  // far above
+}
+
+TEST(GeneratorTest, EnumRuleGeneratesUnlistedAndCaseFlip) {
+  TypeTable types;
+  ModuleConstraints constraints;
+  ParamConstraints param = IntParam("mode", types.string_type());
+  param.basic_type.reset();
+  RangeConstraint range;
+  range.is_enum = true;
+  range.enum_strings = {"Barracuda", "Antelope"};
+  param.range = range;
+  constraints.params.push_back(param);
+
+  MisconfigGenerator generator;
+  std::set<std::string> values;
+  for (const auto& config : generator.Generate(constraints)) {
+    values.insert(config.value);
+  }
+  EXPECT_TRUE(values.count("no_such_value"));
+  EXPECT_TRUE(values.count("barracuda"));  // case-flipped accepted value
+}
+
+TEST(GeneratorTest, ControlDepViolationUsesFalsyWordForBooleanMaster) {
+  TypeTable types;
+  ModuleConstraints constraints;
+  ParamConstraints master = IntParam("fsync", types.string_type());
+  master.basic_type.reset();
+  RangeConstraint bool_range;
+  bool_range.is_enum = true;
+  bool_range.enum_strings = {"on", "off"};
+  master.range = bool_range;
+  SemanticTypeConstraint boolean;
+  boolean.semantic = SemanticType::kBoolean;
+  master.semantic_types.push_back(boolean);
+  constraints.params.push_back(master);
+
+  ControlDepConstraint dep;
+  dep.master = "fsync";
+  dep.dependent = "commit_siblings";
+  dep.pred = IrCmpPred::kNe;
+  dep.value = 0;
+  constraints.control_deps.push_back(dep);
+
+  auto configs = GenerateControlDepViolations(constraints);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].param, "commit_siblings");
+  EXPECT_TRUE(configs[0].expect_ignored);
+  ASSERT_EQ(configs[0].extra_settings.size(), 1u);
+  EXPECT_EQ(configs[0].extra_settings[0].first, "fsync");
+  EXPECT_EQ(configs[0].extra_settings[0].second, "off");
+}
+
+TEST(GeneratorTest, ValueRelViolationInvertsTheRelation) {
+  ModuleConstraints constraints;
+  ValueRelConstraint rel;
+  rel.lhs = "min_len";
+  rel.rhs = "max_len";
+  rel.pred = IrCmpPred::kLt;
+  constraints.value_rels.push_back(rel);
+  auto configs = GenerateValueRelViolations(constraints);
+  ASSERT_EQ(configs.size(), 1u);
+  auto lhs = ParseInt64(configs[0].value);
+  auto rhs = ParseInt64(configs[0].extra_settings[0].second);
+  ASSERT_TRUE(lhs.has_value() && rhs.has_value());
+  EXPECT_GE(*lhs, *rhs) << "generated pair must violate min < max";
+}
+
+// --- Campaign classification on a live micro-target.
+
+struct MicroTarget {
+  DiagnosticEngine diags;
+  std::unique_ptr<Module> module;
+  SutSpec sut;
+
+  explicit MicroTarget(std::string_view source) {
+    auto unit = ParseSource(source, "micro.c", &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    module = LowerToIr(*unit, &diags);
+    sut.parse_function = "handle_config_line";
+    sut.init_function = "server_init";
+  }
+};
+
+constexpr const char* kMicroSource = R"(
+  int threads = 4;
+  int slots[8];
+  int ok_feature = 1;
+  int handle_config_line(char *key, char *value) {
+    if (!strcasecmp(key, "threads")) { threads = atoi(value); return 0; }
+    log_warn("unknown directive: %s", key);
+    return 0;
+  }
+  int server_init() {
+    int i;
+    for (i = 0; i < threads; i++) { slots[i] = 1; }
+    return 0;
+  }
+  int test_feature() { return ok_feature; }
+)";
+
+Misconfiguration Inject(const std::string& value, std::optional<int64_t> intended) {
+  Misconfiguration config;
+  config.param = "threads";
+  config.value = value;
+  config.kind = ViolationKind::kBasicType;
+  config.rule = "test";
+  config.intended_numeric = intended;
+  return config;
+}
+
+TEST(CampaignTest, BaselinePassesAndCrashClassified) {
+  MicroTarget target(kMicroSource);
+  target.sut.tests.push_back({"feature", "test_feature", 1, 1});
+  target.sut.param_storage["threads"] = "threads";
+  InjectionCampaign campaign(*target.module, target.sut, OsSimulator::StandardEnvironment());
+  ConfigFile config = ConfigFile::Parse("threads = 4\n", ConfigDialect::kKeyEqualsValue);
+  EXPECT_TRUE(campaign.BaselinePasses(config));
+
+  InjectionResult crash = campaign.RunOne(config, Inject("100000", 100000));
+  EXPECT_EQ(crash.category, ReactionCategory::kCrashHang);
+
+  InjectionResult silent = campaign.RunOne(config, Inject("not_a_number", std::nullopt));
+  EXPECT_EQ(silent.category, ReactionCategory::kSilentViolation);
+
+  InjectionResult fine = campaign.RunOne(config, Inject("6", 6));
+  EXPECT_EQ(fine.category, ReactionCategory::kNoIssue);
+}
+
+TEST(CampaignTest, PinpointingTurnsRejectionIntoGoodReaction) {
+  MicroTarget target(R"(
+    int threads = 4;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "threads")) {
+        int v;
+        if (parse_int_strict(value, &v) < 0) {
+          log_error("invalid value '%s' for parameter threads", value);
+          return -1;
+        }
+        threads = v;
+        return 0;
+      }
+      return 0;
+    }
+    int server_init() { return 0; }
+  )");
+  target.sut.param_storage["threads"] = "threads";
+  InjectionCampaign campaign(*target.module, target.sut, OsSimulator::StandardEnvironment());
+  ConfigFile config = ConfigFile::Parse("threads = 4\n", ConfigDialect::kKeyEqualsValue);
+  InjectionResult result = campaign.RunOne(config, Inject("not_a_number", std::nullopt));
+  EXPECT_EQ(result.category, ReactionCategory::kGoodReaction);
+  EXPECT_TRUE(result.pinpointed);
+}
+
+TEST(CampaignTest, RejectionWithoutMessageIsEarlyTermination) {
+  MicroTarget target(R"(
+    int threads = 4;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "threads")) {
+        int v;
+        if (parse_int_strict(value, &v) < 0) { return -1; }
+        threads = v;
+      }
+      return 0;
+    }
+    int server_init() { return 0; }
+  )");
+  InjectionCampaign campaign(*target.module, target.sut, OsSimulator::StandardEnvironment());
+  ConfigFile config = ConfigFile::Parse("threads = 4\n", ConfigDialect::kKeyEqualsValue);
+  InjectionResult result = campaign.RunOne(config, Inject("garbage!", std::nullopt));
+  EXPECT_EQ(result.category, ReactionCategory::kEarlyTermination);
+}
+
+TEST(CampaignTest, StopAtFirstFailureRunsFewerTests) {
+  MicroTarget target(R"(
+    int broken = 0;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "broken")) { broken = atoi(value); }
+      return 0;
+    }
+    int server_init() { return 0; }
+    int test_a() { return broken == 0; }
+    int test_b() { return 1; }
+    int test_c() { return 1; }
+  )");
+  target.sut.tests.push_back({"a", "test_a", 1, 1});
+  target.sut.tests.push_back({"b", "test_b", 1, 2});
+  target.sut.tests.push_back({"c", "test_c", 1, 3});
+  ConfigFile config = ConfigFile::Parse("broken = 0\n", ConfigDialect::kKeyEqualsValue);
+  Misconfiguration inject;
+  inject.param = "broken";
+  inject.value = "1";
+  inject.kind = ViolationKind::kBasicType;
+  inject.intended_numeric = 1;
+
+  CampaignOptions stop;
+  stop.stop_at_first_failure = true;
+  InjectionCampaign fast(*target.module, target.sut, OsSimulator::StandardEnvironment(), stop);
+  CampaignOptions no_stop;
+  no_stop.stop_at_first_failure = false;
+  InjectionCampaign slow(*target.module, target.sut, OsSimulator::StandardEnvironment(),
+                         no_stop);
+  EXPECT_LT(fast.RunOne(config, inject).tests_run, slow.RunOne(config, inject).tests_run);
+}
+
+}  // namespace
+}  // namespace spex

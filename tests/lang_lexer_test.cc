@@ -1,0 +1,144 @@
+// Lexer unit tests.
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace spex {
+namespace {
+
+std::vector<Token> Lex(std::string_view source) {
+  DiagnosticEngine diags;
+  Lexer lexer(source, "test.c", &diags);
+  auto tokens = lexer.Tokenize();
+  EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+  return tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, Keywords) {
+  auto tokens = Lex("int if else while struct static return switch case default");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kKwIf);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kKwElse);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kKwWhile);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kKwStruct);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kKwStatic);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kKwReturn);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kKwSwitch);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kKwCase);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kKwDefault);
+}
+
+TEST(LexerTest, IdentifiersAreNotKeywords) {
+  auto tokens = Lex("interval iffy elsewhere");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kIdentifier) << i;
+  }
+  EXPECT_EQ(tokens[0].text, "interval");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto tokens = Lex("0 42 1024 9000000000");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 1024);
+  EXPECT_EQ(tokens[3].int_value, 9000000000LL);
+}
+
+TEST(LexerTest, HexLiterals) {
+  auto tokens = Lex("0x10 0xff");
+  EXPECT_EQ(tokens[0].int_value, 16);
+  EXPECT_EQ(tokens[1].int_value, 255);
+}
+
+TEST(LexerTest, IntegerSuffixesIgnored) {
+  auto tokens = Lex("10L 20UL 30LL");
+  EXPECT_EQ(tokens[0].int_value, 10);
+  EXPECT_EQ(tokens[1].int_value, 20);
+  EXPECT_EQ(tokens[2].int_value, 30);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto tokens = Lex("3.25 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex(R"("hello" "a\nb" "say \"hi\"")");
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "a\nb");
+  EXPECT_EQ(tokens[2].text, "say \"hi\"");
+}
+
+TEST(LexerTest, CharLiterals) {
+  auto tokens = Lex("'a' '\\n' '0'");
+  EXPECT_EQ(tokens[0].int_value, 'a');
+  EXPECT_EQ(tokens[1].int_value, '\n');
+  EXPECT_EQ(tokens[2].int_value, '0');
+}
+
+TEST(LexerTest, OperatorsMultiChar) {
+  auto tokens = Lex("== != <= >= && || -> ++ -- << >> += -=");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEqual);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNotEqual);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLessEqual);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kGreaterEqual);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kAmpAmp);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kPipePipe);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kPlusPlus);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kMinusMinus);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kShiftLeft);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kShiftRight);
+  EXPECT_EQ(tokens[11].kind, TokenKind::kPlusAssign);
+  EXPECT_EQ(tokens[12].kind, TokenKind::kMinusAssign);
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = Lex("a // comment here\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, BlockCommentsSkipped) {
+  auto tokens = Lex("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].loc.line, 3u);
+}
+
+TEST(LexerTest, SourceLocationsTracked) {
+  auto tokens = Lex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(LexerTest, UnterminatedStringReportsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("\"abc", "test.c", &diags);
+  lexer.Tokenize();
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsErrorAndContinues) {
+  DiagnosticEngine diags;
+  Lexer lexer("a $ b", "test.c", &diags);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(diags.HasErrors());
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, eof
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,250 @@
+// Parser unit tests: cover the MiniC constructs the corpus and the paper's
+// figure snippets rely on.
+#include "src/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace spex {
+namespace {
+
+std::unique_ptr<TranslationUnit> Parse(std::string_view source) {
+  DiagnosticEngine diags;
+  auto unit = ParseSource(source, "test.c", &diags);
+  EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+  return unit;
+}
+
+TEST(ParserTest, GlobalVariableWithInitializer) {
+  auto unit = Parse("int max_connections = 100;");
+  ASSERT_EQ(unit->globals.size(), 1u);
+  EXPECT_EQ(unit->globals[0]->name, "max_connections");
+  ASSERT_NE(unit->globals[0]->init, nullptr);
+  EXPECT_EQ(unit->globals[0]->init->int_value, 100);
+}
+
+TEST(ParserTest, GlobalStringVariable) {
+  auto unit = Parse("char *log_path = \"/var/log/app.log\";");
+  ASSERT_EQ(unit->globals.size(), 1u);
+  EXPECT_TRUE(unit->globals[0]->type.IsString());
+  EXPECT_EQ(unit->globals[0]->init->string_value, "/var/log/app.log");
+}
+
+TEST(ParserTest, StructDeclaration) {
+  auto unit = Parse(R"(
+    struct config_int {
+      char *name;
+      int *variable;
+      int min;
+      int max;
+    };
+  )");
+  ASSERT_EQ(unit->structs.size(), 1u);
+  EXPECT_EQ(unit->structs[0]->name, "config_int");
+  ASSERT_EQ(unit->structs[0]->fields.size(), 4u);
+  EXPECT_EQ(unit->structs[0]->FieldIndex("min"), 2);
+}
+
+TEST(ParserTest, StructArrayInitializer) {
+  // The PostgreSQL-style mapping table from Figure 4(a).
+  auto unit = Parse(R"(
+    struct config_int { char *name; int *variable; int min; int max; };
+    int deadlock_timeout;
+    struct config_int ConfigureNamesInt[] = {
+      { "deadlock_timeout", &deadlock_timeout, 1, 600000 },
+    };
+  )");
+  ASSERT_EQ(unit->globals.size(), 2u);
+  const VarDecl* table = unit->globals[1].get();
+  EXPECT_TRUE(table->has_array_size);
+  EXPECT_EQ(table->array_size, -1);  // Inferred from the initializer.
+  ASSERT_NE(table->init, nullptr);
+  EXPECT_EQ(table->init->kind, ExprKind::kInitList);
+  ASSERT_EQ(table->init->arguments.size(), 1u);
+  const Expr& row = *table->init->arguments[0];
+  EXPECT_EQ(row.kind, ExprKind::kInitList);
+  ASSERT_EQ(row.arguments.size(), 4u);
+  EXPECT_EQ(row.arguments[0]->string_value, "deadlock_timeout");
+  EXPECT_EQ(row.arguments[1]->kind, ExprKind::kUnary);
+  EXPECT_EQ(row.arguments[1]->unary_op, UnaryOp::kAddressOf);
+}
+
+TEST(ParserTest, FunctionWithParamsAndBody) {
+  auto unit = Parse(R"(
+    int add(int a, int b) {
+      return a + b;
+    }
+  )");
+  ASSERT_EQ(unit->functions.size(), 1u);
+  const FunctionDecl* fn = unit->functions[0].get();
+  EXPECT_EQ(fn->name, "add");
+  ASSERT_EQ(fn->params.size(), 2u);
+  EXPECT_EQ(fn->params[1].name, "b");
+  ASSERT_NE(fn->body, nullptr);
+}
+
+TEST(ParserTest, FunctionPrototype) {
+  auto unit = Parse("extern int my_open(char *path, int flags);");
+  ASSERT_EQ(unit->functions.size(), 1u);
+  EXPECT_EQ(unit->functions[0]->body, nullptr);
+}
+
+TEST(ParserTest, IfElseChain) {
+  auto unit = Parse(R"(
+    int classify(int v) {
+      if (v < 4) { return 0; }
+      else if (v > 255) { return 2; }
+      else { return 1; }
+    }
+  )");
+  const Stmt& body = *unit->functions[0]->body;
+  ASSERT_EQ(body.body.size(), 1u);
+  const Stmt& if_stmt = *body.body[0];
+  EXPECT_EQ(if_stmt.kind, StmtKind::kIf);
+  ASSERT_NE(if_stmt.else_branch, nullptr);
+  EXPECT_EQ(if_stmt.else_branch->kind, StmtKind::kIf);  // else-if nesting
+}
+
+TEST(ParserTest, SwitchWithFallthroughLabels) {
+  auto unit = Parse(R"(
+    int dispatch(int op) {
+      switch (op) {
+        case 1:
+        case 2:
+          return 12;
+        case 3:
+          return 3;
+        default:
+          return 0;
+      }
+    }
+  )");
+  const Stmt& body = *unit->functions[0]->body;
+  const Stmt& sw = *body.body[0];
+  ASSERT_EQ(sw.kind, StmtKind::kSwitch);
+  ASSERT_EQ(sw.cases.size(), 3u);
+  EXPECT_EQ(sw.cases[0].values.size(), 2u);
+  EXPECT_TRUE(sw.cases[2].is_default);
+}
+
+TEST(ParserTest, WhileAndForLoops) {
+  auto unit = Parse(R"(
+    int sum(int n) {
+      int total = 0;
+      for (int i = 0; i < n; i++) {
+        total += i;
+      }
+      while (total > 100) {
+        total = total - 1;
+      }
+      return total;
+    }
+  )");
+  const Stmt& body = *unit->functions[0]->body;
+  ASSERT_EQ(body.body.size(), 4u);
+  EXPECT_EQ(body.body[1]->kind, StmtKind::kFor);
+  EXPECT_EQ(body.body[2]->kind, StmtKind::kWhile);
+}
+
+TEST(ParserTest, MemberAccessDotAndArrow) {
+  auto unit = Parse(R"(
+    struct args { int value_int; };
+    int get(struct args *c, struct args d) {
+      return c->value_int + d.value_int;
+    }
+  )");
+  ASSERT_EQ(unit->functions.size(), 1u);
+  const Stmt& ret = *unit->functions[0]->body->body[0];
+  const Expr& add = *ret.expr;
+  EXPECT_EQ(add.kind, ExprKind::kBinary);
+  EXPECT_TRUE(add.lhs->is_arrow);
+  EXPECT_FALSE(add.rhs->is_arrow);
+}
+
+TEST(ParserTest, CastExpression) {
+  auto unit = Parse(R"(
+    long convert(char *arg) {
+      int v = (int) strtoll(arg, NULL, 0);
+      return (long) v;
+    }
+  )");
+  const Stmt& decl = *unit->functions[0]->body->body[0];
+  ASSERT_EQ(decl.kind, StmtKind::kDecl);
+  EXPECT_EQ(decl.decl->init->kind, ExprKind::kCast);
+  EXPECT_EQ(decl.decl->init->cast_type.kind, AstTypeKind::kInt);
+}
+
+TEST(ParserTest, AssignmentInCondition) {
+  auto unit = Parse(R"(
+    int try_open(char *path) {
+      int fd;
+      if ((fd = open(path, 0)) < 0) {
+        return -1;
+      }
+      return fd;
+    }
+  )");
+  const Stmt& if_stmt = *unit->functions[0]->body->body[1];
+  ASSERT_EQ(if_stmt.kind, StmtKind::kIf);
+  const Expr& cond = *if_stmt.expr;
+  EXPECT_EQ(cond.kind, ExprKind::kBinary);
+  EXPECT_EQ(cond.lhs->kind, ExprKind::kAssign);
+}
+
+TEST(ParserTest, ShortCircuitOperators) {
+  auto unit = Parse(R"(
+    int check(int a, int b) {
+      if (a > 0 && b < 10 || a == -1) { return 1; }
+      return 0;
+    }
+  )");
+  const Expr& cond = *unit->functions[0]->body->body[0]->expr;
+  EXPECT_EQ(cond.binary_op, BinaryOp::kLogicalOr);  // || binds loosest
+  EXPECT_EQ(cond.lhs->binary_op, BinaryOp::kLogicalAnd);
+}
+
+TEST(ParserTest, TernaryExpression) {
+  auto unit = Parse("int pick(int a) { return a > 0 ? a : -a; }");
+  const Expr& ret = *unit->functions[0]->body->body[0]->expr;
+  EXPECT_EQ(ret.kind, ExprKind::kTernary);
+}
+
+TEST(ParserTest, StructNameUsableAsBareType) {
+  auto unit = Parse(R"(
+    struct command_rec { char *name; int takes; };
+    command_rec core_cmds[] = { { "DocumentRoot", 1 } };
+  )");
+  ASSERT_EQ(unit->globals.size(), 1u);
+  EXPECT_EQ(unit->globals[0]->type.kind, AstTypeKind::kStruct);
+  EXPECT_EQ(unit->globals[0]->type.struct_name, "command_rec");
+}
+
+TEST(ParserTest, CompoundAssignDesugars) {
+  auto unit = Parse("int f(int x) { x += 2; return x; }");
+  const Expr& stmt = *unit->functions[0]->body->body[0]->expr;
+  ASSERT_EQ(stmt.kind, ExprKind::kAssign);
+  EXPECT_EQ(stmt.rhs->kind, ExprKind::kBinary);
+  EXPECT_EQ(stmt.rhs->binary_op, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, ErrorRecoveryKeepsOtherDecls) {
+  DiagnosticEngine diags;
+  auto unit = ParseSource("int a = ;\nint b = 2;", "test.c", &diags);
+  EXPECT_TRUE(diags.HasErrors());
+  // b should still be parsed.
+  EXPECT_NE(unit->FindGlobal("b"), nullptr);
+}
+
+TEST(ParserTest, UnsignedTypes) {
+  auto unit = Parse("unsigned short port = 3128; unsigned long big = 1;");
+  EXPECT_TRUE(unit->globals[0]->type.is_unsigned);
+  EXPECT_EQ(unit->globals[0]->type.kind, AstTypeKind::kShort);
+  EXPECT_EQ(unit->globals[1]->type.kind, AstTypeKind::kLong);
+}
+
+TEST(ParserTest, DoWhileLoop) {
+  auto unit = Parse("int f() { int i = 0; do { i++; } while (i < 3); return i; }");
+  EXPECT_EQ(unit->functions[0]->body->body[1]->kind, StmtKind::kDoWhile);
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,209 @@
+// Mapping-toolkit tests: the four conventions of paper Figure 4.
+#include "src/mapping/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+namespace {
+
+struct Pipeline {
+  DiagnosticEngine diags;
+  std::unique_ptr<Module> module;
+  std::unique_ptr<AnalysisContext> context;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+
+  explicit Pipeline(std::string_view source) {
+    auto unit = ParseSource(source, "test.c", &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    module = LowerToIr(*unit, &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    context = std::make_unique<AnalysisContext>(*module);
+  }
+
+  std::vector<MappedParam> Extract(std::string_view annotations) {
+    AnnotationFile file = ParseAnnotations(annotations, &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    MappingExtractor extractor(*module, *context, apis);
+    return extractor.Extract(file, &diags);
+  }
+};
+
+TEST(AnnotationParserTest, ParsesAllKinds) {
+  DiagnosticEngine diags;
+  AnnotationFile file = ParseAnnotations(R"(
+    # comment
+    @STRUCT ConfigureNamesInt { par = 0, var = 1, min = 2, max = 3 }
+    @STRUCT core_cmds { par = 0, func = 1, arg = 1 }
+    @PARSER load_server_config { par = arg0, var = arg1 }
+    @PARSER load_argv { par = arg0[0], var = arg0[1] }
+    @GETTER get_i32 { par = 0, var = ret }
+  )",
+                                         &diags);
+  EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+  ASSERT_EQ(file.annotations.size(), 5u);
+  EXPECT_EQ(file.lines_of_annotation, 5u);
+  EXPECT_EQ(file.annotations[0].kind, AnnotationKind::kStructDirect);
+  EXPECT_EQ(file.annotations[0].min_field, 2);
+  EXPECT_EQ(file.annotations[1].kind, AnnotationKind::kStructFunction);
+  EXPECT_EQ(file.annotations[1].handler_arg, 1);
+  EXPECT_EQ(file.annotations[2].kind, AnnotationKind::kParser);
+  EXPECT_EQ(file.annotations[3].parser_par.arg_index, 0);
+  EXPECT_TRUE(file.annotations[3].parser_par.has_subscript);
+  EXPECT_EQ(file.annotations[3].parser_var.subscript, 1);
+  EXPECT_EQ(file.annotations[4].kind, AnnotationKind::kGetter);
+}
+
+TEST(AnnotationParserTest, RejectsMalformedLines) {
+  DiagnosticEngine diags;
+  ParseAnnotations("@STRUCT broken\n@WHAT x { par = 0 }\n", &diags);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+// --- Figure 4(a): PostgreSQL-style direct structure mapping.
+TEST(MappingTest, StructureDirect) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; int min; int max; };
+    int deadlock_timeout = 1000;
+    int max_connections = 100;
+    struct config_int ConfigureNamesInt[] = {
+      { "deadlock_timeout", &deadlock_timeout, 1, 600000 },
+      { "max_connections", &max_connections, 1, 8192 },
+    };
+  )");
+  auto params = pipe.Extract("@STRUCT ConfigureNamesInt { par = 0, var = 1, min = 2, max = 3 }");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "deadlock_timeout");
+  EXPECT_EQ(params[0].style, MappingStyle::kStructureDirect);
+  ASSERT_NE(params[0].storage, nullptr);
+  EXPECT_EQ(params[0].storage->name(), "deadlock_timeout");
+  EXPECT_EQ(params[0].table_min.value(), 1);
+  EXPECT_EQ(params[0].table_max.value(), 600000);
+  EXPECT_EQ(params[1].name, "max_connections");
+  ASSERT_EQ(params[1].seeds.locations.size(), 1u);
+}
+
+// --- Figure 4(b): Apache-style structure mapping through a handler.
+TEST(MappingTest, StructureFunction) {
+  Pipeline pipe(R"(
+    struct command_rec { char *name; char *handler; };
+    char *document_root;
+    void set_document_root(int cmd, char *arg) {
+      document_root = arg;
+    }
+    struct command_rec core_cmds[] = {
+      { "DocumentRoot", set_document_root },
+    };
+  )");
+  auto params = pipe.Extract("@STRUCT core_cmds { par = 0, func = 1, arg = 1 }");
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0].name, "DocumentRoot");
+  EXPECT_EQ(params[0].style, MappingStyle::kStructureFunction);
+  ASSERT_EQ(params[0].seeds.values.size(), 1u);
+  EXPECT_EQ(params[0].seeds.values[0]->value_kind(), ValueKind::kArgument);
+}
+
+// --- Figure 4(c): Redis-style comparison mapping.
+TEST(MappingTest, ComparisonBased) {
+  Pipeline pipe(R"(
+    struct server_t { int maxidletime; int port; };
+    struct server_t server;
+    void load_server_config(char *key, char *value) {
+      if (!strcasecmp(key, "timeout")) {
+        server.maxidletime = atoi(value);
+      } else if (!strcasecmp(key, "port")) {
+        server.port = atoi(value);
+      }
+    }
+  )");
+  auto params = pipe.Extract("@PARSER load_server_config { par = arg0, var = arg1 }");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "port");
+  EXPECT_EQ(params[1].name, "timeout");
+  EXPECT_EQ(params[0].style, MappingStyle::kComparison);
+  EXPECT_FALSE(params[0].seeds.values.empty());
+  EXPECT_FALSE(params[1].seeds.values.empty());
+}
+
+// --- Figure 4(c) variant with argv-style subscripts.
+TEST(MappingTest, ComparisonBasedArgv) {
+  Pipeline pipe(R"(
+    int maxidletime;
+    void load_config(char **argv) {
+      if (!strcasecmp(argv[0], "timeout")) {
+        maxidletime = atoi(argv[1]);
+      }
+    }
+  )");
+  auto params = pipe.Extract("@PARSER load_config { par = arg0[0], var = arg0[1] }");
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0].name, "timeout");
+  EXPECT_FALSE(params[0].seeds.values.empty());
+}
+
+// --- Figure 4(d): Hypertable-style container mapping.
+TEST(MappingTest, ContainerBased) {
+  Pipeline pipe(R"(
+    extern int get_i32(char *key);
+    int retry_interval;
+    void setup() {
+      retry_interval = get_i32("Connection.Retry.Interval");
+    }
+  )");
+  auto params = pipe.Extract("@GETTER get_i32 { par = 0, var = ret }");
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0].name, "Connection.Retry.Interval");
+  EXPECT_EQ(params[0].style, MappingStyle::kContainer);
+  ASSERT_EQ(params[0].seeds.values.size(), 1u);
+  EXPECT_EQ(params[0].seeds.values[0]->value_kind(), ValueKind::kInstruction);
+}
+
+// --- Hybrid (OpenLDAP): two conventions in one program merge cleanly.
+TEST(MappingTest, HybridConventionsMerge) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int index_intlen = 4;
+    struct config_int table[] = { { "index_intlen", &index_intlen } };
+    void load_extra(char *key, char *value) {
+      if (!strcasecmp(key, "index_intlen")) {
+        index_intlen = atoi(value);
+      }
+    }
+  )");
+  auto params = pipe.Extract(R"(
+    @STRUCT table { par = 0, var = 1 }
+    @PARSER load_extra { par = arg0, var = arg1 }
+  )");
+  ASSERT_EQ(params.size(), 1u);  // Merged, not duplicated.
+  EXPECT_EQ(params[0].name, "index_intlen");
+  EXPECT_FALSE(params[0].seeds.values.empty());
+  EXPECT_FALSE(params[0].seeds.locations.empty());
+}
+
+TEST(MappingTest, SentinelRowsSkipped) {
+  Pipeline pipe(R"(
+    struct config_int { char *name; int *variable; };
+    int alpha;
+    struct config_int table[] = {
+      { "alpha", &alpha },
+      { NULL, NULL },
+    };
+  )");
+  auto params = pipe.Extract("@STRUCT table { par = 0, var = 1 }");
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0].name, "alpha");
+}
+
+TEST(MappingTest, UnknownTableReportsError) {
+  Pipeline pipe("int x;");
+  DiagnosticEngine diags;
+  AnnotationFile file = ParseAnnotations("@STRUCT nope { par = 0, var = 1 }", &diags);
+  MappingExtractor extractor(*pipe.module, *pipe.context, pipe.apis);
+  extractor.Extract(file, &diags);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+}  // namespace
+}  // namespace spex

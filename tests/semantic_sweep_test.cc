@@ -1,0 +1,80 @@
+// Property sweep: semantic-type inference across every API family in the
+// registry — each known API must stamp its parameter with the right
+// semantic type, end-to-end from source.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+namespace {
+
+struct SemanticCase {
+  const char* name;        // Test label.
+  const char* use_snippet; // Statement using the parameter variable `knob`.
+  const char* knob_type;   // "int" or "char *".
+  SemanticType expected;
+  TimeUnit time_unit = TimeUnit::kNone;
+  SizeUnit size_unit = SizeUnit::kNone;
+};
+
+class SemanticSweepTest : public ::testing::TestWithParam<SemanticCase> {};
+
+TEST_P(SemanticSweepTest, ApiStampsSemanticType) {
+  const SemanticCase& test_case = GetParam();
+  std::string knob_decl = std::string(test_case.knob_type) + " knob";
+  std::string init = std::string(test_case.knob_type) == "int" ? " = 8;" : " = \"/tmp/x\";";
+  std::string ref_field = std::string(test_case.knob_type) == "int" ? "int *" : "char **";
+  std::string source = "struct cfg { char *name; " + ref_field + " variable; };\n" +
+                       knob_decl + init + "\n" +
+                       "struct cfg table[] = { { \"knob\", &knob } };\n" +
+                       "void apply() {\n  " + test_case.use_snippet + "\n}\n";
+  DiagnosticEngine diags;
+  auto unit = ParseSource(source, "sweep.c", &diags);
+  ASSERT_FALSE(diags.HasErrors()) << diags.Render();
+  auto module = LowerToIr(*unit, &diags);
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  SpexEngine engine(*module, apis);
+  AnnotationFile file = ParseAnnotations("@STRUCT table { par = 0, var = 1 }", &diags);
+  ModuleConstraints constraints = engine.Run(file, &diags);
+  const ParamConstraints* param = constraints.FindParam("knob");
+  ASSERT_NE(param, nullptr);
+  const SemanticTypeConstraint* semantic = param->FindSemantic(test_case.expected);
+  ASSERT_NE(semantic, nullptr)
+      << test_case.name << ": expected " << SemanticTypeName(test_case.expected);
+  EXPECT_EQ(semantic->time_unit, test_case.time_unit) << test_case.name;
+  EXPECT_EQ(semantic->size_unit, test_case.size_unit) << test_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apis, SemanticSweepTest,
+    ::testing::Values(
+        SemanticCase{"open_file", "open(knob, 0);", "char *", SemanticType::kFilePath},
+        SemanticCase{"fopen_file", "fopen(knob, \"r\");", "char *", SemanticType::kFilePath},
+        SemanticCase{"chdir_dir", "chdir(knob);", "char *", SemanticType::kDirPath},
+        SemanticCase{"chroot_dir", "chroot(knob);", "char *", SemanticType::kDirPath},
+        SemanticCase{"bind_port", "int fd = socket(); bind(fd, knob);", "int",
+                     SemanticType::kPort},
+        SemanticCase{"htons_port", "htons(knob);", "int", SemanticType::kPort},
+        SemanticCase{"inet_ip", "inet_addr(knob);", "char *", SemanticType::kIpAddress},
+        SemanticCase{"resolve_host", "gethostbyname(knob);", "char *",
+                     SemanticType::kHostname},
+        SemanticCase{"pw_user", "getpwnam(knob);", "char *", SemanticType::kUserName},
+        SemanticCase{"gr_group", "getgrnam(knob);", "char *", SemanticType::kGroupName},
+        SemanticCase{"sleep_s", "sleep(knob);", "int", SemanticType::kTime,
+                     TimeUnit::kSeconds},
+        SemanticCase{"usleep_us", "usleep(knob);", "int", SemanticType::kTime,
+                     TimeUnit::kMicroseconds},
+        SemanticCase{"poll_ms", "poll_wait(knob);", "int", SemanticType::kTime,
+                     TimeUnit::kMilliseconds},
+        SemanticCase{"sleep_scaled_min", "sleep(knob * 60);", "int", SemanticType::kTime,
+                     TimeUnit::kMinutes},
+        SemanticCase{"malloc_bytes", "malloc(knob);", "int", SemanticType::kSize,
+                     TimeUnit::kNone, SizeUnit::kBytes},
+        SemanticCase{"alloc_kb", "alloc_buffer(knob * 1024);", "int", SemanticType::kSize,
+                     TimeUnit::kNone, SizeUnit::kKilobytes}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace spex
