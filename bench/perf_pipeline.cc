@@ -1,7 +1,16 @@
 // Engineering micro-benchmarks (google-benchmark): throughput of each
 // pipeline stage on the largest corpus target. Not a paper table — these
 // guard against performance regressions in the reproduction itself.
+//
+// Unless --benchmark_out is given, results are also written to
+// BENCH_pipeline.json (google-benchmark JSON format) so the perf
+// trajectory is recorded per run. See ROADMAP.md "Benchmarking".
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/corpus/pipeline.h"
 #include "src/ir/lowering.h"
@@ -79,7 +88,96 @@ void BM_InterpreterStartup(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterStartup);
 
+void BM_InterpreterReset(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+  OsSimulator os = OsSimulator::StandardEnvironment();
+  Interpreter interp(*analysis.module, &os);
+  interp.Call("server_init", {});
+  for (auto _ : state) {
+    interp.Reset();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_InterpreterReset);
+
+// Full-campaign fixture: squid constraints, generated misconfigurations
+// tiled to a >= 200-entry batch so thread scaling has enough work.
+struct CampaignFixture {
+  TargetAnalysis analysis;
+  ConfigFile template_config;
+  std::vector<Misconfiguration> batch;
+};
+
+const CampaignFixture& SquidCampaignFixture() {
+  static const CampaignFixture* kFixture = [] {
+    auto* fixture = new CampaignFixture;
+    DiagnosticEngine diags;
+    ApiRegistry apis = ApiRegistry::BuiltinC();
+    fixture->analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+    fixture->template_config = ConfigFile::Parse(fixture->analysis.bundle.template_config,
+                                                 fixture->analysis.bundle.dialect);
+    MisconfigGenerator generator;
+    std::vector<Misconfiguration> generated = generator.Generate(fixture->analysis.constraints);
+    if (generated.empty()) {
+      std::cerr << "perf_pipeline: no misconfigurations generated for squid; "
+                << "cannot build campaign batch\n"
+                << diags.Render();
+      std::abort();
+    }
+    while (fixture->batch.size() < 200) {
+      fixture->batch.insert(fixture->batch.end(), generated.begin(), generated.end());
+    }
+    return fixture;
+  }();
+  return *kFixture;
+}
+
+// Arg 0: CampaignOptions::num_threads (0 = hardware concurrency, 1 = serial).
+void BM_CampaignThroughput(benchmark::State& state) {
+  const CampaignFixture& fixture = SquidCampaignFixture();
+  CampaignOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  InjectionCampaign campaign(*fixture.analysis.module, fixture.analysis.bundle.sut,
+                             OsSimulator::StandardEnvironment(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign.RunAll(fixture.template_config, fixture.batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.batch.size()));
+}
+BENCHMARK(BM_CampaignThroughput)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace spex
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Default output file so every run records the perf trajectory; an
+  // explicit --benchmark_out wins.
+  std::string out_flag = "--benchmark_out=BENCH_pipeline.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI smoke: build Release + ThreadSanitizer configurations and run the test
+# suite under both. The TSan configuration exists specifically to catch
+# data races in the parallel injection campaign (ThreadPool + RunAll), so
+# it always runs the campaign determinism test even in quick mode.
+#
+# Usage:
+#   scripts/smoke.sh          # full: Release ctest + TSan campaign tests
+#   scripts/smoke.sh --quick  # Release build + campaign/interp tests only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+echo "== Release configuration =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "${JOBS}"
+if [[ "${QUICK}" == "1" ]]; then
+  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test'
+else
+  ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+fi
+
+echo "== ThreadSanitizer configuration =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPEX_BUILD_BENCHES=OFF \
+  -DSPEX_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test
+# The parallel-campaign determinism test is the point of the TSan build:
+# num_threads=4 workers over shared module/SUT state.
+./build-tsan/inject_test --gtest_filter='CampaignParallelTest.*:CampaignTest.*'
+./build-tsan/interp_test
+
+echo "smoke: OK"

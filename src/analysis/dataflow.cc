@@ -42,6 +42,22 @@ struct InstrOrder {
 }  // namespace
 
 AnalysisContext::AnalysisContext(const Module& module) : module_(module) {
+  // Reserve up front. The instruction count is a cheap upper bound for all
+  // of these: users_ holds at most one entry per distinct operand value
+  // (many instructions share operands or have none), and the loc/call
+  // indexes hold one entry per distinct location/callee.
+  size_t instruction_count = 0;
+  for (const auto& fn : module.functions()) {
+    for (const auto& block : fn->blocks()) {
+      instruction_count += block->instructions().size();
+    }
+  }
+  users_.reserve(instruction_count);
+  loads_by_loc_.reserve(instruction_count / 4 + 1);
+  stores_by_loc_.reserve(instruction_count / 4 + 1);
+  call_sites_.reserve(instruction_count / 4 + 1);
+  returns_.reserve(module.functions().size());
+
   for (const auto& fn : module.functions()) {
     for (const auto& block : fn->blocks()) {
       for (const auto& instr : block->instructions()) {

@@ -16,9 +16,10 @@
 #ifndef SPEX_ANALYSIS_DATAFLOW_H_
 #define SPEX_ANALYSIS_DATAFLOW_H_
 
-#include <map>
 #include <optional>
 #include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analysis/memloc.h"
@@ -51,12 +52,14 @@ class AnalysisContext {
   }
 
  private:
+  // Hashed, not ordered: these indexes are only ever point-queried (never
+  // iterated), and SpexEngine::Run re-queries them for every parameter.
   const Module& module_;
-  std::map<MemLoc, std::vector<const Instruction*>> loads_by_loc_;
-  std::map<MemLoc, std::vector<const Instruction*>> stores_by_loc_;
-  std::map<const Value*, std::vector<const Instruction*>> users_;
-  std::map<std::string, std::vector<const Instruction*>> call_sites_;
-  std::map<const Function*, std::vector<const Instruction*>> returns_;
+  std::unordered_map<MemLoc, std::vector<const Instruction*>, MemLocHash> loads_by_loc_;
+  std::unordered_map<MemLoc, std::vector<const Instruction*>, MemLocHash> stores_by_loc_;
+  std::unordered_map<const Value*, std::vector<const Instruction*>> users_;
+  std::unordered_map<std::string, std::vector<const Instruction*>> call_sites_;
+  std::unordered_map<const Function*, std::vector<const Instruction*>> returns_;
   std::vector<const Instruction*> empty_;
 };
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/ir/ir.h"
+#include "src/support/hashing.h"
 
 namespace spex {
 
@@ -35,6 +36,17 @@ struct MemLoc {
   }
   friend bool operator<(const MemLoc& a, const MemLoc& b) {
     return std::tie(a.root, a.path) < std::tie(b.root, b.path);
+  }
+};
+
+// Hash for unordered containers keyed by MemLoc (the data-flow indexes).
+struct MemLocHash {
+  size_t operator()(const MemLoc& loc) const {
+    size_t h = std::hash<const void*>()(loc.root);
+    for (int step : loc.path) {
+      h = HashCombine(h, std::hash<int>()(step));
+    }
+    return h;
   }
 };
 

@@ -151,6 +151,11 @@ ModuleConstraints SpexEngine::InferFromMappings(const std::vector<MappedParam>& 
     state.dataflow = dataflow_engine_.Analyze(mapping.seeds);
     states.push_back(std::move(state));
   }
+  size_t tainted_total = 0;
+  for (const ParamState& state : states) {
+    tainted_total += state.dataflow.tainted_values.size();
+  }
+  value_to_params_.reserve(tainted_total);
   for (size_t i = 0; i < states.size(); ++i) {
     dataflows_[mappings_[i].name] = states[i].dataflow;
     for (const Value* value : states[i].dataflow.tainted_values) {

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analysis/dataflow.h"
@@ -82,7 +83,9 @@ class SpexEngine {
   std::vector<MappedParam> mappings_;
   std::map<std::string, ParamDataflow> dataflows_;
   std::map<const Function*, std::unique_ptr<ControlDependence>> control_deps_;
-  std::map<const Value*, std::vector<size_t>> value_to_params_;
+  // Hashed: point-queried once per cmp operand during control-dep and
+  // value-relationship inference, never iterated.
+  std::unordered_map<const Value*, std::vector<size_t>> value_to_params_;
 };
 
 }  // namespace spex

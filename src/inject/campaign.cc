@@ -1,9 +1,11 @@
 #include "src/inject/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace spex {
 
@@ -85,7 +87,7 @@ InjectionCampaign::InjectionCampaign(const Module& module, const SutSpec& sut,
 }
 
 InjectionCampaign::RunOutcome InjectionCampaign::Execute(Interpreter& interp,
-                                                         const ConfigFile& config) {
+                                                         const ConfigFile& config) const {
   RunOutcome outcome;
   // Phase 1: parse every setting.
   for (const ConfigEntry& entry : config.entries()) {
@@ -161,19 +163,26 @@ bool InjectionCampaign::LogsPinpoint(const std::vector<std::string>& logs,
                                      const ConfigFile& applied) const {
   uint32_t line = applied.LineOf(config.param);
   std::string line_marker = "line " + std::to_string(line);
+  // Needles that count as pinpointing: the parameter name, the injected
+  // value, the config-line marker, and the extra settings applied with it
+  // (control-dep master, relationship peer). Collected once instead of
+  // re-assembled per log line, and matched case-insensitively throughout —
+  // a log that echoes the value in different case still pinpoints it.
+  std::vector<std::string_view> needles;
+  needles.reserve(3 + config.extra_settings.size());
+  needles.push_back(config.param);
+  if (config.value.size() >= 2) {
+    needles.push_back(config.value);
+  }
+  if (line != 0) {
+    needles.push_back(line_marker);
+  }
+  for (const auto& [key, value] : config.extra_settings) {
+    needles.push_back(key);
+  }
   for (const std::string& log : logs) {
-    if (ContainsSubstringIgnoreCase(log, config.param)) {
-      return true;
-    }
-    if (config.value.size() >= 2 && ContainsSubstring(log, config.value)) {
-      return true;
-    }
-    if (line != 0 && ContainsSubstringIgnoreCase(log, line_marker)) {
-      return true;
-    }
-    // Extra settings (control-dep master, relationship peer) count too.
-    for (const auto& [key, value] : config.extra_settings) {
-      if (ContainsSubstringIgnoreCase(log, key)) {
+    for (std::string_view needle : needles) {
+      if (ContainsSubstringIgnoreCase(log, needle)) {
         return true;
       }
     }
@@ -190,6 +199,19 @@ bool InjectionCampaign::BaselinePasses(const ConfigFile& template_config) {
 
 InjectionResult InjectionCampaign::RunOne(const ConfigFile& template_config,
                                           const Misconfiguration& config) {
+  OsSimulator os = os_template_;
+  Interpreter interp(module_, &os, options_.interp);
+  return RunOneWith(interp, os, template_config, config);
+}
+
+InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& os,
+                                              const ConfigFile& template_config,
+                                              const Misconfiguration& config) const {
+  // Fresh template state for every run: injected damage (occupied ports,
+  // allocations, mutated globals) must never leak across runs.
+  os = os_template_;
+  interp.Reset();
+
   InjectionResult result;
   result.config = config;
   result.vulnerability_loc = config.constraint_loc;
@@ -200,8 +222,6 @@ InjectionResult InjectionCampaign::RunOne(const ConfigFile& template_config,
     applied.Set(key, value);
   }
 
-  OsSimulator os = os_template_;
-  Interpreter interp(module_, &os, options_.interp);
   RunOutcome outcome = Execute(interp, applied);
   result.logs = interp.logs();
   result.tests_run = outcome.tests_run;
@@ -278,11 +298,45 @@ InjectionResult InjectionCampaign::RunOne(const ConfigFile& template_config,
 CampaignSummary InjectionCampaign::RunAll(const ConfigFile& template_config,
                                           const std::vector<Misconfiguration>& configs) {
   CampaignSummary summary;
-  summary.results.reserve(configs.size());
-  for (const Misconfiguration& config : configs) {
-    InjectionResult result = RunOne(template_config, config);
+  size_t worker_count =
+      ThreadPool::ResolveThreadCount(options_.num_threads < 0
+                                         ? 1
+                                         : static_cast<size_t>(options_.num_threads));
+  worker_count = std::min(worker_count, configs.size());
+
+  if (worker_count <= 1) {
+    // Serial path; still reuses one interpreter via Reset() instead of
+    // rebuilding per run.
+    OsSimulator os = os_template_;
+    Interpreter interp(module_, &os, options_.interp);
+    summary.results.reserve(configs.size());
+    for (const Misconfiguration& config : configs) {
+      summary.results.push_back(RunOneWith(interp, os, template_config, config));
+    }
+  } else {
+    // Fan out over pre-sized slots: worker i writes results[index] for the
+    // indexes it claims, so result order — and therefore every summary
+    // statistic — is identical to the serial run. The module, SUT spec and
+    // OS template are shared immutably; each worker owns its interpreter
+    // and simulator copy.
+    summary.results.resize(configs.size());
+    std::atomic<size_t> next_index{0};
+    ThreadPool pool(worker_count);
+    for (size_t w = 0; w < worker_count; ++w) {
+      pool.Submit([&] {
+        OsSimulator os = os_template_;
+        Interpreter interp(module_, &os, options_.interp);
+        for (size_t i = next_index.fetch_add(1); i < configs.size();
+             i = next_index.fetch_add(1)) {
+          summary.results[i] = RunOneWith(interp, os, template_config, configs[i]);
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  for (const InjectionResult& result : summary.results) {
     summary.total_tests_run += result.tests_run;
-    summary.results.push_back(std::move(result));
   }
   return summary;
 }

@@ -74,6 +74,10 @@ struct CampaignSummary {
 struct CampaignOptions {
   bool stop_at_first_failure = true;
   bool sort_tests_by_cost = true;
+  // Workers for RunAll: 1 = legacy serial path, 0 = hardware concurrency.
+  // Results are written into pre-sized slots, so ordering, categories and
+  // totals are identical for every thread count.
+  int num_threads = 1;
   InterpOptions interp;
 };
 
@@ -103,7 +107,13 @@ class InjectionCampaign {
     bool rejected = false;  // Parse/init returned an error code.
   };
 
-  RunOutcome Execute(Interpreter& interp, const ConfigFile& config);
+  // Resets `interp` / `os` to the template state, runs one misconfiguration
+  // and classifies the reaction. Thread-safe: only touches the interpreter
+  // and simulator owned by the calling worker.
+  InjectionResult RunOneWith(Interpreter& interp, OsSimulator& os,
+                             const ConfigFile& template_config,
+                             const Misconfiguration& config) const;
+  RunOutcome Execute(Interpreter& interp, const ConfigFile& config) const;
   bool LogsPinpoint(const std::vector<std::string>& logs, const Misconfiguration& config,
                     const ConfigFile& applied) const;
 

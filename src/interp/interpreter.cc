@@ -101,33 +101,64 @@ std::string RtValue::ToDebugString() const {
   return "?";
 }
 
-bool Interpreter::CellKey::operator<(const CellKey& other) const {
-  if (frame != other.frame) {
-    return frame < other.frame;
-  }
-  if (root != other.root) {
-    return root < other.root;
-  }
-  return path < other.path;
-}
-
 // ---------------------------------------------------------------------------
 // Construction and global initialization.
 
 Interpreter::Interpreter(const Module& module, OsSimulator* os, InterpOptions options)
     : module_(module), os_(os), options_(options) {
+  BuildModuleIndex();
+  BuildInitImage();
   Reset();
 }
 
+void Interpreter::BuildModuleIndex() {
+  functions_by_name_.reserve(module_.functions().size());
+  for (const auto& fn : module_.functions()) {
+    // Like Module::FindFunction, a definition wins over a declaration of
+    // the same name. (Among multiple declarations the first wins here, the
+    // last there — unobservable, since callers only check IsDeclaration().)
+    auto [it, inserted] = functions_by_name_.emplace(fn->name(), fn.get());
+    if (!inserted && it->second->IsDeclaration() && !fn->IsDeclaration()) {
+      it->second = fn.get();
+    }
+  }
+  const auto& globals = module_.globals();
+  globals_by_name_.reserve(globals.size());
+  global_slot_.reserve(globals.size());
+  global_bounds_.reserve(globals.size());
+  for (size_t i = 0; i < globals.size(); ++i) {
+    const GlobalVariable* global = globals[i].get();
+    globals_by_name_.emplace(global->name(), global);
+    global_slot_.emplace(global, static_cast<int32_t>(i));
+    global_bounds_.push_back(global->is_array() ? global->array_size() : 0);
+  }
+  global_read_.assign(globals.size(), 0);
+}
+
+const Function* Interpreter::LookupFunction(const std::string& name) const {
+  auto it = functions_by_name_.find(name);
+  return it != functions_by_name_.end() ? it->second : nullptr;
+}
+
+const GlobalVariable* Interpreter::LookupGlobal(const std::string& name) const {
+  auto it = globals_by_name_.find(name);
+  return it != globals_by_name_.end() ? it->second : nullptr;
+}
+
+int32_t Interpreter::GlobalSlotOf(const Value* root) const {
+  auto it = global_slot_.find(root);
+  return it != global_slot_.end() ? it->second : -1;
+}
+
 void Interpreter::Reset() {
-  cells_.clear();
-  array_bounds_.clear();
+  global_scalars_ = init_scalars_;
+  cells_ = init_cells_;
+  std::fill(global_read_.begin(), global_read_.end(), 0);
+  alloca_bounds_.clear();
   logs_.clear();
-  globals_read_.clear();
   steps_ = 0;
   next_frame_id_ = 0;
   call_depth_ = 0;
-  InitGlobals();
 }
 
 RtValue Interpreter::DefaultValueFor(const IrType* type) const {
@@ -164,45 +195,41 @@ RtValue InitToValue(const GlobalInit& init) {
 
 }  // namespace
 
-void Interpreter::InitGlobals() {
+void Interpreter::BuildInitImage() {
+  init_scalars_.reserve(module_.globals().size());
   for (const auto& global : module_.globals()) {
-    array_bounds_[global.get()] = global->is_array() ? global->array_size() : 0;
+    init_scalars_.push_back(DefaultValueFor(global->value_type()));
     const GlobalInit& init = global->init();
 
-    auto store_leaf = [this, &global](std::vector<int64_t> path, const GlobalInit& leaf) {
-      CellKey key;
-      key.frame = -1;
-      key.root = global.get();
-      key.path = std::move(path);
+    auto leaf_value = [this](const GlobalInit& leaf) -> RtValue {
       if (leaf.kind == GlobalInit::Kind::kGlobalRef) {
         // Address of another global, or a function reference.
-        GlobalVariable* target = module_.FindGlobal(leaf.string_value);
+        const GlobalVariable* target = LookupGlobal(leaf.string_value);
         if (target != nullptr) {
           RtValue addr;
           addr.kind = RtValue::Kind::kAddr;
           addr.frame = -1;
           addr.root = target;
-          cells_[key] = std::move(addr);
-        } else {
-          cells_[key] = RtValue::FnRef(leaf.string_value);
+          return addr;
         }
-      } else {
-        cells_[key] = InitToValue(leaf);
+        return RtValue::FnRef(leaf.string_value);
       }
+      return InitToValue(leaf);
+    };
+    auto store_leaf = [this, &global, &leaf_value](std::vector<int64_t> path,
+                                                   const GlobalInit& leaf) {
+      CellKey key;
+      key.frame = -1;
+      key.root = global.get();
+      key.path = std::move(path);
+      init_cells_[std::move(key)] = leaf_value(leaf);
     };
 
     if (init.kind == GlobalInit::Kind::kNone) {
-      // Scalar default.
-      if (!global->is_array()) {
-        CellKey key;
-        key.frame = -1;
-        key.root = global.get();
-        cells_[key] = DefaultValueFor(global->value_type());
-      }
-      continue;
+      continue;  // Scalar slot already holds the type default.
     }
     if (init.kind != GlobalInit::Kind::kList) {
-      store_leaf({}, init);
+      init_scalars_.back() = leaf_value(init);
       continue;
     }
     // Array and/or struct initializer.
@@ -228,25 +255,45 @@ void Interpreter::InitGlobals() {
 // ---------------------------------------------------------------------------
 // Memory.
 
-Interpreter::CellKey Interpreter::AddrToCell(const RtValue& addr) const {
-  CellKey key;
-  key.frame = addr.frame;
-  key.root = addr.root;
-  key.path = addr.path;
-  return key;
-}
-
-void Interpreter::CheckBounds(const CellKey& key, const Instruction* at) const {
-  auto it = array_bounds_.find(key.root);
-  if (it == array_bounds_.end() || it->second <= 0 || key.path.empty()) {
+void Interpreter::CheckBounds(const Value* root, int32_t slot,
+                              const std::vector<int64_t>& path, const Instruction* at) const {
+  if (path.empty()) {
     return;
   }
-  int64_t index = key.path.front();
-  if (index < 0 || index >= it->second) {
+  int64_t bound = 0;
+  if (slot >= 0) {
+    bound = global_bounds_[static_cast<size_t>(slot)];
+  } else {
+    auto it = alloca_bounds_.find(root);
+    bound = it != alloca_bounds_.end() ? it->second : 0;
+  }
+  if (bound <= 0) {
+    return;
+  }
+  int64_t index = path.front();
+  if (index < 0 || index >= bound) {
     throw TrapError("Segmentation fault (array index " + std::to_string(index) +
-                    " out of bounds 0.." + std::to_string(it->second - 1) + " at " +
+                    " out of bounds 0.." + std::to_string(bound - 1) + " at " +
                     (at != nullptr ? at->loc().ToString() : "<unknown>") + ")");
   }
+}
+
+RtValue Interpreter::DefaultCellValue(const Value* root,
+                                      const std::vector<int64_t>& path) const {
+  const IrType* type = nullptr;
+  if (root->value_kind() == ValueKind::kGlobal) {
+    type = static_cast<const GlobalVariable*>(root)->value_type();
+  } else if (root->value_kind() == ValueKind::kInstruction) {
+    type = static_cast<const Instruction*>(root)->allocated_type();
+  }
+  for (size_t i = 0; i < path.size() && type != nullptr; ++i) {
+    if (type->IsStruct()) {
+      size_t field = static_cast<size_t>(path[i]);
+      type = field < type->field_types().size() ? type->field_types()[field] : nullptr;
+    }
+    // Array steps keep the element type (arrays are typed by their element).
+  }
+  return DefaultValueFor(type);
 }
 
 RtValue Interpreter::LoadCell(const RtValue& addr, const Instruction* at) {
@@ -256,30 +303,24 @@ RtValue Interpreter::LoadCell(const RtValue& addr, const Instruction* at) {
   if (addr.kind != RtValue::Kind::kAddr) {
     throw TrapError("Segmentation fault (load through non-pointer value)");
   }
-  CellKey key = AddrToCell(addr);
-  CheckBounds(key, at);
-  if (key.frame == -1) {
-    globals_read_.insert(key.root);
+  int32_t slot = addr.frame == -1 ? GlobalSlotOf(addr.root) : -1;
+  CheckBounds(addr.root, slot, addr.path, at);
+  if (slot >= 0) {
+    global_read_[static_cast<size_t>(slot)] = 1;
+    if (addr.path.empty()) {
+      return global_scalars_[static_cast<size_t>(slot)];
+    }
   }
+  CellKey key;
+  key.frame = addr.frame;
+  key.root = addr.root;
+  key.path = addr.path;
   auto it = cells_.find(key);
   if (it != cells_.end()) {
     return it->second;
   }
   // Untouched cell: default by leaf type when derivable.
-  const IrType* type = nullptr;
-  if (key.root->value_kind() == ValueKind::kGlobal) {
-    type = static_cast<const GlobalVariable*>(key.root)->value_type();
-  } else if (key.root->value_kind() == ValueKind::kInstruction) {
-    type = static_cast<const Instruction*>(key.root)->allocated_type();
-  }
-  for (size_t i = 0; i < key.path.size() && type != nullptr; ++i) {
-    if (type->IsStruct()) {
-      size_t field = static_cast<size_t>(key.path[i]);
-      type = field < type->field_types().size() ? type->field_types()[field] : nullptr;
-    }
-    // Array steps keep the element type (arrays are typed by their element).
-  }
-  return DefaultValueFor(type);
+  return DefaultCellValue(addr.root, addr.path);
 }
 
 void Interpreter::StoreCell(const RtValue& addr, RtValue value, const Instruction* at) {
@@ -289,9 +330,17 @@ void Interpreter::StoreCell(const RtValue& addr, RtValue value, const Instructio
   if (addr.kind != RtValue::Kind::kAddr) {
     throw TrapError("Segmentation fault (store through non-pointer value)");
   }
-  CellKey key = AddrToCell(addr);
-  CheckBounds(key, at);
-  cells_[AddrToCell(addr)] = std::move(value);
+  int32_t slot = addr.frame == -1 ? GlobalSlotOf(addr.root) : -1;
+  CheckBounds(addr.root, slot, addr.path, at);
+  if (slot >= 0 && addr.path.empty()) {
+    global_scalars_[static_cast<size_t>(slot)] = std::move(value);
+    return;
+  }
+  CellKey key;
+  key.frame = addr.frame;
+  key.root = addr.root;
+  key.path = addr.path;
+  cells_[std::move(key)] = std::move(value);
 }
 
 // ---------------------------------------------------------------------------
@@ -305,7 +354,7 @@ void Interpreter::Step() {
 
 CallOutcome Interpreter::Call(const std::string& function, std::vector<RtValue> args) {
   CallOutcome outcome;
-  const Function* fn = module_.FindFunction(function);
+  const Function* fn = LookupFunction(function);
   if (fn == nullptr || fn->IsDeclaration()) {
     outcome.status = CallOutcome::Status::kTrap;
     outcome.trap_reason = "no such function: " + function;
@@ -347,8 +396,8 @@ RtValue Interpreter::Eval(Frame& frame, const Value* value) {
     }
     case ValueKind::kArgument:
     case ValueKind::kInstruction: {
-      auto it = frame.regs.find(value);
-      return it != frame.regs.end() ? it->second : RtValue::Int(0);
+      uint32_t id = value->id();
+      return id < frame.regs.size() ? frame.regs[id] : RtValue::Int(0);
     }
   }
   return RtValue::Int(0);
@@ -362,9 +411,14 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
   Frame frame;
   frame.fn = &fn;
   frame.id = next_frame_id_++;
+  if (!frame_pool_.empty()) {
+    frame.regs = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+  }
+  frame.regs.assign(fn.value_id_count(), RtValue());
   for (size_t i = 0; i < fn.arguments().size(); ++i) {
-    frame.regs[fn.arguments()[i].get()] =
-        i < args.size() ? args[i] : DefaultValueFor(fn.arguments()[i]->type());
+    frame.regs[fn.arguments()[i]->id()] =
+        i < args.size() ? std::move(args[i]) : DefaultValueFor(fn.arguments()[i]->type());
   }
 
   const BasicBlock* block = fn.entry();
@@ -376,18 +430,16 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
       Step();
       switch (instr->instr_kind()) {
         case InstrKind::kAlloca: {
-          if (array_bounds_.find(instr) == array_bounds_.end()) {
-            array_bounds_[instr] = instr->alloca_array_size();
-          }
+          alloca_bounds_.emplace(instr, instr->alloca_array_size());
           RtValue addr;
           addr.kind = RtValue::Kind::kAddr;
           addr.frame = frame.id;
           addr.root = instr;
-          frame.regs[instr] = addr;
+          frame.regs[instr->id()] = addr;
           break;
         }
         case InstrKind::kLoad:
-          frame.regs[instr] = LoadCell(Eval(frame, instr->operand(0)), instr);
+          frame.regs[instr->id()] = LoadCell(Eval(frame, instr->operand(0)), instr);
           break;
         case InstrKind::kStore:
           StoreCell(Eval(frame, instr->operand(1)), Eval(frame, instr->operand(0)), instr);
@@ -419,7 +471,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
                 out = 0;
                 break;
             }
-            frame.regs[instr] = RtValue::Float(out);
+            frame.regs[instr->id()] = RtValue::Float(out);
             break;
           }
           int64_t a = lhs.AsInt();
@@ -463,7 +515,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
               out = a ^ b;
               break;
           }
-          frame.regs[instr] = RtValue::Int(out);
+          frame.regs[instr->id()] = RtValue::Int(out);
           break;
         }
         case InstrKind::kCmp: {
@@ -551,16 +603,16 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
                 break;
             }
           }
-          frame.regs[instr] = RtValue::Int(result_bool ? 1 : 0);
+          frame.regs[instr->id()] = RtValue::Int(result_bool ? 1 : 0);
           break;
         }
         case InstrKind::kCast: {
           RtValue operand = Eval(frame, instr->operand(0));
           const IrType* to = instr->type();
           if (to->kind() == IrTypeKind::kFloat) {
-            frame.regs[instr] = RtValue::Float(operand.AsFloat());
+            frame.regs[instr->id()] = RtValue::Float(operand.AsFloat());
           } else if (to->IsBool()) {
-            frame.regs[instr] = RtValue::Int(operand.IsTruthy() ? 1 : 0);
+            frame.regs[instr->id()] = RtValue::Int(operand.IsTruthy() ? 1 : 0);
           } else if (to->IsInteger()) {
             int64_t v = operand.AsInt();
             // Integer truncation — this is where 9000000000 silently becomes
@@ -578,14 +630,14 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
               default:
                 break;
             }
-            frame.regs[instr] = RtValue::Int(v);
+            frame.regs[instr->id()] = RtValue::Int(v);
           } else {
-            frame.regs[instr] = operand;
+            frame.regs[instr->id()] = operand;
           }
           break;
         }
         case InstrKind::kCall:
-          frame.regs[instr] = ExecCall(frame, instr);
+          frame.regs[instr->id()] = ExecCall(frame, instr);
           break;
         case InstrKind::kFieldAddr: {
           RtValue base = Eval(frame, instr->operand(0));
@@ -596,7 +648,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
             throw TrapError("Segmentation fault (field access on non-pointer)");
           }
           base.path.push_back(instr->field_index());
-          frame.regs[instr] = base;
+          frame.regs[instr->id()] = base;
           break;
         }
         case InstrKind::kIndexAddr: {
@@ -609,7 +661,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
           }
           RtValue index = Eval(frame, instr->operand(1));
           base.path.push_back(index.AsInt());
-          frame.regs[instr] = base;
+          frame.regs[instr->id()] = base;
           break;
         }
         case InstrKind::kBr:
@@ -631,12 +683,12 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
           }
           break;
         }
-        case InstrKind::kRet:
+        case InstrKind::kRet: {
           --call_depth_;
-          if (instr->operand_count() == 1) {
-            return Eval(frame, instr->operand(0));
-          }
-          return result;
+          RtValue ret = instr->operand_count() == 1 ? Eval(frame, instr->operand(0)) : result;
+          frame_pool_.push_back(std::move(frame.regs));
+          return ret;
+        }
         case InstrKind::kUnreachable:
           throw TrapError("Segmentation fault (unreachable code executed)");
       }
@@ -647,6 +699,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
     block = next;
   }
   --call_depth_;
+  frame_pool_.push_back(std::move(frame.regs));
   return result;
 }
 
@@ -656,7 +709,7 @@ RtValue Interpreter::ExecCall(Frame& frame, const Instruction* instr) {
   for (size_t i = 0; i < instr->operand_count(); ++i) {
     args.push_back(Eval(frame, instr->operand(i)));
   }
-  const Function* callee = module_.FindFunction(instr->callee());
+  const Function* callee = LookupFunction(instr->callee());
   if (callee != nullptr && !callee->IsDeclaration()) {
     return RunFunction(*callee, std::move(args));
   }
@@ -1008,7 +1061,7 @@ RtValue Interpreter::Intrinsic(const std::string& name, std::vector<RtValue>& ar
     if (args.empty() || args[0].kind != RtValue::Kind::kFnRef) {
       throw TrapError("Segmentation fault (call through non-function value)");
     }
-    const Function* handler = module_.FindFunction(args[0].s);
+    const Function* handler = LookupFunction(args[0].s);
     if (handler == nullptr || handler->IsDeclaration()) {
       throw TrapError("Segmentation fault (call through dangling handler '" + args[0].s + "')");
     }
@@ -1020,34 +1073,27 @@ RtValue Interpreter::Intrinsic(const std::string& name, std::vector<RtValue>& ar
 }
 
 std::optional<RtValue> Interpreter::ReadGlobal(const std::string& name) const {
-  GlobalVariable* global = module_.FindGlobal(name);
+  const GlobalVariable* global = LookupGlobal(name);
   if (global == nullptr) {
     return std::nullopt;
   }
-  CellKey key;
-  key.frame = -1;
-  key.root = global;
-  auto it = cells_.find(key);
-  if (it != cells_.end()) {
-    return it->second;
-  }
-  return DefaultValueFor(global->value_type());
+  return global_scalars_[static_cast<size_t>(GlobalSlotOf(global))];
 }
 
 void Interpreter::WriteGlobal(const std::string& name, RtValue value) {
-  GlobalVariable* global = module_.FindGlobal(name);
+  const GlobalVariable* global = LookupGlobal(name);
   if (global == nullptr) {
     return;
   }
-  CellKey key;
-  key.frame = -1;
-  key.root = global;
-  cells_[key] = std::move(value);
+  global_scalars_[static_cast<size_t>(GlobalSlotOf(global))] = std::move(value);
 }
 
 bool Interpreter::GlobalWasRead(const std::string& name) const {
-  GlobalVariable* global = module_.FindGlobal(name);
-  return global != nullptr && globals_read_.count(global) > 0;
+  const GlobalVariable* global = LookupGlobal(name);
+  if (global == nullptr) {
+    return false;
+  }
+  return global_read_[static_cast<size_t>(GlobalSlotOf(global))] != 0;
 }
 
 }  // namespace spex

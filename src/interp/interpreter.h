@@ -7,18 +7,25 @@
 // writes are segfaults, like OpenLDAP's listener-threads crash), a step
 // budget (runaway loops are hangs), exit codes, captured logs, final global
 // values, and a record of which globals were ever read.
+//
+// Storage layout is optimized for campaign throughput: per-frame registers
+// are dense slots indexed by the per-function Value id, scalar globals live
+// in a flat slot table built once per module, and array/field cells use
+// hashed (not tree) lookup. The post-InitGlobals() image is cached so
+// Reset() restores by copy instead of re-walking initializers — an
+// injection campaign resets the same interpreter thousands of times.
 #ifndef SPEX_INTERP_INTERPRETER_H_
 #define SPEX_INTERP_INTERPRETER_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ir/ir.h"
 #include "src/osim/os_simulator.h"
+#include "src/support/hashing.h"
 
 namespace spex {
 
@@ -74,7 +81,7 @@ class Interpreter {
  public:
   Interpreter(const Module& module, OsSimulator* os, InterpOptions options = {});
 
-  // Re-initializes global storage from the module's initializers, clears
+  // Re-initializes global storage from the cached initializer image, clears
   // logs, read-tracking and the step counter. Does not reset the OS.
   void Reset();
 
@@ -96,16 +103,32 @@ class Interpreter {
   struct Frame {
     const Function* fn = nullptr;
     int64_t id = 0;
-    std::map<const Value*, RtValue> regs;
+    // Dense register file indexed by Value::id() (arguments and
+    // instructions share the function's id space).
+    std::vector<RtValue> regs;
   };
 
-  // Cell identity in the interpreter's memory.
+  // Identity of a non-scalar cell (array element / struct field / alloca).
   struct CellKey {
     int64_t frame = -1;
     const Value* root = nullptr;
     std::vector<int64_t> path;
-    bool operator<(const CellKey& other) const;
+
+    bool operator==(const CellKey& other) const {
+      return frame == other.frame && root == other.root && path == other.path;
+    }
   };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& key) const {
+      size_t h = std::hash<const void*>()(key.root);
+      h = HashCombine(h, std::hash<int64_t>()(key.frame));
+      for (int64_t step : key.path) {
+        h = HashCombine(h, std::hash<int64_t>()(step));
+      }
+      return h;
+    }
+  };
+  using CellMap = std::unordered_map<CellKey, RtValue, CellKeyHash>;
 
   class TrapError {
    public:
@@ -125,8 +148,14 @@ class Interpreter {
   };
   class HangError {};
 
-  void InitGlobals();
+  void BuildModuleIndex();
+  void BuildInitImage();
   RtValue DefaultValueFor(const IrType* type) const;
+
+  const Function* LookupFunction(const std::string& name) const;
+  const GlobalVariable* LookupGlobal(const std::string& name) const;
+  // Dense slot of a global root, or -1 if the root is not a global.
+  int32_t GlobalSlotOf(const Value* root) const;
 
   RtValue RunFunction(const Function& fn, std::vector<RtValue> args);
   RtValue Eval(Frame& frame, const Value* value);
@@ -134,11 +163,13 @@ class Interpreter {
   RtValue Intrinsic(const std::string& name, std::vector<RtValue>& args,
                     const Instruction* instr);
 
-  CellKey AddrToCell(const RtValue& addr) const;
   RtValue LoadCell(const RtValue& addr, const Instruction* at);
   void StoreCell(const RtValue& addr, RtValue value, const Instruction* at);
   // Bounds check for array roots; throws TrapError on violation.
-  void CheckBounds(const CellKey& key, const Instruction* at) const;
+  void CheckBounds(const Value* root, int32_t slot, const std::vector<int64_t>& path,
+                   const Instruction* at) const;
+  // Default value of an untouched cell, derived from the leaf type.
+  RtValue DefaultCellValue(const Value* root, const std::vector<int64_t>& path) const;
 
   void Step();
   void AppendLog(std::string level, const std::string& message);
@@ -148,10 +179,28 @@ class Interpreter {
   const Module& module_;
   OsSimulator* os_;
   InterpOptions options_;
-  std::map<CellKey, RtValue> cells_;
-  std::map<const Value*, int64_t> array_bounds_;  // Root -> element count (0 = scalar).
+
+  // --- Module-derived indexes, built once per Interpreter (the module is
+  // immutable). Function/global lookup by name is hashed; Module::Find* is
+  // a linear scan and far too slow for the call-instruction hot path.
+  std::unordered_map<std::string, const Function*> functions_by_name_;
+  std::unordered_map<std::string, const GlobalVariable*> globals_by_name_;
+  std::unordered_map<const Value*, int32_t> global_slot_;
+  std::vector<int64_t> global_bounds_;  // Slot -> element count (0 = scalar).
+
+  // --- Cached InitGlobals() image; Reset() restores by copy.
+  std::vector<RtValue> init_scalars_;
+  CellMap init_cells_;
+
+  // --- Mutable run state.
+  std::vector<RtValue> global_scalars_;  // Slot -> scalar (path-empty) value.
+  std::vector<uint8_t> global_read_;     // Slot -> loaded since Reset()?
+  CellMap cells_;                        // Non-scalar globals + alloca cells.
+  std::unordered_map<const Value*, int64_t> alloca_bounds_;
   std::vector<std::string> logs_;
-  std::set<const Value*> globals_read_;
+  // Recycled register files; RunFunction pops/pushes to avoid a fresh
+  // allocation per call.
+  std::vector<std::vector<RtValue>> frame_pool_;
   int64_t steps_ = 0;
   int64_t next_frame_id_ = 0;
   int call_depth_ = 0;

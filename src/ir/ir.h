@@ -289,6 +289,9 @@ class Function {
   void Finalize();
 
   uint32_t NextValueId() { return next_value_id_++; }
+  // Number of ids handed out; arguments and instructions are densely
+  // numbered 0..value_id_count()-1 within the function.
+  uint32_t value_id_count() const { return next_value_id_; }
 
  private:
   std::string name_;

@@ -1,0 +1,16 @@
+// Shared hash utilities for unordered-container keys.
+#ifndef SPEX_SUPPORT_HASHING_H_
+#define SPEX_SUPPORT_HASHING_H_
+
+#include <cstddef>
+
+namespace spex {
+
+// Boost-style hash combine: folds `value` into `seed`.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_HASHING_H_

@@ -1,0 +1,56 @@
+// Fixed-size worker pool for fan-out/join parallelism.
+//
+// SPEX's parallel workloads (injection campaigns, future sharded corpus
+// runs) are embarrassingly parallel over pre-sized result slots, so this is
+// deliberately a plain shared-queue pool: no work stealing, no futures.
+// Submit closures, then Wait() for the queue to drain. Determinism is the
+// caller's job — write results into per-task slots, never append.
+#ifndef SPEX_SUPPORT_THREAD_POOL_H_
+#define SPEX_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spex {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Wait();
+
+  // Maps a user-facing thread-count knob to a worker count:
+  // 0 = hardware concurrency (at least 1), otherwise the value itself.
+  static size_t ResolveThreadCount(size_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // Queued + currently running tasks.
+  bool shutting_down_ = false;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_THREAD_POOL_H_

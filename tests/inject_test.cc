@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
+#include "src/corpus/pipeline.h"
 #include "src/ir/lowering.h"
 #include "src/lang/parser.h"
 #include "src/support/strings.h"
@@ -284,6 +285,53 @@ TEST(CampaignTest, StopAtFirstFailureRunsFewerTests) {
   InjectionCampaign slow(*target.module, target.sut, OsSimulator::StandardEnvironment(),
                          no_stop);
   EXPECT_LT(fast.RunOne(config, inject).tests_run, slow.RunOne(config, inject).tests_run);
+}
+
+TEST(CampaignParallelTest, ParallelRunAllMatchesSerialOnSquid) {
+  DiagnosticEngine diags;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+  ASSERT_FALSE(diags.HasErrors()) << diags.Render();
+
+  MisconfigGenerator generator;
+  std::vector<Misconfiguration> configs = generator.Generate(analysis.constraints);
+  ASSERT_GT(configs.size(), 10u);
+  ConfigFile template_config =
+      ConfigFile::Parse(analysis.bundle.template_config, analysis.bundle.dialect);
+
+  CampaignOptions serial_options;
+  serial_options.num_threads = 1;
+  InjectionCampaign serial(*analysis.module, analysis.bundle.sut,
+                           OsSimulator::StandardEnvironment(), serial_options);
+  CampaignSummary serial_summary = serial.RunAll(template_config, configs);
+
+  CampaignOptions parallel_options;
+  parallel_options.num_threads = 4;
+  InjectionCampaign parallel(*analysis.module, analysis.bundle.sut,
+                             OsSimulator::StandardEnvironment(), parallel_options);
+  CampaignSummary parallel_summary = parallel.RunAll(template_config, configs);
+
+  ASSERT_EQ(parallel_summary.results.size(), serial_summary.results.size());
+  for (size_t i = 0; i < serial_summary.results.size(); ++i) {
+    const InjectionResult& a = serial_summary.results[i];
+    const InjectionResult& b = parallel_summary.results[i];
+    ASSERT_EQ(a.config.param, b.config.param) << "result order diverged at " << i;
+    ASSERT_EQ(a.config.value, b.config.value) << "result order diverged at " << i;
+    EXPECT_EQ(a.category, b.category) << a.config.Describe();
+    EXPECT_EQ(a.detail, b.detail) << a.config.Describe();
+    EXPECT_EQ(a.logs, b.logs) << a.config.Describe();
+    EXPECT_EQ(a.pinpointed, b.pinpointed) << a.config.Describe();
+    EXPECT_EQ(a.tests_run, b.tests_run) << a.config.Describe();
+  }
+  EXPECT_EQ(parallel_summary.total_tests_run, serial_summary.total_tests_run);
+  for (ReactionCategory category :
+       {ReactionCategory::kCrashHang, ReactionCategory::kEarlyTermination,
+        ReactionCategory::kFunctionalFailure, ReactionCategory::kSilentViolation,
+        ReactionCategory::kSilentIgnorance, ReactionCategory::kGoodReaction,
+        ReactionCategory::kNoIssue}) {
+    EXPECT_EQ(parallel_summary.CountCategory(category), serial_summary.CountCategory(category))
+        << ReactionCategoryName(category);
+  }
 }
 
 }  // namespace

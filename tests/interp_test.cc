@@ -246,5 +246,64 @@ TEST(InterpTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.interp->steps_used(), b.interp->steps_used());
 }
 
+TEST(InterpTest, ResetRestoresCachedGlobalsImage) {
+  // Exercises every initializer shape the cached image must restore:
+  // scalar defaults, scalar inits, strings, arrays, struct tables with
+  // global references, and handler tables with function references.
+  const char* source = R"(
+    struct config_int { char *name; int *variable; };
+    struct command_rec { char *name; char *handler; };
+    int timeout = 30;
+    int workers;
+    char *listen_host = "localhost";
+    int weights[] = { 2, 4, 8 };
+    struct config_int table[] = { { "timeout", &timeout } };
+    int stored = 1;
+    int set_stored(char *arg) { stored = atoi(arg); return 0; }
+    struct command_rec cmds[] = { { "Stored", set_stored } };
+    int mutate(char *value) {
+      int i;
+      timeout = 999;
+      workers = 7;
+      listen_host = "elsewhere";
+      for (i = 0; i < 3; i++) { weights[i] = 0; }
+      *table[0].variable = 1234;
+      log_warn("state mutated");
+      return invoke_handler1(cmds[0].handler, value);
+    }
+    int read_weight(int i) { return weights[i]; }
+  )";
+  Sut mutated(source);
+  ASSERT_TRUE(mutated.Call("mutate", {RtValue::Str("55")}).ok());
+  EXPECT_EQ(mutated.interp->ReadGlobal("timeout")->AsInt(), 1234);
+  EXPECT_EQ(mutated.interp->ReadGlobal("stored")->AsInt(), 55);
+  EXPECT_FALSE(mutated.interp->logs().empty());
+  mutated.interp->Reset();
+
+  // After Reset() the mutated interpreter must be indistinguishable from a
+  // freshly constructed one, observable by observable.
+  Sut fresh(source);
+  for (const char* global : {"timeout", "workers", "listen_host", "stored"}) {
+    auto restored = mutated.interp->ReadGlobal(global);
+    auto pristine = fresh.interp->ReadGlobal(global);
+    ASSERT_TRUE(restored.has_value()) << global;
+    ASSERT_TRUE(pristine.has_value()) << global;
+    EXPECT_EQ(restored->kind, pristine->kind) << global;
+    EXPECT_EQ(restored->ToDebugString(), pristine->ToDebugString()) << global;
+    EXPECT_FALSE(mutated.interp->GlobalWasRead(global)) << global;
+  }
+  EXPECT_EQ(mutated.interp->ReadGlobal("timeout")->AsInt(), 30);
+  EXPECT_EQ(mutated.interp->ReadGlobal("workers")->AsInt(), 0);
+  EXPECT_TRUE(mutated.interp->logs().empty());
+  EXPECT_EQ(mutated.interp->steps_used(), 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(mutated.Call("read_weight", {RtValue::Int(i)}).return_value.AsInt(),
+              fresh.Call("read_weight", {RtValue::Int(i)}).return_value.AsInt());
+  }
+  // The restored handler/table references still work end to end.
+  ASSERT_TRUE(mutated.Call("mutate", {RtValue::Str("77")}).ok());
+  EXPECT_EQ(mutated.interp->ReadGlobal("stored")->AsInt(), 77);
+}
+
 }  // namespace
 }  // namespace spex
