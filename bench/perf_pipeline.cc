@@ -99,8 +99,39 @@ void BM_InterpreterReset(benchmark::State& state) {
     interp.Reset();
     benchmark::ClobberMemory();
   }
+  StringPool::Stats pool = interp.pool_stats();
+  state.counters["pool_strings"] = static_cast<double>(pool.strings);
+  state.counters["pool_bytes"] = static_cast<double>(pool.bytes);
 }
 BENCHMARK(BM_InterpreterReset);
+
+// Restore of a post-template-parse snapshot — the per-run cost floor of the
+// campaign's delta-replay path (everything else a run pays is the delta
+// parse + init + tests).
+void BM_SnapshotRestore(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+  ConfigFile template_config =
+      ConfigFile::Parse(analysis.bundle.template_config, analysis.bundle.dialect);
+  OsSimulator os = OsSimulator::StandardEnvironment();
+  Interpreter interp(*analysis.module, &os);
+  for (const ConfigEntry& entry : template_config.entries()) {
+    if (entry.kind == ConfigEntry::Kind::kSetting) {
+      interp.Call(analysis.bundle.sut.parse_function,
+                  {interp.InternedString(entry.key), interp.InternedString(entry.value)});
+    }
+  }
+  Interpreter::Snapshot snapshot = interp.TakeSnapshot();
+  for (auto _ : state) {
+    interp.RestoreSnapshot(snapshot);
+    benchmark::ClobberMemory();
+  }
+  StringPool::Stats pool = interp.pool_stats();
+  state.counters["pool_strings"] = static_cast<double>(pool.strings);
+  state.counters["pool_bytes"] = static_cast<double>(pool.bytes);
+}
+BENCHMARK(BM_SnapshotRestore);
 
 // Full-campaign fixture: squid constraints, generated misconfigurations
 // tiled to a >= 200-entry batch so thread scaling has enough work.

@@ -30,10 +30,14 @@ cmake -B build-tsan -S . \
   -DSPEX_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test
-# The parallel-campaign determinism test is the point of the TSan build:
-# num_threads=4 workers over shared module/SUT state.
-./build-tsan/inject_test --gtest_filter='CampaignParallelTest.*:CampaignTest.*'
+cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test
+# The parallel-campaign and snapshot-replay determinism tests are the point
+# of the TSan build: num_threads=4 workers over shared module/SUT state plus
+# the state-gated shared snapshot cache. CorpusShardedTest additionally runs
+# the whole analysis pipeline (synthesize/parse/lower/infer) concurrently.
+./build-tsan/inject_test --gtest_filter='CampaignParallelTest.*:CampaignTest.*:CampaignSnapshotTest.*'
 ./build-tsan/interp_test
+./build-tsan/string_pool_test
+./build-tsan/corpus_test --gtest_filter='CorpusShardedTest.*'
 
 echo "smoke: OK"

@@ -490,17 +490,23 @@ void SpexEngine::InferRange(ParamState& state, ParamConstraints* out) {
     range_loc = sw->loc();
   }
 
-  // String-compare chains: enumerated string values.
+  // String-compare chains: enumerated string values. Membership checks use
+  // the set, but iteration follows call_arg_uses (program) order — a
+  // pointer-ordered walk would make enum_strings' order, and therefore the
+  // values the injection generator derives from it, vary run to run with
+  // heap layout.
   std::vector<std::string> enum_strings;
   OutOfRangeBehavior string_behavior = OutOfRangeBehavior::kUnknown;
   std::set<const Instruction*> param_compare_calls;
+  std::vector<const Instruction*> compare_order;
   for (const CallArgUse& use : df.call_arg_uses) {
     const ApiSpec* spec = apis_.Find(use.call->callee());
-    if (spec != nullptr && spec->IsStringCompare()) {
-      param_compare_calls.insert(use.call);
+    if (spec != nullptr && spec->IsStringCompare() &&
+        param_compare_calls.insert(use.call).second) {
+      compare_order.push_back(use.call);
     }
   }
-  for (const Instruction* call : param_compare_calls) {
+  for (const Instruction* call : compare_order) {
     const Value* literal = nullptr;
     for (const Value* operand : call->operands()) {
       if (operand->value_kind() == ValueKind::kConstantString) {
@@ -612,30 +618,40 @@ void SpexEngine::CollectUsageSites(ParamState& state) {
     return parse_fns.count(instr->parent()->parent()) > 0;
   };
 
+  // Dedup via the set, but keep dataflow (program) order: usage_sites'
+  // order decides which branch location a control-dep constraint reports
+  // (first usage wins), and a pointer-ordered walk would make that vary
+  // with heap layout across runs.
   std::set<const Instruction*> sites;
+  std::vector<const Instruction*> ordered;
+  auto add = [&sites, &ordered](const Instruction* site) {
+    if (sites.insert(site).second) {
+      ordered.push_back(site);
+    }
+  };
   for (const CmpUse& use : df.cmp_uses) {
     if (!in_parse_fn(use.cmp)) {
-      sites.insert(use.cmp);
+      add(use.cmp);
     }
   }
   for (const TransformUse& use : df.transforms) {
     if (!in_parse_fn(use.binop)) {
-      sites.insert(use.binop);
+      add(use.binop);
     }
   }
   for (const CallArgUse& use : df.call_arg_uses) {
     const Function* callee = context_.FindFunction(use.call->callee());
     bool external = callee == nullptr || callee->IsDeclaration();
     if (external && !in_parse_fn(use.call)) {
-      sites.insert(use.call);
+      add(use.call);
     }
   }
   for (const Instruction* sw : df.switch_uses) {
     if (!in_parse_fn(sw)) {
-      sites.insert(sw);
+      add(sw);
     }
   }
-  state.usage_sites.assign(sites.begin(), sites.end());
+  state.usage_sites = std::move(ordered);
 }
 
 void SpexEngine::InferControlDeps(std::vector<ParamState>& states, ModuleConstraints* out) {

@@ -1,7 +1,11 @@
 #include "src/corpus/pipeline.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "src/ir/lowering.h"
 #include "src/lang/parser.h"
+#include "src/support/thread_pool.h"
 
 namespace spex {
 
@@ -27,6 +31,49 @@ CampaignSummary RunCampaign(const TargetAnalysis& analysis, CampaignOptions opti
   ConfigFile template_config =
       ConfigFile::Parse(analysis.bundle.template_config, analysis.bundle.dialect);
   return campaign.RunAll(template_config, configs);
+}
+
+std::vector<CorpusCampaignResult> RunCorpusCampaigns(
+    const std::vector<std::string>& target_names, const ApiRegistry& apis,
+    CampaignOptions options, size_t num_workers) {
+  std::vector<CorpusCampaignResult> results(target_names.size());
+  if (target_names.empty()) {
+    return results;
+  }
+  size_t worker_count =
+      std::min(ThreadPool::ResolveThreadCount(num_workers), target_names.size());
+
+  // Each task owns one target end to end (analysis, generation, campaign)
+  // and writes its pre-sized slot; the ApiRegistry is shared read-only.
+  auto run_target = [&](size_t index) {
+    CorpusCampaignResult& slot = results[index];
+    slot.target = target_names[index];
+    DiagnosticEngine diags;
+    slot.analysis = AnalyzeTarget(FindTarget(slot.target), apis, &diags);
+    slot.summary = RunCampaign(slot.analysis, options);
+    if (diags.HasErrors()) {
+      slot.diagnostics = diags.Render();
+    }
+  };
+
+  if (worker_count <= 1) {
+    for (size_t i = 0; i < target_names.size(); ++i) {
+      run_target(i);
+    }
+    return results;
+  }
+  std::atomic<size_t> next_index{0};
+  ThreadPool pool(worker_count);
+  for (size_t w = 0; w < worker_count; ++w) {
+    pool.Submit([&] {
+      for (size_t i = next_index.fetch_add(1); i < results.size();
+           i = next_index.fetch_add(1)) {
+        run_target(i);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
 }
 
 }  // namespace spex

@@ -34,6 +34,26 @@ TargetAnalysis AnalyzeTarget(const TargetSpec& spec, const ApiRegistry& apis,
 // injection campaign against the target.
 CampaignSummary RunCampaign(const TargetAnalysis& analysis, CampaignOptions options = {});
 
+// One sharded corpus run: analysis + campaign summary for a target, plus
+// any diagnostics its worker collected (empty for a clean corpus).
+struct CorpusCampaignResult {
+  std::string target;
+  TargetAnalysis analysis;
+  CampaignSummary summary;
+  std::string diagnostics;
+};
+
+// Fans AnalyzeTarget + RunCampaign over a worker pool, one target (and one
+// TargetAnalysis) per task, so corpus-wide tables regenerate in parallel.
+// Results are written into pre-sized slots: order matches `target_names`
+// and every summary is identical to a serial RunCampaign. `num_workers`
+// follows the CampaignOptions::num_threads convention (0 = hardware
+// concurrency); `options` applies to each inner campaign and defaults to
+// serial, which is the right setting when the corpus itself is sharded.
+std::vector<CorpusCampaignResult> RunCorpusCampaigns(
+    const std::vector<std::string>& target_names, const ApiRegistry& apis,
+    CampaignOptions options = {}, size_t num_workers = 0);
+
 }  // namespace spex
 
 #endif  // SPEX_CORPUS_PIPELINE_H_

@@ -1,8 +1,8 @@
 #include "src/inject/campaign.h"
 
 #include <algorithm>
-#include <atomic>
-#include <set>
+#include <limits>
+#include <unordered_set>
 
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
@@ -52,6 +52,14 @@ size_t CampaignSummary::CountCategory(ReactionCategory category) const {
   return count;
 }
 
+std::array<size_t, kReactionCategoryCount> CampaignSummary::CategoryCounts() const {
+  std::array<size_t, kReactionCategoryCount> counts{};
+  for (const InjectionResult& result : results) {
+    ++counts[static_cast<size_t>(result.category)];
+  }
+  return counts;
+}
+
 size_t CampaignSummary::TotalVulnerabilities() const {
   size_t count = 0;
   for (const InjectionResult& result : results) {
@@ -63,7 +71,8 @@ size_t CampaignSummary::TotalVulnerabilities() const {
 }
 
 size_t CampaignSummary::UniqueVulnerabilityLocations() const {
-  std::set<std::string> locations;
+  std::unordered_set<std::string> locations;
+  locations.reserve(results.size());
   for (const InjectionResult& result : results) {
     if (IsVulnerability(result.category)) {
       locations.insert(result.vulnerability_loc.IsValid() ? result.vulnerability_loc.LineKey()
@@ -72,6 +81,40 @@ size_t CampaignSummary::UniqueVulnerabilityLocations() const {
   }
   return locations.size();
 }
+
+namespace {
+
+// Observable equality of two classified runs — the contract the snapshot
+// path must uphold against ground truth.
+bool SameInjectionResult(const InjectionResult& a, const InjectionResult& b) {
+  return a.category == b.category && a.detail == b.detail && a.logs == b.logs &&
+         a.pinpointed == b.pinpointed && a.tests_run == b.tests_run;
+}
+
+std::string KeysetId(const std::vector<std::string>& delta_keys) {
+  std::vector<std::string> sorted = delta_keys;
+  std::sort(sorted.begin(), sorted.end());
+  return JoinStrings(sorted, "\n");
+}
+
+bool IsDeltaKey(const std::vector<std::string>& delta_keys, const std::string& key) {
+  return std::find(delta_keys.begin(), delta_keys.end(), key) != delta_keys.end();
+}
+
+// The keys a misconfiguration changes relative to the template.
+std::vector<std::string> DeltaKeys(const Misconfiguration& config) {
+  std::vector<std::string> delta_keys;
+  delta_keys.reserve(1 + config.extra_settings.size());
+  delta_keys.push_back(config.param);
+  for (const auto& [key, value] : config.extra_settings) {
+    if (!IsDeltaKey(delta_keys, key)) {
+      delta_keys.push_back(key);
+    }
+  }
+  return delta_keys;
+}
+
+}  // namespace
 
 InjectionCampaign::InjectionCampaign(const Module& module, const SutSpec& sut,
                                      OsSimulator os_template, CampaignOptions options)
@@ -86,75 +129,91 @@ InjectionCampaign::InjectionCampaign(const Module& module, const SutSpec& sut,
   }
 }
 
-InjectionCampaign::RunOutcome InjectionCampaign::Execute(Interpreter& interp,
-                                                         const ConfigFile& config) const {
-  RunOutcome outcome;
-  // Phase 1: parse every setting.
+bool InjectionCampaign::ParsePhase(Interpreter& interp, const ConfigFile& config,
+                                   const std::vector<std::string>* only_delta_keys,
+                                   RunOutcome* outcome) const {
   for (const ConfigEntry& entry : config.entries()) {
     if (entry.kind != ConfigEntry::Kind::kSetting) {
       continue;
     }
-    CallOutcome call = interp.Call(sut_.parse_function,
-                                   {RtValue::Str(entry.key), RtValue::Str(entry.value)});
+    if (only_delta_keys != nullptr && !IsDeltaKey(*only_delta_keys, entry.key)) {
+      continue;
+    }
+    CallOutcome call =
+        interp.Call(sut_.parse_function,
+                    {interp.InternedString(entry.key), interp.InternedString(entry.value)});
     if (call.status != CallOutcome::Status::kOk) {
-      outcome.phase = RunOutcome::Phase::kParse;
-      outcome.status = call.status;
-      outcome.exit_code = call.exit_code;
-      outcome.detail = call.trap_reason;
-      return outcome;
+      outcome->phase = RunOutcome::Phase::kParse;
+      outcome->status = call.status;
+      outcome->exit_code = call.exit_code;
+      outcome->detail = call.trap_reason;
+      return false;
     }
     if (call.return_value.AsInt() < 0) {
-      outcome.phase = RunOutcome::Phase::kParse;
-      outcome.rejected = true;
-      outcome.detail = "configuration rejected while parsing '" + entry.key + "'";
-      return outcome;
+      outcome->phase = RunOutcome::Phase::kParse;
+      outcome->rejected = true;
+      outcome->detail = "configuration rejected while parsing '" + entry.key + "'";
+      return false;
     }
   }
+  return true;
+}
+
+void InjectionCampaign::InitAndTestPhases(Interpreter& interp, RunOutcome* outcome) const {
   // Phase 2: server initialization.
   {
     CallOutcome call = interp.Call(sut_.init_function, {});
     if (call.status != CallOutcome::Status::kOk) {
-      outcome.phase = RunOutcome::Phase::kInit;
-      outcome.status = call.status;
-      outcome.exit_code = call.exit_code;
-      outcome.detail = call.trap_reason;
-      return outcome;
+      outcome->phase = RunOutcome::Phase::kInit;
+      outcome->status = call.status;
+      outcome->exit_code = call.exit_code;
+      outcome->detail = call.trap_reason;
+      return;
     }
     if (call.return_value.AsInt() < 0) {
-      outcome.phase = RunOutcome::Phase::kInit;
-      outcome.rejected = true;
-      outcome.detail = "server initialization failed";
-      return outcome;
+      outcome->phase = RunOutcome::Phase::kInit;
+      outcome->rejected = true;
+      outcome->detail = "server initialization failed";
+      return;
     }
   }
   // Phase 3: functional tests.
   for (const TestCase& test : sut_.tests) {
-    ++outcome.tests_run;
+    ++outcome->tests_run;
     CallOutcome call = interp.Call(test.function, {});
     if (call.status != CallOutcome::Status::kOk) {
-      outcome.phase = RunOutcome::Phase::kTest;
-      outcome.status = call.status;
-      outcome.exit_code = call.exit_code;
-      outcome.detail = call.trap_reason;
-      outcome.failed_test = test.name;
-      return outcome;
+      outcome->phase = RunOutcome::Phase::kTest;
+      outcome->status = call.status;
+      outcome->exit_code = call.exit_code;
+      outcome->detail = call.trap_reason;
+      outcome->failed_test = test.name;
+      return;
     }
     if (call.return_value.AsInt() != test.expected) {
-      outcome.phase = RunOutcome::Phase::kTest;
-      outcome.failed_test = test.name;
-      outcome.detail = "test '" + test.name + "' failed (got " +
-                       std::to_string(call.return_value.AsInt()) + ", want " +
-                       std::to_string(test.expected) + ")";
+      outcome->phase = RunOutcome::Phase::kTest;
+      outcome->failed_test = test.name;
+      outcome->detail = "test '" + test.name + "' failed (got " +
+                        std::to_string(call.return_value.AsInt()) + ", want " +
+                        std::to_string(test.expected) + ")";
       if (options_.stop_at_first_failure) {
-        return outcome;
+        return;
       }
     }
   }
-  if (!outcome.failed_test.empty()) {
-    outcome.phase = RunOutcome::Phase::kTest;
+  if (!outcome->failed_test.empty()) {
+    outcome->phase = RunOutcome::Phase::kTest;
+    return;
+  }
+  outcome->phase = RunOutcome::Phase::kDone;
+}
+
+InjectionCampaign::RunOutcome InjectionCampaign::Execute(Interpreter& interp,
+                                                         const ConfigFile& config) const {
+  RunOutcome outcome;
+  if (!ParsePhase(interp, config, nullptr, &outcome)) {
     return outcome;
   }
-  outcome.phase = RunOutcome::Phase::kDone;
+  InitAndTestPhases(interp, &outcome);
   return outcome;
 }
 
@@ -201,28 +260,17 @@ InjectionResult InjectionCampaign::RunOne(const ConfigFile& template_config,
                                           const Misconfiguration& config) {
   OsSimulator os = os_template_;
   Interpreter interp(module_, &os, options_.interp);
-  return RunOneWith(interp, os, template_config, config);
+  // Single-shot: a prefix snapshot would cost exactly what it saves, so
+  // RunOne always takes the ground-truth full-replay path.
+  return RunOneWith(interp, os, nullptr, nullptr, template_config, config);
 }
 
-InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& os,
-                                              const ConfigFile& template_config,
-                                              const Misconfiguration& config) const {
-  // Fresh template state for every run: injected damage (occupied ports,
-  // allocations, mutated globals) must never leak across runs.
-  os = os_template_;
-  interp.Reset();
-
+InjectionResult InjectionCampaign::Classify(Interpreter& interp, const RunOutcome& outcome,
+                                            const Misconfiguration& config,
+                                            const ConfigFile& applied) const {
   InjectionResult result;
   result.config = config;
   result.vulnerability_loc = config.constraint_loc;
-
-  ConfigFile applied = template_config;
-  applied.Set(config.param, config.value);
-  for (const auto& [key, value] : config.extra_settings) {
-    applied.Set(key, value);
-  }
-
-  RunOutcome outcome = Execute(interp, applied);
   result.logs = interp.logs();
   result.tests_run = outcome.tests_run;
   result.pinpointed = LogsPinpoint(result.logs, config, applied);
@@ -283,16 +331,209 @@ InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& 
         }
       }
     } else if (effective.has_value() && effective->kind == RtValue::Kind::kString &&
-               effective->s != config.value) {
+               effective->str() != config.value) {
       result.category = ReactionCategory::kSilentViolation;
       result.detail = "configured \"" + config.value + "\" but effective value is \"" +
-                      effective->s + "\"";
+                      effective->str() + "\"";
       return result;
     }
   }
   result.category =
       result.pinpointed ? ReactionCategory::kGoodReaction : ReactionCategory::kNoIssue;
   return result;
+}
+
+InjectionResult InjectionCampaign::FullReplay(Interpreter& interp, OsSimulator& os,
+                                              const ConfigFile& applied,
+                                              const Misconfiguration& config) const {
+  // Fresh template state: injected damage (occupied ports, allocations,
+  // mutated globals) must never leak across runs.
+  os.RestoreFrom(os_template_);
+  interp.Reset();
+  RunOutcome outcome = Execute(interp, applied);
+  return Classify(interp, outcome, config, applied);
+}
+
+namespace {
+
+// Stamp used for the delta parse; build-time stamps are template positions
+// + 1 and therefore far smaller.
+constexpr int32_t kDeltaStamp = std::numeric_limits<int32_t>::max();
+
+}  // namespace
+
+std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
+    Interpreter& interp, OsSimulator& os, SnapshotCache& cache, const std::string& keyset,
+    const ConfigFile& template_config, const ConfigFile& applied,
+    const Misconfiguration& config, const std::vector<std::string>& delta_keys) const {
+  SnapshotEntry* entry = nullptr;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    std::unique_ptr<SnapshotEntry>& slot = cache.entries[keyset];
+    if (slot == nullptr) {
+      slot = std::make_unique<SnapshotEntry>();
+      builder = true;
+    }
+    entry = slot.get();
+  }
+  if (builder) {
+    // Parse the template minus the delta keys once; the resulting state is
+    // the shared prefix for every misconfiguration of this key-set. Each
+    // entry's parse runs under its position stamp so the snapshot carries
+    // a per-global access map for the hazard check below.
+    os.RestoreFrom(os_template_);
+    interp.Reset();
+    bool ok = true;
+    const std::vector<ConfigEntry>& entries = template_config.entries();
+    for (size_t pos = 0; pos < entries.size(); ++pos) {
+      const ConfigEntry& line = entries[pos];
+      if (line.kind != ConfigEntry::Kind::kSetting || IsDeltaKey(delta_keys, line.key)) {
+        continue;
+      }
+      interp.set_access_stamp(static_cast<int32_t>(pos) + 1);
+      size_t logs_before = interp.log_count();
+      int64_t os_before = interp.os_ops();
+      int64_t stale_before = interp.stale_cell_ops();
+      CallOutcome call =
+          interp.Call(sut_.parse_function,
+                      {interp.InternedString(line.key), interp.InternedString(line.value)});
+      if (call.status != CallOutcome::Status::kOk || call.return_value.AsInt() < 0) {
+        // The template itself misbehaves without the delta keys — treat
+        // the key-set as order-sensitive.
+        ok = false;
+        break;
+      }
+      if (interp.log_count() > logs_before) {
+        entry->max_log_pos = static_cast<int32_t>(pos);
+      }
+      if (interp.os_ops() > os_before) {
+        entry->max_os_pos = static_cast<int32_t>(pos);
+      }
+      if (interp.stale_cell_ops() > stale_before) {
+        entry->max_stale_pos = static_cast<int32_t>(pos);
+      }
+    }
+    if (!ok) {
+      entry->state.store(SnapshotEntry::kUnusable, std::memory_order_release);
+    } else {
+      entry->interp = interp.TakeSnapshot();
+      entry->os = os;
+      entry->state.store(SnapshotEntry::kReady, std::memory_order_release);
+    }
+  }
+  int state = entry->state.load(std::memory_order_acquire);
+  if (state == SnapshotEntry::kBuilding || state == SnapshotEntry::kUnusable) {
+    return std::nullopt;  // Another worker is mid-build, or permanent fallback.
+  }
+
+  // Restore the shared prefix and replay only the delta settings, in the
+  // order they hold in the applied file.
+  interp.RestoreSnapshot(entry->interp);
+  os.RestoreFrom(entry->os);
+  interp.set_access_stamp(kDeltaStamp);
+  size_t delta_logs_before = interp.log_count();
+  int64_t delta_os_before = interp.os_ops();
+  int64_t delta_stale_before = interp.stale_cell_ops();
+  RunOutcome outcome;
+  if (!ParsePhase(interp, applied, &delta_keys, &outcome)) {
+    // The delta parse itself rejected/trapped/hung the run. A full replay
+    // stops mid-template with different residual logs and state, so this
+    // outcome must come from the ground-truth path.
+    return std::nullopt;
+  }
+
+  // Hazard check: the reordering moved the delta parse behind every entry
+  // that follows it in the file. It is equivalence-preserving unless the
+  // delta's dynamic accesses conflict with an entry after its file
+  // position p: delta-write vs. suffix read/write, delta-read vs. suffix
+  // write, interleaved log emission, OS traffic on both sides, or
+  // escaped-&local cell traffic on both sides (those cells are not covered
+  // by the per-global stamps; reaching one still requires loading the
+  // escaped pointer from a global, and the traffic counter flags the
+  // access itself). Any behavioral divergence has to start from one of
+  // those conflicts, so a clean check proves this run bit-identical to the
+  // in-order replay.
+  int32_t p_min = 0;
+  for (size_t pos = 0; pos < applied.entries().size(); ++pos) {
+    const ConfigEntry& line = applied.entries()[pos];
+    if (line.kind == ConfigEntry::Kind::kSetting && IsDeltaKey(delta_keys, line.key)) {
+      p_min = static_cast<int32_t>(pos);
+      break;
+    }
+  }
+  const int32_t threshold = p_min + 1;  // Build stamps are position + 1.
+  const std::vector<int32_t>& reads = interp.global_read_stamps();
+  const std::vector<int32_t>& writes = interp.global_write_stamps();
+  const std::vector<int32_t>& build_reads = entry->interp.read_stamps();
+  const std::vector<int32_t>& build_writes = entry->interp.write_stamps();
+  bool hazard = false;
+  for (size_t slot = 0; slot < writes.size() && !hazard; ++slot) {
+    bool delta_read = reads[slot] == kDeltaStamp;
+    bool delta_wrote = writes[slot] == kDeltaStamp;
+    hazard = (delta_wrote &&
+              (build_reads[slot] > threshold || build_writes[slot] > threshold)) ||
+             (delta_read && build_writes[slot] > threshold);
+  }
+  if (interp.log_count() > delta_logs_before && entry->max_log_pos > p_min) {
+    hazard = true;  // Both sides logged: line order would interleave.
+  }
+  if (interp.os_ops() > delta_os_before && entry->max_os_pos > p_min) {
+    hazard = true;
+  }
+  if (interp.stale_cell_ops() > delta_stale_before && entry->max_stale_pos > p_min) {
+    hazard = true;
+  }
+  if (hazard) {
+    // Conflicts are a property of the handlers, not of the injected value,
+    // so pin the key-set to full replay instead of re-detecting per run.
+    entry->state.store(SnapshotEntry::kUnusable, std::memory_order_release);
+    return std::nullopt;
+  }
+
+  InitAndTestPhases(interp, &outcome);
+  InjectionResult result = Classify(interp, outcome, config, applied);
+
+  if (state == SnapshotEntry::kReady) {
+    // First use of this key-set: additionally prove the replay observably
+    // identical to ground truth. kUnusable is sticky (compare-exchange),
+    // so a divergence seen by any worker pins the key-set to full replay.
+    InjectionResult full = FullReplay(interp, os, applied, config);
+    if (!SameInjectionResult(result, full)) {
+      entry->state.store(SnapshotEntry::kUnusable, std::memory_order_release);
+      return full;
+    }
+    int expected = SnapshotEntry::kReady;
+    entry->state.compare_exchange_strong(expected, SnapshotEntry::kVerified,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed);
+  }
+  return result;
+}
+
+InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& os,
+                                              SnapshotCache* cache, const std::string* keyset,
+                                              const ConfigFile& template_config,
+                                              const Misconfiguration& config) const {
+  ConfigFile applied = template_config;
+  applied.Set(config.param, config.value);
+  for (const auto& [key, value] : config.extra_settings) {
+    applied.Set(key, value);
+  }
+
+  if (cache != nullptr && keyset != nullptr && options_.use_parse_snapshot) {
+    // Snapshot construction costs about one full replay; only worth it for
+    // key-sets the batch revisits.
+    auto count_it = cache->keyset_counts.find(*keyset);
+    if (count_it != cache->keyset_counts.end() && count_it->second >= 2) {
+      auto replayed = TryDeltaReplay(interp, os, *cache, *keyset, template_config, applied,
+                                     config, DeltaKeys(config));
+      if (replayed.has_value()) {
+        return *std::move(replayed);
+      }
+    }
+  }
+  return FullReplay(interp, os, applied, config);
 }
 
 CampaignSummary InjectionCampaign::RunAll(const ConfigFile& template_config,
@@ -304,14 +545,30 @@ CampaignSummary InjectionCampaign::RunAll(const ConfigFile& template_config,
                                          : static_cast<size_t>(options_.num_threads));
   worker_count = std::min(worker_count, configs.size());
 
+  // Prefix snapshots are shared across workers; the cache (and the worker
+  // interpreters whose pools its snapshots point into) live exactly as
+  // long as this call.
+  SnapshotCache cache;
+  if (options_.use_parse_snapshot) {
+    cache.config_keysets.reserve(configs.size());
+    cache.keyset_counts.reserve(configs.size());
+    for (const Misconfiguration& config : configs) {
+      cache.config_keysets.push_back(KeysetId(DeltaKeys(config)));
+      ++cache.keyset_counts[cache.config_keysets.back()];
+    }
+  }
+
   if (worker_count <= 1) {
-    // Serial path; still reuses one interpreter via Reset() instead of
-    // rebuilding per run.
+    // Serial path; still reuses one interpreter via Reset()/snapshot
+    // restore instead of rebuilding per run.
     OsSimulator os = os_template_;
     Interpreter interp(module_, &os, options_.interp);
     summary.results.reserve(configs.size());
-    for (const Misconfiguration& config : configs) {
-      summary.results.push_back(RunOneWith(interp, os, template_config, config));
+    for (size_t i = 0; i < configs.size(); ++i) {
+      const std::string* keyset =
+          options_.use_parse_snapshot ? &cache.config_keysets[i] : nullptr;
+      summary.results.push_back(
+          RunOneWith(interp, os, &cache, keyset, template_config, configs[i]));
     }
   } else {
     // Fan out over pre-sized slots: worker i writes results[index] for the
@@ -321,14 +578,32 @@ CampaignSummary InjectionCampaign::RunAll(const ConfigFile& template_config,
     // and simulator copy.
     summary.results.resize(configs.size());
     std::atomic<size_t> next_index{0};
+    // Worker contexts live until after Wait(): snapshots published by one
+    // worker hold pointers into that worker's interpreter pool, which other
+    // workers may still be reading near the end of the queue.
+    struct WorkerContext {
+      OsSimulator os;
+      Interpreter interp;
+      WorkerContext(const Module& module, const OsSimulator& os_template,
+                    const InterpOptions& options)
+          : os(os_template), interp(module, &os, options) {}
+    };
+    std::vector<std::unique_ptr<WorkerContext>> contexts;
+    contexts.reserve(worker_count);
+    for (size_t w = 0; w < worker_count; ++w) {
+      contexts.push_back(
+          std::make_unique<WorkerContext>(module_, os_template_, options_.interp));
+    }
     ThreadPool pool(worker_count);
     for (size_t w = 0; w < worker_count; ++w) {
-      pool.Submit([&] {
-        OsSimulator os = os_template_;
-        Interpreter interp(module_, &os, options_.interp);
+      pool.Submit([&, w] {
+        WorkerContext& context = *contexts[w];
         for (size_t i = next_index.fetch_add(1); i < configs.size();
              i = next_index.fetch_add(1)) {
-          summary.results[i] = RunOneWith(interp, os, template_config, configs[i]);
+          const std::string* keyset =
+              options_.use_parse_snapshot ? &cache.config_keysets[i] : nullptr;
+          summary.results[i] = RunOneWith(context.interp, context.os, &cache, keyset,
+                                          template_config, configs[i]);
         }
       });
     }

@@ -5,11 +5,30 @@
 // interpreter, and classify the reaction per Table 3. The two cost
 // optimizations from the paper are implemented: shortest-test-first
 // ordering and stop-at-first-failure.
+//
+// On top of those, RunAll amortizes the shared parse prefix: all
+// misconfigurations of one delta key-set share the parse of every *other*
+// template line, so the campaign snapshots interpreter + simulated-OS state
+// after parsing the template minus the delta keys once, then each run
+// restores the snapshot and replays only the delta settings. Every such
+// run passes a dynamic hazard check — the delta parse's global reads and
+// writes, log emission and OS traffic are intersected with the access map
+// of the entries it was reordered across — and falls back to full replay
+// on any conflict, when the delta parse terminates the run (a rejection
+// must stop mid-file), or for order-sensitive key-sets flagged by the
+// first-use verification against ground truth. Campaign results are
+// therefore bit-identical to full replay for every thread count.
 #ifndef SPEX_INJECT_CAMPAIGN_H_
 #define SPEX_INJECT_CAMPAIGN_H_
 
+#include <array>
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/confgen/config_file.h"
@@ -48,6 +67,8 @@ enum class ReactionCategory {
   kNoIssue,            // Setting tolerated with correct behaviour.
 };
 
+inline constexpr size_t kReactionCategoryCount = 7;
+
 const char* ReactionCategoryName(ReactionCategory category);
 bool IsVulnerability(ReactionCategory category);
 
@@ -65,6 +86,10 @@ struct CampaignSummary {
   std::vector<InjectionResult> results;
 
   size_t CountCategory(ReactionCategory category) const;
+  // All category tallies in one pass over the results, indexed by
+  // static_cast<size_t>(ReactionCategory). Bench tables should call this
+  // once instead of re-scanning per CountCategory call.
+  std::array<size_t, kReactionCategoryCount> CategoryCounts() const;
   size_t TotalVulnerabilities() const;
   // Unique source-code locations behind the vulnerabilities (Table 5b).
   size_t UniqueVulnerabilityLocations() const;
@@ -78,6 +103,11 @@ struct CampaignOptions {
   // Results are written into pre-sized slots, so ordering, categories and
   // totals are identical for every thread count.
   int num_threads = 1;
+  // Replay each misconfiguration from a post-parse snapshot of the shared
+  // template prefix instead of re-parsing the whole template per run.
+  // Verified per delta key-set against full replay; disable to force the
+  // ground-truth path everywhere.
+  bool use_parse_snapshot = true;
   InterpOptions interp;
 };
 
@@ -107,13 +137,73 @@ class InjectionCampaign {
     bool rejected = false;  // Parse/init returned an error code.
   };
 
+  // Shared prefix snapshot for one delta key-set. `state` gates the
+  // cross-worker handoff: the builder publishes with a release store, users
+  // acquire-load before touching any other field. Workers that find the
+  // entry still building simply take the full-replay path instead of
+  // waiting. kUnusable is sticky: the only transition out of kReady is a
+  // compare-exchange to kVerified, so one worker proving the key-set
+  // order-sensitive can never be overruled by another's passing check.
+  struct SnapshotEntry {
+    enum State : int { kBuilding = 0, kReady = 1, kVerified = 2, kUnusable = 3 };
+    std::atomic<int> state{kBuilding};
+    // The snapshot's stamp maps double as the build-time access map: per
+    // global slot, (template position + 1) of the last non-delta entry
+    // whose parse read/wrote it (0 = none). The per-run hazard check
+    // proves a reordered delta parse equivalent by intersecting them with
+    // the delta's own dynamic read/write sets.
+    Interpreter::Snapshot interp;
+    OsSimulator os;
+    int32_t max_log_pos = -1;    // Highest position whose parse logged, -1 = none.
+    int32_t max_os_pos = -1;     // Highest position with OS traffic, -1 = none.
+    int32_t max_stale_pos = -1;  // Highest position touching escaped locals.
+  };
+  // Lives for the duration of one RunAll (snapshots hold pointers into the
+  // builder worker's string pool, which must outlive every reader).
+  struct SnapshotCache {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<SnapshotEntry>> entries;
+    // Per-config key-set ids and how many configs share each key-set;
+    // filled before the workers start (read-only afterwards). Building a
+    // snapshot costs about one full replay, so singleton key-sets go
+    // straight to the full path.
+    std::vector<std::string> config_keysets;  // Parallel to the configs batch.
+    std::unordered_map<std::string, size_t> keyset_counts;
+  };
+
   // Resets `interp` / `os` to the template state, runs one misconfiguration
-  // and classifies the reaction. Thread-safe: only touches the interpreter
-  // and simulator owned by the calling worker.
-  InjectionResult RunOneWith(Interpreter& interp, OsSimulator& os,
-                             const ConfigFile& template_config,
+  // and classifies the reaction. `keyset` is the precomputed key-set id of
+  // `config` (null = always full replay). Thread-safe: only touches the
+  // interpreter and simulator owned by the calling worker, plus the
+  // state-gated shared snapshot cache.
+  InjectionResult RunOneWith(Interpreter& interp, OsSimulator& os, SnapshotCache* cache,
+                             const std::string* keyset, const ConfigFile& template_config,
                              const Misconfiguration& config) const;
+  // Ground-truth path: fresh template state, parse everything in file order.
+  InjectionResult FullReplay(Interpreter& interp, OsSimulator& os, const ConfigFile& applied,
+                             const Misconfiguration& config) const;
+  // Snapshot path; nullopt = caller must run FullReplay (cache entry still
+  // building, key-set order-sensitive, or the delta parse ended the run).
+  std::optional<InjectionResult> TryDeltaReplay(Interpreter& interp, OsSimulator& os,
+                                                SnapshotCache& cache, const std::string& keyset,
+                                                const ConfigFile& template_config,
+                                                const ConfigFile& applied,
+                                                const Misconfiguration& config,
+                                                const std::vector<std::string>& delta_keys) const;
+
+  // Phase 1 over `config`'s settings; with `only_delta_keys`, parses just
+  // those entries. (The snapshot builder's everything-but-the-delta loop
+  // lives inline in TryDeltaReplay — it needs per-entry access stamps.)
+  // Returns false when the run terminated during parse (outcome filled).
+  bool ParsePhase(Interpreter& interp, const ConfigFile& config,
+                  const std::vector<std::string>* only_delta_keys,
+                  RunOutcome* outcome) const;
+  // Phases 2 (init) and 3 (functional tests).
+  void InitAndTestPhases(Interpreter& interp, RunOutcome* outcome) const;
   RunOutcome Execute(Interpreter& interp, const ConfigFile& config) const;
+  // Table 3 classification from the outcome plus interpreter observables.
+  InjectionResult Classify(Interpreter& interp, const RunOutcome& outcome,
+                           const Misconfiguration& config, const ConfigFile& applied) const;
   bool LogsPinpoint(const std::vector<std::string>& logs, const Misconfiguration& config,
                     const ConfigFile& applied) const;
 

@@ -10,6 +10,15 @@ namespace spex {
 // ---------------------------------------------------------------------------
 // RtValue helpers.
 
+namespace {
+
+const std::string& EmptyString() {
+  static const std::string* kEmpty = new std::string();
+  return *kEmpty;
+}
+
+}  // namespace
+
 RtValue RtValue::Int(int64_t v) {
   RtValue value;
   value.kind = Kind::kInt;
@@ -24,10 +33,11 @@ RtValue RtValue::Float(double v) {
   return value;
 }
 
-RtValue RtValue::Str(std::string v) {
+RtValue RtValue::Str(std::string_view v) {
+  StringPool& pool = BoundaryStringPool();
   RtValue value;
   value.kind = Kind::kString;
-  value.s = std::move(v);
+  value.sp = pool.InternPtr(v, &value.sym);
   return value;
 }
 
@@ -37,12 +47,31 @@ RtValue RtValue::Null() {
   return value;
 }
 
-RtValue RtValue::FnRef(std::string name) {
+RtValue RtValue::FnRef(std::string_view name) {
+  StringPool& pool = BoundaryStringPool();
   RtValue value;
   value.kind = Kind::kFnRef;
-  value.s = std::move(name);
+  value.sp = pool.InternPtr(name, &value.sym);
   return value;
 }
+
+RtValue RtValue::PooledStr(const std::string* sp, Symbol sym) {
+  RtValue value;
+  value.kind = Kind::kString;
+  value.sp = sp;
+  value.sym = sym;
+  return value;
+}
+
+RtValue RtValue::PooledFnRef(const std::string* sp, Symbol sym) {
+  RtValue value;
+  value.kind = Kind::kFnRef;
+  value.sp = sp;
+  value.sym = sym;
+  return value;
+}
+
+const std::string& RtValue::str() const { return sp != nullptr ? *sp : EmptyString(); }
 
 bool RtValue::IsTruthy() const {
   switch (kind) {
@@ -90,13 +119,13 @@ std::string RtValue::ToDebugString() const {
     case Kind::kFloat:
       return std::to_string(f);
     case Kind::kString:
-      return "\"" + s + "\"";
+      return "\"" + str() + "\"";
     case Kind::kNull:
       return "null";
     case Kind::kAddr:
       return "<addr>";
     case Kind::kFnRef:
-      return "<fn " + s + ">";
+      return "<fn " + str() + ">";
   }
   return "?";
 }
@@ -110,6 +139,19 @@ Interpreter::Interpreter(const Module& module, OsSimulator* os, InterpOptions op
   BuildInitImage();
   Reset();
 }
+
+RtValue Interpreter::InternedString(std::string_view text) {
+  Symbol sym = pool_.Intern(text);
+  return RtValue::PooledStr(pool_.StablePtr(sym), sym);
+}
+
+namespace {
+
+// Name -> intrinsic id; built once, consulted by ResolveCallSite the first
+// time each call instruction executes.
+using IntrinsicTable = std::unordered_map<std::string_view, uint8_t>;
+
+}  // namespace
 
 void Interpreter::BuildModuleIndex() {
   functions_by_name_.reserve(module_.functions().size());
@@ -132,7 +174,103 @@ void Interpreter::BuildModuleIndex() {
     global_slot_.emplace(global, static_cast<int32_t>(i));
     global_bounds_.push_back(global->is_array() ? global->array_size() : 0);
   }
-  global_read_.assign(globals.size(), 0);
+  global_read_stamps_.assign(globals.size(), 0);
+  global_write_stamps_.assign(globals.size(), 0);
+}
+
+// Lazily resolves one call instruction to a defined function or an
+// intrinsic id. Resolution is cached per instruction in call_sites_, so the
+// name hash and the (one-time) table lookup are paid once per call site,
+// not once per executed call — and never for code that does not run, which
+// keeps interpreter startup free of a whole-module walk.
+Interpreter::CallSite Interpreter::ResolveCallSite(const Instruction* instr) {
+  static const IntrinsicTable* kIntrinsics = [] {
+    auto* table = new IntrinsicTable{
+        {"strcmp", uint8_t(IntrinsicId::kStrcmp)},
+        {"strcasecmp", uint8_t(IntrinsicId::kStrcasecmp)},
+        {"strncmp", uint8_t(IntrinsicId::kStrncmp)},
+        {"strncasecmp", uint8_t(IntrinsicId::kStrncasecmp)},
+        {"strlen", uint8_t(IntrinsicId::kStrlen)},
+        {"strdup", uint8_t(IntrinsicId::kStrdup)},
+        {"canonicalize_path", uint8_t(IntrinsicId::kCanonicalizePath)},
+        {"tolower_str", uint8_t(IntrinsicId::kTolowerStr)},
+        {"toupper_str", uint8_t(IntrinsicId::kToupperStr)},
+        {"strchr", uint8_t(IntrinsicId::kStrchr)},
+        {"strstr", uint8_t(IntrinsicId::kStrstr)},
+        {"atoi", uint8_t(IntrinsicId::kAtoi)},
+        {"atol", uint8_t(IntrinsicId::kAtol)},
+        {"strtol", uint8_t(IntrinsicId::kAtol)},
+        {"strtoll", uint8_t(IntrinsicId::kAtol)},
+        {"strtoul", uint8_t(IntrinsicId::kAtol)},
+        {"strtod", uint8_t(IntrinsicId::kStrtod)},
+        {"sscanf", uint8_t(IntrinsicId::kSscanf)},
+        {"parse_int_strict", uint8_t(IntrinsicId::kParseIntStrict)},
+        {"open", uint8_t(IntrinsicId::kOpen)},
+        {"fopen", uint8_t(IntrinsicId::kFopen)},
+        {"opendir", uint8_t(IntrinsicId::kOpendir)},
+        {"access", uint8_t(IntrinsicId::kAccess)},
+        {"stat_file", uint8_t(IntrinsicId::kAccess)},
+        {"unlink", uint8_t(IntrinsicId::kUnlink)},
+        {"mkdir", uint8_t(IntrinsicId::kMkdir)},
+        {"chdir", uint8_t(IntrinsicId::kChdir)},
+        {"chroot", uint8_t(IntrinsicId::kChdir)},
+        {"chown", uint8_t(IntrinsicId::kChown)},
+        {"chmod", uint8_t(IntrinsicId::kRetZero)},
+        {"umask", uint8_t(IntrinsicId::kRetZero)},
+        {"close", uint8_t(IntrinsicId::kRetZero)},
+        {"read", uint8_t(IntrinsicId::kRetZero)},
+        {"write", uint8_t(IntrinsicId::kRetZero)},
+        {"free", uint8_t(IntrinsicId::kRetZero)},
+        {"listen", uint8_t(IntrinsicId::kRetZero)},
+        {"set_buffer_size", uint8_t(IntrinsicId::kRetZero)},
+        {"daemonize", uint8_t(IntrinsicId::kRetZero)},
+        {"socket", uint8_t(IntrinsicId::kSocket)},
+        {"bind", uint8_t(IntrinsicId::kBind)},
+        {"connect", uint8_t(IntrinsicId::kConnect)},
+        {"htons", uint8_t(IntrinsicId::kHtons)},
+        {"ntohs", uint8_t(IntrinsicId::kHtons)},
+        {"set_port", uint8_t(IntrinsicId::kHtons)},
+        {"htonl", uint8_t(IntrinsicId::kHtonl)},
+        {"ntohl", uint8_t(IntrinsicId::kHtonl)},
+        {"inet_addr", uint8_t(IntrinsicId::kInetAddr)},
+        {"inet_aton", uint8_t(IntrinsicId::kInetAton)},
+        {"gethostbyname", uint8_t(IntrinsicId::kGethostbyname)},
+        {"getpwnam", uint8_t(IntrinsicId::kGetpwnam)},
+        {"getgrnam", uint8_t(IntrinsicId::kGetgrnam)},
+        {"setuid_user", uint8_t(IntrinsicId::kSetuidUser)},
+        {"sleep", uint8_t(IntrinsicId::kSleep)},
+        {"alarm", uint8_t(IntrinsicId::kSleep)},
+        {"usleep", uint8_t(IntrinsicId::kUsleep)},
+        {"poll_wait", uint8_t(IntrinsicId::kPollWait)},
+        {"set_timeout_ms", uint8_t(IntrinsicId::kPollWait)},
+        {"time", uint8_t(IntrinsicId::kTime)},
+        {"malloc", uint8_t(IntrinsicId::kMalloc)},
+        {"alloc_buffer", uint8_t(IntrinsicId::kMalloc)},
+        {"exit", uint8_t(IntrinsicId::kExit)},
+        {"_exit", uint8_t(IntrinsicId::kExit)},
+        {"abort", uint8_t(IntrinsicId::kAbort)},
+        {"printf", uint8_t(IntrinsicId::kPrintf)},
+        {"fprintf", uint8_t(IntrinsicId::kFprintf)},
+        {"sprintf", uint8_t(IntrinsicId::kSprintf)},
+        {"log_info", uint8_t(IntrinsicId::kLogInfo)},
+        {"log_warn", uint8_t(IntrinsicId::kLogWarn)},
+        {"log_error", uint8_t(IntrinsicId::kLogError)},
+        {"log_fatal", uint8_t(IntrinsicId::kLogFatal)},
+        {"invoke_handler1", uint8_t(IntrinsicId::kInvokeHandler)},
+        {"invoke_handler2", uint8_t(IntrinsicId::kInvokeHandler)},
+    };
+    return table;
+  }();
+
+  CallSite site;
+  const Function* callee = LookupFunction(instr->callee());
+  if (callee != nullptr && !callee->IsDeclaration()) {
+    site.function = callee;
+  } else {
+    auto it = kIntrinsics->find(instr->callee());
+    site.intrinsic = it != kIntrinsics->end() ? IntrinsicId(it->second) : IntrinsicId::kNone;
+  }
+  return call_sites_.emplace(instr, site).first->second;
 }
 
 const Function* Interpreter::LookupFunction(const std::string& name) const {
@@ -153,11 +291,48 @@ int32_t Interpreter::GlobalSlotOf(const Value* root) const {
 void Interpreter::Reset() {
   global_scalars_ = init_scalars_;
   cells_ = init_cells_;
-  std::fill(global_read_.begin(), global_read_.end(), 0);
+  std::fill(global_read_stamps_.begin(), global_read_stamps_.end(), 0);
+  std::fill(global_write_stamps_.begin(), global_write_stamps_.end(), 0);
   alloca_bounds_.clear();
   logs_.clear();
+  active_frames_.clear();
   steps_ = 0;
   next_frame_id_ = 0;
+  os_ops_ = 0;
+  stale_cell_ops_ = 0;
+  access_stamp_ = 1;
+  call_depth_ = 0;
+}
+
+Interpreter::Snapshot Interpreter::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.scalars_ = global_scalars_;
+  snapshot.cells_ = cells_;
+  snapshot.read_stamps_ = global_read_stamps_;
+  snapshot.write_stamps_ = global_write_stamps_;
+  snapshot.alloca_bounds_ = alloca_bounds_;
+  snapshot.logs_ = logs_;
+  snapshot.steps_ = steps_;
+  snapshot.next_frame_id_ = next_frame_id_;
+  snapshot.os_ops_ = os_ops_;
+  snapshot.stale_cell_ops_ = stale_cell_ops_;
+  snapshot.access_stamp_ = access_stamp_;
+  return snapshot;
+}
+
+void Interpreter::RestoreSnapshot(const Snapshot& snapshot) {
+  global_scalars_ = snapshot.scalars_;
+  cells_ = snapshot.cells_;
+  global_read_stamps_ = snapshot.read_stamps_;
+  global_write_stamps_ = snapshot.write_stamps_;
+  alloca_bounds_ = snapshot.alloca_bounds_;
+  logs_ = snapshot.logs_;
+  steps_ = snapshot.steps_;
+  next_frame_id_ = snapshot.next_frame_id_;
+  os_ops_ = snapshot.os_ops_;
+  stale_cell_ops_ = snapshot.stale_cell_ops_;
+  access_stamp_ = snapshot.access_stamp_;
+  active_frames_.clear();
   call_depth_ = 0;
 }
 
@@ -176,25 +351,6 @@ RtValue Interpreter::DefaultValueFor(const IrType* type) const {
   }
 }
 
-namespace {
-
-RtValue InitToValue(const GlobalInit& init) {
-  switch (init.kind) {
-    case GlobalInit::Kind::kInt:
-      return RtValue::Int(init.int_value);
-    case GlobalInit::Kind::kFloat:
-      return RtValue::Float(init.float_value);
-    case GlobalInit::Kind::kString:
-      return RtValue::Str(init.string_value);
-    case GlobalInit::Kind::kNull:
-      return RtValue::Null();
-    default:
-      return RtValue::Int(0);
-  }
-}
-
-}  // namespace
-
 void Interpreter::BuildInitImage() {
   init_scalars_.reserve(module_.globals().size());
   for (const auto& global : module_.globals()) {
@@ -202,19 +358,33 @@ void Interpreter::BuildInitImage() {
     const GlobalInit& init = global->init();
 
     auto leaf_value = [this](const GlobalInit& leaf) -> RtValue {
-      if (leaf.kind == GlobalInit::Kind::kGlobalRef) {
-        // Address of another global, or a function reference.
-        const GlobalVariable* target = LookupGlobal(leaf.string_value);
-        if (target != nullptr) {
-          RtValue addr;
-          addr.kind = RtValue::Kind::kAddr;
-          addr.frame = -1;
-          addr.root = target;
-          return addr;
+      switch (leaf.kind) {
+        case GlobalInit::Kind::kInt:
+          return RtValue::Int(leaf.int_value);
+        case GlobalInit::Kind::kFloat:
+          return RtValue::Float(leaf.float_value);
+        case GlobalInit::Kind::kString: {
+          Symbol sym = pool_.Intern(leaf.string_value);
+          return RtValue::PooledStr(pool_.StablePtr(sym), sym);
         }
-        return RtValue::FnRef(leaf.string_value);
+        case GlobalInit::Kind::kNull:
+          return RtValue::Null();
+        case GlobalInit::Kind::kGlobalRef: {
+          // Address of another global, or a function reference.
+          const GlobalVariable* target = LookupGlobal(leaf.string_value);
+          if (target != nullptr) {
+            RtValue addr;
+            addr.kind = RtValue::Kind::kAddr;
+            addr.frame = -1;
+            addr.root = target;
+            return addr;
+          }
+          Symbol sym = pool_.Intern(leaf.string_value);
+          return RtValue::PooledFnRef(pool_.StablePtr(sym), sym);
+        }
+        default:
+          return RtValue::Int(0);
       }
-      return InitToValue(leaf);
     };
     auto store_leaf = [this, &global, &leaf_value](std::vector<int64_t> path,
                                                    const GlobalInit& leaf) {
@@ -296,6 +466,16 @@ RtValue Interpreter::DefaultCellValue(const Value* root,
   return DefaultValueFor(type);
 }
 
+void Interpreter::NoteFrameCellAccess(int64_t frame) {
+  if (!active_frames_.empty() && active_frames_.back() == frame) {
+    return;  // Own frame: the overwhelmingly common case.
+  }
+  if (std::find(active_frames_.begin(), active_frames_.end(), frame) != active_frames_.end()) {
+    return;  // A live caller's frame (address passed down the call chain).
+  }
+  ++stale_cell_ops_;  // Escaped &local from a completed call.
+}
+
 RtValue Interpreter::LoadCell(const RtValue& addr, const Instruction* at) {
   if (addr.kind == RtValue::Kind::kNull) {
     throw TrapError("Segmentation fault (null pointer dereference)");
@@ -305,8 +485,11 @@ RtValue Interpreter::LoadCell(const RtValue& addr, const Instruction* at) {
   }
   int32_t slot = addr.frame == -1 ? GlobalSlotOf(addr.root) : -1;
   CheckBounds(addr.root, slot, addr.path, at);
+  if (addr.frame != -1) {
+    NoteFrameCellAccess(addr.frame);
+  }
   if (slot >= 0) {
-    global_read_[static_cast<size_t>(slot)] = 1;
+    global_read_stamps_[static_cast<size_t>(slot)] = access_stamp_;
     if (addr.path.empty()) {
       return global_scalars_[static_cast<size_t>(slot)];
     }
@@ -332,9 +515,15 @@ void Interpreter::StoreCell(const RtValue& addr, RtValue value, const Instructio
   }
   int32_t slot = addr.frame == -1 ? GlobalSlotOf(addr.root) : -1;
   CheckBounds(addr.root, slot, addr.path, at);
-  if (slot >= 0 && addr.path.empty()) {
-    global_scalars_[static_cast<size_t>(slot)] = std::move(value);
-    return;
+  if (addr.frame != -1) {
+    NoteFrameCellAccess(addr.frame);
+  }
+  if (slot >= 0) {
+    global_write_stamps_[static_cast<size_t>(slot)] = access_stamp_;
+    if (addr.path.empty()) {
+      global_scalars_[static_cast<size_t>(slot)] = std::move(value);
+      return;
+    }
   }
   CellKey key;
   key.frame = addr.frame;
@@ -373,6 +562,8 @@ CallOutcome Interpreter::Call(const std::string& function, std::vector<RtValue> 
     outcome.status = CallOutcome::Status::kHang;
     outcome.trap_reason = "step budget exhausted";
   }
+  // Trap/exit/hang unwinding skips RunFunction's frame pops.
+  active_frames_.clear();
   call_depth_ = 0;
   return outcome;
 }
@@ -383,8 +574,15 @@ RtValue Interpreter::Eval(Frame& frame, const Value* value) {
       return RtValue::Int(value->constant_int());
     case ValueKind::kConstantFloat:
       return RtValue::Float(value->constant_float());
-    case ValueKind::kConstantString:
-      return RtValue::Str(value->constant_string());
+    case ValueKind::kConstantString: {
+      auto it = const_strings_.find(value);
+      if (it != const_strings_.end()) {
+        return it->second;
+      }
+      // Slow path for constants not discovered by the module walk.
+      return const_strings_.emplace(value, InternedString(value->constant_string()))
+          .first->second;
+    }
     case ValueKind::kConstantNull:
       return RtValue::Null();
     case ValueKind::kGlobal: {
@@ -411,6 +609,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
   Frame frame;
   frame.fn = &fn;
   frame.id = next_frame_id_++;
+  active_frames_.push_back(frame.id);
   if (!frame_pool_.empty()) {
     frame.regs = std::move(frame_pool_.back());
     frame_pool_.pop_back();
@@ -532,9 +731,10 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
             int order;
             if (lhs_null || rhs_null) {
               order = (lhs_null && rhs_null) ? 0 : (lhs_null ? -1 : 1);
+            } else if (lhs.sp == rhs.sp) {
+              order = 0;  // Same pooled payload.
             } else {
-              order = lhs.s.compare(rhs.s);
-              order = order < 0 ? -1 : (order > 0 ? 1 : 0);
+              order = CompareStrings(lhs.str(), rhs.str());
             }
             switch (instr->cmp_pred()) {
               case IrCmpPred::kEq:
@@ -687,6 +887,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
           --call_depth_;
           RtValue ret = instr->operand_count() == 1 ? Eval(frame, instr->operand(0)) : result;
           frame_pool_.push_back(std::move(frame.regs));
+          active_frames_.pop_back();
           return ret;
         }
         case InstrKind::kUnreachable:
@@ -700,6 +901,7 @@ RtValue Interpreter::RunFunction(const Function& fn, std::vector<RtValue> args) 
   }
   --call_depth_;
   frame_pool_.push_back(std::move(frame.regs));
+  active_frames_.pop_back();
   return result;
 }
 
@@ -709,11 +911,12 @@ RtValue Interpreter::ExecCall(Frame& frame, const Instruction* instr) {
   for (size_t i = 0; i < instr->operand_count(); ++i) {
     args.push_back(Eval(frame, instr->operand(i)));
   }
-  const Function* callee = LookupFunction(instr->callee());
-  if (callee != nullptr && !callee->IsDeclaration()) {
-    return RunFunction(*callee, std::move(args));
+  auto it = call_sites_.find(instr);
+  const CallSite site = it != call_sites_.end() ? it->second : ResolveCallSite(instr);
+  if (site.function != nullptr) {
+    return RunFunction(*site.function, std::move(args));
   }
-  return Intrinsic(instr->callee(), args, instr);
+  return Intrinsic(site.intrinsic, instr->callee(), args, instr);
 }
 
 // ---------------------------------------------------------------------------
@@ -743,7 +946,7 @@ std::string Interpreter::FormatMessage(const std::string& format,
       if (arg_index < args.size()) {
         const RtValue& arg = args[arg_index++];
         if (format[j] == 's') {
-          out += arg.kind == RtValue::Kind::kNull ? "(null)" : arg.s;
+          out += arg.kind == RtValue::Kind::kNull ? "(null)" : arg.str();
         } else {
           out += std::to_string(arg.AsInt());
         }
@@ -782,8 +985,8 @@ int64_t ParsePrefixInt(const std::string& text) {
 
 }  // namespace
 
-RtValue Interpreter::Intrinsic(const std::string& name, std::vector<RtValue>& args,
-                               const Instruction* instr) {
+RtValue Interpreter::Intrinsic(IntrinsicId id, const std::string& name,
+                               std::vector<RtValue>& args, const Instruction* instr) {
   auto need_string = [&](size_t index) -> const std::string& {
     if (index >= args.size() || args[index].kind == RtValue::Kind::kNull) {
       throw TrapError("Segmentation fault (null string passed to " + name + ")");
@@ -791,284 +994,296 @@ RtValue Interpreter::Intrinsic(const std::string& name, std::vector<RtValue>& ar
     if (args[index].kind != RtValue::Kind::kString) {
       throw TrapError("Segmentation fault (non-string passed to " + name + ")");
     }
-    return args[index].s;
+    return args[index].str();
   };
   auto arg_int = [&](size_t index) -> int64_t {
     return index < args.size() ? args[index].AsInt() : 0;
   };
 
-  // --- Strings.
-  if (name == "strcmp" || name == "strcasecmp") {
-    const std::string& a = need_string(0);
-    const std::string& b = need_string(1);
-    int order;
-    if (name == "strcmp") {
-      order = a.compare(b);
-    } else {
-      std::string la = ToLowerCopy(a);
-      std::string lb = ToLowerCopy(b);
-      order = la.compare(lb);
-    }
-    return RtValue::Int(order < 0 ? -1 : (order > 0 ? 1 : 0));
-  }
-  if (name == "strncmp" || name == "strncasecmp") {
-    std::string a = need_string(0).substr(0, static_cast<size_t>(arg_int(2)));
-    std::string b = need_string(1).substr(0, static_cast<size_t>(arg_int(2)));
-    if (name == "strncasecmp") {
-      a = ToLowerCopy(a);
-      b = ToLowerCopy(b);
-    }
-    int order = a.compare(b);
-    return RtValue::Int(order < 0 ? -1 : (order > 0 ? 1 : 0));
-  }
-  if (name == "strlen") {
-    return RtValue::Int(static_cast<int64_t>(need_string(0).size()));
-  }
-  if (name == "strdup" || name == "canonicalize_path" || name == "tolower_str" ||
-      name == "toupper_str") {
-    std::string s = need_string(0);
-    if (name == "tolower_str") {
-      s = ToLowerCopy(s);
-    } else if (name == "toupper_str") {
-      s = ToUpperCopy(s);
-    } else if (name == "canonicalize_path") {
-      s = ReplaceAll(std::move(s), "//", "/");
-    }
-    return RtValue::Str(std::move(s));
-  }
-  if (name == "strchr") {
-    const std::string& s = need_string(0);
-    char c = static_cast<char>(arg_int(1));
-    size_t pos = s.find(c);
-    return pos == std::string::npos ? RtValue::Null() : RtValue::Str(s.substr(pos));
-  }
-  if (name == "strstr") {
-    const std::string& s = need_string(0);
-    const std::string& sub = need_string(1);
-    size_t pos = s.find(sub);
-    return pos == std::string::npos ? RtValue::Null() : RtValue::Str(s.substr(pos));
+  // Count every intrinsic whose answer or effect involves mutable
+  // simulated-OS state (filesystem, ports, users, clock, allocator). The
+  // campaign's snapshot-replay hazard check treats any OS traffic in both
+  // reordered segments as a conflict.
+  switch (id) {
+    case IntrinsicId::kOpen:
+    case IntrinsicId::kFopen:
+    case IntrinsicId::kOpendir:
+    case IntrinsicId::kAccess:
+    case IntrinsicId::kUnlink:
+    case IntrinsicId::kMkdir:
+    case IntrinsicId::kChdir:
+    case IntrinsicId::kChown:
+    case IntrinsicId::kBind:
+    case IntrinsicId::kConnect:
+    case IntrinsicId::kInetAddr:
+    case IntrinsicId::kInetAton:
+    case IntrinsicId::kGethostbyname:
+    case IntrinsicId::kGetpwnam:
+    case IntrinsicId::kGetgrnam:
+    case IntrinsicId::kSetuidUser:
+    case IntrinsicId::kSleep:
+    case IntrinsicId::kUsleep:
+    case IntrinsicId::kPollWait:
+    case IntrinsicId::kTime:
+    case IntrinsicId::kMalloc:
+      ++os_ops_;
+      break;
+    default:
+      break;
   }
 
-  // --- Conversions.
-  if (name == "atoi") {
-    // Classic atoi: parses a prefix, wraps silently on 32-bit overflow.
-    return RtValue::Int(static_cast<int32_t>(ParsePrefixInt(need_string(0))));
-  }
-  if (name == "atol" || name == "strtol" || name == "strtoll" || name == "strtoul") {
-    return RtValue::Int(ParsePrefixInt(need_string(0)));
-  }
-  if (name == "strtod") {
-    const std::string& s = need_string(0);
-    return RtValue::Float(std::strtod(s.c_str(), nullptr));
-  }
-  if (name == "sscanf") {
-    // Supported form: sscanf(text, "%d"-like, &out). Parses a prefix; on
-    // total mismatch returns 0 and leaves the output untouched (the
-    // undefined-on-garbage behaviour Figure 6(d) warns about).
-    const std::string& text = need_string(0);
-    size_t i = 0;
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
-      ++i;
+  switch (id) {
+    // --- Strings.
+    case IntrinsicId::kStrcmp: {
+      const std::string& a = need_string(0);
+      const std::string& b = need_string(1);
+      if (args[0].sp == args[1].sp) {
+        return RtValue::Int(0);  // Same pooled payload.
+      }
+      return RtValue::Int(CompareStrings(a, b));
     }
-    bool has_digits = i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
-                                          ((text[i] == '-' || text[i] == '+') &&
-                                           i + 1 < text.size() &&
-                                           std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0));
-    if (!has_digits) {
+    case IntrinsicId::kStrcasecmp: {
+      const std::string& a = need_string(0);
+      const std::string& b = need_string(1);
+      if (args[0].sp == args[1].sp) {
+        return RtValue::Int(0);
+      }
+      return RtValue::Int(CompareStringsIgnoreCase(a, b));
+    }
+    case IntrinsicId::kStrncmp:
+    case IntrinsicId::kStrncasecmp: {
+      // Compare the length-limited prefixes in place — no substr/lowercase
+      // temporaries. A negative count converts to a huge size_t in C, i.e.
+      // the whole strings compare; substr clamps to size() for us.
+      size_t limit = static_cast<size_t>(arg_int(2));
+      std::string_view a = std::string_view(need_string(0)).substr(0, limit);
+      std::string_view b = std::string_view(need_string(1)).substr(0, limit);
+      int order = id == IntrinsicId::kStrncasecmp ? CompareStringsIgnoreCase(a, b)
+                                                  : CompareStrings(a, b);
+      return RtValue::Int(order);
+    }
+    case IntrinsicId::kStrlen:
+      return RtValue::Int(static_cast<int64_t>(need_string(0).size()));
+    case IntrinsicId::kStrdup:
+      need_string(0);
+      // Strings are immutable values here; "duplicating" an interned
+      // payload is the identity.
+      return args[0];
+    case IntrinsicId::kCanonicalizePath:
+      return InternedString(ReplaceAll(need_string(0), "//", "/"));
+    case IntrinsicId::kTolowerStr:
+      return InternedString(ToLowerCopy(need_string(0)));
+    case IntrinsicId::kToupperStr:
+      return InternedString(ToUpperCopy(need_string(0)));
+    case IntrinsicId::kStrchr: {
+      const std::string& s = need_string(0);
+      char c = static_cast<char>(arg_int(1));
+      size_t pos = s.find(c);
+      return pos == std::string::npos ? RtValue::Null()
+                                      : InternedString(std::string_view(s).substr(pos));
+    }
+    case IntrinsicId::kStrstr: {
+      const std::string& s = need_string(0);
+      const std::string& sub = need_string(1);
+      size_t pos = s.find(sub);
+      return pos == std::string::npos ? RtValue::Null()
+                                      : InternedString(std::string_view(s).substr(pos));
+    }
+
+    // --- Conversions.
+    case IntrinsicId::kAtoi:
+      // Classic atoi: parses a prefix, wraps silently on 32-bit overflow.
+      return RtValue::Int(static_cast<int32_t>(ParsePrefixInt(need_string(0))));
+    case IntrinsicId::kAtol:
+      return RtValue::Int(ParsePrefixInt(need_string(0)));
+    case IntrinsicId::kStrtod: {
+      const std::string& s = need_string(0);
+      return RtValue::Float(std::strtod(s.c_str(), nullptr));
+    }
+    case IntrinsicId::kSscanf: {
+      // Supported form: sscanf(text, "%d"-like, &out). Parses a prefix; on
+      // total mismatch returns 0 and leaves the output untouched (the
+      // undefined-on-garbage behaviour Figure 6(d) warns about).
+      const std::string& text = need_string(0);
+      size_t i = 0;
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+        ++i;
+      }
+      bool has_digits =
+          i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+                              ((text[i] == '-' || text[i] == '+') && i + 1 < text.size() &&
+                               std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0));
+      if (!has_digits) {
+        return RtValue::Int(0);
+      }
+      if (args.size() >= 3 && args[2].kind == RtValue::Kind::kAddr) {
+        StoreCell(args[2], RtValue::Int(ParsePrefixInt(text)), instr);
+      }
+      return RtValue::Int(1);
+    }
+    case IntrinsicId::kParseIntStrict: {
+      // The safe-API alternative: whole-string parse with error reporting.
+      const std::string& text = need_string(0);
+      auto parsed = ParseInt64(text);
+      if (!parsed.has_value()) {
+        return RtValue::Int(-1);
+      }
+      if (args.size() >= 2 && args[1].kind == RtValue::Kind::kAddr) {
+        StoreCell(args[1], RtValue::Int(*parsed), instr);
+      }
       return RtValue::Int(0);
     }
-    if (args.size() >= 3 && args[2].kind == RtValue::Kind::kAddr) {
-      StoreCell(args[2], RtValue::Int(ParsePrefixInt(text)), instr);
-    }
-    return RtValue::Int(1);
-  }
-  if (name == "parse_int_strict") {
-    // The safe-API alternative: whole-string parse with error reporting.
-    const std::string& text = need_string(0);
-    auto parsed = ParseInt64(text);
-    if (!parsed.has_value()) {
-      return RtValue::Int(-1);
-    }
-    if (args.size() >= 2 && args[1].kind == RtValue::Kind::kAddr) {
-      StoreCell(args[1], RtValue::Int(*parsed), instr);
-    }
-    return RtValue::Int(0);
-  }
 
-  // --- Filesystem.
-  if (name == "open" || name == "fopen") {
-    const std::string& path = need_string(0);
-    if (os_->DirectoryExists(path)) {
-      return RtValue::Int(-1);  // EISDIR
+    // --- Filesystem.
+    case IntrinsicId::kOpen:
+    case IntrinsicId::kFopen: {
+      const std::string& path = need_string(0);
+      if (os_->DirectoryExists(path)) {
+        return RtValue::Int(-1);  // EISDIR
+      }
+      if (!os_->FileExists(path) || !os_->IsReadable(path)) {
+        return id == IntrinsicId::kOpen ? RtValue::Int(-1) : RtValue::Int(0);
+      }
+      return RtValue::Int(3);
     }
-    if (!os_->FileExists(path) || !os_->IsReadable(path)) {
-      return name == "open" ? RtValue::Int(-1) : RtValue::Int(0);
+    case IntrinsicId::kOpendir:
+      return RtValue::Int(os_->DirectoryExists(need_string(0)) ? 3 : 0);
+    case IntrinsicId::kAccess: {
+      const std::string& path = need_string(0);
+      bool exists = os_->FileExists(path) || os_->DirectoryExists(path);
+      return RtValue::Int(exists ? 0 : -1);
     }
-    return RtValue::Int(3);
-  }
-  if (name == "opendir") {
-    return RtValue::Int(os_->DirectoryExists(need_string(0)) ? 3 : 0);
-  }
-  if (name == "access" || name == "stat_file") {
-    const std::string& path = need_string(0);
-    bool exists = os_->FileExists(path) || os_->DirectoryExists(path);
-    return RtValue::Int(exists ? 0 : -1);
-  }
-  if (name == "unlink") {
-    return RtValue::Int(os_->RemoveFile(need_string(0)) ? 0 : -1);
-  }
-  if (name == "mkdir") {
-    os_->AddDirectory(need_string(0));
-    return RtValue::Int(0);
-  }
-  if (name == "chdir" || name == "chroot") {
-    return RtValue::Int(os_->DirectoryExists(need_string(0)) ? 0 : -1);
-  }
-  if (name == "chown") {
-    const std::string& path = need_string(0);
-    const std::string& user = need_string(1);
-    bool ok = (os_->FileExists(path) || os_->DirectoryExists(path)) && os_->UserExists(user);
-    return RtValue::Int(ok ? 0 : -1);
-  }
-  if (name == "chmod" || name == "umask") {
-    return RtValue::Int(0);
-  }
-  if (name == "close" || name == "read" || name == "write" || name == "free") {
-    return RtValue::Int(0);
-  }
-
-  // --- Network.
-  if (name == "socket") {
-    return RtValue::Int(3);
-  }
-  if (name == "bind") {
-    return RtValue::Int(os_->PortAvailable(arg_int(1)) ? 0 : -1);
-  }
-  if (name == "listen") {
-    return RtValue::Int(0);
-  }
-  if (name == "connect") {
-    bool ok = args.size() >= 3 && args[1].kind == RtValue::Kind::kString &&
-              os_->ResolvesHost(args[1].s) && arg_int(2) >= 1 && arg_int(2) <= 65535;
-    return RtValue::Int(ok ? 0 : -1);
-  }
-  if (name == "htons" || name == "ntohs" || name == "set_port") {
-    // 16-bit truncation: port 70000 silently becomes 4464.
-    return RtValue::Int(arg_int(0) & 0xFFFF);
-  }
-  if (name == "htonl" || name == "ntohl") {
-    return RtValue::Int(arg_int(0) & 0xFFFFFFFFLL);
-  }
-  if (name == "inet_addr") {
-    const std::string& text = need_string(0);
-    return RtValue::Int(os_->IsValidIpAddress(text) ? 0x7f000001 : -1);
-  }
-  if (name == "inet_aton") {
-    return RtValue::Int(os_->IsValidIpAddress(need_string(0)) ? 1 : 0);
-  }
-  if (name == "gethostbyname") {
-    return RtValue::Int(os_->ResolvesHost(need_string(0)) ? 1 : 0);
-  }
-
-  // --- Users.
-  if (name == "getpwnam") {
-    return RtValue::Int(os_->UserExists(need_string(0)) ? 1 : 0);
-  }
-  if (name == "getgrnam") {
-    return RtValue::Int(os_->GroupExists(need_string(0)) ? 1 : 0);
-  }
-  if (name == "setuid_user") {
-    return RtValue::Int(os_->UserExists(need_string(0)) ? 0 : -1);
-  }
-
-  // --- Time. Virtual sleeping burns steps so that absurd durations are
-  // detected as hangs (100 steps per simulated second).
-  if (name == "sleep" || name == "alarm") {
-    int64_t seconds = std::max<int64_t>(0, arg_int(0));
-    os_->AdvanceClock(seconds);
-    steps_ += std::min<int64_t>(seconds, 1'000'000) * 100;
-    if (steps_ > options_.max_steps) {
-      throw HangError();
+    case IntrinsicId::kUnlink:
+      return RtValue::Int(os_->RemoveFile(need_string(0)) ? 0 : -1);
+    case IntrinsicId::kMkdir:
+      os_->AddDirectory(need_string(0));
+      return RtValue::Int(0);
+    case IntrinsicId::kChdir:
+      return RtValue::Int(os_->DirectoryExists(need_string(0)) ? 0 : -1);
+    case IntrinsicId::kChown: {
+      const std::string& path = need_string(0);
+      const std::string& user = need_string(1);
+      bool ok = (os_->FileExists(path) || os_->DirectoryExists(path)) && os_->UserExists(user);
+      return RtValue::Int(ok ? 0 : -1);
     }
-    return RtValue::Int(0);
-  }
-  if (name == "usleep") {
-    int64_t usec = std::max<int64_t>(0, arg_int(0));
-    os_->AdvanceClock(usec / 1'000'000);
-    steps_ += std::min<int64_t>(usec / 10'000, 100'000'000);
-    if (steps_ > options_.max_steps) {
-      throw HangError();
+    case IntrinsicId::kRetZero:
+      return RtValue::Int(0);
+
+    // --- Network.
+    case IntrinsicId::kSocket:
+      return RtValue::Int(3);
+    case IntrinsicId::kBind:
+      return RtValue::Int(os_->PortAvailable(arg_int(1)) ? 0 : -1);
+    case IntrinsicId::kConnect: {
+      bool ok = args.size() >= 3 && args[1].kind == RtValue::Kind::kString &&
+                os_->ResolvesHost(args[1].str()) && arg_int(2) >= 1 && arg_int(2) <= 65535;
+      return RtValue::Int(ok ? 0 : -1);
     }
-    return RtValue::Int(0);
-  }
-  if (name == "poll_wait" || name == "set_timeout_ms") {
-    int64_t msec = std::max<int64_t>(0, arg_int(0));
-    os_->AdvanceClock(msec / 1000);
-    steps_ += std::min<int64_t>(msec / 10, 100'000'000);
-    if (steps_ > options_.max_steps) {
-      throw HangError();
+    case IntrinsicId::kHtons:
+      // 16-bit truncation: port 70000 silently becomes 4464.
+      return RtValue::Int(arg_int(0) & 0xFFFF);
+    case IntrinsicId::kHtonl:
+      return RtValue::Int(arg_int(0) & 0xFFFFFFFFLL);
+    case IntrinsicId::kInetAddr: {
+      const std::string& text = need_string(0);
+      return RtValue::Int(os_->IsValidIpAddress(text) ? 0x7f000001 : -1);
     }
-    return RtValue::Int(0);
-  }
-  if (name == "time") {
-    return RtValue::Int(os_->now());
-  }
+    case IntrinsicId::kInetAton:
+      return RtValue::Int(os_->IsValidIpAddress(need_string(0)) ? 1 : 0);
+    case IntrinsicId::kGethostbyname:
+      return RtValue::Int(os_->ResolvesHost(need_string(0)) ? 1 : 0);
 
-  // --- Memory.
-  if (name == "malloc" || name == "alloc_buffer") {
-    return RtValue::Int(os_->TryAllocate(arg_int(0)));
-  }
-  if (name == "set_buffer_size") {
-    return RtValue::Int(0);
-  }
+    // --- Users.
+    case IntrinsicId::kGetpwnam:
+      return RtValue::Int(os_->UserExists(need_string(0)) ? 1 : 0);
+    case IntrinsicId::kGetgrnam:
+      return RtValue::Int(os_->GroupExists(need_string(0)) ? 1 : 0);
+    case IntrinsicId::kSetuidUser:
+      return RtValue::Int(os_->UserExists(need_string(0)) ? 0 : -1);
 
-  // --- Process control.
-  if (name == "exit" || name == "_exit") {
-    throw ExitRequest(arg_int(0));
-  }
-  if (name == "abort") {
-    throw TrapError("Segmentation fault (abort)");
-  }
-  if (name == "daemonize") {
-    return RtValue::Int(0);
-  }
-
-  // --- Logging.
-  if (name == "printf") {
-    AppendLog("OUT", FormatMessage(need_string(0), args, 1));
-    return RtValue::Int(0);
-  }
-  if (name == "fprintf") {
-    AppendLog("OUT", FormatMessage(need_string(1), args, 2));
-    return RtValue::Int(0);
-  }
-  if (name == "sprintf") {
-    // sprintf(out_ignored, fmt, ...) — MiniC uses it only as the unsafe-API
-    // example; formatting result is discarded.
-    return RtValue::Int(0);
-  }
-  if (name == "log_info" || name == "log_warn" || name == "log_error" || name == "log_fatal") {
-    std::string level = name == "log_info"   ? "INFO"
-                        : name == "log_warn" ? "WARN"
-                        : name == "log_error" ? "ERROR"
-                                              : "FATAL";
-    AppendLog(level, FormatMessage(need_string(0), args, 1));
-    return RtValue::Int(0);
-  }
-
-  // --- Indirect handler invocation (configuration dispatch tables).
-  if (name == "invoke_handler1" || name == "invoke_handler2") {
-    if (args.empty() || args[0].kind != RtValue::Kind::kFnRef) {
-      throw TrapError("Segmentation fault (call through non-function value)");
+    // --- Time. Virtual sleeping burns steps so that absurd durations are
+    // detected as hangs (100 steps per simulated second).
+    case IntrinsicId::kSleep: {
+      int64_t seconds = std::max<int64_t>(0, arg_int(0));
+      os_->AdvanceClock(seconds);
+      steps_ += std::min<int64_t>(seconds, 1'000'000) * 100;
+      if (steps_ > options_.max_steps) {
+        throw HangError();
+      }
+      return RtValue::Int(0);
     }
-    const Function* handler = LookupFunction(args[0].s);
-    if (handler == nullptr || handler->IsDeclaration()) {
-      throw TrapError("Segmentation fault (call through dangling handler '" + args[0].s + "')");
+    case IntrinsicId::kUsleep: {
+      int64_t usec = std::max<int64_t>(0, arg_int(0));
+      os_->AdvanceClock(usec / 1'000'000);
+      steps_ += std::min<int64_t>(usec / 10'000, 100'000'000);
+      if (steps_ > options_.max_steps) {
+        throw HangError();
+      }
+      return RtValue::Int(0);
     }
-    std::vector<RtValue> handler_args(args.begin() + 1, args.end());
-    return RunFunction(*handler, std::move(handler_args));
-  }
+    case IntrinsicId::kPollWait: {
+      int64_t msec = std::max<int64_t>(0, arg_int(0));
+      os_->AdvanceClock(msec / 1000);
+      steps_ += std::min<int64_t>(msec / 10, 100'000'000);
+      if (steps_ > options_.max_steps) {
+        throw HangError();
+      }
+      return RtValue::Int(0);
+    }
+    case IntrinsicId::kTime:
+      return RtValue::Int(os_->now());
 
+    // --- Memory.
+    case IntrinsicId::kMalloc:
+      return RtValue::Int(os_->TryAllocate(arg_int(0)));
+
+    // --- Process control.
+    case IntrinsicId::kExit:
+      throw ExitRequest(arg_int(0));
+    case IntrinsicId::kAbort:
+      throw TrapError("Segmentation fault (abort)");
+
+    // --- Logging.
+    case IntrinsicId::kPrintf:
+      AppendLog("OUT", FormatMessage(need_string(0), args, 1));
+      return RtValue::Int(0);
+    case IntrinsicId::kFprintf:
+      AppendLog("OUT", FormatMessage(need_string(1), args, 2));
+      return RtValue::Int(0);
+    case IntrinsicId::kSprintf:
+      // sprintf(out_ignored, fmt, ...) — MiniC uses it only as the
+      // unsafe-API example; formatting result is discarded.
+      return RtValue::Int(0);
+    case IntrinsicId::kLogInfo:
+      AppendLog("INFO", FormatMessage(need_string(0), args, 1));
+      return RtValue::Int(0);
+    case IntrinsicId::kLogWarn:
+      AppendLog("WARN", FormatMessage(need_string(0), args, 1));
+      return RtValue::Int(0);
+    case IntrinsicId::kLogError:
+      AppendLog("ERROR", FormatMessage(need_string(0), args, 1));
+      return RtValue::Int(0);
+    case IntrinsicId::kLogFatal:
+      AppendLog("FATAL", FormatMessage(need_string(0), args, 1));
+      return RtValue::Int(0);
+
+    // --- Indirect handler invocation (configuration dispatch tables).
+    case IntrinsicId::kInvokeHandler: {
+      if (args.empty() || args[0].kind != RtValue::Kind::kFnRef) {
+        throw TrapError("Segmentation fault (call through non-function value)");
+      }
+      const Function* handler = LookupFunction(args[0].str());
+      if (handler == nullptr || handler->IsDeclaration()) {
+        throw TrapError("Segmentation fault (call through dangling handler '" + args[0].str() +
+                        "')");
+      }
+      std::vector<RtValue> handler_args(args.begin() + 1, args.end());
+      return RunFunction(*handler, std::move(handler_args));
+    }
+
+    case IntrinsicId::kNone:
+      break;
+  }
   throw TrapError("unresolved external function: " + name);
 }
 
@@ -1093,7 +1308,7 @@ bool Interpreter::GlobalWasRead(const std::string& name) const {
   if (global == nullptr) {
     return false;
   }
-  return global_read_[static_cast<size_t>(GlobalSlotOf(global))] != 0;
+  return global_read_stamps_[static_cast<size_t>(GlobalSlotOf(global))] != 0;
 }
 
 }  // namespace spex

@@ -80,6 +80,28 @@ void OsSimulator::ResetAllocations() {
   next_alloc_handle_ = 1;
 }
 
+void OsSimulator::RestoreFrom(const OsSimulator& snapshot) {
+  if (files_ != snapshot.files_) {
+    files_ = snapshot.files_;
+  }
+  if (occupied_ports_ != snapshot.occupied_ports_) {
+    occupied_ports_ = snapshot.occupied_ports_;
+  }
+  if (hosts_ != snapshot.hosts_) {
+    hosts_ = snapshot.hosts_;
+  }
+  if (users_ != snapshot.users_) {
+    users_ = snapshot.users_;
+  }
+  if (groups_ != snapshot.groups_) {
+    groups_ = snapshot.groups_;
+  }
+  memory_budget_ = snapshot.memory_budget_;
+  allocated_bytes_ = snapshot.allocated_bytes_;
+  next_alloc_handle_ = snapshot.next_alloc_handle_;
+  clock_seconds_ = snapshot.clock_seconds_;
+}
+
 OsSimulator OsSimulator::StandardEnvironment() {
   OsSimulator os;
   os.AddDirectory("/");

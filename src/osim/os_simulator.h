@@ -59,11 +59,22 @@ class OsSimulator {
   // host — what corpus targets assume exists.
   static OsSimulator StandardEnvironment();
 
+  // Makes this simulator state-identical to `snapshot`, skipping the
+  // node-by-node container copies when a container was never mutated. An
+  // injection campaign restores the same pristine environment thousands of
+  // times, and most runs never touch the filesystem or user tables.
+  void RestoreFrom(const OsSimulator& snapshot);
+
  private:
   struct FileInfo {
     bool is_directory = false;
     bool readable = true;
     bool writable = true;
+
+    bool operator==(const FileInfo& other) const {
+      return is_directory == other.is_directory && readable == other.readable &&
+             writable == other.writable;
+    }
   };
 
   std::map<std::string, FileInfo> files_;

@@ -102,6 +102,26 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   return true;
 }
 
+int CompareStrings(std::string_view a, std::string_view b) {
+  int order = a.compare(b);
+  return order < 0 ? -1 : (order > 0 ? 1 : 0);
+}
+
+int CompareStringsIgnoreCase(std::string_view a, std::string_view b) {
+  size_t common = std::min(a.size(), b.size());
+  for (size_t i = 0; i < common; ++i) {
+    unsigned char ca = static_cast<unsigned char>(ToLowerChar(a[i]));
+    unsigned char cb = static_cast<unsigned char>(ToLowerChar(b[i]));
+    if (ca != cb) {
+      return ca < cb ? -1 : 1;
+    }
+  }
+  if (a.size() == b.size()) {
+    return 0;
+  }
+  return a.size() < b.size() ? -1 : 1;
+}
+
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
 }

@@ -28,6 +28,10 @@ std::string ToLowerCopy(std::string_view text);
 std::string ToUpperCopy(std::string_view text);
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+// Three-way strcmp-style comparison; returns -1, 0 or 1. The IgnoreCase
+// variant lowercases on the fly — no temporary copies.
+int CompareStrings(std::string_view a, std::string_view b);
+int CompareStringsIgnoreCase(std::string_view a, std::string_view b);
 bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
 bool ContainsSubstring(std::string_view haystack, std::string_view needle);

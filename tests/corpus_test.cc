@@ -73,19 +73,54 @@ TEST_P(CorpusTargetTest, MappedParamCountMatchesSpec) {
 
 TEST_P(CorpusTargetTest, CampaignFindsVulnerabilitiesDeterministically) {
   const TargetAnalysis& analysis = Analysis(GetParam());
+  // The default snapshot-replay path must be indistinguishable from the
+  // ground-truth full replay on every corpus target.
   CampaignSummary first = RunCampaign(analysis);
-  CampaignSummary second = RunCampaign(analysis);
+  CampaignOptions full_replay;
+  full_replay.use_parse_snapshot = false;
+  CampaignSummary second = RunCampaign(analysis, full_replay);
   EXPECT_EQ(first.TotalVulnerabilities(), second.TotalVulnerabilities());
   EXPECT_GT(first.TotalVulnerabilities(), 0u) << "every system has some vulnerability";
+  ASSERT_EQ(first.results.size(), second.results.size());
   for (size_t i = 0; i < first.results.size(); ++i) {
     EXPECT_EQ(first.results[i].category, second.results[i].category) << i;
+    EXPECT_EQ(first.results[i].detail, second.results[i].detail) << i;
+    EXPECT_EQ(first.results[i].logs, second.results[i].logs) << i;
   }
+  EXPECT_EQ(first.total_tests_run, second.total_tests_run);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTargets, CorpusTargetTest,
                          ::testing::Values("storage_a", "apache", "mysql", "postgresql",
                                            "openldap", "vsftpd", "squid"),
                          [](const auto& info) { return info.param; });
+
+TEST(CorpusShardedTest, ShardedCampaignsMatchSerialRuns) {
+  // RunCorpusCampaigns fans one target per worker; every per-target summary
+  // must be identical to a serial AnalyzeTarget + RunCampaign.
+  const std::vector<std::string> names = {"vsftpd", "openldap", "squid"};
+  static ApiRegistry apis = ApiRegistry::BuiltinC();
+  std::vector<CorpusCampaignResult> sharded =
+      RunCorpusCampaigns(names, apis, CampaignOptions{}, /*num_workers=*/3);
+  ASSERT_EQ(sharded.size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(sharded[i].target, names[i]);
+    EXPECT_TRUE(sharded[i].diagnostics.empty()) << sharded[i].diagnostics;
+    DiagnosticEngine diags;
+    TargetAnalysis serial_analysis = AnalyzeTarget(FindTarget(names[i]), apis, &diags);
+    CampaignSummary serial = RunCampaign(serial_analysis);
+    const CampaignSummary& parallel = sharded[i].summary;
+    ASSERT_EQ(parallel.results.size(), serial.results.size()) << names[i];
+    for (size_t j = 0; j < serial.results.size(); ++j) {
+      EXPECT_EQ(parallel.results[j].category, serial.results[j].category)
+          << names[i] << " result " << j;
+      EXPECT_EQ(parallel.results[j].detail, serial.results[j].detail)
+          << names[i] << " result " << j;
+    }
+    EXPECT_EQ(parallel.total_tests_run, serial.total_tests_run) << names[i];
+    EXPECT_EQ(parallel.CategoryCounts(), serial.CategoryCounts()) << names[i];
+  }
+}
 
 TEST(CorpusShapeTest, PaperHeadlineShapesHold) {
   // Cross-target properties the paper's evaluation leans on.

@@ -287,6 +287,25 @@ TEST(CampaignTest, StopAtFirstFailureRunsFewerTests) {
   EXPECT_LT(fast.RunOne(config, inject).tests_run, slow.RunOne(config, inject).tests_run);
 }
 
+// Bit-identical comparison of two campaign summaries — the contract both
+// the parallel fan-out and the snapshot-replay path must uphold.
+void ExpectSameSummaries(const CampaignSummary& expected, const CampaignSummary& actual,
+                         const char* label) {
+  ASSERT_EQ(actual.results.size(), expected.results.size()) << label;
+  for (size_t i = 0; i < expected.results.size(); ++i) {
+    const InjectionResult& a = expected.results[i];
+    const InjectionResult& b = actual.results[i];
+    ASSERT_EQ(a.config.param, b.config.param) << label << ": order diverged at " << i;
+    ASSERT_EQ(a.config.value, b.config.value) << label << ": order diverged at " << i;
+    EXPECT_EQ(a.category, b.category) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.detail, b.detail) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.logs, b.logs) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.pinpointed, b.pinpointed) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.tests_run, b.tests_run) << label << ": " << a.config.Describe();
+  }
+  EXPECT_EQ(actual.total_tests_run, expected.total_tests_run) << label;
+}
+
 TEST(CampaignParallelTest, ParallelRunAllMatchesSerialOnSquid) {
   DiagnosticEngine diags;
   ApiRegistry apis = ApiRegistry::BuiltinC();
@@ -332,6 +351,189 @@ TEST(CampaignParallelTest, ParallelRunAllMatchesSerialOnSquid) {
     EXPECT_EQ(parallel_summary.CountCategory(category), serial_summary.CountCategory(category))
         << ReactionCategoryName(category);
   }
+}
+
+// --- Snapshot-replay determinism and fallbacks.
+
+TEST(CampaignSnapshotTest, SnapshotReplayBitIdenticalToFullReplaySquid) {
+  DiagnosticEngine diags;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+  ASSERT_FALSE(diags.HasErrors()) << diags.Render();
+
+  MisconfigGenerator generator;
+  std::vector<Misconfiguration> configs = generator.Generate(analysis.constraints);
+  ASSERT_GT(configs.size(), 10u);
+  ConfigFile template_config =
+      ConfigFile::Parse(analysis.bundle.template_config, analysis.bundle.dialect);
+
+  auto run = [&](int threads, bool snapshot) {
+    CampaignOptions options;
+    options.num_threads = threads;
+    options.use_parse_snapshot = snapshot;
+    InjectionCampaign campaign(*analysis.module, analysis.bundle.sut,
+                               OsSimulator::StandardEnvironment(), options);
+    return campaign.RunAll(template_config, configs);
+  };
+
+  // Ground truth: serial, full replay for every run.
+  CampaignSummary full = run(1, false);
+  ExpectSameSummaries(full, run(1, true), "serial snapshot");
+  ExpectSameSummaries(full, run(4, false), "4-worker full");
+  ExpectSameSummaries(full, run(4, true), "4-worker snapshot");
+}
+
+TEST(CampaignSnapshotTest, RejectedDeltaParseFallsBackToFullReplay) {
+  // The injected value is rejected by the parse handler, which in a full
+  // replay stops mid-template. The snapshot path must detect the rejected
+  // delta parse and re-run via full replay — classification, logs and
+  // detail must come out identical.
+  MicroTarget target(R"(
+    int threads = 4;
+    int workers = 2;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "threads")) {
+        int v;
+        if (parse_int_strict(value, &v) < 0) {
+          log_error("invalid value '%s' for parameter threads", value);
+          return -1;
+        }
+        threads = v;
+        return 0;
+      }
+      if (!strcasecmp(key, "workers")) { workers = atoi(value); return 0; }
+      return 0;
+    }
+    int server_init() { return 0; }
+  )");
+  target.sut.param_storage["threads"] = "threads";
+  ConfigFile config =
+      ConfigFile::Parse("threads = 4\nworkers = 2\n", ConfigDialect::kKeyEqualsValue);
+  std::vector<Misconfiguration> configs = {Inject("not_a_number", std::nullopt),
+                                           Inject("9G", std::nullopt), Inject("6", 6)};
+
+  CampaignOptions snapshot_on;
+  snapshot_on.use_parse_snapshot = true;
+  InjectionCampaign with_snapshot(*target.module, target.sut,
+                                  OsSimulator::StandardEnvironment(), snapshot_on);
+  CampaignOptions snapshot_off;
+  snapshot_off.use_parse_snapshot = false;
+  InjectionCampaign without_snapshot(*target.module, target.sut,
+                                     OsSimulator::StandardEnvironment(), snapshot_off);
+
+  CampaignSummary truth = without_snapshot.RunAll(config, configs);
+  CampaignSummary replayed = with_snapshot.RunAll(config, configs);
+  ExpectSameSummaries(truth, replayed, "rejected delta");
+  // The rejection itself is pinpointed by the handler's log_error.
+  EXPECT_EQ(replayed.results[0].category, ReactionCategory::kGoodReaction);
+  EXPECT_TRUE(replayed.results[0].pinpointed);
+  EXPECT_EQ(replayed.results[2].category, ReactionCategory::kNoIssue);
+}
+
+TEST(CampaignSnapshotTest, OrderSensitiveParseHandlerFallsBackToFullReplay) {
+  // handle_config_line for "b" reads state written by "a", so replaying the
+  // delta ("a") after the rest of the template ("b") computes a different
+  // b_val than the in-order full replay. The first-use verification must
+  // catch the divergence and pin this key-set to the full-replay path.
+  MicroTarget target(R"(
+    int a_val = 1;
+    int b_val = 0;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "a")) { a_val = atoi(value); return 0; }
+      if (!strcasecmp(key, "b")) { b_val = a_val + atoi(value); return 0; }
+      return 0;
+    }
+    int server_init() { return 0; }
+    int test_b() { return b_val; }
+  )");
+  target.sut.tests.push_back({"b", "test_b", 7, 1});
+  ConfigFile config = ConfigFile::Parse("a = 5\nb = 2\n", ConfigDialect::kKeyEqualsValue);
+  {
+    InjectionCampaign baseline(*target.module, target.sut, OsSimulator::StandardEnvironment());
+    ASSERT_TRUE(baseline.BaselinePasses(config));
+  }
+
+  std::vector<Misconfiguration> configs;
+  for (const char* value : {"9", "12"}) {
+    Misconfiguration inject;
+    inject.param = "a";
+    inject.value = value;
+    inject.kind = ViolationKind::kBasicType;
+    inject.rule = "test";
+    inject.intended_numeric = ParseInt64(value);
+    configs.push_back(inject);
+  }
+
+  CampaignOptions snapshot_on;
+  snapshot_on.use_parse_snapshot = true;
+  InjectionCampaign with_snapshot(*target.module, target.sut,
+                                  OsSimulator::StandardEnvironment(), snapshot_on);
+  CampaignOptions snapshot_off;
+  snapshot_off.use_parse_snapshot = false;
+  InjectionCampaign without_snapshot(*target.module, target.sut,
+                                     OsSimulator::StandardEnvironment(), snapshot_off);
+
+  CampaignSummary truth = without_snapshot.RunAll(config, configs);
+  CampaignSummary replayed = with_snapshot.RunAll(config, configs);
+  ExpectSameSummaries(truth, replayed, "order-sensitive keyset");
+  // In-order ground truth: a=9 then b=2 makes test_b see 11, a functional
+  // failure — if the snapshot path leaked its reordered b_val the detail
+  // string would expose it.
+  EXPECT_EQ(replayed.results[0].category, ReactionCategory::kFunctionalFailure);
+  EXPECT_NE(replayed.results[0].detail.find("got 11"), std::string::npos)
+      << replayed.results[0].detail;
+}
+
+TEST(CampaignSnapshotTest, ValueDependentOrderSensitivityFallsBack) {
+  // The conflict only shows for some injected values: with a=9 the
+  // reordered replay happens to agree with ground truth, with a=20 it
+  // would not. A first-sample verification alone would bless the key-set
+  // on a=9; the per-run hazard check must catch the read-after-delta-write
+  // conflict for every value (b's parse reads a_val, which the delta
+  // writes), independent of which config runs first.
+  MicroTarget target(R"(
+    int a_val = 5;
+    int b_val = 0;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "a")) { a_val = atoi(value); return 0; }
+      if (!strcasecmp(key, "b")) {
+        if (a_val > 10) { b_val = 1; } else { b_val = 2; }
+        return 0;
+      }
+      return 0;
+    }
+    int server_init() { return 0; }
+    int test_b() { return b_val; }
+  )");
+  target.sut.tests.push_back({"b", "test_b", 2, 1});
+  ConfigFile config = ConfigFile::Parse("a = 5\nb = 2\n", ConfigDialect::kKeyEqualsValue);
+
+  // a=9 first (reordered replay would agree), then a=20 (it would not).
+  std::vector<Misconfiguration> configs;
+  for (const char* value : {"9", "20"}) {
+    Misconfiguration inject;
+    inject.param = "a";
+    inject.value = value;
+    inject.kind = ViolationKind::kBasicType;
+    inject.rule = "test";
+    inject.intended_numeric = ParseInt64(value);
+    configs.push_back(inject);
+  }
+
+  CampaignOptions snapshot_off;
+  snapshot_off.use_parse_snapshot = false;
+  InjectionCampaign without_snapshot(*target.module, target.sut,
+                                     OsSimulator::StandardEnvironment(), snapshot_off);
+  CampaignSummary truth = without_snapshot.RunAll(config, configs);
+  InjectionCampaign with_snapshot(*target.module, target.sut,
+                                  OsSimulator::StandardEnvironment());
+  ExpectSameSummaries(truth, with_snapshot.RunAll(config, configs), "value-dependent order");
+  // Ground truth for a=20: b parses after a, sees a_val=20 > 10, so
+  // test_b fails with b_val=1.
+  EXPECT_EQ(truth.results[0].category, ReactionCategory::kNoIssue);
+  EXPECT_EQ(truth.results[1].category, ReactionCategory::kFunctionalFailure);
+  EXPECT_NE(truth.results[1].detail.find("got 1,"), std::string::npos)
+      << truth.results[1].detail;
 }
 
 }  // namespace

@@ -142,6 +142,24 @@ TEST(InterpTest, AtoiSemantics) {
             static_cast<int32_t>(9000000000LL));
 }
 
+TEST(InterpTest, StrncmpSemantics) {
+  Sut sut(R"(
+    int pre(char *a, char *b, int n) { return strncmp(a, b, n); }
+    int prei(char *a, char *b, int n) { return strncasecmp(a, b, n); }
+  )");
+  auto cmp = [&](const char* fn, const char* a, const char* b, int64_t n) {
+    return sut.Call(fn, {RtValue::Str(a), RtValue::Str(b), RtValue::Int(n)})
+        .return_value.AsInt();
+  };
+  EXPECT_EQ(cmp("pre", "timeout_ms", "timeout_s", 8), 0);
+  EXPECT_LT(cmp("pre", "timeout_ms", "timeout_s", 9), 0);
+  EXPECT_EQ(cmp("prei", "TimeOut", "timeout!", 7), 0);
+  EXPECT_EQ(cmp("pre", "abc", "abd", 0), 0);
+  // A negative count converts to a huge size_t in C: full-string compare.
+  EXPECT_LT(cmp("pre", "abc", "abd", -1), 0);
+  EXPECT_NE(cmp("prei", "abc", "abcd", -1), 0);
+}
+
 TEST(InterpTest, ParseIntStrictRejectsGarbage) {
   Sut sut(R"(
     int out;

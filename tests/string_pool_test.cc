@@ -1,0 +1,104 @@
+// StringPool tests: round-trip, uniqueness, pointer stability, stats, and
+// the locked boundary-pool mode under concurrent interning.
+#include "src/support/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/interp/interpreter.h"
+
+namespace spex {
+namespace {
+
+TEST(StringPoolTest, RoundTripAndUniqueness) {
+  StringPool pool;
+  Symbol hello = pool.Intern("hello");
+  Symbol world = pool.Intern("world");
+  EXPECT_NE(hello, kInvalidSymbol);
+  EXPECT_NE(world, kInvalidSymbol);
+  EXPECT_NE(hello, world);
+  EXPECT_EQ(pool.View(hello), "hello");
+  EXPECT_EQ(pool.View(world), "world");
+  // Re-interning the same text yields the same symbol (and pointer).
+  EXPECT_EQ(pool.Intern("hello"), hello);
+  EXPECT_EQ(pool.InternPtr("hello"), pool.StablePtr(hello));
+  EXPECT_EQ(pool.stats().strings, 2u);
+}
+
+TEST(StringPoolTest, InvalidSymbolsResolveToNothing) {
+  StringPool pool;
+  EXPECT_EQ(pool.StablePtr(kInvalidSymbol), nullptr);
+  EXPECT_EQ(pool.StablePtr(42), nullptr);
+  EXPECT_EQ(pool.View(kInvalidSymbol), "");
+}
+
+TEST(StringPoolTest, PointersStableAcrossGrowth) {
+  StringPool pool;
+  const std::string* first = pool.InternPtr("first");
+  std::vector<const std::string*> pointers;
+  for (int i = 0; i < 10000; ++i) {
+    pointers.push_back(pool.InternPtr("filler_" + std::to_string(i)));
+  }
+  // Growth must not move previously interned strings.
+  EXPECT_EQ(first, pool.InternPtr("first"));
+  EXPECT_EQ(*first, "first");
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(*pointers[i], "filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.stats().strings, 10001u);
+}
+
+TEST(StringPoolTest, StatsCountPayloadBytes) {
+  StringPool pool;
+  pool.Intern("abc");
+  pool.Intern("defgh");
+  pool.Intern("abc");  // Duplicate: no growth.
+  StringPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.strings, 2u);
+  EXPECT_EQ(stats.bytes, 8u);
+}
+
+TEST(StringPoolTest, LockedPoolSurvivesConcurrentInterning) {
+  StringPool pool(StringPool::Concurrency::kLocked);
+  constexpr int kThreads = 4;
+  constexpr int kStrings = 500;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<const std::string*>> seen(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &seen, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        // Heavy overlap across threads: every thread interns every string.
+        seen[t].push_back(pool.InternPtr("shared_" + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // All threads resolved each string to the same stable pointer.
+  for (int i = 0; i < kStrings; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[0][i], seen[t][i]);
+    }
+    EXPECT_EQ(*seen[0][i], "shared_" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.stats().strings, static_cast<size_t>(kStrings));
+}
+
+TEST(StringPoolTest, RtValueStrUsesBoundaryPool) {
+  RtValue a = RtValue::Str("timeout");
+  RtValue b = RtValue::Str("timeout");
+  EXPECT_EQ(a.kind, RtValue::Kind::kString);
+  EXPECT_EQ(a.str(), "timeout");
+  // Equal boundary strings share the same pooled payload.
+  EXPECT_EQ(a.sp, b.sp);
+  RtValue fn = RtValue::FnRef("handler");
+  EXPECT_EQ(fn.kind, RtValue::Kind::kFnRef);
+  EXPECT_EQ(fn.str(), "handler");
+}
+
+}  // namespace
+}  // namespace spex
