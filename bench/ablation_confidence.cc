@@ -1,12 +1,11 @@
 // Ablation: the MAY-belief confidence threshold (paper Section 2.2.4).
 // Sweeps the threshold and reports how many control dependencies survive;
 // the VSFTP listen/listen_ipv6 pattern shows why 0.75 is the sweet spot.
-#include "src/corpus/pipeline.h"
+#include "src/api/session.h"
 #include "src/support/table.h"
-#include "src/ir/lowering.h"
-#include "src/lang/parser.h"
 
 #include <iostream>
+#include <memory>
 
 using namespace spex;
 
@@ -17,20 +16,25 @@ int main() {
   TextTable table("Control dependencies kept per threshold (paper default: 0.75)");
   table.SetHeader({"Software", "t=0", "t=0.25", "t=0.5", "t=0.75", "t=1.0"});
 
-  ApiRegistry apis = ApiRegistry::BuiltinC();
+  // One Session per threshold: the engine knobs are session options, so a
+  // sweep is five façade sessions re-analyzing the same sources.
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (double threshold : kThresholds) {
+    SessionOptions options;
+    options.engine.confidence_threshold = threshold;
+    sessions.push_back(std::make_unique<Session>(options));
+  }
   for (const TargetSpec& spec : EvaluatedTargets()) {
     std::vector<std::string> cells = {spec.display_name};
-    for (double threshold : kThresholds) {
-      DiagnosticEngine diags;
-      TargetBundle bundle = SynthesizeTarget(spec);
-      auto unit = ParseSource(bundle.source, spec.name + ".c", &diags);
-      auto module = LowerToIr(*unit, &diags);
-      SpexOptions options;
-      options.confidence_threshold = threshold;
-      SpexEngine engine(*module, apis, options);
-      AnnotationFile annotations = ParseAnnotations(bundle.annotations, &diags);
-      ModuleConstraints constraints = engine.Run(annotations, &diags);
-      cells.push_back(std::to_string(constraints.control_deps.size()));
+    TargetBundle bundle = SynthesizeTarget(spec);
+    for (std::unique_ptr<Session>& session : sessions) {
+      Target* target = session->LoadSource(bundle.source, bundle.annotations,
+                                           spec.name + ".c", bundle.dialect, bundle.sut);
+      if (target == nullptr) {
+        std::cerr << session->RenderDiagnostics();
+        return 1;
+      }
+      cells.push_back(std::to_string(target->InferConstraints().control_deps.size()));
     }
     table.AddRow(cells);
   }

@@ -23,7 +23,8 @@ int main() {
   TextTable table("Vulnerabilities exposed per generation-rule family");
   table.SetHeader({"Software", "basic-type", "semantic", "range", "ctrl-dep", "value-rel",
                    "all rules"});
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     MisconfigGenerator generator;
     std::vector<Misconfiguration> all = generator.Generate(analysis.constraints);
     auto of_kind = [&all](ViolationKind kind) {

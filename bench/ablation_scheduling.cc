@@ -12,7 +12,8 @@ int main() {
   TextTable table("Total test executions per campaign configuration");
   table.SetHeader({"Software", "naive", "+stop-first-fail", "+shortest-first (paper config)",
                    "saving"});
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     CampaignOptions naive;
     naive.stop_at_first_failure = false;
     naive.sort_tests_by_cost = false;
@@ -21,9 +22,9 @@ int main() {
     stop_only.sort_tests_by_cost = false;
     CampaignOptions paper;  // Both optimizations (defaults).
 
-    int64_t tests_naive = RunCampaign(analysis, naive).total_tests_run;
-    int64_t tests_stop = RunCampaign(analysis, stop_only).total_tests_run;
-    int64_t tests_paper = RunCampaign(analysis, paper).total_tests_run;
+    int64_t tests_naive = target->RunCampaign(naive).total_tests_run;
+    int64_t tests_stop = target->RunCampaign(stop_only).total_tests_run;
+    int64_t tests_paper = target->RunCampaign(paper).total_tests_run;
     char saving[32];
     snprintf(saving, sizeof(saving), "%.1f%%",
              tests_naive == 0

@@ -8,7 +8,8 @@ using namespace spex;
 namespace {
 
 const TargetAnalysis& Find(const char* name) {
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     if (analysis.bundle.name == name) {
       return analysis;
     }

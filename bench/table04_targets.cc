@@ -26,7 +26,8 @@ int main() {
   TextTable table("Table 4 — evaluated systems (measured | paper)");
   table.SetHeader({"Software", "LoC", "#Parameter", "LoA", "paper #Param", "paper LoA"});
   size_t i = 0;
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     table.AddRow({analysis.bundle.display_name, std::to_string(analysis.bundle.lines_of_code),
                   std::to_string(analysis.bundle.param_count),
                   std::to_string(analysis.lines_of_annotation), kPaper[i].params,

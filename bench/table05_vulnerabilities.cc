@@ -32,9 +32,8 @@ int main() {
   for (const TargetSpec& spec : EvaluatedTargets()) {
     names.push_back(spec.name);
   }
-  ApiRegistry apis = ApiRegistry::BuiltinC();
   std::vector<CorpusCampaignResult> corpus =
-      RunCorpusCampaigns(names, apis, CampaignOptions{}, /*num_workers=*/0);
+      BenchSession().RunCorpusCampaigns(names, CampaignOptions{}, /*num_workers=*/0);
 
   size_t crash = 0, early = 0, func = 0, sviol = 0, sign = 0, total = 0, all_locs = 0;
   size_t i = 0;

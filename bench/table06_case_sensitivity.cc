@@ -22,7 +22,8 @@ int main() {
   table.SetHeader({"Software", "Sensitive", "Insensitive", "Inconsistent?", "paper sens.",
                    "paper insens."});
   size_t i = 0;
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     DesignAuditor auditor(analysis.constraints, analysis.manual);
     CaseSensitivityStats stats = auditor.CaseStats();
     table.AddRow({analysis.bundle.display_name, std::to_string(stats.sensitive),

@@ -11,7 +11,8 @@ int main() {
 
   TextTable table("Table 7 — units per system (measured)");
   table.SetHeader({"Software", "B", "KB", "MB", "GB", "us", "ms", "s", "m", "h"});
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     DesignAuditor auditor(analysis.constraints, analysis.manual);
     UnitStats stats = auditor.Units();
     auto size_count = [&stats](SizeUnit unit) {

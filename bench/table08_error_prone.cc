@@ -21,7 +21,8 @@ int main() {
   table.SetHeader({"Software", "SilentOverrule", "UnsafeAPI", "Undoc.range", "Undoc.dep",
                    "Undoc.rel"});
   size_t i = 0;
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     DesignAuditor auditor(analysis.constraints, analysis.manual);
     ErrorProneCounts counts = auditor.ErrorProne();
     auto cell = [](size_t measured, int paper) {

@@ -26,7 +26,8 @@ int main() {
   table.SetHeader({"Software", "Sampled cases", "Avoidable", "Ratio", "paper"});
   for (const PaperRow& row : kPaper) {
     const TargetAnalysis* analysis = nullptr;
-    for (const TargetAnalysis& candidate : AllAnalyses()) {
+    for (Target* candidate_target : AllTargets()) {
+      const TargetAnalysis& candidate = candidate_target->analysis();
       if (candidate.bundle.name == row.target) {
         analysis = &candidate;
       }

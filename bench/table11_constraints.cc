@@ -19,7 +19,8 @@ int main() {
   table.SetHeader({"Software", "Basic type", "Semantic", "Data range", "Ctrl dep", "Value rel"});
   size_t totals[5] = {0, 0, 0, 0, 0};
   size_t i = 0;
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     const ModuleConstraints& constraints = analysis.constraints;
     size_t basic = constraints.CountBasicTypes();
     size_t semantic = constraints.CountSemanticTypes();

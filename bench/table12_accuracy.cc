@@ -32,7 +32,8 @@ int main() {
   size_t i = 0;
   double min_range_accuracy = 2.0;
   std::string min_range_system;
-  for (const TargetAnalysis& analysis : AllAnalyses()) {
+  for (Target* target : AllTargets()) {
+    const TargetAnalysis& analysis = target->analysis();
     AccuracyReport report = EvaluateAccuracy(analysis.constraints, analysis.bundle.truth);
     auto cell = [](const KindAccuracy& accuracy, const char* paper) {
       if (accuracy.inferred == 0) {

@@ -7,18 +7,18 @@
 #include <iostream>
 #include <string>
 
-#include "src/corpus/pipeline.h"
+#include "src/api/session.h"
 
 int main(int argc, char** argv) {
-  std::string target = argc > 1 ? argv[1] : "mysql";
-  spex::DiagnosticEngine diags;
-  spex::ApiRegistry apis = spex::ApiRegistry::BuiltinC();
-  spex::TargetAnalysis analysis = spex::AnalyzeTarget(spex::FindTarget(target), apis, &diags);
-  if (diags.HasErrors()) {
-    std::cerr << diags.Render();
+  std::string target_name = argc > 1 ? argv[1] : "mysql";
+  spex::Session session;
+  spex::Target* target = session.LoadTarget(target_name);
+  if (target == nullptr) {
+    std::cerr << session.RenderDiagnostics();
     return 1;
   }
-  const spex::ModuleConstraints& constraints = analysis.constraints;
+  const spex::TargetAnalysis& analysis = target->analysis();
+  const spex::ModuleConstraints& constraints = target->InferConstraints();
 
   std::cout << "# " << analysis.bundle.display_name << " configuration reference\n\n";
   std::cout << "Generated from source code by SPEX. " << constraints.params.size()

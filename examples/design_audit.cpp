@@ -7,17 +7,17 @@
 #include <iostream>
 #include <map>
 
-#include "src/corpus/pipeline.h"
+#include "src/api/session.h"
 #include "src/design/detectors.h"
 
 int main() {
-  spex::DiagnosticEngine diags;
-  spex::ApiRegistry apis = spex::ApiRegistry::BuiltinC();
-  spex::TargetAnalysis analysis = spex::AnalyzeTarget(spex::FindTarget("squid"), apis, &diags);
-  if (diags.HasErrors()) {
-    std::cerr << diags.Render();
+  spex::Session session;
+  spex::Target* target = session.LoadTarget("squid");
+  if (target == nullptr) {
+    std::cerr << session.RenderDiagnostics();
     return 1;
   }
+  const spex::TargetAnalysis& analysis = target->analysis();
 
   spex::DesignAuditor auditor(analysis.constraints, analysis.manual);
   std::vector<spex::DesignFinding> findings = auditor.Audit();

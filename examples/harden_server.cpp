@@ -6,23 +6,45 @@
 // Build & run:  ./build/examples/harden_server
 #include <iostream>
 
-#include "src/corpus/pipeline.h"
+#include "src/api/session.h"
+
+namespace {
+
+// Streaming progress through the façade's observer: a long campaign inside
+// a service would ship these to a dashboard instead of stderr.
+class ProgressObserver : public spex::CampaignObserver {
+ public:
+  void OnCampaignBegin(size_t total_runs) override { total_ = total_runs; }
+  void OnRunComplete(size_t index, const spex::InjectionResult& result) override {
+    (void)index;
+    (void)result;
+    if (++completed_ % 50 == 0) {
+      std::cerr << "  ... " << completed_ << "/" << total_ << " misconfigurations injected\n";
+    }
+  }
+
+ private:
+  size_t total_ = 0;
+  size_t completed_ = 0;
+};
+
+}  // namespace
 
 int main() {
-  spex::DiagnosticEngine diags;
-  spex::ApiRegistry apis = spex::ApiRegistry::BuiltinC();
-  spex::TargetAnalysis analysis =
-      spex::AnalyzeTarget(spex::FindTarget("openldap"), apis, &diags);
-  if (diags.HasErrors()) {
-    std::cerr << diags.Render();
+  spex::Session session;
+  spex::Target* target = session.LoadTarget("openldap");
+  if (target == nullptr) {
+    std::cerr << session.RenderDiagnostics();
     return 1;
   }
+  const spex::TargetAnalysis& analysis = target->analysis();
 
   std::cout << "Target: " << analysis.bundle.display_name << " ("
             << analysis.bundle.param_count << " parameters, "
             << analysis.constraints.TotalConstraints() << " inferred constraints)\n\n";
 
-  spex::CampaignSummary summary = spex::RunCampaign(analysis);
+  ProgressObserver progress;
+  spex::CampaignSummary summary = target->RunCampaign({}, &progress);
   std::cout << "Injection campaign: " << summary.results.size() << " misconfigurations, "
             << summary.TotalVulnerabilities() << " vulnerabilities at "
             << summary.UniqueVulnerabilityLocations() << " source locations.\n\n";

@@ -1,16 +1,17 @@
-// Quickstart: infer configuration constraints for a small server.
+// Quickstart: infer configuration constraints for a small server, then
+// check a user's config file against them — the "do not blame users" loop
+// in ~25 lines of API use.
 //
-//   1. Write (or point at) the target's source code.
+//   1. Point a spex::Session at the target's source code.
 //   2. Annotate the parameter-to-variable mapping interface (one line per
 //      mapping convention — not per parameter).
-//   3. Run SpexEngine and read the constraints.
+//   3. Read the inferred constraints, and CheckConfig() every user config
+//      before the server ever sees it.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "src/core/engine.h"
-#include "src/ir/lowering.h"
-#include "src/lang/parser.h"
+#include "src/api/session.h"
 
 int main() {
   // A 40-line "server": a PostgreSQL-style config table plus some use sites.
@@ -41,19 +42,14 @@ int main() {
   )";
   const char* kAnnotations = "@STRUCT int_options { par = 0, var = 1, min = 2, max = 3 }";
 
-  spex::DiagnosticEngine diags;
-  auto unit = spex::ParseSource(kSource, "quickstart.c", &diags);
-  auto module = spex::LowerToIr(*unit, &diags);
-  if (diags.HasErrors()) {
-    std::cerr << diags.Render();
+  spex::Session session;
+  spex::Target* target = session.LoadSource(kSource, kAnnotations, "quickstart.c");
+  if (target == nullptr) {
+    std::cerr << session.RenderDiagnostics();
     return 1;
   }
 
-  spex::ApiRegistry apis = spex::ApiRegistry::BuiltinC();
-  spex::SpexEngine engine(*module, apis);
-  spex::AnnotationFile annotations = spex::ParseAnnotations(kAnnotations, &diags);
-  spex::ModuleConstraints constraints = engine.Run(annotations, &diags);
-
+  const spex::ModuleConstraints& constraints = target->InferConstraints();
   std::cout << "Inferred constraints (" << constraints.TotalConstraints() << " total):\n\n";
   for (const spex::ParamConstraints& param : constraints.params) {
     std::cout << "\"" << param.param << "\"\n";
@@ -67,6 +63,16 @@ int main() {
       std::cout << "  value range:    " << param.range->ToString() << "\n";
     }
     std::cout << "\n";
+  }
+
+  // The user-facing checker: flag this config *before* it starts a server.
+  const char* kUserConfig =
+      "worker_threads = 99\n"
+      "idle_timeout = 500ms\n"
+      "listen_prot = 8080\n";
+  std::cout << "Checking user config:\n" << kUserConfig << "\n";
+  for (const spex::Violation& violation : target->CheckConfig(kUserConfig, "user.conf")) {
+    std::cout << "  " << violation.ToString() << "\n";
   }
   return 0;
 }

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # CI smoke: build Release + ThreadSanitizer configurations and run the test
 # suite under both. The TSan configuration exists specifically to catch
-# data races in the parallel injection campaign (ThreadPool + RunAll), so
-# it always runs the campaign determinism test even in quick mode.
+# data races in the parallel injection campaign (ThreadPool + RunAll) and
+# in the spex::Session embedding contract (concurrent CheckConfig on one
+# shared Session, persistent snapshot cache across repeated campaigns), so
+# it always runs those tests even in quick mode.
 #
 # Usage:
-#   scripts/smoke.sh          # full: Release ctest + TSan campaign tests
-#   scripts/smoke.sh --quick  # Release build + campaign/interp tests only
+#   scripts/smoke.sh          # full: Release ctest + TSan campaign/session tests
+#   scripts/smoke.sh --quick  # Release build + campaign/interp/session tests only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +20,7 @@ echo "== Release configuration =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 if [[ "${QUICK}" == "1" ]]; then
-  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test'
+  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test|session_test'
 else
   ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 fi
@@ -30,7 +32,7 @@ cmake -B build-tsan -S . \
   -DSPEX_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test
+cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test
 # The parallel-campaign and snapshot-replay determinism tests are the point
 # of the TSan build: num_threads=4 workers over shared module/SUT state plus
 # the state-gated shared snapshot cache. CorpusShardedTest additionally runs
@@ -39,5 +41,9 @@ cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_po
 ./build-tsan/interp_test
 ./build-tsan/string_pool_test
 ./build-tsan/corpus_test --gtest_filter='CorpusShardedTest.*'
+# Session façade under TSan: two threads sharing one Session run
+# CheckConfig concurrently, parallel campaigns stream through observers,
+# and repeated campaigns exercise the persistent snapshot cache.
+./build-tsan/session_test --gtest_filter='SessionThreadedTest.*:SessionCampaignTest.*:SessionPoolTest.*'
 
 echo "smoke: OK"

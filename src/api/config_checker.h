@@ -1,0 +1,70 @@
+// User-facing configuration checker: validate a concrete config file
+// against inferred constraints *before* it reaches the target system.
+//
+// This is the paper's end goal ("do not blame users"): SPEX infers the
+// constraints from source code, and a vendor-embedded checker flags the
+// violating line of the user's config file with an explanation — instead
+// of letting the system crash, exit, or silently misbehave at runtime.
+// Five violation categories are checked statically, mirroring the
+// constraint taxonomy of Section 2.1: basic type, data range, unit scale,
+// case sensitivity, and control dependency (plus value relationships and
+// unknown-parameter typo detection, which fall out of the same data).
+//
+// Checking is a pure read over ModuleConstraints: any number of threads
+// may check configs against the same constraints concurrently (the
+// spex::Session TSan smoke test does exactly that).
+#ifndef SPEX_API_CONFIG_CHECKER_H_
+#define SPEX_API_CONFIG_CHECKER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/confgen/config_file.h"
+#include "src/core/constraints.h"
+
+namespace spex {
+
+enum class ViolationCategory {
+  kBasicType,     // Value does not parse as the parameter's basic type.
+  kRange,         // Value outside the accepted numeric/enumerated range.
+  kUnit,          // Unit-suffixed value for a plain-number parameter, or
+                  // a suffix in the wrong scale (ms where seconds expected).
+  kCase,          // Differs only in case from an accepted value of a
+                  // case-sensitive parameter.
+  kControlDep,    // Dependent parameter set while its master disables it.
+  kValueRel,      // Violates an inferred cross-parameter relationship.
+  kUnknownParam,  // Key matches no inferred parameter (likely a typo).
+};
+
+const char* ViolationCategoryName(ViolationCategory category);
+
+// One file/line-addressable finding against a user's config file.
+struct Violation {
+  ViolationCategory category = ViolationCategory::kBasicType;
+  std::string param;   // The offending key (primary parameter).
+  std::string value;   // The value as written by the user.
+  std::string file;    // Config file name as passed to the checker.
+  uint32_t line = 0;   // 1-based line of the offending setting.
+  std::string message; // Human-facing explanation with the expected form.
+  SourceLoc constraint_loc;  // Where in the target's source the constraint
+                             // was inferred (for "fix the code" reports).
+
+  // "server.conf:12: [range] worker_threads = 99: <message>"
+  std::string ToString() const;
+};
+
+// Checks every setting of `config` against `constraints`. Violations are
+// reported in file order (then per-key category order), so output is
+// deterministic and diffable.
+std::vector<Violation> CheckConfigFile(const ModuleConstraints& constraints,
+                                       const ConfigFile& config, std::string_view file_name);
+
+// Convenience overload: parse `config_text` in `dialect`, then check.
+std::vector<Violation> CheckConfigText(const ModuleConstraints& constraints,
+                                       std::string_view config_text, ConfigDialect dialect,
+                                       std::string_view file_name);
+
+}  // namespace spex
+
+#endif  // SPEX_API_CONFIG_CHECKER_H_

@@ -1,0 +1,164 @@
+#include "src/api/session.h"
+
+#include <utility>
+
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)),
+      apis_(ApiRegistry::BuiltinC()),
+      boundary_epoch_(BoundaryStringPool()) {
+  if (!options_.custom_api_spec.empty()) {
+    apis_.ImportSpec(options_.custom_api_spec, &diags_);
+  }
+}
+
+Session::~Session() = default;
+
+ThreadPool* Session::worker_pool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::ResolveThreadCount(options_.campaign_threads));
+  }
+  return pool_.get();
+}
+
+bool Session::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !diags_.HasErrors();
+}
+
+std::string Session::RenderDiagnostics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diags_.Render();
+}
+
+Target* Session::LoadSource(std::string_view source, std::string_view annotations,
+                            std::string_view name, ConfigDialect dialect, SutSpec sut,
+                            std::string_view template_config) {
+  TargetAnalysis analysis;
+  analysis.bundle.name = std::string(name);
+  analysis.bundle.display_name = std::string(name);
+  analysis.bundle.dialect = dialect;
+  analysis.bundle.source = std::string(source);
+  analysis.bundle.annotations = std::string(annotations);
+  analysis.bundle.sut = std::move(sut);
+  analysis.bundle.template_config = std::string(template_config);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Failure is per load: diagnostics accumulate for reporting, but a bad
+  // load must not poison later loads of valid sources.
+  size_t errors_before = diags_.error_count();
+  auto failed = [&] { return diags_.error_count() > errors_before; };
+  auto unit = ParseSource(analysis.bundle.source, analysis.bundle.name, &diags_);
+  if (failed()) {
+    return nullptr;
+  }
+  analysis.module = LowerToIr(*unit, &diags_);
+  if (failed()) {
+    return nullptr;
+  }
+  analysis.engine = std::make_unique<SpexEngine>(*analysis.module, apis_, options_.engine);
+  AnnotationFile annotation_file = ParseAnnotations(analysis.bundle.annotations, &diags_);
+  analysis.lines_of_annotation = annotation_file.lines_of_annotation;
+  analysis.constraints = analysis.engine->Run(annotation_file, &diags_);
+  if (failed()) {
+    return nullptr;
+  }
+  targets_.push_back(
+      std::unique_ptr<Target>(new Target(this, std::move(analysis))));
+  return targets_.back().get();
+}
+
+Target* Session::LoadTarget(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t errors_before = diags_.error_count();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget(name), apis_, &diags_, options_.engine);
+  if (diags_.error_count() > errors_before) {
+    return nullptr;
+  }
+  targets_.push_back(
+      std::unique_ptr<Target>(new Target(this, std::move(analysis))));
+  return targets_.back().get();
+}
+
+std::vector<CorpusCampaignResult> Session::RunCorpusCampaigns(
+    const std::vector<std::string>& target_names, CampaignOptions options,
+    size_t num_workers) {
+  // Corpus runs respect the session's resource contract: serialized with
+  // every other campaign, and capped at SessionOptions::campaign_threads
+  // unless the caller asks for a specific worker count.
+  std::lock_guard<std::mutex> lock(campaign_serial_mutex_);
+  if (num_workers == 0) {
+    num_workers = options_.campaign_threads;
+  }
+  return spex::RunCorpusCampaigns(target_names, apis_, options, num_workers,
+                                  options_.engine);
+}
+
+Target::Target(Session* session, TargetAnalysis analysis)
+    : session_(session),
+      analysis_(std::move(analysis)),
+      template_config_(ConfigFile::Parse(analysis_.bundle.template_config,
+                                         analysis_.bundle.dialect)) {}
+
+std::vector<Violation> Target::CheckConfig(std::string_view config_text,
+                                           std::string_view file_name) const {
+  return CheckConfigText(analysis_.constraints, config_text, analysis_.bundle.dialect,
+                         file_name);
+}
+
+const std::vector<Misconfiguration>& Target::MisconfigsLocked() {
+  if (!misconfigs_ready_) {
+    MisconfigGenerator generator;
+    misconfigs_ = generator.Generate(analysis_.constraints);
+    misconfigs_ready_ = true;
+  }
+  return misconfigs_;
+}
+
+const std::vector<Misconfiguration>& Target::Misconfigurations() {
+  std::lock_guard<std::mutex> lock(campaign_mutex_);
+  return MisconfigsLocked();
+}
+
+CampaignSummary Target::RunCampaign(CampaignOptions options, CampaignObserver* observer) {
+  // Parallel campaigns run on the session's shared pool; everything else
+  // about the campaign (snapshot cache, worker contexts) is per-target
+  // state that persists across calls so later batches reuse the cached
+  // prefixes. Campaigns are serialized session-wide: the shared pool's
+  // Wait() drains its whole queue, so two concurrent campaigns on one
+  // pool would block on each other's tasks anyway.
+  std::lock_guard<std::mutex> session_lock(session_->campaign_serial_mutex_);
+  if (options.num_threads != 1) {
+    options.worker_pool = session_->worker_pool();
+  }
+  InjectionCampaign* campaign = nullptr;
+  {
+    // campaign_mutex_ is released before RunAll so observer callbacks (and
+    // other threads) may call Misconfigurations()/campaign_cache_stats()
+    // mid-campaign without deadlocking; campaign_/misconfigs_ are stable
+    // for the duration because campaign_serial_mutex_ is held.
+    std::lock_guard<std::mutex> lock(campaign_mutex_);
+    MisconfigsLocked();
+    if (campaign_ == nullptr || !campaign_options_.SameBehavior(options)) {
+      campaign_ = std::make_unique<InjectionCampaign>(
+          *analysis_.module, analysis_.bundle.sut, OsSimulator::StandardEnvironment(),
+          options);
+      campaign_options_ = options;
+    }
+    campaign = campaign_.get();
+  }
+  return campaign->RunAll(template_config_, misconfigs_, observer);
+}
+
+CampaignCacheStats Target::campaign_cache_stats() {
+  std::lock_guard<std::mutex> lock(campaign_mutex_);
+  return campaign_ != nullptr ? campaign_->cache_stats() : CampaignCacheStats{};
+}
+
+}  // namespace spex

@@ -1,0 +1,174 @@
+// spex::Session — the stable embeddable API over the whole pipeline.
+//
+// The paper's tool is meant to live *inside* a vendor's process: infer
+// constraints once, then check every user config (and re-run injection
+// campaigns) for as long as the service is up. Every consumer used to
+// hand-wire parse -> lower -> annotate -> SpexEngine::Run -> RunCampaign;
+// Session owns that wiring plus the long-lived resources none of the
+// one-shot entry points could: the ApiRegistry, the DiagnosticEngine, the
+// shared campaign worker pool, and a boundary string-pool epoch so interned
+// boundary strings are reclaimed when the session ends.
+//
+//   spex::Session session;
+//   spex::Target* target = session.LoadTarget("squid");          // or LoadSource(...)
+//   const spex::ModuleConstraints& c = target->InferConstraints();
+//   for (const spex::Violation& v : target->CheckConfig(user_conf, "user.conf"))
+//     std::cerr << v.ToString() << "\n";                          // pre-flight checker
+//   spex::CampaignSummary s = target->RunCampaign();              // SPEX-INJ
+//
+// Thread-safety: a loaded Target's analysis is immutable, so any number of
+// threads may call InferConstraints()/CheckConfig() on the same Target (or
+// different Targets) concurrently, and LoadSource()/LoadTarget()/ok()/
+// RenderDiagnostics() are internally synchronized. RunCampaign() is
+// serialized *session-wide* (all campaigns share the session's worker
+// pool, whose Wait() drains the whole queue); concurrent RunCampaign calls
+// are safe but run one at a time.
+#ifndef SPEX_API_SESSION_H_
+#define SPEX_API_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/config_checker.h"
+#include "src/corpus/pipeline.h"
+#include "src/support/string_pool.h"
+#include "src/support/thread_pool.h"
+
+namespace spex {
+
+class Target;
+
+struct SessionOptions {
+  // Constraint-inference knobs (confidence threshold etc.).
+  SpexOptions engine;
+  // Worker pool shared by every campaign this session runs: 0 = hardware
+  // concurrency. The pool is created lazily on the first parallel campaign.
+  size_t campaign_threads = 0;
+  // Extra ApiRegistry declarations (the Storage-A mechanism), parsed on
+  // top of the built-in C surface at construction.
+  std::string custom_api_spec;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Loads a target from MiniC source plus mapping annotations. `sut` and
+  // `template_config` may be left empty when only InferConstraints()/
+  // CheckConfig() are needed; RunCampaign additionally requires both (the
+  // SUT's driver functions and the baseline config every injection mutates
+  // — without a template, campaigns would run against an empty config).
+  // Returns null and records diagnostics on parse/lowering errors; on
+  // success the Target is owned by the session and the pointer is stable
+  // for its lifetime.
+  Target* LoadSource(std::string_view source, std::string_view annotations,
+                     std::string_view name = "target.c",
+                     ConfigDialect dialect = ConfigDialect::kKeyEqualsValue, SutSpec sut = {},
+                     std::string_view template_config = {});
+
+  // Loads one of the synthesized corpus targets ("mysql", "squid", ...).
+  Target* LoadTarget(const std::string& name);
+
+  // Sharded corpus regeneration through the session's registry and engine
+  // options: one analysis + campaign per target name, fanned over
+  // `num_workers` (0 = SessionOptions::campaign_threads, whose own 0 means
+  // hardware concurrency). Serialized with the session's other campaigns.
+  std::vector<CorpusCampaignResult> RunCorpusCampaigns(
+      const std::vector<std::string>& target_names, CampaignOptions options = {},
+      size_t num_workers = 0);
+
+  const ApiRegistry& apis() const { return apis_; }
+  const SessionOptions& options() const { return options_; }
+  // Diagnostics accumulate across loads for reporting, but failure is per
+  // load: a bad source returns nullptr from its own Load* call without
+  // poisoning later loads. ok() is cumulative ("did any load fail").
+  bool ok() const;
+  std::string RenderDiagnostics() const;
+
+  // The shared campaign pool (created on first use). Exposed for embedders
+  // that want to run their own fan-outs on session-owned threads.
+  ThreadPool* worker_pool();
+
+ private:
+  friend class Target;
+
+  SessionOptions options_;
+  ApiRegistry apis_;
+  DiagnosticEngine diags_;
+  // Ties boundary-pool growth to the session: RtValue::Str interning done
+  // on behalf of this session is reclaimed when the last session closes.
+  StringPoolEpoch boundary_epoch_;
+  // Guards diags_, targets_ growth and pool creation (mutable: the const
+  // diagnostic accessors lock it too).
+  mutable std::mutex mutex_;
+  // Serializes RunCampaign across all of this session's targets.
+  std::mutex campaign_serial_mutex_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Target>> targets_;
+};
+
+// A loaded-and-analyzed system: constraints plus everything needed to
+// check configs and run injection campaigns against it. Owned by (and
+// never outliving) its Session.
+class Target {
+ public:
+  const std::string& name() const { return analysis_.bundle.name; }
+  ConfigDialect dialect() const { return analysis_.bundle.dialect; }
+  // Full analysis access for table/bench consumers (bundle, engine, manual).
+  const TargetAnalysis& analysis() const { return analysis_; }
+
+  // The inferred constraint set (computed at load; immutable afterwards).
+  const ModuleConstraints& InferConstraints() const { return analysis_.constraints; }
+
+  // The paper's user-facing checker: flag type, range, unit, case and
+  // control-dependency violations in a concrete config file, each with the
+  // offending file:line and the source location of the constraint. Pure
+  // read — safe from any number of threads concurrently.
+  std::vector<Violation> CheckConfig(std::string_view config_text,
+                                     std::string_view file_name = "config") const;
+
+  // SPEX-INJ through the façade: generates misconfigurations from the
+  // inferred constraints (once, cached) and runs the campaign. The
+  // campaign object persists across calls with the same options, so
+  // repeated campaigns reuse prefix snapshots instead of rebuilding them;
+  // `observer` streams per-run results. Serialized session-wide (campaigns
+  // share the session's worker pool).
+  CampaignSummary RunCampaign(CampaignOptions options = {},
+                              CampaignObserver* observer = nullptr);
+
+  // Cache counters of the persistent campaign (zeros before the first
+  // RunCampaign) — lets embedders verify snapshot reuse across batches.
+  CampaignCacheStats campaign_cache_stats();
+
+  // The generated misconfiguration batch (same order as the legacy
+  // MisconfigGenerator path, so façade campaigns are bit-identical).
+  const std::vector<Misconfiguration>& Misconfigurations();
+
+ private:
+  friend class Session;
+
+  Target(Session* session, TargetAnalysis analysis);
+  // Generates the batch on first use; caller holds campaign_mutex_.
+  const std::vector<Misconfiguration>& MisconfigsLocked();
+
+  Session* session_;
+  TargetAnalysis analysis_;
+  ConfigFile template_config_;
+
+  std::mutex campaign_mutex_;  // Guards the members below.
+  bool misconfigs_ready_ = false;
+  std::vector<Misconfiguration> misconfigs_;
+  CampaignOptions campaign_options_;
+  std::unique_ptr<InjectionCampaign> campaign_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_API_SESSION_H_

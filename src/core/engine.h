@@ -1,13 +1,20 @@
 // SpexEngine: the paper's constraint-inference pipeline (Section 2.2).
 //
-// Usage:
+// Most embedders should not drive this directly — spex::Session wires the
+// whole flow (and keeps the result queryable for its lifetime):
+//   spex::Session session;
+//   spex::Target* target = session.LoadSource(src, annotation_text, "app.c");
+//   const ModuleConstraints& constraints = target->InferConstraints();
+//
+// Direct usage (tests, custom pipelines) remains:
 //   auto module = LowerToIr(*ParseSource(src, "app.c", &diags), &diags);
 //   auto annotations = ParseAnnotations(annotation_text, &diags);
 //   SpexEngine engine(*module, registry);
 //   ModuleConstraints constraints = engine.Run(annotations, &diags);
 //
 // The engine owns the analysis context and the per-parameter data-flow
-// results; downstream consumers (SPEX-INJ, the design detectors) query both.
+// results; downstream consumers (SPEX-INJ, the design detectors, the
+// ConfigChecker behind Target::CheckConfig) query both.
 #ifndef SPEX_CORE_ENGINE_H_
 #define SPEX_CORE_ENGINE_H_
 

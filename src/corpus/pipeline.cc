@@ -10,12 +10,12 @@
 namespace spex {
 
 TargetAnalysis AnalyzeTarget(const TargetSpec& spec, const ApiRegistry& apis,
-                             DiagnosticEngine* diags) {
+                             DiagnosticEngine* diags, SpexOptions engine_options) {
   TargetAnalysis analysis;
   analysis.bundle = SynthesizeTarget(spec);
   auto unit = ParseSource(analysis.bundle.source, spec.name + ".c", diags);
   analysis.module = LowerToIr(*unit, diags);
-  analysis.engine = std::make_unique<SpexEngine>(*analysis.module, apis);
+  analysis.engine = std::make_unique<SpexEngine>(*analysis.module, apis, engine_options);
   AnnotationFile annotations = ParseAnnotations(analysis.bundle.annotations, diags);
   analysis.lines_of_annotation = annotations.lines_of_annotation;
   analysis.constraints = analysis.engine->Run(annotations, diags);
@@ -35,7 +35,7 @@ CampaignSummary RunCampaign(const TargetAnalysis& analysis, CampaignOptions opti
 
 std::vector<CorpusCampaignResult> RunCorpusCampaigns(
     const std::vector<std::string>& target_names, const ApiRegistry& apis,
-    CampaignOptions options, size_t num_workers) {
+    CampaignOptions options, size_t num_workers, SpexOptions engine_options) {
   std::vector<CorpusCampaignResult> results(target_names.size());
   if (target_names.empty()) {
     return results;
@@ -49,7 +49,7 @@ std::vector<CorpusCampaignResult> RunCorpusCampaigns(
     CorpusCampaignResult& slot = results[index];
     slot.target = target_names[index];
     DiagnosticEngine diags;
-    slot.analysis = AnalyzeTarget(FindTarget(slot.target), apis, &diags);
+    slot.analysis = AnalyzeTarget(FindTarget(slot.target), apis, &diags, engine_options);
     slot.summary = RunCampaign(slot.analysis, options);
     if (diags.HasErrors()) {
       slot.diagnostics = diags.Render();

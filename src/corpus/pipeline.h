@@ -2,7 +2,15 @@
 //
 // Bundles the full SPEX flow for one synthesized system: parse + lower the
 // MiniC source, run constraint inference, and (on demand) run the SPEX-INJ
-// campaign. All benches and the examples go through this.
+// campaign.
+//
+// NOTE: the public entry point for new code is the spex::Session façade in
+// src/api/session.h — it owns the registry/diagnostics/worker-pool/string-
+// pool lifetimes and adds the user-facing ConfigChecker and persistent
+// campaigns. The free functions here are the one-shot layer underneath it,
+// kept as thin stable shims for tests and existing drivers: AnalyzeTarget
+// is what Session::LoadTarget runs, and RunCampaign builds a fresh
+// (cold-cache) campaign per call, exactly as before the façade existed.
 #ifndef SPEX_CORPUS_PIPELINE_H_
 #define SPEX_CORPUS_PIPELINE_H_
 
@@ -26,9 +34,10 @@ struct TargetAnalysis {
 };
 
 // Synthesize + analyze one target. Aborts via diags on internal errors; a
-// clean corpus never produces diagnostics.
+// clean corpus never produces diagnostics. `engine_options` are the
+// inference knobs (Session::LoadTarget forwards its SessionOptions.engine).
 TargetAnalysis AnalyzeTarget(const TargetSpec& spec, const ApiRegistry& apis,
-                             DiagnosticEngine* diags);
+                             DiagnosticEngine* diags, SpexOptions engine_options = {});
 
 // Generate misconfigurations from the inferred constraints and run the full
 // injection campaign against the target.
@@ -52,7 +61,7 @@ struct CorpusCampaignResult {
 // serial, which is the right setting when the corpus itself is sharded.
 std::vector<CorpusCampaignResult> RunCorpusCampaigns(
     const std::vector<std::string>& target_names, const ApiRegistry& apis,
-    CampaignOptions options = {}, size_t num_workers = 0);
+    CampaignOptions options = {}, size_t num_workers = 0, SpexOptions engine_options = {});
 
 }  // namespace spex
 

@@ -9,6 +9,14 @@
 
 namespace spex {
 
+bool CampaignOptions::SameBehavior(const CampaignOptions& other) const {
+  return stop_at_first_failure == other.stop_at_first_failure &&
+         sort_tests_by_cost == other.sort_tests_by_cost && num_threads == other.num_threads &&
+         use_parse_snapshot == other.use_parse_snapshot &&
+         worker_pool == other.worker_pool && interp.max_steps == other.interp.max_steps &&
+         interp.max_call_depth == other.interp.max_call_depth;
+}
+
 const char* ReactionCategoryName(ReactionCategory category) {
   switch (category) {
     case ReactionCategory::kCrashHang:
@@ -262,7 +270,16 @@ InjectionResult InjectionCampaign::RunOne(const ConfigFile& template_config,
   Interpreter interp(module_, &os, options_.interp);
   // Single-shot: a prefix snapshot would cost exactly what it saves, so
   // RunOne always takes the ground-truth full-replay path.
-  return RunOneWith(interp, os, nullptr, nullptr, template_config, config);
+  return RunOneWith(interp, os, nullptr, template_config, config);
+}
+
+CampaignCacheStats InjectionCampaign::cache_stats() const {
+  CampaignCacheStats stats;
+  stats.snapshots_built = stat_snapshots_built_.load(std::memory_order_relaxed);
+  stats.delta_replays = stat_delta_replays_.load(std::memory_order_relaxed);
+  stats.full_replays = stat_full_replays_.load(std::memory_order_relaxed);
+  stats.verifications = stat_verifications_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 InjectionResult InjectionCampaign::Classify(Interpreter& interp, const RunOutcome& outcome,
@@ -348,6 +365,7 @@ InjectionResult InjectionCampaign::FullReplay(Interpreter& interp, OsSimulator& 
                                               const Misconfiguration& config) const {
   // Fresh template state: injected damage (occupied ports, allocations,
   // mutated globals) must never leak across runs.
+  stat_full_replays_.fetch_add(1, std::memory_order_relaxed);
   os.RestoreFrom(os_template_);
   interp.Reset();
   RunOutcome outcome = Execute(interp, applied);
@@ -363,14 +381,14 @@ constexpr int32_t kDeltaStamp = std::numeric_limits<int32_t>::max();
 }  // namespace
 
 std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
-    Interpreter& interp, OsSimulator& os, SnapshotCache& cache, const std::string& keyset,
+    Interpreter& interp, OsSimulator& os, const std::string& keyset,
     const ConfigFile& template_config, const ConfigFile& applied,
     const Misconfiguration& config, const std::vector<std::string>& delta_keys) const {
   SnapshotEntry* entry = nullptr;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(cache.mutex);
-    std::unique_ptr<SnapshotEntry>& slot = cache.entries[keyset];
+    std::lock_guard<std::mutex> lock(cache_.mutex);
+    std::unique_ptr<SnapshotEntry>& slot = cache_.entries[keyset];
     if (slot == nullptr) {
       slot = std::make_unique<SnapshotEntry>();
       builder = true;
@@ -419,6 +437,7 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
     } else {
       entry->interp = interp.TakeSnapshot();
       entry->os = os;
+      stat_snapshots_built_.fetch_add(1, std::memory_order_relaxed);
       entry->state.store(SnapshotEntry::kReady, std::memory_order_release);
     }
   }
@@ -494,10 +513,16 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
   InitAndTestPhases(interp, &outcome);
   InjectionResult result = Classify(interp, outcome, config, applied);
 
-  if (state == SnapshotEntry::kReady) {
-    // First use of this key-set: additionally prove the replay observably
-    // identical to ground truth. kUnusable is sticky (compare-exchange),
-    // so a divergence seen by any worker pins the key-set to full replay.
+  if (state == SnapshotEntry::kReady ||
+      entry->verified_batch.load(std::memory_order_acquire) != batch_id_) {
+    // First use of this key-set in this batch: additionally prove the
+    // replay observably identical to ground truth. Re-verifying once per
+    // batch keeps a persistent cache exactly as safe as a per-batch one —
+    // a value-dependent divergence that only a new batch's values expose
+    // is caught on that batch's first use. kUnusable is sticky
+    // (compare-exchange), so a divergence seen by any worker pins the
+    // key-set to full replay.
+    stat_verifications_.fetch_add(1, std::memory_order_relaxed);
     InjectionResult full = FullReplay(interp, os, applied, config);
     if (!SameInjectionResult(result, full)) {
       entry->state.store(SnapshotEntry::kUnusable, std::memory_order_release);
@@ -507,12 +532,14 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
     entry->state.compare_exchange_strong(expected, SnapshotEntry::kVerified,
                                          std::memory_order_release,
                                          std::memory_order_relaxed);
+    entry->verified_batch.store(batch_id_, std::memory_order_release);
   }
+  stat_delta_replays_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
 InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& os,
-                                              SnapshotCache* cache, const std::string* keyset,
+                                              const std::string* keyset,
                                               const ConfigFile& template_config,
                                               const Misconfiguration& config) const {
   ConfigFile applied = template_config;
@@ -521,97 +548,127 @@ InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& 
     applied.Set(key, value);
   }
 
-  if (cache != nullptr && keyset != nullptr && options_.use_parse_snapshot) {
-    // Snapshot construction costs about one full replay; only worth it for
-    // key-sets the batch revisits.
-    auto count_it = cache->keyset_counts.find(*keyset);
-    if (count_it != cache->keyset_counts.end() && count_it->second >= 2) {
-      auto replayed = TryDeltaReplay(interp, os, *cache, *keyset, template_config, applied,
-                                     config, DeltaKeys(config));
-      if (replayed.has_value()) {
-        return *std::move(replayed);
-      }
+  if (keyset != nullptr && options_.use_parse_snapshot) {
+    auto replayed =
+        TryDeltaReplay(interp, os, *keyset, template_config, applied, config, DeltaKeys(config));
+    if (replayed.has_value()) {
+      return *std::move(replayed);
     }
   }
   return FullReplay(interp, os, applied, config);
 }
 
+size_t InjectionCampaign::EnsureContexts(size_t count) {
+  while (contexts_.size() < count) {
+    contexts_.push_back(std::make_unique<WorkerContext>(module_, os_template_, options_.interp));
+  }
+  return count;
+}
+
+void InjectionCampaign::RefreshCacheFor(const ConfigFile& template_config) {
+  std::string fingerprint = template_config.Serialize();
+  std::lock_guard<std::mutex> lock(cache_.mutex);
+  if (cache_.template_fingerprint != fingerprint) {
+    cache_.entries.clear();
+    cache_.template_fingerprint = std::move(fingerprint);
+  }
+}
+
 CampaignSummary InjectionCampaign::RunAll(const ConfigFile& template_config,
-                                          const std::vector<Misconfiguration>& configs) {
+                                          const std::vector<Misconfiguration>& configs,
+                                          CampaignObserver* observer) {
   CampaignSummary summary;
+  ++batch_id_;
   size_t worker_count =
       ThreadPool::ResolveThreadCount(options_.num_threads < 0
                                          ? 1
                                          : static_cast<size_t>(options_.num_threads));
   worker_count = std::min(worker_count, configs.size());
 
-  // Prefix snapshots are shared across workers; the cache (and the worker
-  // interpreters whose pools its snapshots point into) live exactly as
-  // long as this call.
-  SnapshotCache cache;
+  // Per-batch key-set plan. Building a snapshot costs about one full
+  // replay, so a key-set is worth the snapshot path only when this batch
+  // revisits it — or when an earlier batch already paid for the entry.
+  std::vector<std::string> config_keysets;
+  std::vector<const std::string*> keyset_for_config(configs.size(), nullptr);
   if (options_.use_parse_snapshot) {
-    cache.config_keysets.reserve(configs.size());
-    cache.keyset_counts.reserve(configs.size());
+    RefreshCacheFor(template_config);
+    config_keysets.reserve(configs.size());
+    std::unordered_map<std::string, size_t> keyset_counts;
+    keyset_counts.reserve(configs.size());
     for (const Misconfiguration& config : configs) {
-      cache.config_keysets.push_back(KeysetId(DeltaKeys(config)));
-      ++cache.keyset_counts[cache.config_keysets.back()];
+      config_keysets.push_back(KeysetId(DeltaKeys(config)));
+      ++keyset_counts[config_keysets.back()];
+    }
+    std::lock_guard<std::mutex> lock(cache_.mutex);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      if (keyset_counts[config_keysets[i]] >= 2 ||
+          cache_.entries.count(config_keysets[i]) != 0) {
+        keyset_for_config[i] = &config_keysets[i];
+      }
     }
   }
 
+  if (observer != nullptr) {
+    observer->OnCampaignBegin(configs.size());
+  }
+  std::mutex observer_mutex;
+  auto notify = [&](size_t index, const InjectionResult& result) {
+    if (observer != nullptr) {
+      // Serialized: observers see one completed run at a time, in
+      // completion order (== batch order on the serial path).
+      std::lock_guard<std::mutex> lock(observer_mutex);
+      observer->OnRunComplete(index, result);
+    }
+  };
+
   if (worker_count <= 1) {
-    // Serial path; still reuses one interpreter via Reset()/snapshot
-    // restore instead of rebuilding per run.
-    OsSimulator os = os_template_;
-    Interpreter interp(module_, &os, options_.interp);
+    // Serial path; reuses the campaign's first worker context across
+    // batches, so snapshots it built earlier stay valid and warm.
+    EnsureContexts(configs.empty() ? 0 : 1);
     summary.results.reserve(configs.size());
     for (size_t i = 0; i < configs.size(); ++i) {
-      const std::string* keyset =
-          options_.use_parse_snapshot ? &cache.config_keysets[i] : nullptr;
-      summary.results.push_back(
-          RunOneWith(interp, os, &cache, keyset, template_config, configs[i]));
+      WorkerContext& context = *contexts_[0];
+      summary.results.push_back(RunOneWith(context.interp, context.os, keyset_for_config[i],
+                                           template_config, configs[i]));
+      notify(i, summary.results.back());
     }
   } else {
     // Fan out over pre-sized slots: worker i writes results[index] for the
     // indexes it claims, so result order — and therefore every summary
     // statistic — is identical to the serial run. The module, SUT spec and
     // OS template are shared immutably; each worker owns its interpreter
-    // and simulator copy.
+    // and simulator copy. Contexts are campaign members and outlive the
+    // batch: snapshots published by one worker hold pointers into that
+    // worker's interpreter pool, which later batches may still read.
     summary.results.resize(configs.size());
     std::atomic<size_t> next_index{0};
-    // Worker contexts live until after Wait(): snapshots published by one
-    // worker hold pointers into that worker's interpreter pool, which other
-    // workers may still be reading near the end of the queue.
-    struct WorkerContext {
-      OsSimulator os;
-      Interpreter interp;
-      WorkerContext(const Module& module, const OsSimulator& os_template,
-                    const InterpOptions& options)
-          : os(os_template), interp(module, &os, options) {}
-    };
-    std::vector<std::unique_ptr<WorkerContext>> contexts;
-    contexts.reserve(worker_count);
-    for (size_t w = 0; w < worker_count; ++w) {
-      contexts.push_back(
-          std::make_unique<WorkerContext>(module_, os_template_, options_.interp));
+    EnsureContexts(worker_count);
+    ThreadPool* pool = options_.worker_pool;
+    if (pool == nullptr) {
+      if (owned_pool_ == nullptr || owned_pool_->size() < worker_count) {
+        owned_pool_ = std::make_unique<ThreadPool>(worker_count);
+      }
+      pool = owned_pool_.get();
     }
-    ThreadPool pool(worker_count);
     for (size_t w = 0; w < worker_count; ++w) {
-      pool.Submit([&, w] {
-        WorkerContext& context = *contexts[w];
+      pool->Submit([&, w] {
+        WorkerContext& context = *contexts_[w];
         for (size_t i = next_index.fetch_add(1); i < configs.size();
              i = next_index.fetch_add(1)) {
-          const std::string* keyset =
-              options_.use_parse_snapshot ? &cache.config_keysets[i] : nullptr;
-          summary.results[i] = RunOneWith(context.interp, context.os, &cache, keyset,
+          summary.results[i] = RunOneWith(context.interp, context.os, keyset_for_config[i],
                                           template_config, configs[i]);
+          notify(i, summary.results[i]);
         }
       });
     }
-    pool.Wait();
+    pool->Wait();
   }
 
   for (const InjectionResult& result : summary.results) {
     summary.total_tests_run += result.tests_run;
+  }
+  if (observer != nullptr) {
+    observer->OnCampaignEnd(summary);
   }
   return summary;
 }

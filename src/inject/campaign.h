@@ -18,6 +18,21 @@
 // must stop mid-file), or for order-sensitive key-sets flagged by the
 // first-use verification against ground truth. Campaign results are
 // therefore bit-identical to full replay for every thread count.
+//
+// The snapshot cache and the worker execution contexts are *campaign*
+// state, not per-RunAll state: a driver that calls RunAll repeatedly over
+// the same template (ablation benches, a server embedding spex::Session)
+// pays the key-set snapshot builds once and every later batch starts from
+// the cached prefixes. Lifetime story: each snapshot holds pointers into
+// the interned-string pool of the worker context that built it, so the
+// contexts live as long as the campaign itself (they are only destroyed
+// with the cache that points into them). The cache is invalidated when a
+// RunAll sees a different template than the one the cache was built from.
+// Cross-batch safety matches within-batch safety: the per-run hazard check
+// runs on every delta replay, and the first delta replay of a key-set in
+// each batch is re-verified against a ground-truth full replay, so results
+// stay bit-identical to the legacy path for every thread count. RunAll is
+// not reentrant — one campaign serves one driver thread at a time.
 #ifndef SPEX_INJECT_CAMPAIGN_H_
 #define SPEX_INJECT_CAMPAIGN_H_
 
@@ -37,6 +52,7 @@
 #include "src/interp/interpreter.h"
 #include "src/ir/ir.h"
 #include "src/osim/os_simulator.h"
+#include "src/support/thread_pool.h"
 
 namespace spex {
 
@@ -108,7 +124,42 @@ struct CampaignOptions {
   // Verified per delta key-set against full replay; disable to force the
   // ground-truth path everywhere.
   bool use_parse_snapshot = true;
+  // Externally owned worker pool (borrowed, may outnumber num_threads;
+  // spex::Session shares one pool across its targets). When null, the
+  // campaign lazily creates and owns its own pool. Campaigns sharing a
+  // pool must not run RunAll concurrently — Wait() joins the whole queue.
+  ThreadPool* worker_pool = nullptr;
   InterpOptions interp;
+
+  // True when `other` can reuse a campaign constructed with *this (all
+  // behavior-affecting knobs equal).
+  bool SameBehavior(const CampaignOptions& other) const;
+};
+
+// Streaming per-run callbacks for RunAll — the embeddable-API complement
+// to the batch CampaignSummary (progress bars, live dashboards, early log
+// shipping). Callbacks are serialized by the campaign (never concurrent),
+// but with multiple workers they arrive in completion order, not batch
+// order; `index` is the misconfiguration's position in the batch, which is
+// also its slot in the final summary.
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+  virtual void OnCampaignBegin(size_t total_runs) { (void)total_runs; }
+  virtual void OnRunComplete(size_t index, const InjectionResult& result) {
+    (void)index;
+    (void)result;
+  }
+  virtual void OnCampaignEnd(const CampaignSummary& summary) { (void)summary; }
+};
+
+// Cumulative counters over a campaign's lifetime (all RunAll/RunOne calls);
+// the observable that proves a repeated campaign skipped snapshot rebuilds.
+struct CampaignCacheStats {
+  size_t snapshots_built = 0;   // Prefix snapshots constructed (~1 full replay each).
+  size_t delta_replays = 0;     // Runs served by snapshot restore + delta parse.
+  size_t full_replays = 0;      // Ground-truth replays (incl. verification runs).
+  size_t verifications = 0;     // First-use-per-batch ground-truth comparisons.
 };
 
 class InjectionCampaign {
@@ -122,8 +173,16 @@ class InjectionCampaign {
   bool BaselinePasses(const ConfigFile& template_config);
 
   InjectionResult RunOne(const ConfigFile& template_config, const Misconfiguration& config);
+  // Runs the whole batch. `observer`, when given, receives one serialized
+  // OnRunComplete per misconfiguration as it finishes (completion order).
   CampaignSummary RunAll(const ConfigFile& template_config,
-                         const std::vector<Misconfiguration>& configs);
+                         const std::vector<Misconfiguration>& configs,
+                         CampaignObserver* observer = nullptr);
+
+  // Cumulative across every run this campaign executed. After a second
+  // RunAll over the same template, snapshots_built stays flat — the point
+  // of campaign-scoped caching.
+  CampaignCacheStats cache_stats() const;
 
  private:
   struct RunOutcome {
@@ -147,6 +206,12 @@ class InjectionCampaign {
   struct SnapshotEntry {
     enum State : int { kBuilding = 0, kReady = 1, kVerified = 2, kUnusable = 3 };
     std::atomic<int> state{kBuilding};
+    // Batch id of the last successful ground-truth verification. Each new
+    // batch re-verifies the key-set's first delta replay, so a persistent
+    // cache gives later batches exactly the first-use guarantee a fresh
+    // cache would (a value-dependent divergence surfacing only in batch N
+    // is caught in batch N).
+    std::atomic<uint64_t> verified_batch{0};
     // The snapshot's stamp maps double as the build-time access map: per
     // global slot, (template position + 1) of the last non-delta entry
     // whose parse read/wrote it (0 = none). The per-run hazard check
@@ -158,25 +223,33 @@ class InjectionCampaign {
     int32_t max_os_pos = -1;     // Highest position with OS traffic, -1 = none.
     int32_t max_stale_pos = -1;  // Highest position touching escaped locals.
   };
-  // Lives for the duration of one RunAll (snapshots hold pointers into the
-  // builder worker's string pool, which must outlive every reader).
+  // Campaign-lifetime snapshot cache (snapshots hold pointers into the
+  // builder worker's string pool; the worker contexts are campaign members
+  // too, so the pointers stay valid for the cache's whole life). Cleared
+  // when RunAll sees a template different from the cached one.
   struct SnapshotCache {
     std::mutex mutex;
     std::unordered_map<std::string, std::unique_ptr<SnapshotEntry>> entries;
-    // Per-config key-set ids and how many configs share each key-set;
-    // filled before the workers start (read-only afterwards). Building a
-    // snapshot costs about one full replay, so singleton key-sets go
-    // straight to the full path.
-    std::vector<std::string> config_keysets;  // Parallel to the configs batch.
-    std::unordered_map<std::string, size_t> keyset_counts;
+    std::string template_fingerprint;  // Serialized template the entries were built from.
+  };
+  // One worker's private execution state; persists across batches so the
+  // interpreter pool backing published snapshots stays alive and later
+  // batches skip interpreter construction.
+  struct WorkerContext {
+    OsSimulator os;
+    Interpreter interp;
+    WorkerContext(const Module& module, const OsSimulator& os_template,
+                  const InterpOptions& options)
+        : os(os_template), interp(module, &os, options) {}
   };
 
   // Resets `interp` / `os` to the template state, runs one misconfiguration
   // and classifies the reaction. `keyset` is the precomputed key-set id of
-  // `config` (null = always full replay). Thread-safe: only touches the
-  // interpreter and simulator owned by the calling worker, plus the
-  // state-gated shared snapshot cache.
-  InjectionResult RunOneWith(Interpreter& interp, OsSimulator& os, SnapshotCache* cache,
+  // `config` (null = always full replay; RunAll only passes it for key-sets
+  // worth snapshotting). Thread-safe: only touches the interpreter and
+  // simulator owned by the calling worker, plus the state-gated shared
+  // snapshot cache.
+  InjectionResult RunOneWith(Interpreter& interp, OsSimulator& os,
                              const std::string* keyset, const ConfigFile& template_config,
                              const Misconfiguration& config) const;
   // Ground-truth path: fresh template state, parse everything in file order.
@@ -185,7 +258,7 @@ class InjectionCampaign {
   // Snapshot path; nullopt = caller must run FullReplay (cache entry still
   // building, key-set order-sensitive, or the delta parse ended the run).
   std::optional<InjectionResult> TryDeltaReplay(Interpreter& interp, OsSimulator& os,
-                                                SnapshotCache& cache, const std::string& keyset,
+                                                const std::string& keyset,
                                                 const ConfigFile& template_config,
                                                 const ConfigFile& applied,
                                                 const Misconfiguration& config,
@@ -207,10 +280,30 @@ class InjectionCampaign {
   bool LogsPinpoint(const std::vector<std::string>& logs, const Misconfiguration& config,
                     const ConfigFile& applied) const;
 
+  // Grows contexts_ to `count` workers; returns the resolved worker count.
+  size_t EnsureContexts(size_t count);
+  // Clears cache entries when `template_config` differs from the cached
+  // fingerprint, and stamps the new fingerprint.
+  void RefreshCacheFor(const ConfigFile& template_config);
+
   const Module& module_;
   SutSpec sut_;
   OsSimulator os_template_;
   CampaignOptions options_;
+
+  // Campaign-lifetime execution state. Declaration order matters for
+  // destruction: cache_ (pointers into context pools) is declared after
+  // contexts_ so it is destroyed first.
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;
+  mutable SnapshotCache cache_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // Used when options_.worker_pool is null.
+  uint64_t batch_id_ = 0;  // Incremented per RunAll; batch 0 is RunOne/Baseline territory.
+
+  // Cumulative cache statistics (atomics: bumped from worker threads).
+  mutable std::atomic<size_t> stat_snapshots_built_{0};
+  mutable std::atomic<size_t> stat_delta_replays_{0};
+  mutable std::atomic<size_t> stat_full_replays_{0};
+  mutable std::atomic<size_t> stat_verifications_{0};
 };
 
 }  // namespace spex

@@ -60,7 +60,11 @@ struct RtValue {
   static RtValue Int(int64_t v);
   static RtValue Float(double v);
   // Interns into the process-wide boundary pool; use Interpreter's
-  // InternedString() on hot paths instead.
+  // InternedString() on hot paths instead. Lifetime: permanent when no
+  // boundary-pool epoch is open; while any spex::Session (or other
+  // StringPoolEpoch holder) is alive, the payload lives until the last
+  // overlapping epoch closes — do not stash RtValues built during a
+  // Session's lifetime beyond it.
   static RtValue Str(std::string_view v);
   static RtValue Null();
   static RtValue FnRef(std::string_view name);

@@ -50,6 +50,50 @@ std::string_view StringPool::View(Symbol sym) const {
   return str != nullptr ? std::string_view(*str) : std::string_view();
 }
 
+void StringPool::ReclaimLockHeld(size_t baseline) {
+  // Pop interned strings back to `baseline`. Index keys are views into the
+  // stored strings, so each key must be erased before its storage dies.
+  while (storage_.size() > baseline) {
+    bytes_ -= storage_.back().size();
+    index_.erase(std::string_view(storage_.back()));
+    storage_.pop_back();
+  }
+}
+
+void StringPool::EnterEpoch() {
+  if (locked_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (open_epochs_++ == 0) {
+      epoch_baseline_ = storage_.size();
+    }
+    return;
+  }
+  if (open_epochs_++ == 0) {
+    epoch_baseline_ = storage_.size();
+  }
+}
+
+void StringPool::ExitEpoch() {
+  if (locked_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (open_epochs_ > 0 && --open_epochs_ == 0) {
+      ReclaimLockHeld(epoch_baseline_);
+    }
+    return;
+  }
+  if (open_epochs_ > 0 && --open_epochs_ == 0) {
+    ReclaimLockHeld(epoch_baseline_);
+  }
+}
+
+size_t StringPool::open_epochs() const {
+  if (locked_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return open_epochs_;
+  }
+  return open_epochs_;
+}
+
 StringPool::Stats StringPool::stats() const {
   if (locked_) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -14,6 +14,15 @@
 // RtValue::Str()). Readers never need the lock — they hold stable pointers,
 // and append-only storage means previously interned bytes are never touched
 // again. kSingleThread pools (one per Interpreter) skip the mutex entirely.
+//
+// Reclamation: storage is append-only while in use, but a long-lived
+// embedder (spex::Session) must not grow the boundary pool without bound.
+// Epochs solve this: EnterEpoch()/ExitEpoch() bracket a pool-using scope,
+// and when the *last* concurrently-open epoch closes, every string interned
+// since the *first* one opened is reclaimed (storage truncates back to the
+// size it had at that point). Strings interned with no epoch open are
+// permanent. Pointers handed out inside an epoch stay valid until the last
+// overlapping epoch closes — exactly the Session-lifetime contract.
 #ifndef SPEX_SUPPORT_STRING_POOL_H_
 #define SPEX_SUPPORT_STRING_POOL_H_
 
@@ -61,22 +70,46 @@ class StringPool {
 
   Stats stats() const;
 
+  // --- Epoch-based reclamation (see file comment). Epochs may overlap;
+  // reclamation happens when the count of open epochs returns to zero.
+  void EnterEpoch();
+  void ExitEpoch();
+  size_t open_epochs() const;
+
  private:
   Symbol InternLockHeld(std::string_view text);
+  void ReclaimLockHeld(size_t baseline);
 
   // Deque keeps element addresses stable across growth; index_ keys are
   // views into the stored strings themselves.
   std::deque<std::string> storage_;
   std::unordered_map<std::string_view, Symbol> index_;
   size_t bytes_ = 0;
+  size_t open_epochs_ = 0;
+  size_t epoch_baseline_ = 0;  // storage_.size() when the first epoch opened.
   mutable std::mutex mutex_;
   const bool locked_;
 };
 
+// RAII epoch on a pool; the way an embedder ties pool growth to its own
+// lifetime (spex::Session holds one on the boundary pool).
+class StringPoolEpoch {
+ public:
+  explicit StringPoolEpoch(StringPool& pool) : pool_(&pool) { pool_->EnterEpoch(); }
+  ~StringPoolEpoch() { pool_->ExitEpoch(); }
+
+  StringPoolEpoch(const StringPoolEpoch&) = delete;
+  StringPoolEpoch& operator=(const StringPoolEpoch&) = delete;
+
+ private:
+  StringPool* pool_;
+};
+
 // Process-wide pool backing RtValue::Str() construction at API boundaries
-// (tests, campaign drivers). Locked and leaky by design: boundary strings
-// are few and long-lived, and values built from it stay valid across any
-// interpreter's lifetime.
+// (tests, campaign drivers). Locked; strings interned outside any epoch are
+// permanent (few and long-lived), while long-lived embedders bracket their
+// use with StringPoolEpoch so per-session strings are reclaimed when the
+// session ends.
 StringPool& BoundaryStringPool();
 
 }  // namespace spex

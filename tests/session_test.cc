@@ -1,0 +1,481 @@
+// spex::Session façade tests: the user-facing ConfigChecker (one seeded
+// violation per constraint category), clean-config behaviour, campaign
+// bit-identity through the façade vs. the legacy free-function path,
+// snapshot-cache reuse across repeated campaigns, streaming observers, and
+// boundary string-pool flatness over a session's lifetime.
+#include "src/api/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "src/inject/generator.h"
+#include "src/support/string_pool.h"
+
+namespace spex {
+namespace {
+
+// A small server exercising every checkable constraint category:
+//  - worker_threads/idle_timeout/cache_kb/cache_ttl: int table params with
+//    declared ranges (basic type + range),
+//  - idle_timeout feeds sleep()        -> TIME in seconds (unit),
+//  - cache_kb * 1024 feeds malloc()    -> SIZE in kilobytes (unit scale),
+//  - log_format compared with strcmp   -> case-sensitive enum (case),
+//  - cache_ttl only used when use_cache != 0 -> control dependency.
+constexpr const char* kServerSource = R"(
+  struct config_int { char *name; int *variable; int min; int max; };
+  int worker_threads = 4;
+  int idle_timeout = 60;
+  int cache_kb = 2048;
+  int cache_ttl = 300;
+  int log_format = 0;
+  int use_cache = 1;
+  struct config_int int_options[] = {
+    { "worker_threads", &worker_threads, 1, 64 },
+    { "idle_timeout", &idle_timeout, 0, 3600 },
+    { "cache_kb", &cache_kb, 64, 1048576 },
+    { "cache_ttl", &cache_ttl, 1, 86400 },
+  };
+  void parse_extra(char *key, char *value) {
+    if (!strcasecmp(key, "log_format")) {
+      if (!strcmp(value, "plain")) { log_format = 0; }
+      else if (!strcmp(value, "json")) { log_format = 1; }
+    }
+    if (!strcasecmp(key, "use_cache")) {
+      if (!strcasecmp(value, "on")) { use_cache = 1; } else { use_cache = 0; }
+    }
+  }
+  void apply_config() {
+    long bytes = cache_kb * 1024;
+    malloc(bytes);
+    sleep(idle_timeout);
+    if (use_cache != 0) {
+      sleep(cache_ttl);
+    }
+  }
+)";
+
+constexpr const char* kServerAnnotations =
+    "@STRUCT int_options { par = 0, var = 1, min = 2, max = 3 }\n"
+    "@PARSER parse_extra { par = arg0, var = arg1 }";
+
+Target* LoadServer(Session& session) {
+  Target* target = session.LoadSource(kServerSource, kServerAnnotations, "server.c");
+  EXPECT_NE(target, nullptr) << session.RenderDiagnostics();
+  return target;
+}
+
+bool HasViolation(const std::vector<Violation>& violations, ViolationCategory category,
+                  const std::string& param) {
+  for (const Violation& violation : violations) {
+    if (violation.category == category && violation.param == param) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(SessionCheckTest, CleanConfigProducesZeroViolations) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  std::vector<Violation> violations = target->CheckConfig(
+      "worker_threads = 8\n"
+      "idle_timeout = 120\n"
+      "cache_kb = 1024\n"
+      "log_format = json\n"
+      "use_cache = on\n"
+      "cache_ttl = 600\n",
+      "clean.conf");
+  for (const Violation& violation : violations) {
+    ADD_FAILURE() << "unexpected: " << violation.ToString();
+  }
+}
+
+TEST(SessionCheckTest, FlagsBasicTypeViolations) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  std::vector<Violation> violations =
+      target->CheckConfig("worker_threads = not_a_number\n", "bad.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kBasicType, "worker_threads"));
+  EXPECT_EQ(violations[0].file, "bad.conf");
+  EXPECT_EQ(violations[0].line, 1u);
+  // Fractional values are a distinct, explained failure.
+  violations = target->CheckConfig("worker_threads = 12.5\n", "bad.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kBasicType, "worker_threads"));
+  EXPECT_NE(violations[0].message.find("fractional"), std::string::npos);
+}
+
+TEST(SessionCheckTest, FlagsRangeViolationsWithLineNumbers) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  std::vector<Violation> violations = target->CheckConfig(
+      "# tuned for production\n"
+      "worker_threads = 99\n"
+      "cache_ttl = 0\n",
+      "range.conf");
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_TRUE(HasViolation(violations, ViolationCategory::kRange, "worker_threads"));
+  EXPECT_TRUE(HasViolation(violations, ViolationCategory::kRange, "cache_ttl"));
+  // Line-addressable: the comment shifts the settings to lines 2 and 3.
+  EXPECT_EQ(violations[0].line, 2u);
+  EXPECT_EQ(violations[1].line, 3u);
+  EXPECT_NE(violations[0].message.find("accepted range"), std::string::npos);
+}
+
+TEST(SessionCheckTest, FlagsUnitScaleViolations) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  // Milliseconds into a seconds parameter.
+  std::vector<Violation> violations =
+      target->CheckConfig("idle_timeout = 500ms\n", "unit.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnit, "idle_timeout"));
+  EXPECT_NE(violations[0].message.find("'ms'"), std::string::npos);
+  EXPECT_NE(violations[0].message.find("'s'"), std::string::npos);
+  // Gigabytes into a kilobytes parameter (the Figure 5(a) "9G").
+  violations = target->CheckConfig("cache_kb = 9G\n", "unit.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnit, "cache_kb"));
+  // A suffix in the parameter's own unit is still not parseable.
+  violations = target->CheckConfig("idle_timeout = 120s\n", "unit.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnit, "idle_timeout"));
+  EXPECT_NE(violations[0].message.find("plain number"), std::string::npos);
+}
+
+TEST(SessionCheckTest, FlagsCaseSensitivityViolations) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  // log_format values are compared with strcmp: "Json" only differs in
+  // case from accepted "json".
+  std::vector<Violation> violations =
+      target->CheckConfig("log_format = Json\n", "case.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kCase, "log_format"));
+  EXPECT_NE(violations[0].message.find("case"), std::string::npos);
+  // use_cache is compared with strcasecmp: case variation is fine.
+  violations = target->CheckConfig("use_cache = ON\n", "case.conf");
+  EXPECT_FALSE(HasViolation(violations, ViolationCategory::kCase, "use_cache"));
+  // A value that is wrong beyond case is a range violation, not a case one.
+  violations = target->CheckConfig("log_format = xml\n", "case.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kRange, "log_format"));
+}
+
+TEST(SessionCheckTest, FlagsControlDependencyViolations) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  // cache_ttl is only consulted when use_cache != 0; setting it alongside
+  // use_cache = off is the paper's silent-ignorance trap.
+  std::vector<Violation> violations = target->CheckConfig(
+      "use_cache = off\n"
+      "cache_ttl = 500\n",
+      "dep.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kControlDep, "cache_ttl"));
+  for (const Violation& violation : violations) {
+    if (violation.category == ViolationCategory::kControlDep) {
+      EXPECT_EQ(violation.line, 2u);
+      EXPECT_NE(violation.message.find("use_cache"), std::string::npos);
+    }
+  }
+  // With the master enabled the dependent is fine.
+  violations = target->CheckConfig("use_cache = on\ncache_ttl = 500\n", "dep.conf");
+  EXPECT_FALSE(HasViolation(violations, ViolationCategory::kControlDep, "cache_ttl"));
+}
+
+TEST(SessionCheckTest, FlagsUnknownParametersWithSuggestion) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  std::vector<Violation> violations =
+      target->CheckConfig("Worker_Threads = 8\n", "typo.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnknownParam, "Worker_Threads"));
+  EXPECT_NE(violations[0].message.find("worker_threads"), std::string::npos);
+  violations = target->CheckConfig("no_such_knob = 1\n", "typo.conf");
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnknownParam, "no_such_knob"));
+}
+
+TEST(SessionCheckTest, ViolationToStringIsFileLineAddressable) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  std::vector<Violation> violations =
+      target->CheckConfig("worker_threads = 99\n", "etc/server.conf");
+  ASSERT_EQ(violations.size(), 1u);
+  std::string rendered = violations[0].ToString();
+  EXPECT_NE(rendered.find("etc/server.conf:1:"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("[range]"), std::string::npos) << rendered;
+  // The constraint's own source location (the mapping-table row) is kept
+  // for "fix the code" reports.
+  EXPECT_TRUE(violations[0].constraint_loc.IsValid());
+}
+
+TEST(SessionCheckTest, LoadSourceSurfacesDiagnostics) {
+  Session session;
+  Target* target = session.LoadSource("int broken = ;", "", "broken.c");
+  EXPECT_EQ(target, nullptr);
+  EXPECT_FALSE(session.ok());
+  EXPECT_FALSE(session.RenderDiagnostics().empty());
+  // Failure is per load: the bad source must not poison later loads.
+  Target* good = LoadServer(session);
+  ASSERT_NE(good, nullptr);
+  EXPECT_TRUE(good->CheckConfig("worker_threads = 8\n").empty());
+}
+
+TEST(SessionCheckTest, EngineOptionsApplyToLoadTarget) {
+  // An impossible confidence threshold filters every control dependency;
+  // LoadTarget must honor the session's engine options, not the defaults.
+  SessionOptions strict;
+  strict.engine.confidence_threshold = 1.5;
+  Session strict_session(strict);
+  Target* strict_target = strict_session.LoadTarget("vsftpd");
+  ASSERT_NE(strict_target, nullptr) << strict_session.RenderDiagnostics();
+  EXPECT_TRUE(strict_target->InferConstraints().control_deps.empty());
+
+  Session default_session;
+  Target* default_target = default_session.LoadTarget("vsftpd");
+  ASSERT_NE(default_target, nullptr) << default_session.RenderDiagnostics();
+  EXPECT_FALSE(default_target->InferConstraints().control_deps.empty());
+}
+
+// --- Façade campaigns vs. the legacy free-function path.
+
+void ExpectSameSummaries(const CampaignSummary& expected, const CampaignSummary& actual,
+                         const char* label) {
+  ASSERT_EQ(actual.results.size(), expected.results.size()) << label;
+  for (size_t i = 0; i < expected.results.size(); ++i) {
+    const InjectionResult& a = expected.results[i];
+    const InjectionResult& b = actual.results[i];
+    ASSERT_EQ(a.config.param, b.config.param) << label << ": order diverged at " << i;
+    ASSERT_EQ(a.config.value, b.config.value) << label << ": order diverged at " << i;
+    EXPECT_EQ(a.category, b.category) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.detail, b.detail) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.logs, b.logs) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.pinpointed, b.pinpointed) << label << ": " << a.config.Describe();
+    EXPECT_EQ(a.tests_run, b.tests_run) << label << ": " << a.config.Describe();
+  }
+  EXPECT_EQ(actual.total_tests_run, expected.total_tests_run) << label;
+}
+
+TEST(SessionCampaignTest, FacadeCampaignBitIdenticalToLegacyPath) {
+  // Legacy hand-wired path.
+  DiagnosticEngine diags;
+  ApiRegistry apis = ApiRegistry::BuiltinC();
+  TargetAnalysis analysis = AnalyzeTarget(FindTarget("squid"), apis, &diags);
+  ASSERT_FALSE(diags.HasErrors()) << diags.Render();
+  CampaignOptions serial;
+  serial.num_threads = 1;
+  CampaignSummary legacy_serial = RunCampaign(analysis, serial);
+  CampaignOptions parallel;
+  parallel.num_threads = 4;
+  CampaignSummary legacy_parallel = RunCampaign(analysis, parallel);
+
+  // Façade path.
+  Session session;
+  Target* target = session.LoadTarget("squid");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+  ExpectSameSummaries(legacy_serial, target->RunCampaign(serial), "facade serial");
+  ExpectSameSummaries(legacy_parallel, target->RunCampaign(parallel), "facade 4 workers");
+  // And the other direction: serial == parallel through the façade.
+  ExpectSameSummaries(legacy_serial, legacy_parallel, "legacy serial vs parallel");
+}
+
+TEST(SessionCampaignTest, RepeatedCampaignReusesSnapshots) {
+  Session session;
+  Target* target = session.LoadTarget("squid");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+
+  CampaignSummary first = target->RunCampaign();
+  CampaignCacheStats after_first = target->campaign_cache_stats();
+  EXPECT_GT(after_first.snapshots_built, 0u);
+  EXPECT_GT(after_first.delta_replays, 0u);
+
+  CampaignSummary second = target->RunCampaign();
+  CampaignCacheStats after_second = target->campaign_cache_stats();
+  // The second batch replays from cached prefixes: zero new snapshot
+  // builds (the ROADMAP open item this PR closes).
+  EXPECT_EQ(after_second.snapshots_built, after_first.snapshots_built);
+  EXPECT_GT(after_second.delta_replays, after_first.delta_replays);
+  ExpectSameSummaries(first, second, "repeated campaign");
+}
+
+TEST(SessionCampaignTest, ObserverStreamsEveryRun) {
+  Session session;
+  Target* target = session.LoadTarget("openldap");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+
+  struct Collector : CampaignObserver {
+    size_t announced_total = 0;
+    std::vector<size_t> indices;
+    std::vector<ReactionCategory> categories;
+    bool saw_end = false;
+    size_t end_results = 0;
+    void OnCampaignBegin(size_t total_runs) override { announced_total = total_runs; }
+    void OnRunComplete(size_t index, const InjectionResult& result) override {
+      indices.push_back(index);
+      categories.push_back(result.category);
+    }
+    void OnCampaignEnd(const CampaignSummary& summary) override {
+      saw_end = true;
+      end_results = summary.results.size();
+    }
+  };
+
+  Collector collector;
+  CampaignOptions options;
+  options.num_threads = 4;
+  CampaignSummary summary = target->RunCampaign(options, &collector);
+  EXPECT_EQ(collector.announced_total, summary.results.size());
+  EXPECT_TRUE(collector.saw_end);
+  EXPECT_EQ(collector.end_results, summary.results.size());
+  ASSERT_EQ(collector.indices.size(), summary.results.size());
+  // Every index streamed exactly once, and each streamed result matches
+  // its slot in the batch summary (order across workers is completion
+  // order, so compare per-index).
+  std::set<size_t> unique(collector.indices.begin(), collector.indices.end());
+  EXPECT_EQ(unique.size(), summary.results.size());
+  for (size_t i = 0; i < collector.indices.size(); ++i) {
+    EXPECT_EQ(collector.categories[i], summary.results[collector.indices[i]].category);
+  }
+}
+
+TEST(SessionCampaignTest, ObserverMayQueryTargetMidCampaign) {
+  // Regression: stats/misconfig accessors must be callable from observer
+  // callbacks (campaign_mutex_ is not held across RunAll).
+  Session session;
+  Target* target = session.LoadTarget("openldap");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+
+  struct Prober : CampaignObserver {
+    Target* target = nullptr;
+    size_t probes = 0;
+    void OnRunComplete(size_t index, const InjectionResult& result) override {
+      (void)index;
+      (void)result;
+      CampaignCacheStats stats = target->campaign_cache_stats();
+      (void)target->Misconfigurations();
+      probes += stats.full_replays + stats.delta_replays > 0 ? 1 : 0;
+    }
+  };
+  Prober prober;
+  prober.target = target;
+  CampaignSummary summary = target->RunCampaign({}, &prober);
+  EXPECT_EQ(prober.probes, summary.results.size());
+}
+
+TEST(SessionCampaignTest, SourceLoadedTargetCampaignUsesTemplate) {
+  // LoadSource with a SUT spec and a template config drives the full
+  // SPEX-INJ loop; the template's baseline settings must be present in
+  // every applied config (not an empty file plus the delta).
+  Session session;
+  SutSpec sut;
+  sut.param_storage["threads"] = "threads";
+  Target* target = session.LoadSource(R"(
+    int threads = 4;
+    int started = 0;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "threads")) { threads = atoi(value); return 0; }
+      return 0;
+    }
+    int server_init() { started = 1; return 0; }
+  )",
+                                      "@PARSER handle_config_line { par = arg0, var = arg1 }",
+                                      "micro.c", ConfigDialect::kKeyEqualsValue, sut,
+                                      "threads = 4\n");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+  CampaignSummary summary = target->RunCampaign();
+  ASSERT_FALSE(summary.results.empty());
+  // atoi("not_a_number") silently becomes 0: with the template line
+  // present the injected value replaces it and the checker-visible
+  // reaction is a silent violation.
+  bool saw_silent = false;
+  for (const InjectionResult& result : summary.results) {
+    if (result.config.value == "not_a_number" &&
+        result.category == ReactionCategory::kSilentViolation) {
+      saw_silent = true;
+    }
+  }
+  EXPECT_TRUE(saw_silent);
+}
+
+TEST(SessionCheckTest, MinuteSuffixOnMinuteParameterIsUnitChecked) {
+  // 'm' is both minutes and megabytes; on a minutes parameter it must be
+  // read as minutes ("30m" and "30min" get the same verdict).
+  Session session;
+  Target* target = session.LoadSource(R"(
+    struct config_int { char *name; int *variable; };
+    int backup_interval = 30;
+    struct config_int table[] = { { "backup_interval", &backup_interval } };
+    void apply() { sleep(backup_interval * 60); }
+  )",
+                                      "@STRUCT table { par = 0, var = 1 }", "minutes.c");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+  for (const char* value : {"30m", "30min"}) {
+    std::vector<Violation> violations =
+        target->CheckConfig(std::string("backup_interval = ") + value + "\n", "min.conf");
+    ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnit, "backup_interval"))
+        << value;
+    EXPECT_NE(violations[0].message.find("plain number"), std::string::npos) << value;
+  }
+}
+
+// --- Session lifetime and the boundary string pool.
+
+TEST(SessionPoolTest, RepeatedCheckConfigKeepsBoundaryPoolFlat) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  target->CheckConfig("worker_threads = 99\nidle_timeout = 500ms\n");
+  StringPool::Stats baseline = BoundaryStringPool().stats();
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Violation> violations =
+        target->CheckConfig("worker_threads = 99\nidle_timeout = 500ms\n");
+    ASSERT_EQ(violations.size(), 2u);
+  }
+  StringPool::Stats after = BoundaryStringPool().stats();
+  EXPECT_EQ(after.strings, baseline.strings);
+  EXPECT_EQ(after.bytes, baseline.bytes);
+}
+
+TEST(SessionPoolTest, SessionLifetimeBoundsBoundaryPoolGrowth) {
+  StringPool::Stats before = BoundaryStringPool().stats();
+  for (int round = 0; round < 3; ++round) {
+    Session session;
+    Target* target = LoadServer(session);
+    ASSERT_NE(target, nullptr);
+    // Distinct inputs per round: without epoch reclamation each round
+    // would permanently grow the boundary pool.
+    RtValue::Str("per_session_value_" + std::to_string(round));
+    target->CheckConfig("cache_ttl = " + std::to_string(round) + "00000000\n");
+  }
+  StringPool::Stats after = BoundaryStringPool().stats();
+  EXPECT_EQ(after.strings, before.strings);
+  EXPECT_EQ(after.bytes, before.bytes);
+}
+
+// Two threads sharing one Session run the checker concurrently — the
+// embedding contract (and the TSan smoke target in scripts/smoke.sh).
+TEST(SessionThreadedTest, ConcurrentCheckConfigOnSharedSession) {
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  std::atomic<size_t> total_violations{0};
+  auto check = [&](const std::string& text, size_t expected) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<Violation> violations = target->CheckConfig(text, "threaded.conf");
+      EXPECT_EQ(violations.size(), expected);
+      total_violations.fetch_add(violations.size());
+    }
+  };
+  std::thread a(check, "worker_threads = 99\ncache_ttl = 0\n", 2);
+  std::thread b(check, "log_format = Json\nidle_timeout = 500ms\n", 2);
+  a.join();
+  b.join();
+  EXPECT_EQ(total_violations.load(), 200u);
+}
+
+}  // namespace
+}  // namespace spex

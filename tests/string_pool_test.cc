@@ -88,6 +88,57 @@ TEST(StringPoolTest, LockedPoolSurvivesConcurrentInterning) {
   EXPECT_EQ(pool.stats().strings, static_cast<size_t>(kStrings));
 }
 
+TEST(StringPoolEpochTest, LastEpochCloseReclaimsEpochStrings) {
+  StringPool pool;
+  pool.Intern("permanent");
+  StringPool::Stats before = pool.stats();
+  pool.EnterEpoch();
+  Symbol scoped = pool.Intern("scoped_string");
+  EXPECT_EQ(pool.View(scoped), "scoped_string");
+  EXPECT_GT(pool.stats().bytes, before.bytes);
+  pool.ExitEpoch();
+  // The epoch string is gone; the pre-epoch string survives.
+  StringPool::Stats after = pool.stats();
+  EXPECT_EQ(after.strings, before.strings);
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(pool.View(pool.Intern("permanent")), "permanent");
+  // Re-interning after reclamation works and reuses the freed symbol space.
+  Symbol again = pool.Intern("scoped_string");
+  EXPECT_EQ(pool.View(again), "scoped_string");
+}
+
+TEST(StringPoolEpochTest, OverlappingEpochsReclaimOnlyWhenAllClose) {
+  StringPool pool(StringPool::Concurrency::kLocked);
+  pool.EnterEpoch();
+  const std::string* first = pool.InternPtr("epoch_one");
+  pool.EnterEpoch();  // Overlapping epoch (a second concurrent Session).
+  const std::string* second = pool.InternPtr("epoch_two");
+  pool.ExitEpoch();
+  // One epoch still open: everything interned since the first opened must
+  // stay valid.
+  EXPECT_EQ(*first, "epoch_one");
+  EXPECT_EQ(*second, "epoch_two");
+  EXPECT_EQ(pool.stats().strings, 2u);
+  pool.ExitEpoch();
+  EXPECT_EQ(pool.stats().strings, 0u);
+  EXPECT_EQ(pool.stats().bytes, 0u);
+  EXPECT_EQ(pool.open_epochs(), 0u);
+}
+
+TEST(StringPoolEpochTest, RepeatedEpochsKeepPoolFlat) {
+  StringPool pool;
+  pool.Intern("baseline");
+  StringPool::Stats baseline = pool.stats();
+  for (int round = 0; round < 100; ++round) {
+    StringPoolEpoch epoch(pool);
+    pool.Intern("per_session_" + std::to_string(round));
+    pool.Intern("another_" + std::to_string(round));
+  }
+  // A long-lived process cycling sessions does not grow the pool.
+  EXPECT_EQ(pool.stats().strings, baseline.strings);
+  EXPECT_EQ(pool.stats().bytes, baseline.bytes);
+}
+
 TEST(StringPoolTest, RtValueStrUsesBoundaryPool) {
   RtValue a = RtValue::Str("timeout");
   RtValue b = RtValue::Str("timeout");
