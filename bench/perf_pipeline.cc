@@ -216,6 +216,74 @@ void BM_RepeatedCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_RepeatedCampaign)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Dynamic config check through the façade, on a user config with four
+// suspect settings against the squid target. The user-facing latency of
+// the embedded checker ("what will the system do with this file?").
+const char* kSquidUserConfig =
+    "client_lifetime_0 9000000000\n"   // 32-bit overflow, silently truncated
+    "memory_pools_0 maybe\n"           // boolean synonym outside the accepted set
+    "connect_timeout_0 500ms\n"        // wrong unit scale
+    "request_buffer_len_0 1\n";        // below the clamp range
+
+// Cold: a fresh Session (and therefore a fresh campaign + empty snapshot
+// cache) per iteration — the first-ever check an embedder pays.
+void BM_DynamicCheckCold(benchmark::State& state) {
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      Session session;
+      Target* target = session.LoadTarget("squid");
+      if (target == nullptr) {
+        std::cerr << session.RenderDiagnostics();
+        std::abort();
+      }
+      state.ResumeTiming();
+      benchmark::DoNotOptimize(target->CheckConfig(kSquidUserConfig, "user.conf", dynamic));
+      // Session teardown (campaign, snapshot cache, pool epoch) is setup
+      // cost, not check latency: keep it outside the timed region.
+      state.PauseTiming();
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DynamicCheckCold)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Warm: repeated checks on one Session whose campaign has already run —
+// the steady state of a vendor-embedded checker. snapshots_built_warm == 0
+// is the cache-reuse contract (every suspect key-set replays from the
+// persistent snapshot cache).
+void BM_DynamicCheckWarm(benchmark::State& state) {
+  static Session* kSession = new Session();
+  static Target* kTarget = [] {
+    Target* target = kSession->LoadTarget("squid");
+    if (target == nullptr) {
+      std::cerr << kSession->RenderDiagnostics();
+      std::abort();
+    }
+    target->RunCampaign();  // Warm the snapshot cache.
+    CheckOptions dynamic;
+    dynamic.mode = CheckMode::kDynamic;
+    // One warm-up check so multi-key key-sets exist in the cache too.
+    target->CheckConfig(kSquidUserConfig, "user.conf", dynamic);
+    return target;
+  }();
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+  size_t built_before = kTarget->campaign_cache_stats().snapshots_built;
+  size_t checks = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kTarget->CheckConfig(kSquidUserConfig, "user.conf", dynamic));
+    ++checks;
+  }
+  CampaignCacheStats stats = kTarget->campaign_cache_stats();
+  state.counters["snapshots_built_warm"] =
+      static_cast<double>(stats.snapshots_built - built_before);
+  state.SetItemsProcessed(static_cast<int64_t>(checks));
+}
+BENCHMARK(BM_DynamicCheckWarm)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 }  // namespace spex
 

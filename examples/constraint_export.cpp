@@ -3,7 +3,7 @@
 // Section 6 of the paper (and a direct cure for the undocumented-constraint
 // findings of Table 8).
 //
-// Build & run:  ./build/examples/constraint_export [target]
+// Build & run:  ./build/example_constraint_export [target]
 #include <iostream>
 #include <string>
 

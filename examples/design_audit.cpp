@@ -3,7 +3,7 @@
 // boolean values, unsafe atoi/sscanf parsing, case-sensitivity chaos, and
 // undocumented constraints.
 //
-// Build & run:  ./build/examples/design_audit
+// Build & run:  ./build/example_design_audit
 #include <iostream>
 #include <map>
 

@@ -3,7 +3,7 @@
 // "listener-threads" above a hard-coded cap of 16 crashes the server with
 // nothing but "Segmentation fault".
 //
-// Build & run:  ./build/examples/harden_server
+// Build & run:  ./build/example_harden_server
 #include <iostream>
 
 #include "src/api/session.h"

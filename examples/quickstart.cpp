@@ -1,49 +1,77 @@
 // Quickstart: infer configuration constraints for a small server, then
 // check a user's config file against them — the "do not blame users" loop
-// in ~25 lines of API use.
+// in ~30 lines of API use.
 //
 //   1. Point a spex::Session at the target's source code.
 //   2. Annotate the parameter-to-variable mapping interface (one line per
 //      mapping convention — not per parameter).
 //   3. Read the inferred constraints, and CheckConfig() every user config
-//      before the server ever sees it.
+//      before the server ever sees it — statically (which constraint does
+//      this line violate?) and dynamically (what will the system actually
+//      do with it?).
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 #include <iostream>
 
 #include "src/api/session.h"
 
 int main() {
-  // A 40-line "server": a PostgreSQL-style config table plus some use sites.
+  // A 50-line "server": a PostgreSQL-style config table, a parse/init
+  // driver surface, and some use sites.
   const char* kSource = R"(
     struct config_int { char *name; int *variable; int min; int max; };
     int worker_threads = 4;
     int idle_timeout = 60;
     int listen_port = 8080;
-    char *data_dir = "/srv/data";
+    int slots[64];
+    int started = 0;
     struct config_int int_options[] = {
       { "worker_threads", &worker_threads, 1, 64 },
       { "idle_timeout", &idle_timeout, 0, 3600 },
       { "listen_port", &listen_port, 1, 65535 },
     };
-    int server_start() {
-      if (chdir(data_dir) < 0) {
-        log_error("cannot enter data_dir '%s'", data_dir);
-        return -1;
+    int handle_config_line(char *key, char *value) {
+      int i;
+      for (i = 0; i < 3; i++) {
+        if (!strcmp(int_options[i].name, key)) {
+          *int_options[i].variable = atoi(value);
+          return 0;
+        }
       }
+      return 0;
+    }
+    int server_init() {
+      int i;
+      for (i = 0; i < worker_threads; i++) { slots[i] = 1; }
       int fd = socket();
       if (bind(fd, listen_port) < 0) {
         log_error("cannot bind listen_port %d", listen_port);
         return -1;
       }
       sleep(idle_timeout);
+      started = 1;
       return 0;
     }
+    int test_started() { return started; }
   )";
   const char* kAnnotations = "@STRUCT int_options { par = 0, var = 1, min = 2, max = 3 }";
+  // The SUT driver surface + baseline template make the target replayable
+  // (RunCampaign and dynamic CheckConfig); leave them empty when only
+  // static checking is needed.
+  spex::SutSpec sut;
+  sut.tests.push_back({"started", "test_started", 1, 1});
+  sut.param_storage["worker_threads"] = "worker_threads";
+  sut.param_storage["idle_timeout"] = "idle_timeout";
+  sut.param_storage["listen_port"] = "listen_port";
+  const char* kTemplate =
+      "worker_threads = 4\n"
+      "idle_timeout = 60\n"
+      "listen_port = 8080\n";
 
   spex::Session session;
-  spex::Target* target = session.LoadSource(kSource, kAnnotations, "quickstart.c");
+  spex::Target* target = session.LoadSource(kSource, kAnnotations, "quickstart.c",
+                                            spex::ConfigDialect::kKeyEqualsValue, sut,
+                                            kTemplate);
   if (target == nullptr) {
     std::cerr << session.RenderDiagnostics();
     return 1;
@@ -65,13 +93,24 @@ int main() {
     std::cout << "\n";
   }
 
-  // The user-facing checker: flag this config *before* it starts a server.
   const char* kUserConfig =
       "worker_threads = 99\n"
       "idle_timeout = 500ms\n"
       "listen_prot = 8080\n";
-  std::cout << "Checking user config:\n" << kUserConfig << "\n";
+
+  // Static mode: flag the constraint each line violates.
+  std::cout << "Static check:\n" << kUserConfig << "\n";
   for (const spex::Violation& violation : target->CheckConfig(kUserConfig, "user.conf")) {
+    std::cout << "  " << violation.ToString() << "\n";
+  }
+
+  // Dynamic mode: replay the user's delta through the interpreter and
+  // report the observed Table-3 reaction — what the system will *do*.
+  spex::CheckOptions dynamic;
+  dynamic.mode = spex::CheckMode::kDynamic;
+  std::cout << "\nDynamic check (observed reactions):\n";
+  for (const spex::Violation& violation :
+       target->CheckConfig(kUserConfig, "user.conf", dynamic)) {
     std::cout << "  " << violation.ToString() << "\n";
   }
   return 0;

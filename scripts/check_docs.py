@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked .md file for [text](target) links whose target is a
+relative path (external http(s)/mailto links and pure #anchors are
+skipped), resolves it against the file's directory, and verifies the
+file or directory exists. Run from anywhere:
+
+    python3 scripts/check_docs.py
+"""
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "build", "build-release", "build-tsan", "build-docs"}
+
+# [text](target) — target is everything up to the first ')', so paths with
+# spaces are validated too; an optional "title" suffix is stripped below.
+# (Targets containing a literal ')' can't be matched without a real parser
+# and are the one known blind spot.)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+TITLE_RE = re.compile(r"\s+\"[^\"]*\"$")
+
+
+def markdown_files():
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    broken = []
+    for path in sorted(markdown_files()):
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                for match in LINK_RE.finditer(line):
+                    target = TITLE_RE.sub("", match.group(1)).strip()
+                    if target.startswith(("http://", "https://", "mailto:", "#")):
+                        continue
+                    target = target.split("#", 1)[0]  # strip anchors
+                    if not target:
+                        continue
+                    resolved = os.path.normpath(os.path.join(base, target))
+                    if not os.path.exists(resolved):
+                        rel = os.path.relpath(path, REPO_ROOT)
+                        broken.append(f"{rel}:{lineno}: broken link -> {match.group(1)}")
+    if broken:
+        print("check_docs: broken intra-repo markdown links:", file=sys.stderr)
+        for entry in broken:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print("check_docs: all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

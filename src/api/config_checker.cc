@@ -23,6 +23,8 @@ const char* ViolationCategoryName(ViolationCategory category) {
       return "value-rel";
     case ViolationCategory::kUnknownParam:
       return "unknown-param";
+    case ViolationCategory::kDynamicReaction:
+      return "dynamic";
   }
   return "?";
 }
@@ -34,21 +36,36 @@ std::string Violation::ToString() const {
     out += " = " + value;
   }
   out += ": " + message;
+  if (reaction.has_value()) {
+    out += " | observed: " + std::string(ReactionCategoryName(*reaction));
+    if (!prediction.empty()) {
+      out += " — " + prediction;
+    }
+  }
   return out;
 }
 
-namespace {
+std::optional<int64_t> EffectiveConfigInt(std::string_view value) {
+  auto strict = ParseInt64(value);
+  if (strict.has_value()) {
+    return strict;
+  }
+  static const char* kTruthy[] = {"on", "yes", "true", "enable", "enabled"};
+  static const char* kFalsy[] = {"off", "no", "false", "disable", "disabled"};
+  for (const char* word : kTruthy) {
+    if (EqualsIgnoreCase(value, word)) {
+      return 1;
+    }
+  }
+  for (const char* word : kFalsy) {
+    if (EqualsIgnoreCase(value, word)) {
+      return 0;
+    }
+  }
+  return std::nullopt;
+}
 
-// A value of the form `<integer><unit-suffix>` ("500ms", "9G", "2 min").
-// Parsers built on atoi silently drop the suffix, so these are exactly the
-// inputs where a pre-flight unit check saves the user.
-struct SuffixedValue {
-  int64_t magnitude = 0;
-  TimeUnit time_unit = TimeUnit::kNone;
-  SizeUnit size_unit = SizeUnit::kNone;
-};
-
-std::optional<SuffixedValue> ParseSuffixed(std::string_view text) {
+std::optional<SuffixedConfigValue> ParseSuffixedConfigValue(std::string_view text) {
   text = TrimWhitespace(text);
   size_t digits = 0;
   if (digits < text.size() && (text[digits] == '-' || text[digits] == '+')) {
@@ -66,7 +83,7 @@ std::optional<SuffixedValue> ParseSuffixed(std::string_view text) {
     return std::nullopt;
   }
   std::string suffix = ToLowerCopy(TrimWhitespace(text.substr(digits)));
-  SuffixedValue value;
+  SuffixedConfigValue value;
   value.magnitude = *magnitude;
   if (suffix == "us") {
     value.time_unit = TimeUnit::kMicroseconds;
@@ -98,6 +115,8 @@ std::optional<SuffixedValue> ParseSuffixed(std::string_view text) {
   return value;
 }
 
+namespace {
+
 bool HoldsCmp(int64_t lhs, IrCmpPred pred, int64_t rhs) {
   switch (pred) {
     case IrCmpPred::kEq:
@@ -114,28 +133,6 @@ bool HoldsCmp(int64_t lhs, IrCmpPred pred, int64_t rhs) {
       return lhs >= rhs;
   }
   return false;
-}
-
-// Numeric meaning of a config value for cross-parameter checks: a strict
-// integer, or a boolean word ("on"/"off" style) as 1/0.
-std::optional<int64_t> EffectiveInt(std::string_view value) {
-  auto strict = ParseInt64(value);
-  if (strict.has_value()) {
-    return strict;
-  }
-  static const char* kTruthy[] = {"on", "yes", "true", "enable", "enabled"};
-  static const char* kFalsy[] = {"off", "no", "false", "disable", "disabled"};
-  for (const char* word : kTruthy) {
-    if (EqualsIgnoreCase(value, word)) {
-      return 1;
-    }
-  }
-  for (const char* word : kFalsy) {
-    if (EqualsIgnoreCase(value, word)) {
-      return 0;
-    }
-  }
-  return std::nullopt;
 }
 
 std::string DescribeValidRanges(const RangeConstraint& range) {
@@ -265,7 +262,7 @@ class Checker {
     auto strict = ParseInt64(entry.value);
 
     if (!strict.has_value()) {
-      auto suffixed = ParseSuffixed(entry.value);
+      auto suffixed = ParseSuffixedConfigValue(entry.value);
       if (suffixed.has_value()) {
         CheckUnitSuffix(entry, param, *suffixed, integer_param);
         return;
@@ -278,7 +275,7 @@ class Checker {
       // flagging "on" as non-numeric would contradict the cross-parameter
       // checks in the same report.
       if ((type->IsBool() || param.HasSemantic(SemanticType::kBoolean)) &&
-          EffectiveInt(entry.value).has_value()) {
+          EffectiveConfigInt(entry.value).has_value()) {
         return;
       }
       SourceLoc loc = param.basic_type->loc;
@@ -343,7 +340,7 @@ class Checker {
   }
 
   void CheckUnitSuffix(const ConfigEntry& entry, const ParamConstraints& param,
-                       const SuffixedValue& suffixed, bool integer_param) {
+                       const SuffixedConfigValue& suffixed, bool integer_param) {
     // A "500ms"-style value. The synthesized parsers (like most real ones)
     // read integers with atoi/strtol, so the suffix never survives parsing
     // — the question is only how to explain the problem to the user.
@@ -398,7 +395,7 @@ class Checker {
       if (!dependent_value.has_value() || !master_value.has_value()) {
         continue;  // Not set, or master's default is unknown: nothing to say.
       }
-      auto master_int = EffectiveInt(*master_value);
+      auto master_int = EffectiveConfigInt(*master_value);
       if (!master_int.has_value() || HoldsCmp(*master_int, dep.pred, dep.value)) {
         continue;
       }
@@ -418,8 +415,8 @@ class Checker {
       if (!lhs_value.has_value() || !rhs_value.has_value()) {
         continue;
       }
-      auto lhs_int = EffectiveInt(*lhs_value);
-      auto rhs_int = EffectiveInt(*rhs_value);
+      auto lhs_int = EffectiveConfigInt(*lhs_value);
+      auto rhs_int = EffectiveConfigInt(*rhs_value);
       if (!lhs_int.has_value() || !rhs_int.has_value() ||
           HoldsCmp(*lhs_int, rel.pred, *rhs_int)) {
         continue;

@@ -10,34 +10,69 @@
 // case sensitivity, and control dependency (plus value relationships and
 // unknown-parameter typo detection, which fall out of the same data).
 //
-// Checking is a pure read over ModuleConstraints: any number of threads
-// may check configs against the same constraints concurrently (the
+// On top of the static pass, Target::CheckConfig has a *dynamic* mode
+// (CheckMode::kDynamic): the settings that deviate from the target's
+// template are replayed through the interpreter + simulated OS from the
+// injection campaign's snapshot cache, and each Violation additionally
+// carries the observed Table-3 reaction — what the system will actually do
+// with the bad setting — plus the log evidence of the replay. The dynamic
+// machinery lives in src/api/dynamic_check.h; this header only defines the
+// mode/option types and the verdict-carrying fields of Violation.
+//
+// Static checking is a pure read over ModuleConstraints: any number of
+// threads may check configs against the same constraints concurrently (the
 // spex::Session TSan smoke test does exactly that).
 #ifndef SPEX_API_CONFIG_CHECKER_H_
 #define SPEX_API_CONFIG_CHECKER_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/confgen/config_file.h"
 #include "src/core/constraints.h"
+#include "src/inject/reaction.h"
 
 namespace spex {
 
 enum class ViolationCategory {
-  kBasicType,     // Value does not parse as the parameter's basic type.
-  kRange,         // Value outside the accepted numeric/enumerated range.
-  kUnit,          // Unit-suffixed value for a plain-number parameter, or
-                  // a suffix in the wrong scale (ms where seconds expected).
-  kCase,          // Differs only in case from an accepted value of a
-                  // case-sensitive parameter.
-  kControlDep,    // Dependent parameter set while its master disables it.
-  kValueRel,      // Violates an inferred cross-parameter relationship.
-  kUnknownParam,  // Key matches no inferred parameter (likely a typo).
+  kBasicType,        // Value does not parse as the parameter's basic type.
+  kRange,            // Value outside the accepted numeric/enumerated range.
+  kUnit,             // Unit-suffixed value for a plain-number parameter, or
+                     // a suffix in the wrong scale (ms where seconds expected).
+  kCase,             // Differs only in case from an accepted value of a
+                     // case-sensitive parameter.
+  kControlDep,       // Dependent parameter set while its master disables it.
+  kValueRel,         // Violates an inferred cross-parameter relationship.
+  kUnknownParam,     // Key matches no inferred parameter (likely a typo).
+  kDynamicReaction,  // Passed every static constraint, but the dynamic
+                     // replay observed a Table-3 vulnerability reaction.
 };
 
 const char* ViolationCategoryName(ViolationCategory category);
+
+// How Target::CheckConfig examines a config file.
+enum class CheckMode {
+  // Constraint checks only (the default): pure read, no execution.
+  kStatic,
+  // Static checks *plus* a replay of the user's template-delta through the
+  // interpreter: every Violation gains the observed ReactionCategory, and
+  // vulnerabilities the static pass cannot see (silent clamps, late
+  // failures) are reported as kDynamicReaction violations.
+  kDynamic,
+};
+
+// Options for Target::CheckConfig. Value type, freely copyable; one
+// options struct may serve any number of concurrent checks.
+struct CheckOptions {
+  CheckMode mode = CheckMode::kStatic;
+  // Dynamic mode only: replay from the campaign's persistent snapshot
+  // cache (default) or force a ground-truth full replay per suspect.
+  // Verdicts are bit-identical either way — the flag exists so tests and
+  // embedders can prove exactly that.
+  bool use_parse_snapshot = true;
+};
 
 // One file/line-addressable finding against a user's config file.
 struct Violation {
@@ -50,15 +85,52 @@ struct Violation {
   SourceLoc constraint_loc;  // Where in the target's source the constraint
                              // was inferred (for "fix the code" reports).
 
-  // "server.conf:12: [range] worker_threads = 99: <message>"
+  // --- Dynamic-mode verdict (nullopt/empty after a static-only check).
+  // The Table-3 reaction observed when the user's delta was replayed
+  // through the interpreter; IsVulnerability(*reaction) says whether the
+  // system mishandles the setting.
+  std::optional<ReactionCategory> reaction;
+  // Replay observable behind the verdict: trap reason, failing test, or
+  // the effective value the system silently substituted.
+  std::string reaction_detail;
+  // Log lines the system emitted during the replay (pinpointing evidence,
+  // or the absence that makes a reaction "silent").
+  std::vector<std::string> evidence_logs;
+  // One-sentence "what the system will do with this setting" message.
+  std::string prediction;
+
+  // "server.conf:12: [range] worker_threads = 99: <message>"; dynamic
+  // verdicts append " | observed: <reaction> — <prediction>".
   std::string ToString() const;
 };
 
-// Checks every setting of `config` against `constraints`. Violations are
-// reported in file order (then per-key category order), so output is
-// deterministic and diffable.
+// Checks every setting of `config` against `constraints` — the static
+// pass. Violations are reported in file order (then per-key category
+// order), so output is deterministic and diffable.
 std::vector<Violation> CheckConfigFile(const ModuleConstraints& constraints,
                                        const ConfigFile& config, std::string_view file_name);
+
+// Numeric meaning of a config value: a strict integer, or a boolean word
+// ("on"/"off"/"yes"/"no"...) as 1/0, else nullopt. Shared by the static
+// cross-parameter checks and the dynamic suspect builder (a replayed "off"
+// must carry intent 0, or a well-behaved boolean parser would be
+// misreported as silently accepting garbage).
+std::optional<int64_t> EffectiveConfigInt(std::string_view value);
+
+// A value of the form `<integer><unit-suffix>` ("500ms", "9G", "2 min").
+// Parsers built on atoi silently drop the suffix, so these are exactly the
+// inputs where a pre-flight unit check — and a dynamic replay with the
+// right numeric intent — saves the user. The bare "m" suffix is ambiguous
+// (minutes or megabytes): both fields are set and the consumer picks the
+// interpretation matching the parameter's inferred unit kind.
+struct SuffixedConfigValue {
+  int64_t magnitude = 0;
+  TimeUnit time_unit = TimeUnit::kNone;
+  SizeUnit size_unit = SizeUnit::kNone;
+};
+
+// nullopt for plain numbers, plain text, and unknown suffixes.
+std::optional<SuffixedConfigValue> ParseSuffixedConfigValue(std::string_view text);
 
 // Convenience overload: parse `config_text` in `dialect`, then check.
 std::vector<Violation> CheckConfigText(const ModuleConstraints& constraints,

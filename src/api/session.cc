@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/api/dynamic_check.h"
 #include "src/ir/lowering.h"
 #include "src/lang/parser.h"
 
@@ -112,6 +113,48 @@ std::vector<Violation> Target::CheckConfig(std::string_view config_text,
                          file_name);
 }
 
+bool Target::SupportsDynamicCheck() const {
+  return template_config_.SettingCount() > 0 && analysis_.module != nullptr &&
+         analysis_.module->FindFunction(analysis_.bundle.sut.parse_function) != nullptr &&
+         analysis_.module->FindFunction(analysis_.bundle.sut.init_function) != nullptr;
+}
+
+std::shared_ptr<InjectionCampaign> Target::EnsureCampaign() {
+  std::lock_guard<std::mutex> lock(campaign_mutex_);
+  if (campaign_ == nullptr) {
+    // First dynamic check before any RunCampaign: default options, so a
+    // later default RunCampaign reuses this campaign (and its snapshots).
+    campaign_ = std::make_shared<InjectionCampaign>(*analysis_.module, analysis_.bundle.sut,
+                                                    OsSimulator::StandardEnvironment(),
+                                                    campaign_options_);
+  }
+  return campaign_;
+}
+
+std::vector<Violation> Target::CheckConfig(std::string_view config_text,
+                                           std::string_view file_name,
+                                           const CheckOptions& options) {
+  ConfigFile config = ConfigFile::Parse(config_text, analysis_.bundle.dialect);
+  std::vector<Violation> violations =
+      CheckConfigFile(analysis_.constraints, config, file_name);
+  if (options.mode != CheckMode::kDynamic || !SupportsDynamicCheck()) {
+    return violations;
+  }
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(analysis_.constraints, template_config_, config, violations);
+  if (suspects.empty()) {
+    return violations;
+  }
+  // The shared_ptr keeps the campaign (and the probe context + snapshot
+  // pools the replay touches) alive even if another thread swaps the
+  // target's campaign for one with different options mid-check.
+  std::shared_ptr<InjectionCampaign> campaign = EnsureCampaign();
+  std::vector<InjectionResult> results =
+      campaign->ReplayExternal(template_config_, suspects, options.use_parse_snapshot);
+  AttachReactions(suspects, results, config, file_name, &violations);
+  return violations;
+}
+
 const std::vector<Misconfiguration>& Target::MisconfigsLocked() {
   if (!misconfigs_ready_) {
     MisconfigGenerator generator;
@@ -146,7 +189,10 @@ CampaignSummary Target::RunCampaign(CampaignOptions options, CampaignObserver* o
     std::lock_guard<std::mutex> lock(campaign_mutex_);
     MisconfigsLocked();
     if (campaign_ == nullptr || !campaign_options_.SameBehavior(options)) {
-      campaign_ = std::make_unique<InjectionCampaign>(
+      // Swapping options discards the old campaign's snapshot cache; a
+      // dynamic check still replaying on it holds its own shared_ptr, so
+      // the swap is safe (the old campaign dies with the last check).
+      campaign_ = std::make_shared<InjectionCampaign>(
           *analysis_.module, analysis_.bundle.sut, OsSimulator::StandardEnvironment(),
           options);
       campaign_options_ = options;

@@ -14,15 +14,20 @@
 //   const spex::ModuleConstraints& c = target->InferConstraints();
 //   for (const spex::Violation& v : target->CheckConfig(user_conf, "user.conf"))
 //     std::cerr << v.ToString() << "\n";                          // pre-flight checker
+//   spex::CheckOptions dynamic{spex::CheckMode::kDynamic};       // observed reactions
+//   for (const spex::Violation& v : target->CheckConfig(user_conf, "user.conf", dynamic))
+//     std::cerr << v.ToString() << "\n";   // "... | observed: silent violation — ..."
 //   spex::CampaignSummary s = target->RunCampaign();              // SPEX-INJ
 //
 // Thread-safety: a loaded Target's analysis is immutable, so any number of
 // threads may call InferConstraints()/CheckConfig() on the same Target (or
-// different Targets) concurrently, and LoadSource()/LoadTarget()/ok()/
-// RenderDiagnostics() are internally synchronized. RunCampaign() is
-// serialized *session-wide* (all campaigns share the session's worker
-// pool, whose Wait() drains the whole queue); concurrent RunCampaign calls
-// are safe but run one at a time.
+// different Targets) concurrently — in *either* check mode: static checks
+// are pure reads, and dynamic checks replay on campaign-owned probe
+// contexts over an internally synchronized snapshot cache. LoadSource()/
+// LoadTarget()/ok()/RenderDiagnostics() are internally synchronized.
+// RunCampaign() is serialized *session-wide* (all campaigns share the
+// session's worker pool, whose Wait() drains the whole queue); concurrent
+// RunCampaign calls are safe but run one at a time.
 #ifndef SPEX_API_SESSION_H_
 #define SPEX_API_SESSION_H_
 
@@ -134,6 +139,34 @@ class Target {
   std::vector<Violation> CheckConfig(std::string_view config_text,
                                      std::string_view file_name = "config") const;
 
+  // Mode-selecting overload. CheckMode::kStatic behaves exactly like the
+  // two-argument form; CheckMode::kDynamic additionally replays the
+  // settings that deviate from the target's template through the
+  // interpreter + simulated OS — restoring the injection campaign's
+  // per-key-set prefix snapshots where available — and attaches the
+  // observed Table-3 reaction, log evidence and a "what the system will
+  // do" prediction to each Violation (plus kDynamicReaction findings for
+  // vulnerabilities the static pass cannot see). Dynamic verdicts are
+  // bit-identical to a ground-truth full replay: the campaign's per-run
+  // hazard check and first-use verification gate every snapshot shortcut.
+  //
+  // Dynamic checks share the target's persistent campaign, so a check
+  // after RunCampaign() (or after an earlier check of the same keys)
+  // replays from warm snapshots without building new ones; a check with no
+  // campaign yet lazily creates one with default CampaignOptions. Targets
+  // loaded without a template or without a SUT driver surface (parse/init
+  // functions) silently degrade to the static result — there is nothing to
+  // replay against. Safe from any number of threads concurrently (on one
+  // shared Target or across Targets), and concurrently with RunCampaign().
+  //
+  // Deliberately non-const (even in kStatic mode): dynamic mode
+  // materializes the target's persistent campaign, the same mutation
+  // RunCampaign performs. Callers holding a const Target* use the
+  // two-argument overload — the static check is the only mode a const
+  // handle can express.
+  std::vector<Violation> CheckConfig(std::string_view config_text, std::string_view file_name,
+                                     const CheckOptions& options);
+
   // SPEX-INJ through the façade: generates misconfigurations from the
   // inferred constraints (once, cached) and runs the campaign. The
   // campaign object persists across calls with the same options, so
@@ -157,6 +190,14 @@ class Target {
   Target(Session* session, TargetAnalysis analysis);
   // Generates the batch on first use; caller holds campaign_mutex_.
   const std::vector<Misconfiguration>& MisconfigsLocked();
+  // The persistent campaign (created with default options on first use);
+  // dynamic checks hold a shared_ptr so a concurrent RunCampaign that
+  // swaps the campaign (changed options) cannot pull it out from under a
+  // replay in flight.
+  std::shared_ptr<InjectionCampaign> EnsureCampaign();
+  // True when the target can be driven dynamically: a non-empty template
+  // plus a module that defines the SUT's parse and init functions.
+  bool SupportsDynamicCheck() const;
 
   Session* session_;
   TargetAnalysis analysis_;
@@ -166,7 +207,7 @@ class Target {
   bool misconfigs_ready_ = false;
   std::vector<Misconfiguration> misconfigs_;
   CampaignOptions campaign_options_;
-  std::unique_ptr<InjectionCampaign> campaign_;
+  std::shared_ptr<InjectionCampaign> campaign_;
 };
 
 }  // namespace spex

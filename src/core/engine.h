@@ -14,7 +14,7 @@
 //
 // The engine owns the analysis context and the per-parameter data-flow
 // results; downstream consumers (SPEX-INJ, the design detectors, the
-// ConfigChecker behind Target::CheckConfig) query both.
+// static and dynamic ConfigChecker behind Target::CheckConfig) query both.
 #ifndef SPEX_CORE_ENGINE_H_
 #define SPEX_CORE_ENGINE_H_
 

@@ -6,11 +6,15 @@
 //
 // NOTE: the public entry point for new code is the spex::Session façade in
 // src/api/session.h — it owns the registry/diagnostics/worker-pool/string-
-// pool lifetimes and adds the user-facing ConfigChecker and persistent
-// campaigns. The free functions here are the one-shot layer underneath it,
-// kept as thin stable shims for tests and existing drivers: AnalyzeTarget
-// is what Session::LoadTarget runs, and RunCampaign builds a fresh
-// (cold-cache) campaign per call, exactly as before the façade existed.
+// pool lifetimes and adds the user-facing ConfigChecker (static constraint
+// checks plus the dynamic mode that replays user configs and reports the
+// observed Table-3 reaction) and persistent campaigns whose snapshot cache
+// both repeated campaigns and dynamic checks reuse. The free functions
+// here are the one-shot layer underneath it, kept as thin stable shims for
+// tests and existing drivers: AnalyzeTarget is what Session::LoadTarget
+// runs, and RunCampaign builds a fresh (cold-cache) campaign per call,
+// exactly as before the façade existed — no snapshot reuse, no dynamic
+// checking. See docs/api.md for the façade's contract.
 #ifndef SPEX_CORPUS_PIPELINE_H_
 #define SPEX_CORPUS_PIPELINE_H_
 

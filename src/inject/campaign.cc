@@ -17,39 +17,6 @@ bool CampaignOptions::SameBehavior(const CampaignOptions& other) const {
          interp.max_call_depth == other.interp.max_call_depth;
 }
 
-const char* ReactionCategoryName(ReactionCategory category) {
-  switch (category) {
-    case ReactionCategory::kCrashHang:
-      return "crash/hang";
-    case ReactionCategory::kEarlyTermination:
-      return "early termination";
-    case ReactionCategory::kFunctionalFailure:
-      return "functional failure";
-    case ReactionCategory::kSilentViolation:
-      return "silent violation";
-    case ReactionCategory::kSilentIgnorance:
-      return "silent ignorance";
-    case ReactionCategory::kGoodReaction:
-      return "good reaction";
-    case ReactionCategory::kNoIssue:
-      return "no issue";
-  }
-  return "?";
-}
-
-bool IsVulnerability(ReactionCategory category) {
-  switch (category) {
-    case ReactionCategory::kCrashHang:
-    case ReactionCategory::kEarlyTermination:
-    case ReactionCategory::kFunctionalFailure:
-    case ReactionCategory::kSilentViolation:
-    case ReactionCategory::kSilentIgnorance:
-      return true;
-    default:
-      return false;
-  }
-}
-
 size_t CampaignSummary::CountCategory(ReactionCategory category) const {
   size_t count = 0;
   for (const InjectionResult& result : results) {
@@ -319,7 +286,12 @@ InjectionResult InjectionCampaign::Classify(Interpreter& interp, const RunOutcom
                 interp.GlobalWasRead(storage_it->second);
     if (!read && !result.pinpointed) {
       result.category = ReactionCategory::kSilentIgnorance;
-      result.detail = "dependent parameter was never consulted";
+      // No storage mapping at all means the parser never claimed the key
+      // (the unknown-directive case); with one, the dependent's storage
+      // simply went unread.
+      result.detail = storage_it != sut_.param_storage.end()
+                          ? "dependent parameter was never consulted"
+                          : "setting was never consulted";
       return result;
     }
     result.category = result.pinpointed ? ReactionCategory::kGoodReaction
@@ -513,8 +485,9 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
   InitAndTestPhases(interp, &outcome);
   InjectionResult result = Classify(interp, outcome, config, applied);
 
+  const uint64_t batch = batch_id_.load(std::memory_order_relaxed);
   if (state == SnapshotEntry::kReady ||
-      entry->verified_batch.load(std::memory_order_acquire) != batch_id_) {
+      entry->verified_batch.load(std::memory_order_acquire) != batch) {
     // First use of this key-set in this batch: additionally prove the
     // replay observably identical to ground truth. Re-verifying once per
     // batch keeps a persistent cache exactly as safe as a per-batch one —
@@ -532,7 +505,7 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
     entry->state.compare_exchange_strong(expected, SnapshotEntry::kVerified,
                                          std::memory_order_release,
                                          std::memory_order_relaxed);
-    entry->verified_batch.store(batch_id_, std::memory_order_release);
+    entry->verified_batch.store(batch, std::memory_order_release);
   }
   stat_delta_replays_.fetch_add(1, std::memory_order_relaxed);
   return result;
@@ -558,6 +531,61 @@ InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& 
   return FullReplay(interp, os, applied, config);
 }
 
+InjectionCampaign::ProbeLease::ProbeLease(InjectionCampaign* campaign) : campaign_(campaign) {
+  std::lock_guard<std::mutex> lock(campaign_->probe_mutex_);
+  if (campaign_->free_probes_.empty()) {
+    campaign_->probe_contexts_.push_back(std::make_unique<WorkerContext>(
+        campaign_->module_, campaign_->os_template_, campaign_->options_.interp));
+    context_ = campaign_->probe_contexts_.back().get();
+  } else {
+    context_ = campaign_->free_probes_.back();
+    campaign_->free_probes_.pop_back();
+  }
+}
+
+InjectionCampaign::ProbeLease::~ProbeLease() {
+  std::lock_guard<std::mutex> lock(campaign_->probe_mutex_);
+  campaign_->free_probes_.push_back(context_);
+}
+
+std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
+    const ConfigFile& template_config, const std::vector<Misconfiguration>& configs,
+    bool use_parse_snapshot) {
+  // A user-config check is worth the snapshot path even for a key-set seen
+  // once: the campaign persists, so the entry pays for itself on the next
+  // check of the same keys (an embedded checker sees the same handful of
+  // misconfigured settings over and over). Unlike RunAll's RefreshCacheFor,
+  // a probe never *clears* the cache — another probe may be mid-replay
+  // holding a cache entry — it only adopts the fingerprint when the cache
+  // is untouched, and falls back to ground truth on a mismatch.
+  // The fingerprint is recomputed per call on purpose: a cheaper
+  // pointer-identity fast path would silently validate a *different*
+  // template whose stack slot reused a previous one's address, and the
+  // serialization is not measurable next to even a warm check's replay
+  // (BM_DynamicCheckWarm is unchanged with or without it).
+  bool snapshot_ok = false;
+  if (use_parse_snapshot && options_.use_parse_snapshot) {
+    std::string fingerprint = template_config.Serialize();
+    std::lock_guard<std::mutex> lock(cache_.mutex);
+    if (cache_.template_fingerprint.empty() && cache_.entries.empty()) {
+      cache_.template_fingerprint = std::move(fingerprint);
+      snapshot_ok = true;
+    } else {
+      snapshot_ok = cache_.template_fingerprint == fingerprint;
+    }
+  }
+
+  ProbeLease probe(this);
+  std::vector<InjectionResult> results;
+  results.reserve(configs.size());
+  for (const Misconfiguration& config : configs) {
+    const std::string keyset = KeysetId(DeltaKeys(config));
+    results.push_back(RunOneWith(probe.context().interp, probe.context().os,
+                                 snapshot_ok ? &keyset : nullptr, template_config, config));
+  }
+  return results;
+}
+
 size_t InjectionCampaign::EnsureContexts(size_t count) {
   while (contexts_.size() < count) {
     contexts_.push_back(std::make_unique<WorkerContext>(module_, os_template_, options_.interp));
@@ -578,7 +606,7 @@ CampaignSummary InjectionCampaign::RunAll(const ConfigFile& template_config,
                                           const std::vector<Misconfiguration>& configs,
                                           CampaignObserver* observer) {
   CampaignSummary summary;
-  ++batch_id_;
+  batch_id_.fetch_add(1, std::memory_order_relaxed);
   size_t worker_count =
       ThreadPool::ResolveThreadCount(options_.num_threads < 0
                                          ? 1

@@ -32,7 +32,10 @@
 // runs on every delta replay, and the first delta replay of a key-set in
 // each batch is re-verified against a ground-truth full replay, so results
 // stay bit-identical to the legacy path for every thread count. RunAll is
-// not reentrant — one campaign serves one driver thread at a time.
+// not reentrant — one campaign serves one RunAll driver thread at a time —
+// but ReplayExternal (the dynamic ConfigChecker's entry point) is: any
+// number of threads may replay user-config deltas through the same cache
+// concurrently, each on its own campaign-owned probe context.
 #ifndef SPEX_INJECT_CAMPAIGN_H_
 #define SPEX_INJECT_CAMPAIGN_H_
 
@@ -49,6 +52,7 @@
 #include "src/confgen/config_file.h"
 #include "src/core/constraints.h"
 #include "src/inject/generator.h"
+#include "src/inject/reaction.h"
 #include "src/interp/interpreter.h"
 #include "src/ir/ir.h"
 #include "src/osim/os_simulator.h"
@@ -56,6 +60,10 @@
 
 namespace spex {
 
+// One functional test of the SUT's driver surface. Tests run after a
+// successful parse + init; a test passes when `function` returns
+// `expected`. Campaigns may reorder tests by `cost_hint` (shortest first)
+// — TestCase itself carries no state and is freely copyable.
 struct TestCase {
   std::string name;
   std::string function;       // Target function; must return `expected` to pass.
@@ -63,7 +71,11 @@ struct TestCase {
   int64_t cost_hint = 1;      // Relative runtime, for shortest-first ordering.
 };
 
-// How the harness drives one target system.
+// How the harness drives one target system. Immutable once handed to an
+// InjectionCampaign (the campaign copies it); `param_storage` must name the
+// global holding the *raw parsed value* of each parameter — the
+// silent-violation check compares it against the user's written value, so a
+// mapping to a derived/scaled global would misreport scale transforms.
 struct SutSpec {
   std::string parse_function = "handle_config_line";  // (key, value) -> int, <0 = rejected.
   std::string init_function = "server_init";          // () -> int, <0 = failed startup.
@@ -72,22 +84,9 @@ struct SutSpec {
   std::map<std::string, std::string> param_storage;
 };
 
-// Table 3 categories, plus the two non-vulnerability outcomes.
-enum class ReactionCategory {
-  kCrashHang,          // Crash or hang.
-  kEarlyTermination,   // Exits without pinpointing the error.
-  kFunctionalFailure,  // Tests fail without a pinpointing message.
-  kSilentViolation,    // Input silently changed to something else.
-  kSilentIgnorance,    // Input silently ignored.
-  kGoodReaction,       // Error detected and pinpointed.
-  kNoIssue,            // Setting tolerated with correct behaviour.
-};
-
-inline constexpr size_t kReactionCategoryCount = 7;
-
-const char* ReactionCategoryName(ReactionCategory category);
-bool IsVulnerability(ReactionCategory category);
-
+// One classified run: what the system observably did with `config`.
+// Self-contained value type — `logs` and `detail` are copies, so a result
+// outlives the campaign and the interpreter that produced it.
 struct InjectionResult {
   Misconfiguration config;
   ReactionCategory category = ReactionCategory::kNoIssue;
@@ -98,6 +97,8 @@ struct InjectionResult {
   SourceLoc vulnerability_loc;  // Where a fix would go (Table 5b accounting).
 };
 
+// Batch result of one RunAll. Plain value type; the accessor methods are
+// pure reads and safe to call from any thread once the summary is built.
 struct CampaignSummary {
   std::vector<InjectionResult> results;
 
@@ -153,8 +154,10 @@ class CampaignObserver {
   virtual void OnCampaignEnd(const CampaignSummary& summary) { (void)summary; }
 };
 
-// Cumulative counters over a campaign's lifetime (all RunAll/RunOne calls);
-// the observable that proves a repeated campaign skipped snapshot rebuilds.
+// Cumulative counters over a campaign's lifetime (all RunAll / RunOne /
+// ReplayExternal calls); the observable that proves a repeated campaign —
+// or a warm dynamic config check — skipped snapshot rebuilds. Reading them
+// mid-campaign is safe (atomics underneath) but yields an in-flight total.
 struct CampaignCacheStats {
   size_t snapshots_built = 0;   // Prefix snapshots constructed (~1 full replay each).
   size_t delta_replays = 0;     // Runs served by snapshot restore + delta parse.
@@ -170,14 +173,39 @@ class InjectionCampaign {
                     CampaignOptions options = {});
 
   // Sanity check: the unmodified template must start and pass all tests.
+  // Driver-thread only (shares no state with in-flight replays).
   bool BaselinePasses(const ConfigFile& template_config);
 
+  // Single-shot ground-truth run (never snapshots: a prefix snapshot would
+  // cost exactly what it saves). Driver-thread only, like RunAll.
   InjectionResult RunOne(const ConfigFile& template_config, const Misconfiguration& config);
   // Runs the whole batch. `observer`, when given, receives one serialized
   // OnRunComplete per misconfiguration as it finishes (completion order).
   CampaignSummary RunAll(const ConfigFile& template_config,
                          const std::vector<Misconfiguration>& configs,
                          CampaignObserver* observer = nullptr);
+
+  // Replays externally supplied misconfigurations — the suspect settings of
+  // a *user's* config, not generator output — through the campaign's
+  // persistent snapshot cache, and classifies each reaction per Table 3.
+  // This is the engine behind the dynamic ConfigChecker: a key-set whose
+  // prefix snapshot an earlier RunAll (or earlier check) already built is
+  // served by restore + delta parse; everything else takes the ground-truth
+  // full-replay path, and the per-run hazard check plus first-use
+  // verification keep every verdict bit-identical to a full replay.
+  // `use_parse_snapshot = false` forces ground truth for every run (the
+  // verification path the dynamic-mode tests diff against).
+  //
+  // Thread-safety: unlike RunAll, ReplayExternal may be called from any
+  // number of threads concurrently (each call runs on a campaign-owned
+  // probe context; the snapshot cache is internally synchronized), and
+  // concurrently with one RunAll — provided every concurrent driver uses
+  // the same template. A template change clears the cache and must be
+  // externally quiesced (spex::Target guarantees this: its template is
+  // fixed at load time).
+  std::vector<InjectionResult> ReplayExternal(const ConfigFile& template_config,
+                                              const std::vector<Misconfiguration>& configs,
+                                              bool use_parse_snapshot = true);
 
   // Cumulative across every run this campaign executed. After a second
   // RunAll over the same template, snapshots_built stays flat — the point
@@ -281,10 +309,29 @@ class InjectionCampaign {
                     const ConfigFile& applied) const;
 
   // Grows contexts_ to `count` workers; returns the resolved worker count.
+  // RunAll-driver-thread only (not synchronized against itself).
   size_t EnsureContexts(size_t count);
   // Clears cache entries when `template_config` differs from the cached
   // fingerprint, and stamps the new fingerprint.
   void RefreshCacheFor(const ConfigFile& template_config);
+
+  // Checked-out probe context for one ReplayExternal call; returns itself
+  // to the campaign's free list on destruction. Probe contexts are campaign
+  // members (like the RunAll worker contexts) because a probe that builds a
+  // snapshot publishes pointers into its own string pool — the context must
+  // outlive the cache entry, i.e. live as long as the campaign.
+  class ProbeLease {
+   public:
+    explicit ProbeLease(InjectionCampaign* campaign);
+    ~ProbeLease();
+    ProbeLease(const ProbeLease&) = delete;
+    ProbeLease& operator=(const ProbeLease&) = delete;
+    WorkerContext& context() { return *context_; }
+
+   private:
+    InjectionCampaign* campaign_;
+    WorkerContext* context_;
+  };
 
   const Module& module_;
   SutSpec sut_;
@@ -293,11 +340,21 @@ class InjectionCampaign {
 
   // Campaign-lifetime execution state. Declaration order matters for
   // destruction: cache_ (pointers into context pools) is declared after
-  // contexts_ so it is destroyed first.
+  // contexts_ and the probe contexts so it is destroyed first.
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
+  // Contexts serving concurrent ReplayExternal calls; probe_mutex_ guards
+  // both vectors (owned storage + free list). Never shrinks: a returned
+  // probe is reused by the next check, so repeated dynamic checks skip
+  // interpreter construction just like repeated RunAll batches do.
+  std::mutex probe_mutex_;
+  std::vector<std::unique_ptr<WorkerContext>> probe_contexts_;
+  std::vector<WorkerContext*> free_probes_;
   mutable SnapshotCache cache_;
   std::unique_ptr<ThreadPool> owned_pool_;  // Used when options_.worker_pool is null.
-  uint64_t batch_id_ = 0;  // Incremented per RunAll; batch 0 is RunOne/Baseline territory.
+  // Incremented per RunAll; batch 0 is RunOne/Baseline/ReplayExternal-only
+  // territory. Atomic because external replays read it (for the once-per-
+  // batch re-verification bookkeeping) concurrently with RunAll bumping it.
+  std::atomic<uint64_t> batch_id_{0};
 
   // Cumulative cache statistics (atomics: bumped from worker threads).
   mutable std::atomic<size_t> stat_snapshots_built_{0};

@@ -1,0 +1,38 @@
+#include "src/inject/reaction.h"
+
+namespace spex {
+
+const char* ReactionCategoryName(ReactionCategory category) {
+  switch (category) {
+    case ReactionCategory::kCrashHang:
+      return "crash/hang";
+    case ReactionCategory::kEarlyTermination:
+      return "early termination";
+    case ReactionCategory::kFunctionalFailure:
+      return "functional failure";
+    case ReactionCategory::kSilentViolation:
+      return "silent violation";
+    case ReactionCategory::kSilentIgnorance:
+      return "silent ignorance";
+    case ReactionCategory::kGoodReaction:
+      return "good reaction";
+    case ReactionCategory::kNoIssue:
+      return "no issue";
+  }
+  return "?";
+}
+
+bool IsVulnerability(ReactionCategory category) {
+  switch (category) {
+    case ReactionCategory::kCrashHang:
+    case ReactionCategory::kEarlyTermination:
+    case ReactionCategory::kFunctionalFailure:
+    case ReactionCategory::kSilentViolation:
+    case ReactionCategory::kSilentIgnorance:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace spex

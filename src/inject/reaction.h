@@ -1,0 +1,42 @@
+// Table 3 reaction vocabulary (paper Section 3.1).
+//
+// How a system reacts to a misconfiguration is the paper's core
+// observable: SPEX-INJ classifies every injected run into one of these
+// categories, and the dynamic ConfigChecker attaches the same verdicts to
+// a user's concrete config ("this setting will be silently ignored"). The
+// enum lives in its own header so the user-facing API layer can speak the
+// verdict vocabulary without pulling in the whole campaign machinery
+// (interpreter, OS simulator, thread pool).
+#ifndef SPEX_INJECT_REACTION_H_
+#define SPEX_INJECT_REACTION_H_
+
+#include <cstddef>
+
+namespace spex {
+
+// Table 3 categories, plus the two non-vulnerability outcomes. The first
+// five are vulnerabilities (see IsVulnerability): the system failed to
+// detect the bad setting or reacted without pinpointing it.
+enum class ReactionCategory {
+  kCrashHang,          // Crash or hang.
+  kEarlyTermination,   // Exits without pinpointing the error.
+  kFunctionalFailure,  // Tests fail without a pinpointing message.
+  kSilentViolation,    // Input silently changed to something else.
+  kSilentIgnorance,    // Input silently ignored.
+  kGoodReaction,       // Error detected and pinpointed.
+  kNoIssue,            // Setting tolerated with correct behaviour.
+};
+
+inline constexpr size_t kReactionCategoryCount = 7;
+
+// Stable human-readable name ("crash/hang", "silent violation", ...); used
+// by every table bench and by Violation::ToString.
+const char* ReactionCategoryName(ReactionCategory category);
+
+// True for the five Table-3 vulnerability rows: the system's reaction
+// leaves the user without a correct, pinpointed explanation.
+bool IsVulnerability(ReactionCategory category);
+
+}  // namespace spex
+
+#endif  // SPEX_INJECT_REACTION_H_

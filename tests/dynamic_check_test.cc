@@ -1,0 +1,419 @@
+// Dynamic-check building blocks below the Session façade: suspect
+// construction from a user-config diff (src/api/dynamic_check.h) and
+// InjectionCampaign::ReplayExternal — snapshot-path verdict identity with
+// ground truth, the order-sensitive fallback, and probe-context reuse.
+#include "src/api/dynamic_check.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/lowering.h"
+#include "src/lang/parser.h"
+
+namespace spex {
+namespace {
+
+// Bit-identity of two classified runs (the ReplayExternal contract).
+void ExpectSameResult(const InjectionResult& expected, const InjectionResult& actual,
+                      const char* label) {
+  EXPECT_EQ(expected.category, actual.category) << label;
+  EXPECT_EQ(expected.detail, actual.detail) << label;
+  EXPECT_EQ(expected.logs, actual.logs) << label;
+  EXPECT_EQ(expected.pinpointed, actual.pinpointed) << label;
+  EXPECT_EQ(expected.tests_run, actual.tests_run) << label;
+}
+
+struct MicroTarget {
+  DiagnosticEngine diags;
+  std::unique_ptr<Module> module;
+  SutSpec sut;
+
+  explicit MicroTarget(std::string_view source) {
+    auto unit = ParseSource(source, "micro.c", &diags);
+    EXPECT_FALSE(diags.HasErrors()) << diags.Render();
+    module = LowerToIr(*unit, &diags);
+    sut.parse_function = "handle_config_line";
+    sut.init_function = "server_init";
+  }
+};
+
+Misconfiguration Delta(const std::string& param, const std::string& value,
+                       std::optional<int64_t> intended = std::nullopt) {
+  Misconfiguration config;
+  config.param = param;
+  config.value = value;
+  config.kind = ViolationKind::kBasicType;
+  config.rule = "test";
+  config.intended_numeric = intended;
+  return config;
+}
+
+constexpr const char* kIndependentSource = R"(
+  int threads = 4;
+  int buffers = 8;
+  int handle_config_line(char *key, char *value) {
+    if (!strcasecmp(key, "threads")) { threads = atoi(value); return 0; }
+    if (!strcasecmp(key, "buffers")) { buffers = atoi(value); return 0; }
+    return 0;
+  }
+  int server_init() { return 0; }
+)";
+
+TEST(ReplayExternalTest, SnapshotVerdictsMatchGroundTruth) {
+  MicroTarget target(kIndependentSource);
+  target.sut.param_storage["threads"] = "threads";
+  target.sut.param_storage["buffers"] = "buffers";
+  ConfigFile template_config =
+      ConfigFile::Parse("threads = 4\nbuffers = 8\n", ConfigDialect::kKeyEqualsValue);
+  std::vector<Misconfiguration> deltas = {Delta("threads", "7x"), Delta("threads", "12", 12),
+                                          Delta("buffers", "not_a_number")};
+
+  InjectionCampaign snapshot_campaign(*target.module, target.sut,
+                                      OsSimulator::StandardEnvironment());
+  InjectionCampaign ground_campaign(*target.module, target.sut,
+                                    OsSimulator::StandardEnvironment());
+  std::vector<InjectionResult> via_snapshot =
+      snapshot_campaign.ReplayExternal(template_config, deltas, /*use_parse_snapshot=*/true);
+  std::vector<InjectionResult> ground_truth =
+      ground_campaign.ReplayExternal(template_config, deltas, /*use_parse_snapshot=*/false);
+  ASSERT_EQ(via_snapshot.size(), deltas.size());
+  ASSERT_EQ(ground_truth.size(), deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    ExpectSameResult(ground_truth[i], via_snapshot[i], deltas[i].value.c_str());
+  }
+  // atoi("7x") silently reads 7 — the verdict the checker surfaces.
+  EXPECT_EQ(via_snapshot[0].category, ReactionCategory::kSilentViolation);
+  EXPECT_EQ(via_snapshot[1].category, ReactionCategory::kNoIssue);
+
+  // The ground-truth campaign never snapshots; the snapshot campaign
+  // serves the repeated {threads} key-set from its cache.
+  EXPECT_EQ(ground_campaign.cache_stats().snapshots_built, 0u);
+  EXPECT_GT(snapshot_campaign.cache_stats().delta_replays, 0u);
+}
+
+TEST(ReplayExternalTest, WarmReplaySkipsSnapshotBuildAndVerification) {
+  MicroTarget target(kIndependentSource);
+  target.sut.param_storage["threads"] = "threads";
+  ConfigFile template_config =
+      ConfigFile::Parse("threads = 4\nbuffers = 8\n", ConfigDialect::kKeyEqualsValue);
+  InjectionCampaign campaign(*target.module, target.sut, OsSimulator::StandardEnvironment());
+
+  std::vector<InjectionResult> first =
+      campaign.ReplayExternal(template_config, {Delta("threads", "7x")}, true);
+  CampaignCacheStats cold = campaign.cache_stats();
+  EXPECT_EQ(cold.snapshots_built, 1u);
+  EXPECT_EQ(cold.verifications, 1u);  // First use proves itself vs ground truth.
+
+  std::vector<InjectionResult> second =
+      campaign.ReplayExternal(template_config, {Delta("threads", "7x")}, true);
+  CampaignCacheStats warm = campaign.cache_stats();
+  EXPECT_EQ(warm.snapshots_built, cold.snapshots_built);
+  EXPECT_EQ(warm.full_replays, cold.full_replays);
+  EXPECT_EQ(warm.verifications, cold.verifications);
+  EXPECT_GT(warm.delta_replays, cold.delta_replays);
+  ExpectSameResult(first[0], second[0], "warm replay");
+}
+
+TEST(ReplayExternalTest, OrderSensitiveKeySetFallsBackWithIdenticalVerdict) {
+  // Parsing "b" reads the global written by "a": replaying an "a" delta
+  // from a snapshot would reorder it after "b", so the hazard check must
+  // force the ground-truth path — with the identical verdict.
+  MicroTarget target(R"(
+    int a = 1;
+    int b = 2;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "a")) { a = atoi(value); return 0; }
+      if (!strcasecmp(key, "b")) { b = atoi(value) + a; return 0; }
+      return 0;
+    }
+    int server_init() { return 0; }
+  )");
+  target.sut.param_storage["a"] = "a";
+  ConfigFile template_config =
+      ConfigFile::Parse("a = 1\nb = 2\n", ConfigDialect::kKeyEqualsValue);
+
+  InjectionCampaign snapshot_campaign(*target.module, target.sut,
+                                      OsSimulator::StandardEnvironment());
+  InjectionCampaign ground_campaign(*target.module, target.sut,
+                                    OsSimulator::StandardEnvironment());
+  std::vector<Misconfiguration> deltas = {Delta("a", "7x"), Delta("a", "7x")};
+  std::vector<InjectionResult> via_snapshot =
+      snapshot_campaign.ReplayExternal(template_config, deltas, true);
+  std::vector<InjectionResult> ground_truth =
+      ground_campaign.ReplayExternal(template_config, deltas, false);
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    ExpectSameResult(ground_truth[i], via_snapshot[i], "order-sensitive delta");
+  }
+  // Every run was served by ground truth, not the snapshot shortcut.
+  EXPECT_EQ(snapshot_campaign.cache_stats().delta_replays, 0u);
+  EXPECT_GE(snapshot_campaign.cache_stats().full_replays, deltas.size());
+}
+
+// --- Suspect construction from a user-config diff.
+
+ModuleConstraints ServerConstraints() {
+  ModuleConstraints constraints;
+  static TypeTable* types = new TypeTable();  // IrType pointers must outlive the constraints.
+
+  ParamConstraints timeout;
+  timeout.param = "idle_timeout";
+  BasicTypeConstraint timeout_type;
+  timeout_type.type = types->IntType(32, false);
+  timeout.basic_type = timeout_type;
+  timeout.time_unit = TimeUnit::kSeconds;
+  constraints.params.push_back(timeout);
+
+  ParamConstraints cache;
+  cache.param = "cache_kb";
+  cache.basic_type = timeout_type;
+  cache.size_unit = SizeUnit::kKilobytes;
+  constraints.params.push_back(cache);
+
+  ParamConstraints format;
+  format.param = "log_format";
+  RangeConstraint range;
+  range.is_enum = true;
+  range.enum_strings = {"plain", "json"};
+  format.range = range;
+  constraints.params.push_back(format);
+  return constraints;
+}
+
+TEST(BuildDynamicSuspectsTest, DiffsAgainstTemplateAndIsolatesSuspects) {
+  ModuleConstraints constraints = ServerConstraints();
+  ConfigFile template_config = ConfigFile::Parse("idle_timeout = 60\ncache_kb = 2048\n",
+                                                 ConfigDialect::kKeyEqualsValue);
+  ConfigFile config = ConfigFile::Parse(
+      "idle_timeout = 120\n"
+      "cache_kb = 2048\n"   // Matches the template: not a suspect.
+      "unknown_knob = 5\n",
+      ConfigDialect::kKeyEqualsValue);
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(constraints, template_config, config, {});
+  ASSERT_EQ(suspects.size(), 2u);
+  EXPECT_EQ(suspects[0].param, "idle_timeout");
+  EXPECT_EQ(suspects[0].intended_numeric, 120);
+  EXPECT_FALSE(suspects[0].expect_ignored);
+  EXPECT_EQ(suspects[1].param, "unknown_knob");
+  EXPECT_TRUE(suspects[1].expect_ignored) << "unclaimed key: silence is ignorance";
+  // Unrelated suspects replay in isolation: one bad setting's reaction
+  // must not contaminate another's verdict.
+  EXPECT_TRUE(suspects[0].extra_settings.empty());
+  EXPECT_TRUE(suspects[1].extra_settings.empty());
+}
+
+TEST(BuildDynamicSuspectsTest, ControlDepSuspectCarriesTheUsersMasterValue) {
+  ModuleConstraints constraints = ServerConstraints();
+  ControlDepConstraint dep;
+  dep.master = "use_cache";
+  dep.dependent = "idle_timeout";
+  dep.pred = IrCmpPred::kNe;
+  dep.value = 0;
+  constraints.control_deps.push_back(dep);
+  ConfigFile template_config = ConfigFile::Parse("idle_timeout = 60\nuse_cache = on\n",
+                                                 ConfigDialect::kKeyEqualsValue);
+  ConfigFile config = ConfigFile::Parse("use_cache = off\nidle_timeout = 120\n",
+                                        ConfigDialect::kKeyEqualsValue);
+  Violation flagged;
+  flagged.category = ViolationCategory::kControlDep;
+  flagged.param = "idle_timeout";
+  flagged.value = "120";
+  flagged.line = 2;
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(constraints, template_config, config, {flagged});
+  ASSERT_EQ(suspects.size(), 2u);
+  // The dependent replays with the user's disabling master — the
+  // ignorance only manifests with both applied.
+  const Misconfiguration* dependent = nullptr;
+  for (const Misconfiguration& suspect : suspects) {
+    if (suspect.param == "idle_timeout") {
+      dependent = &suspect;
+    }
+  }
+  ASSERT_NE(dependent, nullptr);
+  EXPECT_TRUE(dependent->expect_ignored);
+  ASSERT_EQ(dependent->extra_settings.size(), 1u);
+  EXPECT_EQ(dependent->extra_settings[0].first, "use_cache");
+  EXPECT_EQ(dependent->extra_settings[0].second, "off");
+}
+
+TEST(BuildDynamicSuspectsTest, NumericIntentIsScaledIntoTheParamsUnit) {
+  ModuleConstraints constraints = ServerConstraints();
+  ConfigFile template_config =
+      ConfigFile::Parse("idle_timeout = 60\n", ConfigDialect::kKeyEqualsValue);
+  // 500ms on a seconds parameter: the user means 0.5s; integer scale-down
+  // gives 0 — anything the parser actually stores (500) is a violation.
+  ConfigFile config =
+      ConfigFile::Parse("idle_timeout = 500ms\n", ConfigDialect::kKeyEqualsValue);
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(constraints, template_config, config, {});
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].intended_numeric, 0);
+
+  // 9G on a kilobytes parameter: 9 * 1024 * 1024 KB.
+  config = ConfigFile::Parse("cache_kb = 9G\n", ConfigDialect::kKeyEqualsValue);
+  suspects = BuildDynamicSuspects(constraints, template_config, config, {});
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].intended_numeric, 9LL * 1024 * 1024);
+
+  // Boolean words carry their 1/0 meaning.
+  config = ConfigFile::Parse("idle_timeout = off\n", ConfigDialect::kKeyEqualsValue);
+  suspects = BuildDynamicSuspects(constraints, template_config, config, {});
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].intended_numeric, 0);
+}
+
+TEST(BuildDynamicSuspectsTest, AcceptedEnumWordIsOnlyReplayedWhenFlagged) {
+  ModuleConstraints constraints = ServerConstraints();
+  ConfigFile template_config =
+      ConfigFile::Parse("log_format = plain\n", ConfigDialect::kKeyEqualsValue);
+  // "json" is an accepted word: the handler maps it to an int, which a
+  // replay would misread as a silent violation — skip it when static says
+  // it is fine.
+  ConfigFile config = ConfigFile::Parse("log_format = json\n", ConfigDialect::kKeyEqualsValue);
+  EXPECT_TRUE(BuildDynamicSuspects(constraints, template_config, config, {}).empty());
+
+  // A statically flagged word ("Json", case violation) must be replayed.
+  config = ConfigFile::Parse("log_format = Json\n", ConfigDialect::kKeyEqualsValue);
+  Violation flagged;
+  flagged.category = ViolationCategory::kCase;
+  flagged.param = "log_format";
+  flagged.value = "Json";
+  flagged.line = 1;
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(constraints, template_config, config, {flagged});
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].param, "log_format");
+}
+
+TEST(AttachReactionsTest, AppendsDynamicOnlyVulnerabilitiesInFileOrder) {
+  ConfigFile config = ConfigFile::Parse("alpha = 1\nbeta = 2\n", ConfigDialect::kKeyEqualsValue);
+  std::vector<Misconfiguration> suspects = {Delta("beta", "2"), Delta("alpha", "1")};
+  InjectionResult crash;
+  crash.category = ReactionCategory::kCrashHang;
+  crash.detail = "out-of-bounds write";
+  InjectionResult fine;
+  fine.category = ReactionCategory::kNoIssue;
+  std::vector<InjectionResult> results = {crash, fine};
+
+  std::vector<Violation> violations;  // Static pass found nothing.
+  AttachReactions(suspects, results, config, "user.conf", &violations);
+  ASSERT_EQ(violations.size(), 1u) << "kNoIssue must not produce a violation";
+  EXPECT_EQ(violations[0].category, ViolationCategory::kDynamicReaction);
+  EXPECT_EQ(violations[0].param, "beta");
+  EXPECT_EQ(violations[0].line, 2u);
+  ASSERT_TRUE(violations[0].reaction.has_value());
+  EXPECT_EQ(*violations[0].reaction, ReactionCategory::kCrashHang);
+  EXPECT_NE(violations[0].prediction.find("crash"), std::string::npos);
+
+  // With a matching static violation (same param and value — the checker
+  // always records the offending value) the verdict is attached, not
+  // appended.
+  Violation range;
+  range.category = ViolationCategory::kRange;
+  range.param = "beta";
+  range.value = "2";
+  range.line = 2;
+  std::vector<Violation> attached = {range};
+  AttachReactions(suspects, results, config, "user.conf", &attached);
+  ASSERT_EQ(attached.size(), 1u);
+  EXPECT_EQ(attached[0].category, ViolationCategory::kRange);
+  ASSERT_TRUE(attached[0].reaction.has_value());
+  EXPECT_EQ(*attached[0].reaction, ReactionCategory::kCrashHang);
+  EXPECT_EQ(attached[0].reaction_detail, "out-of-bounds write");
+}
+
+TEST(AttachReactionsTest, DuplicateKeyVerdictOnlyLandsOnTheReplayedValue) {
+  // Only the first occurrence of a duplicated key is replayed; a static
+  // violation about the *second* occurrence's value must not inherit the
+  // first value's verdict.
+  ConfigFile config =
+      ConfigFile::Parse("threads = 5\nthreads = 99\n", ConfigDialect::kKeyEqualsValue);
+  std::vector<Misconfiguration> suspects = {Delta("threads", "5", 5)};
+  InjectionResult fine;
+  fine.category = ReactionCategory::kNoIssue;
+  std::vector<InjectionResult> results = {fine};
+
+  Violation range;
+  range.category = ViolationCategory::kRange;
+  range.param = "threads";
+  range.value = "99";
+  range.line = 2;
+  std::vector<Violation> violations = {range};
+  AttachReactions(suspects, results, config, "user.conf", &violations);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_FALSE(violations[0].reaction.has_value())
+      << "value-99 violation must not carry the value-5 verdict";
+}
+
+TEST(BuildDynamicSuspectsTest, DuplicateKeyFlagDoesNotRelabelTheReplayedValue) {
+  // With duplicate keys only the first occurrence is replayed; a static
+  // violation flagging the *second* occurrence's value must not lend the
+  // first-occurrence suspect its kind/rule/location.
+  ModuleConstraints constraints = ServerConstraints();
+  ConfigFile template_config =
+      ConfigFile::Parse("idle_timeout = 60\n", ConfigDialect::kKeyEqualsValue);
+  ConfigFile config = ConfigFile::Parse("idle_timeout = 400\nidle_timeout = 999999\n",
+                                        ConfigDialect::kKeyEqualsValue);
+  Violation flagged;
+  flagged.category = ViolationCategory::kRange;
+  flagged.param = "idle_timeout";
+  flagged.value = "999999";
+  flagged.line = 2;
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(constraints, template_config, config, {flagged});
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].value, "400");
+  EXPECT_EQ(suspects[0].kind, ViolationKind::kBasicType);
+  EXPECT_EQ(suspects[0].rule, "user-config delta");
+}
+
+TEST(BuildDynamicSuspectsTest, FlaggedTemplateValuedSettingIsStillReplayed) {
+  // A dependent set to its template default while the user's master
+  // disables it: statically flagged, so it must be replayed even though
+  // the value matches the baseline.
+  ModuleConstraints constraints = ServerConstraints();
+  ControlDepConstraint dep;
+  dep.master = "use_cache";
+  dep.dependent = "idle_timeout";
+  dep.pred = IrCmpPred::kNe;
+  dep.value = 0;
+  constraints.control_deps.push_back(dep);
+  ConfigFile template_config = ConfigFile::Parse("idle_timeout = 60\nuse_cache = on\n",
+                                                 ConfigDialect::kKeyEqualsValue);
+  ConfigFile config = ConfigFile::Parse("use_cache = off\nidle_timeout = 60\n",
+                                        ConfigDialect::kKeyEqualsValue);
+  Violation flagged;
+  flagged.category = ViolationCategory::kControlDep;
+  flagged.param = "idle_timeout";
+  flagged.value = "60";
+  flagged.line = 2;
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(constraints, template_config, config, {flagged});
+  const Misconfiguration* dependent = nullptr;
+  for (const Misconfiguration& suspect : suspects) {
+    if (suspect.param == "idle_timeout") {
+      dependent = &suspect;
+    }
+  }
+  ASSERT_NE(dependent, nullptr) << "flagged template-valued setting must be a suspect";
+  EXPECT_TRUE(dependent->expect_ignored);
+  ASSERT_EQ(dependent->extra_settings.size(), 1u);
+  EXPECT_EQ(dependent->extra_settings[0].second, "off");
+}
+
+TEST(BuildDynamicSuspectsTest, OverflowingSuffixedValueHasNoNumericIntent) {
+  // Untrusted config text: a magnitude whose unit scaling overflows int64
+  // must yield nullopt intent, not undefined behavior.
+  ModuleConstraints constraints = ServerConstraints();
+  ConfigFile template_config =
+      ConfigFile::Parse("idle_timeout = 60\n", ConfigDialect::kKeyEqualsValue);
+  ConfigFile config =
+      ConfigFile::Parse("idle_timeout = 9999999999999h\n", ConfigDialect::kKeyEqualsValue);
+  std::vector<Misconfiguration> suspects =
+      BuildDynamicSuspects(constraints, template_config, config, {});
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_FALSE(suspects[0].intended_numeric.has_value());
+}
+
+}  // namespace
+}  // namespace spex

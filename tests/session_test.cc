@@ -1,8 +1,10 @@
 // spex::Session façade tests: the user-facing ConfigChecker (one seeded
 // violation per constraint category), clean-config behaviour, campaign
 // bit-identity through the façade vs. the legacy free-function path,
-// snapshot-cache reuse across repeated campaigns, streaming observers, and
-// boundary string-pool flatness over a session's lifetime.
+// snapshot-cache reuse across repeated campaigns, streaming observers,
+// boundary string-pool flatness over a session's lifetime, and the dynamic
+// check mode (observed Table-3 reactions per seeded category, bit-identity
+// against ground-truth full replay, warm-cache reuse, concurrency).
 #include "src/api/session.h"
 
 #include <gtest/gtest.h>
@@ -422,6 +424,372 @@ TEST(SessionCheckTest, MinuteSuffixOnMinuteParameterIsUnitChecked) {
   }
 }
 
+// --- Dynamic check mode: observed Table-3 reactions on user configs.
+
+// The kServerSource constraint surface plus a full SUT driver, so the same
+// seeded violation categories can be *replayed*: a struct-table parser on
+// atoi (silent violations), a 64-slot array indexed by worker_threads
+// (crash for out-of-range values), a strcmp'd enum that keeps its default
+// on any unmatched word, a use_cache-gated cache_ttl (silent ignorance),
+// and unknown directives dropped without a message.
+constexpr const char* kDynamicServerSource = R"(
+  struct config_int { char *name; int *variable; int min; int max; };
+  int worker_threads = 4;
+  int idle_timeout = 60;
+  int cache_kb = 2048;
+  int cache_ttl = 300;
+  int log_format = 0;
+  int use_cache = 1;
+  int slots[64];
+  int started = 0;
+  struct config_int int_options[] = {
+    { "worker_threads", &worker_threads, 1, 64 },
+    { "idle_timeout", &idle_timeout, 0, 3600 },
+    { "cache_kb", &cache_kb, 64, 1048576 },
+    { "cache_ttl", &cache_ttl, 1, 86400 },
+  };
+  void parse_extra(char *key, char *value) {
+    if (!strcasecmp(key, "log_format")) {
+      if (!strcmp(value, "plain")) { log_format = 0; }
+      else if (!strcmp(value, "json")) { log_format = 1; }
+    }
+    if (!strcasecmp(key, "use_cache")) {
+      if (!strcasecmp(value, "on")) { use_cache = 1; } else { use_cache = 0; }
+    }
+  }
+  int handle_config_line(char *key, char *value) {
+    int i;
+    for (i = 0; i < 4; i++) {
+      if (!strcmp(int_options[i].name, key)) {
+        *int_options[i].variable = atoi(value);
+        return 0;
+      }
+    }
+    parse_extra(key, value);
+    return 0;
+  }
+  int server_init() {
+    int i;
+    for (i = 0; i < worker_threads; i++) { slots[i] = 1; }
+    long bytes = cache_kb * 1024;
+    malloc(bytes);
+    sleep(idle_timeout);
+    if (use_cache != 0) {
+      sleep(cache_ttl);
+    }
+    started = 1;
+    return 0;
+  }
+  int test_started() { return started; }
+)";
+
+constexpr const char* kDynamicServerTemplate =
+    "worker_threads = 4\n"
+    "idle_timeout = 60\n"
+    "cache_kb = 2048\n"
+    "cache_ttl = 300\n"
+    "log_format = plain\n"
+    "use_cache = on\n";
+
+Target* LoadDynamicServer(Session& session) {
+  SutSpec sut;
+  sut.tests.push_back({"started", "test_started", 1, 1});
+  for (const char* param :
+       {"worker_threads", "idle_timeout", "cache_kb", "cache_ttl", "log_format", "use_cache"}) {
+    sut.param_storage[param] = param;
+  }
+  Target* target =
+      session.LoadSource(kDynamicServerSource, kServerAnnotations, "dynserver.c",
+                         ConfigDialect::kKeyEqualsValue, sut, kDynamicServerTemplate);
+  EXPECT_NE(target, nullptr) << session.RenderDiagnostics();
+  return target;
+}
+
+// Field-by-field equality, including every dynamic-verdict field — the
+// "bit-identical to ground truth" acceptance bar.
+void ExpectSameViolations(const std::vector<Violation>& expected,
+                          const std::vector<Violation>& actual, const char* label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const Violation& a = expected[i];
+    const Violation& b = actual[i];
+    EXPECT_EQ(a.category, b.category) << label << " #" << i;
+    EXPECT_EQ(a.param, b.param) << label << " #" << i;
+    EXPECT_EQ(a.value, b.value) << label << " #" << i;
+    EXPECT_EQ(a.file, b.file) << label << " #" << i;
+    EXPECT_EQ(a.line, b.line) << label << " #" << i;
+    EXPECT_EQ(a.message, b.message) << label << " #" << i;
+    ASSERT_EQ(a.reaction.has_value(), b.reaction.has_value()) << label << " #" << i;
+    if (a.reaction.has_value()) {
+      EXPECT_EQ(*a.reaction, *b.reaction) << label << " #" << i;
+    }
+    EXPECT_EQ(a.reaction_detail, b.reaction_detail) << label << " #" << i;
+    EXPECT_EQ(a.evidence_logs, b.evidence_logs) << label << " #" << i;
+    EXPECT_EQ(a.prediction, b.prediction) << label << " #" << i;
+  }
+}
+
+std::optional<ReactionCategory> ReactionFor(const std::vector<Violation>& violations,
+                                            const std::string& param) {
+  for (const Violation& violation : violations) {
+    if (violation.param == param && violation.reaction.has_value()) {
+      return violation.reaction;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(SessionDynamicTest, SeededCategoriesGetObservedReactions) {
+  Session session;
+  Target* target = LoadDynamicServer(session);
+  ASSERT_NE(target, nullptr);
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+
+  // Basic type: atoi silently reads garbage as 0.
+  std::vector<Violation> violations =
+      target->CheckConfig("worker_threads = not_a_number\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kBasicType, "worker_threads"));
+  EXPECT_EQ(ReactionFor(violations, "worker_threads"), ReactionCategory::kSilentViolation);
+
+  // Range: 99 workers index past the 64-slot array — a startup crash.
+  violations = target->CheckConfig("worker_threads = 99\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kRange, "worker_threads"));
+  EXPECT_EQ(ReactionFor(violations, "worker_threads"), ReactionCategory::kCrashHang);
+
+  // Unit: 500ms into a seconds parameter is accepted as 500 — off by the
+  // scale factor, silently.
+  violations = target->CheckConfig("idle_timeout = 500ms\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnit, "idle_timeout"));
+  EXPECT_EQ(ReactionFor(violations, "idle_timeout"), ReactionCategory::kSilentViolation);
+
+  // Case: "Json" matches neither strcmp arm, so the default stays — the
+  // user's word is silently replaced.
+  violations = target->CheckConfig("log_format = Json\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kCase, "log_format"));
+  EXPECT_EQ(ReactionFor(violations, "log_format"), ReactionCategory::kSilentViolation);
+
+  // Control dependency: cache_ttl is never consulted once use_cache is
+  // off — and the system never says so.
+  violations =
+      target->CheckConfig("use_cache = off\ncache_ttl = 500\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kControlDep, "cache_ttl"));
+  EXPECT_EQ(ReactionFor(violations, "cache_ttl"), ReactionCategory::kSilentIgnorance);
+  // The master itself parses fine: "off" means 0, and 0 is what lands in
+  // storage, so no false silent-violation alarm on the boolean word.
+  EXPECT_FALSE(HasViolation(violations, ViolationCategory::kDynamicReaction, "use_cache"));
+
+  // Unknown parameter: the parser's directive scan drops it on the floor.
+  violations = target->CheckConfig("cache_size = 64\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kUnknownParam, "cache_size"));
+  EXPECT_EQ(ReactionFor(violations, "cache_size"), ReactionCategory::kSilentIgnorance);
+
+  // A flagged setting whose value happens to equal the template default is
+  // still replayed: with the master off, cache_ttl = 300 is exactly as
+  // ignored as any other value, and the violation gets its verdict.
+  violations =
+      target->CheckConfig("use_cache = off\ncache_ttl = 300\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kControlDep, "cache_ttl"));
+  EXPECT_EQ(ReactionFor(violations, "cache_ttl"), ReactionCategory::kSilentIgnorance);
+}
+
+TEST(SessionDynamicTest, DynamicVerdictsBitIdenticalToGroundTruthFullReplay) {
+  // Two sessions so the snapshot-path target and the ground-truth target
+  // cannot share any campaign state; every seeded category must agree on
+  // every violation field.
+  Session snapshot_session;
+  Session ground_session;
+  Target* snapshot_target = LoadDynamicServer(snapshot_session);
+  Target* ground_target = LoadDynamicServer(ground_session);
+  ASSERT_NE(snapshot_target, nullptr);
+  ASSERT_NE(ground_target, nullptr);
+  CheckOptions with_snapshot;
+  with_snapshot.mode = CheckMode::kDynamic;
+  with_snapshot.use_parse_snapshot = true;
+  CheckOptions ground_truth;
+  ground_truth.mode = CheckMode::kDynamic;
+  ground_truth.use_parse_snapshot = false;
+
+  const char* kSeededConfigs[] = {
+      "worker_threads = not_a_number\n",                        // basic type
+      "worker_threads = 99\n",                                  // range
+      "idle_timeout = 500ms\n",                                 // unit scale
+      "cache_kb = 9G\n",                                        // unit scale (size)
+      "log_format = Json\n",                                    // case sensitivity
+      "use_cache = off\ncache_ttl = 500\n",                     // control dependency
+      "cache_size = 64\n",                                      // unknown parameter
+      "worker_threads = 99\nidle_timeout = 500ms\n"
+      "log_format = Json\ncache_size = 64\n",                   // combined delta
+  };
+  for (const char* config : kSeededConfigs) {
+    // Check each config twice on the snapshot target: the second pass runs
+    // against a warm cache and must not change a single field either.
+    std::vector<Violation> expected =
+        ground_target->CheckConfig(config, "user.conf", ground_truth);
+    ExpectSameViolations(expected, snapshot_target->CheckConfig(config, "user.conf", with_snapshot),
+                         config);
+    ExpectSameViolations(expected, snapshot_target->CheckConfig(config, "user.conf", with_snapshot),
+                         config);
+  }
+}
+
+TEST(SessionDynamicTest, StaticallyCleanSettingYieldsDynamicReactionViolation) {
+  // No range is inferred for `threads`, so "threads = 100" passes every
+  // static check — only the replay can reveal the startup crash.
+  Session session;
+  SutSpec sut;
+  sut.tests.push_back({"started", "test_started", 1, 1});
+  sut.param_storage["threads"] = "threads";
+  Target* target = session.LoadSource(R"(
+    int threads = 4;
+    int slots[8];
+    int started = 0;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "threads")) { threads = atoi(value); return 0; }
+      return 0;
+    }
+    int server_init() {
+      int i;
+      for (i = 0; i < threads; i++) { slots[i] = 1; }
+      started = 1;
+      return 0;
+    }
+    int test_started() { return started; }
+  )",
+                                      "@PARSER handle_config_line { par = arg0, var = arg1 }",
+                                      "micro.c", ConfigDialect::kKeyEqualsValue, sut,
+                                      "threads = 4\n");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+
+  EXPECT_TRUE(target->CheckConfig("threads = 100\n").empty())
+      << "statically clean by construction";
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+  std::vector<Violation> violations =
+      target->CheckConfig("threads = 100\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kDynamicReaction, "threads"));
+  EXPECT_EQ(ReactionFor(violations, "threads"), ReactionCategory::kCrashHang);
+  EXPECT_EQ(violations[0].line, 1u);
+  EXPECT_FALSE(violations[0].prediction.empty());
+  // A tolerated delta reports nothing new.
+  EXPECT_TRUE(target->CheckConfig("threads = 6\n", "user.conf", dynamic).empty());
+}
+
+TEST(SessionDynamicTest, RejectedDeltaParseReportsParseStageViolation) {
+  // The SUT rejects the garbage mid-parse: the dynamic checker must fold
+  // that into a parse-stage verdict (good reaction — the message pinpoints
+  // the value), not crash or misclassify.
+  Session session;
+  SutSpec sut;
+  sut.param_storage["threads"] = "threads";
+  Target* target = session.LoadSource(R"(
+    int threads = 4;
+    int handle_config_line(char *key, char *value) {
+      if (!strcasecmp(key, "threads")) {
+        int v;
+        if (parse_int_strict(value, &v) < 0) {
+          log_error("invalid value '%s' for parameter threads", value);
+          return -1;
+        }
+        threads = v;
+        return 0;
+      }
+      return 0;
+    }
+    int server_init() { return 0; }
+  )",
+                                      "@PARSER handle_config_line { par = arg0, var = arg1 }",
+                                      "strict.c", ConfigDialect::kKeyEqualsValue, sut,
+                                      "threads = 4\n");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+  std::vector<Violation> violations =
+      target->CheckConfig("threads = garbage!\n", "user.conf", dynamic);
+  ASSERT_TRUE(HasViolation(violations, ViolationCategory::kBasicType, "threads"));
+  ASSERT_EQ(ReactionFor(violations, "threads"), ReactionCategory::kGoodReaction);
+  const Violation& violation = violations[0];
+  EXPECT_NE(violation.reaction_detail.find("parsing"), std::string::npos)
+      << violation.reaction_detail;
+  // The rejection's own log line is the evidence.
+  bool saw_log = false;
+  for (const std::string& log : violation.evidence_logs) {
+    saw_log |= log.find("garbage!") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_log);
+}
+
+TEST(SessionDynamicTest, WarmDynamicCheckAfterCampaignBuildsZeroSnapshots) {
+  Session session;
+  Target* target = session.LoadTarget("squid");
+  ASSERT_NE(target, nullptr) << session.RenderDiagnostics();
+  target->RunCampaign();
+  CampaignCacheStats warm = target->campaign_cache_stats();
+
+  // Single-key deltas hit the key-sets the campaign already snapshotted;
+  // warm dynamic checks must replay without building anything new — and
+  // without paying a re-verification full replay (same campaign batch).
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+  std::vector<Violation> violations =
+      target->CheckConfig("client_lifetime_0 9000000000\n", "user.conf", dynamic);
+  EXPECT_FALSE(violations.empty());
+  ASSERT_TRUE(ReactionFor(violations, "client_lifetime_0").has_value());
+
+  CampaignCacheStats after = target->campaign_cache_stats();
+  EXPECT_EQ(after.snapshots_built, warm.snapshots_built);
+  EXPECT_EQ(after.full_replays, warm.full_replays);
+  EXPECT_GT(after.delta_replays, warm.delta_replays);
+}
+
+TEST(SessionDynamicTest, RepeatedDynamicChecksWarmTheirOwnCache) {
+  // Without any campaign: the first check of a key-set pays the snapshot
+  // build + verification, the second check of the same keys replays warm.
+  Session session;
+  Target* target = LoadDynamicServer(session);
+  ASSERT_NE(target, nullptr);
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+
+  std::vector<Violation> first =
+      target->CheckConfig("idle_timeout = 500ms\n", "user.conf", dynamic);
+  CampaignCacheStats cold = target->campaign_cache_stats();
+  EXPECT_EQ(cold.snapshots_built, 1u);
+
+  std::vector<Violation> second =
+      target->CheckConfig("idle_timeout = 500ms\n", "user.conf", dynamic);
+  CampaignCacheStats warm = target->campaign_cache_stats();
+  EXPECT_EQ(warm.snapshots_built, cold.snapshots_built);
+  EXPECT_GT(warm.delta_replays, cold.delta_replays);
+  ExpectSameViolations(first, second, "repeated dynamic check");
+}
+
+TEST(SessionDynamicTest, StaticModeThroughOptionsMatchesPlainCheckConfig) {
+  Session session;
+  Target* target = LoadDynamicServer(session);
+  ASSERT_NE(target, nullptr);
+  const char* config = "worker_threads = 99\nidle_timeout = 500ms\n";
+  ExpectSameViolations(target->CheckConfig(config, "user.conf"),
+                       target->CheckConfig(config, "user.conf", CheckOptions{}),
+                       "static via options");
+  // Campaign state is untouched by static checks.
+  CampaignCacheStats stats = target->campaign_cache_stats();
+  EXPECT_EQ(stats.delta_replays + stats.full_replays, 0u);
+}
+
+TEST(SessionDynamicTest, TargetWithoutSutDegradesToStaticResult) {
+  // No template/SUT surface: dynamic mode has nothing to replay against
+  // and must return exactly the static result instead of misbehaving.
+  Session session;
+  Target* target = LoadServer(session);
+  ASSERT_NE(target, nullptr);
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+  ExpectSameViolations(target->CheckConfig("worker_threads = 99\n", "user.conf"),
+                       target->CheckConfig("worker_threads = 99\n", "user.conf", dynamic),
+                       "degraded dynamic");
+}
+
 // --- Session lifetime and the boundary string pool.
 
 TEST(SessionPoolTest, RepeatedCheckConfigKeepsBoundaryPoolFlat) {
@@ -475,6 +843,55 @@ TEST(SessionThreadedTest, ConcurrentCheckConfigOnSharedSession) {
   a.join();
   b.join();
   EXPECT_EQ(total_violations.load(), 200u);
+}
+
+// Any number of concurrent *dynamic* checks on one shared Session — the
+// tentpole thread-safety contract (probe contexts + the state-gated
+// snapshot cache), including a campaign running at the same time. TSan-run
+// by scripts/smoke.sh.
+TEST(SessionThreadedTest, ConcurrentDynamicChecksOnSharedSession) {
+  Session session;
+  Target* target = LoadDynamicServer(session);
+  ASSERT_NE(target, nullptr);
+  CheckOptions dynamic;
+  dynamic.mode = CheckMode::kDynamic;
+
+  // Expected verdicts, computed single-threaded before the storm.
+  const char* kConfigA = "worker_threads = not_a_number\n";
+  const char* kConfigB = "use_cache = off\ncache_ttl = 500\n";
+  std::vector<Violation> expected_a = target->CheckConfig(kConfigA, "a.conf", dynamic);
+  std::vector<Violation> expected_b = target->CheckConfig(kConfigB, "b.conf", dynamic);
+  ASSERT_TRUE(ReactionFor(expected_a, "worker_threads").has_value());
+  ASSERT_TRUE(ReactionFor(expected_b, "cache_ttl").has_value());
+
+  std::atomic<size_t> mismatches{0};
+  auto check = [&](const char* config, const char* file,
+                   const std::vector<Violation>* expected) {
+    for (int round = 0; round < 25; ++round) {
+      std::vector<Violation> violations = target->CheckConfig(config, file, dynamic);
+      if (violations.size() != expected->size()) {
+        mismatches.fetch_add(1);
+        continue;
+      }
+      for (size_t i = 0; i < violations.size(); ++i) {
+        if (violations[i].reaction != (*expected)[i].reaction ||
+            violations[i].reaction_detail != (*expected)[i].reaction_detail) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  };
+  std::thread a(check, kConfigA, "a.conf", &expected_a);
+  std::thread b(check, kConfigB, "b.conf", &expected_b);
+  std::thread c(check, kConfigA, "a.conf", &expected_a);
+  // A campaign on the same target, concurrent with the dynamic checks —
+  // both sides share the persistent snapshot cache.
+  std::thread campaign([&] { target->RunCampaign(); });
+  a.join();
+  b.join();
+  c.join();
+  campaign.join();
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 }  // namespace
