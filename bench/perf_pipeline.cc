@@ -284,6 +284,79 @@ void BM_DynamicCheckWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicCheckWarm)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Fleet check: one target, a 50-config corpus whose suspects are ~70%
+// duplicated across users (the realistic shape of a misconfiguration
+// corpus: many users copy the same broken snippet). 15 unique mutations
+// tiled over 50 configs — unique_replays must stay at 15 and dedup_ratio
+// at 0.7, and on a warm session snapshots_built_warm must stay 0 (every
+// unique execution replays from the persistent snapshot cache).
+// Arg 0: BatchOptions::num_threads (1 = serial, 0 = session pool width).
+std::vector<ConfigInput>* BuildFleetCorpus(Target* target) {
+  auto* corpus = new std::vector<ConfigInput>;
+  ConfigFile base = ConfigFile::Parse(target->analysis().bundle.template_config,
+                                      target->dialect());
+  // 3 misconfigured parameters x 5 value variants = 15 unique executions.
+  const char* params[] = {"client_lifetime_0", "connect_timeout_0", "request_buffer_len_0"};
+  corpus->reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    int variant = i % 15;  // 50 configs share 15 unique mutations.
+    ConfigFile mutated = base;
+    std::string value;
+    switch (variant / 5) {
+      case 0:
+        value = std::to_string(9000000000LL + variant % 5);  // 32-bit overflow.
+        break;
+      case 1:
+        value = std::to_string(500 + variant % 5) + "ms";  // Wrong unit scale.
+        break;
+      default:
+        value = std::to_string(1 + variant % 5);  // Below the clamp range.
+    }
+    mutated.Set(params[variant / 5], value);
+    corpus->push_back(ConfigInput{"user" + std::to_string(i) + ".conf", mutated.Serialize()});
+  }
+  return corpus;
+}
+
+void BM_FleetCheck(benchmark::State& state) {
+  static Session* kSession = new Session();
+  static Target* kTarget = [] {
+    Target* target = kSession->LoadTarget("squid");
+    if (target == nullptr) {
+      std::cerr << kSession->RenderDiagnostics();
+      std::abort();
+    }
+    return target;
+  }();
+  static std::vector<ConfigInput>* kCorpus = [] {
+    // One warm-up batch so every unique key-set's snapshot exists before
+    // timing starts: the steady state of a vendor checking its fleet.
+    auto* corpus = BuildFleetCorpus(kTarget);
+    BatchOptions options;
+    options.check.mode = CheckMode::kDynamic;
+    kTarget->CheckConfigBatch(*corpus, options);
+    return corpus;
+  }();
+  BatchOptions options;
+  options.check.mode = CheckMode::kDynamic;
+  options.num_threads = static_cast<int>(state.range(0));
+  size_t built_before = kTarget->campaign_cache_stats().snapshots_built;
+  BatchSummary last;
+  for (auto _ : state) {
+    last = kTarget->CheckConfigBatch(*kCorpus, options);
+    benchmark::DoNotOptimize(last);
+  }
+  CampaignCacheStats stats = kTarget->campaign_cache_stats();
+  state.counters["snapshots_built_warm"] =
+      static_cast<double>(stats.snapshots_built - built_before);
+  state.counters["total_suspects"] = static_cast<double>(last.total_suspects);
+  state.counters["unique_replays"] = static_cast<double>(last.unique_replays);
+  state.counters["dedup_ratio"] = last.DedupRatio();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kCorpus->size()));
+}
+BENCHMARK(BM_FleetCheck)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 }  // namespace spex
 

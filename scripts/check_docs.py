@@ -1,10 +1,19 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo markdown links.
+"""Fail on broken intra-repo markdown links, dead anchors, and untagged
+fenced code blocks.
 
-Scans every tracked .md file for [text](target) links whose target is a
-relative path (external http(s)/mailto links and pure #anchors are
-skipped), resolves it against the file's directory, and verifies the
-file or directory exists. Run from anywhere:
+Three checks over every tracked .md file:
+
+ 1. [text](target) links whose target is a relative path (external
+    http(s)/mailto links are skipped) must resolve to an existing file or
+    directory.
+ 2. Anchor fragments — both same-file `#section` links and cross-file
+    `docs/api.md#section` links — must match a heading in the target
+    file, using GitHub's heading-to-anchor slug rules.
+ 3. Every fenced code block must carry a language tag (```cpp, ```sh,
+    ```text, ...) so renderers highlight instead of guessing.
+
+Run from anywhere:
 
     python3 scripts/check_docs.py
 """
@@ -21,6 +30,11 @@ SKIP_DIRS = {".git", "build", "build-release", "build-tsan", "build-docs"}
 # and are the one known blind spot.)
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
 TITLE_RE = re.compile(r"\s+\"[^\"]*\"$")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+# CommonMark caps fence indentation at 3 spaces; 4+ is an indented code
+# block whose ``` content is literal text, not a delimiter.
+FENCE_RE = re.compile(r"^ {0,3}(```+|~~~+)\s*(\S*)")
+INLINE_LINK_IN_HEADING_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
 
 
 def markdown_files():
@@ -31,29 +45,94 @@ def markdown_files():
                 yield os.path.join(dirpath, name)
 
 
+def github_slug(heading, used):
+    """GitHub's heading-to-anchor rule: strip formatting, lowercase, drop
+    everything but word characters/spaces/hyphens, spaces become hyphens,
+    duplicates get -1/-2/... suffixes."""
+    text = INLINE_LINK_IN_HEADING_RE.sub(r"\1", heading)
+    text = text.replace("`", "").replace("*", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    if slug in used:
+        count = used[slug]
+        used[slug] += 1
+        slug = f"{slug}-{count}"
+    used[slug] = 1
+    return slug
+
+
+def scan_file(path, problems):
+    """One pass over `path`: returns (anchor set, prose lines), appends
+    untagged-fence findings to `problems`. Fenced code blocks contribute
+    neither headings (shell comments are not sections) nor prose lines —
+    the link pass must not validate example links inside them."""
+    anchors = set()
+    prose = []
+    used = {}
+    fence_marker = None
+    rel = os.path.relpath(path, REPO_ROOT)
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            fence = FENCE_RE.match(line)
+            if fence_marker is None and fence:
+                fence_marker = fence.group(1)
+                if not fence.group(2):
+                    problems.append(
+                        f"{rel}:{lineno}: fenced code block missing a language tag"
+                    )
+                continue
+            if fence_marker is not None:
+                # CommonMark: the closing fence uses the same character and
+                # is at least as long as the opening fence — a ``` inside a
+                # ```` block is content, not a terminator.
+                if (fence and fence.group(1)[0] == fence_marker[0]
+                        and len(fence.group(1)) >= len(fence_marker) and not fence.group(2)):
+                    fence_marker = None
+                continue
+            heading = HEADING_RE.match(line)
+            if heading:
+                anchors.add(github_slug(heading.group(2), used))
+            prose.append((lineno, line))
+    if fence_marker is not None:
+        problems.append(f"{rel}: unclosed fenced code block")
+    return anchors, prose
+
+
 def main():
-    broken = []
-    for path in sorted(markdown_files()):
+    problems = []
+    files = sorted(markdown_files())
+    scanned = {path: scan_file(path, problems) for path in files}
+    anchors = {path: result[0] for path, result in scanned.items()}
+
+    for path in files:
         base = os.path.dirname(path)
-        with open(path, encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, 1):
-                for match in LINK_RE.finditer(line):
-                    target = TITLE_RE.sub("", match.group(1)).strip()
-                    if target.startswith(("http://", "https://", "mailto:", "#")):
-                        continue
-                    target = target.split("#", 1)[0]  # strip anchors
-                    if not target:
-                        continue
-                    resolved = os.path.normpath(os.path.join(base, target))
+        rel = os.path.relpath(path, REPO_ROOT)
+        for lineno, line in scanned[path][1]:
+            for match in LINK_RE.finditer(line):
+                target = TITLE_RE.sub("", match.group(1)).strip()
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target_path, _, fragment = target.partition("#")
+                if target_path:
+                    resolved = os.path.normpath(os.path.join(base, target_path))
                     if not os.path.exists(resolved):
-                        rel = os.path.relpath(path, REPO_ROOT)
-                        broken.append(f"{rel}:{lineno}: broken link -> {match.group(1)}")
-    if broken:
-        print("check_docs: broken intra-repo markdown links:", file=sys.stderr)
-        for entry in broken:
+                        problems.append(f"{rel}:{lineno}: broken link -> {match.group(1)}")
+                        continue
+                else:
+                    resolved = path  # Pure-anchor link into this file.
+                if fragment and resolved in anchors:
+                    if fragment not in anchors[resolved]:
+                        problems.append(
+                            f"{rel}:{lineno}: dead anchor -> {match.group(1)} "
+                            f"(no heading slugs to #{fragment})"
+                        )
+
+    if problems:
+        print("check_docs: documentation problems:", file=sys.stderr)
+        for entry in problems:
             print(f"  {entry}", file=sys.stderr)
         return 1
-    print("check_docs: all intra-repo markdown links resolve")
+    print(f"check_docs: {len(files)} markdown files OK (links, anchors, code fences)")
     return 0
 
 

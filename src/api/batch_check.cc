@@ -1,0 +1,179 @@
+#include "src/api/batch_check.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/api/dynamic_check.h"
+
+namespace spex {
+
+namespace {
+
+// Length-prefixed field encoding for the execution key: config keys and
+// values are untrusted free text, so no separator character is safe —
+// "<length>:<bytes>" is unambiguous for any content.
+void AppendField(std::string* key, std::string_view field) {
+  *key += std::to_string(field.size());
+  *key += ':';
+  *key += field;
+}
+
+}  // namespace
+
+double BatchSummary::DedupRatio() const {
+  if (total_suspects == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(unique_replays) / static_cast<double>(total_suspects);
+}
+
+std::string SuspectExecutionKey(const Misconfiguration& suspect) {
+  // Every replay-observable input, nothing else: the applied settings in
+  // application order (they fix the applied config and the snapshot
+  // key-set), the numeric intent (the silent-violation comparison point)
+  // and the ignore expectation (the silent-ignorance branch selector).
+  // Label-only fields (kind, rule, constraint_loc) are deliberately
+  // absent — ReattributeResult restores them per client after the shared
+  // replay.
+  std::string key;
+  key.reserve(suspect.param.size() + suspect.value.size() + 24);
+  AppendField(&key, suspect.param);
+  AppendField(&key, suspect.value);
+  for (const auto& [extra_key, extra_value] : suspect.extra_settings) {
+    AppendField(&key, extra_key);
+    AppendField(&key, extra_value);
+  }
+  AppendField(&key, suspect.intended_numeric.has_value()
+                        ? std::to_string(*suspect.intended_numeric)
+                        : "~");
+  key += suspect.expect_ignored ? '1' : '0';
+  return key;
+}
+
+BatchSummary RunBatchCheck(const ModuleConstraints& constraints,
+                           const ConfigFile& template_config, ConfigDialect dialect,
+                           InjectionCampaign* campaign, ThreadPool* pool,
+                           std::span<const ConfigInput> configs, const BatchOptions& options,
+                           BatchObserver* observer) {
+  const size_t count = configs.size();
+  if (observer != nullptr) {
+    observer->OnBatchBegin(count);
+  }
+  const bool dynamic = campaign != nullptr && options.check.mode == CheckMode::kDynamic;
+
+  // --- Phase 1 (sharded): parse, static check and suspect extraction are
+  // independent per config — pure functions into pre-sized slots.
+  struct PerConfig {
+    ConfigFile parsed;
+    std::vector<Violation> violations;
+    std::vector<Misconfiguration> suspects;
+    std::vector<size_t> unique_index;  // Parallel to suspects.
+  };
+  std::vector<PerConfig> state(count);
+  auto analyze_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      PerConfig& slot = state[i];
+      slot.parsed = ConfigFile::Parse(configs[i].text, dialect);
+      slot.violations = CheckConfigFile(constraints, slot.parsed, configs[i].name);
+      if (dynamic) {
+        slot.suspects =
+            BuildDynamicSuspects(constraints, template_config, slot.parsed, slot.violations);
+      }
+    }
+  };
+  const size_t requested_workers =
+      options.num_threads == 0 && pool != nullptr
+          ? pool->size()
+          : ThreadPool::ResolveThreadCount(
+                options.num_threads < 0 ? 1 : static_cast<size_t>(options.num_threads));
+  if (pool == nullptr) {
+    analyze_range(0, count);
+  } else {
+    pool->ShardRange(count, requested_workers, analyze_range);
+  }
+
+  // --- Phase 2 (driver thread): dedup suspects across configs by
+  // execution identity. First occurrence becomes the representative the
+  // campaign replays; everyone else records its unique index.
+  std::vector<Misconfiguration> unique;
+  std::vector<size_t> use_count;
+  std::unordered_map<std::string, size_t> index_of;
+  for (PerConfig& slot : state) {
+    slot.unique_index.reserve(slot.suspects.size());
+    for (const Misconfiguration& suspect : slot.suspects) {
+      auto [it, inserted] = index_of.emplace(SuspectExecutionKey(suspect), unique.size());
+      if (inserted) {
+        unique.push_back(suspect);
+        use_count.push_back(0);
+      }
+      slot.unique_index.push_back(it->second);
+      ++use_count[it->second];
+    }
+  }
+
+  // --- Phase 3 (sharded): each unique execution replays exactly once,
+  // through the campaign's persistent snapshot cache.
+  std::vector<InjectionResult> unique_results;
+  if (dynamic && !unique.empty()) {
+    // Shard width is re-resolved for this phase: a 2-config batch can
+    // still carry 20 unique suspects, and the replays are the expensive
+    // part (ReplayExternal re-clamps to the unique count internally).
+    unique_results = campaign->ReplayExternal(
+        template_config, unique, options.check.use_parse_snapshot, pool, requested_workers);
+  }
+
+  // --- Phase 4 (driver thread, batch order): fan each unique verdict out
+  // to the configs that contributed it, attach reactions, stream the
+  // report. Serial on purpose: observer callbacks are ordered and the
+  // fan-out is copies, not execution.
+  BatchSummary summary;
+  summary.configs_checked = count;
+  summary.unique_replays = unique.size();
+  summary.reports.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    PerConfig& slot = state[i];
+    if (!slot.suspects.empty()) {
+      std::vector<InjectionResult> results;
+      results.reserve(slot.suspects.size());
+      for (size_t j = 0; j < slot.suspects.size(); ++j) {
+        results.push_back(
+            ReattributeResult(unique_results[slot.unique_index[j]], slot.suspects[j]));
+      }
+      AttachReactions(slot.suspects, results, slot.parsed, configs[i].name, &slot.violations);
+      for (const InjectionResult& result : results) {
+        ++summary.reactions_by_category[static_cast<size_t>(result.category)];
+      }
+    }
+
+    ConfigReport report;
+    report.index = i;
+    report.name = configs[i].name;
+    report.suspects = slot.suspects.size();
+    for (size_t unique_idx : slot.unique_index) {
+      if (use_count[unique_idx] > 1) {
+        ++report.shared_replays;
+      }
+    }
+    report.violations = std::move(slot.violations);
+
+    summary.total_suspects += report.suspects;
+    summary.total_violations += report.violations.size();
+    if (!report.violations.empty()) {
+      ++summary.configs_with_violations;
+    }
+    for (const Violation& violation : report.violations) {
+      ++summary.violations_by_category[static_cast<size_t>(violation.category)];
+    }
+    if (observer != nullptr) {
+      observer->OnConfigChecked(i, report);
+    }
+    summary.reports.push_back(std::move(report));
+  }
+  if (observer != nullptr) {
+    observer->OnBatchEnd(summary);
+  }
+  return summary;
+}
+
+}  // namespace spex

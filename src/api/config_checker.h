@@ -50,6 +50,12 @@ enum class ViolationCategory {
                      // replay observed a Table-3 vulnerability reaction.
 };
 
+inline constexpr size_t kViolationCategoryCount = 8;
+static_assert(kViolationCategoryCount ==
+                  static_cast<size_t>(ViolationCategory::kDynamicReaction) + 1,
+              "keep kViolationCategoryCount in sync with the enum — arrays "
+              "indexed by static_cast<size_t>(category) are sized by it");
+
 const char* ViolationCategoryName(ViolationCategory category);
 
 // How Target::CheckConfig examines a config file.

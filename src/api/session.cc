@@ -155,6 +155,29 @@ std::vector<Violation> Target::CheckConfig(std::string_view config_text,
   return violations;
 }
 
+BatchSummary Target::CheckConfigBatch(std::span<const ConfigInput> configs,
+                                      const BatchOptions& options, BatchObserver* observer) {
+  // Dynamic batches share the target's persistent campaign (and its
+  // snapshot cache) with single checks and RunCampaign; targets that
+  // cannot be driven dynamically degrade to the static result per config,
+  // exactly like CheckConfig.
+  const bool dynamic = options.check.mode == CheckMode::kDynamic && SupportsDynamicCheck();
+  std::shared_ptr<InjectionCampaign> campaign;
+  if (dynamic) {
+    campaign = EnsureCampaign();
+  }
+  if (options.num_threads != 1) {
+    // Sharded batches Wait() on the shared pool, which drains its whole
+    // queue — take the session-wide campaign serialization lock, exactly
+    // like RunCampaign.
+    std::lock_guard<std::mutex> lock(session_->campaign_serial_mutex_);
+    return RunBatchCheck(analysis_.constraints, template_config_, dialect(), campaign.get(),
+                         session_->worker_pool(), configs, options, observer);
+  }
+  return RunBatchCheck(analysis_.constraints, template_config_, dialect(), campaign.get(),
+                       nullptr, configs, options, observer);
+}
+
 const std::vector<Misconfiguration>& Target::MisconfigsLocked() {
   if (!misconfigs_ready_) {
     MisconfigGenerator generator;

@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/api/batch_check.h"
 #include "src/api/config_checker.h"
 #include "src/corpus/pipeline.h"
 #include "src/support/string_pool.h"
@@ -166,6 +167,27 @@ class Target {
   // handle can express.
   std::vector<Violation> CheckConfig(std::string_view config_text, std::string_view file_name,
                                      const CheckOptions& options);
+
+  // Fleet checking: checks every config in `configs` against this target
+  // in one pass. Per config this is exactly CheckConfig(text, name,
+  // options.check) — same violations, same observed reactions, bit-
+  // identical at every options.num_threads — but suspects are
+  // deduplicated *across* configs by execution identity, so each unique
+  // user mistake replays once and its Table-3 verdict fans out to every
+  // config that contributed it (BatchSummary::unique_replays vs.
+  // total_suspects; see src/api/batch_check.h for the identity
+  // guarantee). `observer` streams one OnConfigChecked per config, on the
+  // calling thread, in batch order.
+  //
+  // Thread-safety: serial batches (num_threads == 1, the default) follow
+  // the dynamic-CheckConfig contract — any number may run concurrently,
+  // including concurrently with RunCampaign. Sharded batches
+  // (num_threads != 1) run phases on the session worker pool and are
+  // therefore serialized session-wide with campaigns and other sharded
+  // batches, like RunCampaign itself.
+  BatchSummary CheckConfigBatch(std::span<const ConfigInput> configs,
+                                const BatchOptions& options = {},
+                                BatchObserver* observer = nullptr);
 
   // SPEX-INJ through the façade: generates misconfigurations from the
   // inferred constraints (once, cached) and runs the campaign. The

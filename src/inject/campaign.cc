@@ -548,9 +548,16 @@ InjectionCampaign::ProbeLease::~ProbeLease() {
   campaign_->free_probes_.push_back(context_);
 }
 
+InjectionResult ReattributeResult(const InjectionResult& base, const Misconfiguration& client) {
+  InjectionResult result = base;
+  result.config = client;
+  result.vulnerability_loc = client.constraint_loc;
+  return result;
+}
+
 std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
     const ConfigFile& template_config, const std::vector<Misconfiguration>& configs,
-    bool use_parse_snapshot) {
+    bool use_parse_snapshot, ThreadPool* pool, size_t num_threads) {
   // A user-config check is worth the snapshot path even for a key-set seen
   // once: the campaign persists, so the entry pays for itself on the next
   // check of the same keys (an embedded checker sees the same handful of
@@ -575,14 +582,28 @@ std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
     }
   }
 
-  ProbeLease probe(this);
-  std::vector<InjectionResult> results;
-  results.reserve(configs.size());
-  for (const Misconfiguration& config : configs) {
-    const std::string keyset = KeysetId(DeltaKeys(config));
-    results.push_back(RunOneWith(probe.context().interp, probe.context().os,
-                                 snapshot_ok ? &keyset : nullptr, template_config, config));
+  std::vector<InjectionResult> results(configs.size());
+  auto replay_range = [&](size_t begin, size_t end) {
+    // One probe context per shard: leases are what make concurrent
+    // replays (and concurrent ReplayExternal callers) safe.
+    ProbeLease probe(this);
+    for (size_t i = begin; i < end; ++i) {
+      const std::string keyset = KeysetId(DeltaKeys(configs[i]));
+      results[i] = RunOneWith(probe.context().interp, probe.context().os,
+                              snapshot_ok ? &keyset : nullptr, template_config, configs[i]);
+    }
+  };
+  size_t workers = num_threads == 0 && pool != nullptr ? pool->size()
+                                                       : ThreadPool::ResolveThreadCount(num_threads);
+  if (pool == nullptr) {
+    replay_range(0, configs.size());
+    return results;
   }
+  // Contiguous shards into pre-sized slots: result order (and every
+  // verdict, by the hazard-check/verification machinery) is identical to
+  // the serial path. ShardRange Wait()s on the pool's whole queue — the
+  // caller serializes pool sharing, per the header contract.
+  pool->ShardRange(configs.size(), workers, replay_range);
   return results;
 }
 

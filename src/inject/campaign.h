@@ -97,6 +97,18 @@ struct InjectionResult {
   SourceLoc vulnerability_loc;  // Where a fix would go (Table 5b accounting).
 };
 
+// Re-attributes a replayed result to another client's Misconfiguration
+// without re-replaying: the observed behaviour (category, detail, logs,
+// pinpointing, tests run) is copied verbatim; only the identity fields
+// (`config`, `vulnerability_loc`) come from `client`. Valid only when
+// `client` is execution-identical to `base.config` — same applied
+// settings, numeric intent and ignore expectation — which is exactly what
+// the batch checker's dedup key guarantees (see docs/api.md, "The dedup
+// identity guarantee"). This is the fan-out half of classify-once-per-
+// execution: N clients sharing one unique execution each get their own
+// result from a single replay.
+InjectionResult ReattributeResult(const InjectionResult& base, const Misconfiguration& client);
+
 // Batch result of one RunAll. Plain value type; the accessor methods are
 // pure reads and safe to call from any thread once the summary is built.
 struct CampaignSummary {
@@ -203,9 +215,19 @@ class InjectionCampaign {
   // the same template. A template change clears the cache and must be
   // externally quiesced (spex::Target guarantees this: its template is
   // fixed at load time).
+  //
+  // With `pool` and `num_threads > 1` (0 = pool size), the batch is
+  // sharded over the pool — one probe context per shard, results written
+  // into pre-sized slots, so ordering and verdicts are bit-identical to
+  // the serial path at every worker count. The call Wait()s on the pool,
+  // which drains the *whole* queue: callers sharing a pool across clients
+  // (spex::Session) must serialize pool-using batches externally, exactly
+  // as they do for RunAll.
   std::vector<InjectionResult> ReplayExternal(const ConfigFile& template_config,
                                               const std::vector<Misconfiguration>& configs,
-                                              bool use_parse_snapshot = true);
+                                              bool use_parse_snapshot = true,
+                                              ThreadPool* pool = nullptr,
+                                              size_t num_threads = 1);
 
   // Cumulative across every run this campaign executed. After a second
   // RunAll over the same template, snapshots_built stays flat — the point

@@ -28,6 +28,9 @@ enum class ReactionCategory {
 };
 
 inline constexpr size_t kReactionCategoryCount = 7;
+static_assert(kReactionCategoryCount == static_cast<size_t>(ReactionCategory::kNoIssue) + 1,
+              "keep kReactionCategoryCount in sync with the enum — arrays "
+              "indexed by static_cast<size_t>(category) are sized by it");
 
 // Stable human-readable name ("crash/hang", "silent violation", ...); used
 // by every table bench and by Violation::ToString.

@@ -59,6 +59,25 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::ShardRange(size_t count, size_t workers,
+                            const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  workers = std::min(workers, count);
+  if (workers <= 1) {
+    fn(0, count);
+    return;
+  }
+  size_t chunk = (count + workers - 1) / workers;
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    size_t end = std::min(begin + chunk, count);
+    // By reference: Wait() below keeps fn alive past every shard.
+    Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
 size_t ThreadPool::ResolveThreadCount(size_t requested) {
   if (requested != 0) {
     return requested;

@@ -35,6 +35,14 @@ class ThreadPool {
   // Blocks until every task submitted so far has finished.
   void Wait();
 
+  // Fans [0, count) over at most `workers` contiguous shards — one
+  // Submit per shard, then Wait() — calling fn(begin, end) per shard.
+  // Runs fn(0, count) inline when a single shard suffices. Note Wait()
+  // drains the pool's *whole* queue: callers sharing a pool serialize
+  // ShardRange against other clients, exactly as they do for Wait().
+  void ShardRange(size_t count, size_t workers,
+                  const std::function<void(size_t, size_t)>& fn);
+
   // Maps a user-facing thread-count knob to a worker count:
   // 0 = hardware concurrency (at least 1), otherwise the value itself.
   static size_t ResolveThreadCount(size_t requested);

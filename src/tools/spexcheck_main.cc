@@ -1,0 +1,371 @@
+// spexcheck — fleet-scale configuration checking from the command line.
+//
+// The first end-user-runnable binary of the reproduction: load a corpus
+// target, glob a directory of user configs, run one batch check
+// (Target::CheckConfigBatch — unique mistakes replay once, verdicts fan
+// out), and report per config as text or JSON-lines. See docs/api.md
+// ("spexcheck CLI reference") for flags, exit codes and the JSONL schema.
+//
+//   spexcheck --target squid configs/                 # every *.conf in configs/
+//   spexcheck --target mysql --format jsonl my.cnf
+//   spexcheck --target squid --dump-template > base.conf
+//
+// Exit codes: 0 = every config clean, 1 = at least one violation,
+// 2 = usage / load / I/O error.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/corpus/spec.h"
+
+namespace spex {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kUsage =
+    R"(usage: spexcheck --target <name> [options] <config-file-or-dir>...
+
+Check a fleet of configuration files against a corpus target and report,
+per file, which inferred constraint each line violates and (in dynamic
+mode) what the system will actually do with the setting.
+
+options:
+  --target <name>      corpus target to check against (see --list-targets)
+  --mode <m>           static | dynamic (default: dynamic)
+  --threads <n>        batch shards: 1 = serial, 0 = hardware (default: 0)
+  --format <f>         text | jsonl (default: text)
+  --pattern <glob>     filename filter for directories, * and ? wildcards
+                       (default: *.conf)
+  --dump-template      print the target's known-good template config and exit
+  --list-targets       print available corpus target names and exit
+  --help               this message
+
+exit codes: 0 = all configs clean, 1 = violations found, 2 = error
+)";
+
+// Minimal * / ? glob over filenames (no character classes, no path
+// separators) — enough for `--pattern '*.conf'` without regex machinery.
+// Iterative two-pointer match: on mismatch, retry from the last '*' with
+// one more character consumed — O(pattern * text), so a hostile
+// many-star pattern cannot pin the CPU the way naive backtracking would.
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  size_t p = 0;
+  size_t t = 0;
+  size_t star = std::string::npos;   // Position of the last '*' seen.
+  size_t star_t = 0;                 // Text position that star is matching from.
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct CliOptions {
+  std::string target;
+  CheckMode mode = CheckMode::kDynamic;
+  int threads = 0;
+  bool jsonl = false;
+  std::string pattern = "*.conf";
+  bool dump_template = false;
+  bool list_targets = false;
+  std::vector<std::string> paths;
+};
+
+// One JSON line per config as its report streams in, plus a final
+// summary line — the format a fleet pipeline tails.
+class JsonlWriter : public BatchObserver {
+ public:
+  void OnConfigChecked(size_t index, const ConfigReport& report) override {
+    std::ostringstream line;
+    line << "{\"config\":\"" << JsonEscape(report.name) << "\",\"index\":" << index
+         << ",\"suspects\":" << report.suspects
+         << ",\"shared_replays\":" << report.shared_replays << ",\"violations\":[";
+    for (size_t i = 0; i < report.violations.size(); ++i) {
+      const Violation& v = report.violations[i];
+      if (i != 0) {
+        line << ",";
+      }
+      line << "{\"category\":\"" << ViolationCategoryName(v.category) << "\",\"param\":\""
+           << JsonEscape(v.param) << "\",\"value\":\"" << JsonEscape(v.value)
+           << "\",\"line\":" << v.line << ",\"message\":\"" << JsonEscape(v.message) << "\"";
+      if (v.reaction.has_value()) {
+        line << ",\"reaction\":\"" << ReactionCategoryName(*v.reaction)
+             << "\",\"vulnerability\":" << (IsVulnerability(*v.reaction) ? "true" : "false")
+             << ",\"prediction\":\"" << JsonEscape(v.prediction) << "\"";
+      }
+      line << "}";
+    }
+    line << "]}";
+    std::cout << line.str() << "\n";
+  }
+
+  void OnBatchEnd(const BatchSummary& summary) override {
+    std::cout << "{\"summary\":{\"configs_checked\":" << summary.configs_checked
+              << ",\"configs_with_violations\":" << summary.configs_with_violations
+              << ",\"total_violations\":" << summary.total_violations
+              << ",\"total_suspects\":" << summary.total_suspects
+              << ",\"unique_replays\":" << summary.unique_replays << ",\"dedup_ratio\":"
+              << summary.DedupRatio() << "}}\n";
+  }
+};
+
+class TextWriter : public BatchObserver {
+ public:
+  void OnConfigChecked(size_t, const ConfigReport& report) override {
+    if (report.violations.empty()) {
+      std::cout << report.name << ": OK\n";
+      return;
+    }
+    std::cout << report.name << ": " << report.violations.size() << " violation"
+              << (report.violations.size() == 1 ? "" : "s") << "\n";
+    for (const Violation& violation : report.violations) {
+      std::cout << "  " << violation.ToString() << "\n";
+    }
+  }
+
+  void OnBatchEnd(const BatchSummary& summary) override {
+    std::cout << "checked " << summary.configs_checked << " config(s): "
+              << summary.configs_with_violations << " with violations, "
+              << summary.total_violations << " violation(s) total";
+    if (summary.total_suspects != 0) {
+      std::cout << "; " << summary.total_suspects << " suspect setting(s), "
+                << summary.unique_replays << " unique replay(s) (dedup "
+                << static_cast<int>(summary.DedupRatio() * 100.0) << "%)";
+    }
+    std::cout << "\n";
+  }
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "spexcheck: " << message << "\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        *error = std::string(flag) + " requires an argument";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (arg == "--target") {
+      const char* value = next("--target");
+      if (value == nullptr) return false;
+      options->target = value;
+    } else if (arg == "--mode") {
+      const char* value = next("--mode");
+      if (value == nullptr) return false;
+      if (std::strcmp(value, "static") == 0) {
+        options->mode = CheckMode::kStatic;
+      } else if (std::strcmp(value, "dynamic") == 0) {
+        options->mode = CheckMode::kDynamic;
+      } else {
+        *error = "unknown --mode (want static|dynamic): " + std::string(value);
+        return false;
+      }
+    } else if (arg == "--threads") {
+      const char* value = next("--threads");
+      if (value == nullptr) return false;
+      char* end = nullptr;
+      long threads = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || threads < 0) {
+        *error = "--threads wants a non-negative integer, got: " + std::string(value);
+        return false;
+      }
+      options->threads = static_cast<int>(threads);
+    } else if (arg == "--format") {
+      const char* value = next("--format");
+      if (value == nullptr) return false;
+      if (std::strcmp(value, "text") == 0) {
+        options->jsonl = false;
+      } else if (std::strcmp(value, "jsonl") == 0) {
+        options->jsonl = true;
+      } else {
+        *error = "unknown --format (want text|jsonl): " + std::string(value);
+        return false;
+      }
+    } else if (arg == "--pattern") {
+      const char* value = next("--pattern");
+      if (value == nullptr) return false;
+      options->pattern = value;
+    } else if (arg == "--dump-template") {
+      options->dump_template = true;
+    } else if (arg == "--list-targets") {
+      options->list_targets = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      *error = "unknown flag: " + arg;
+      return false;
+    } else {
+      options->paths.push_back(std::move(arg));
+    }
+  }
+  return true;
+}
+
+// Expands files and directories into the config list. Directory scans are
+// non-recursive, filtered by `pattern`, sorted by name so report order
+// (and the JSONL stream) is stable across filesystems.
+bool CollectConfigs(const CliOptions& options, std::vector<ConfigInput>* configs,
+                    std::string* error) {
+  std::vector<std::string> files;
+  for (const std::string& path : options.paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      // Non-throwing iteration throughout: a file vanishing mid-scan (or
+      // turning stat-inaccessible) must exit 2, not std::terminate.
+      std::vector<std::string> in_dir;
+      fs::directory_iterator it(path, ec);
+      for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
+        std::error_code entry_ec;
+        if (it->is_regular_file(entry_ec) &&
+            GlobMatch(options.pattern, it->path().filename())) {
+          in_dir.push_back(it->path().string());
+        }
+      }
+      if (ec) {
+        *error = "cannot read directory " + path + ": " + ec.message();
+        return false;
+      }
+      std::sort(in_dir.begin(), in_dir.end());
+      if (in_dir.empty()) {
+        *error = "no files matching '" + options.pattern + "' in " + path;
+        return false;
+      }
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      *error = "no such file or directory: " + path;
+      return false;
+    }
+  }
+  configs->reserve(files.size());
+  for (const std::string& file : files) {
+    std::ifstream stream(file, std::ios::binary);
+    if (!stream) {
+      *error = "cannot read " + file;
+      return false;
+    }
+    std::ostringstream content;
+    content << stream.rdbuf();
+    configs->push_back(ConfigInput{file, content.str()});
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  CliOptions options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::cerr << "spexcheck: " << error << "\n" << kUsage;
+    return 2;
+  }
+  if (options.list_targets) {
+    for (const TargetSpec& spec : EvaluatedTargets()) {
+      std::cout << spec.name << "\t" << spec.display_name << "\n";
+    }
+    return 0;
+  }
+  if (options.target.empty()) {
+    std::cerr << "spexcheck: --target is required\n" << kUsage;
+    return 2;
+  }
+  // FindTarget aborts on unknown names; validate first for a clean exit.
+  std::vector<TargetSpec> known = EvaluatedTargets();
+  if (std::none_of(known.begin(), known.end(),
+                   [&](const TargetSpec& spec) { return spec.name == options.target; })) {
+    return Fail("unknown target '" + options.target + "' (try --list-targets)");
+  }
+
+  Session session;
+  Target* target = session.LoadTarget(options.target);
+  if (target == nullptr) {
+    return Fail("loading target failed:\n" + session.RenderDiagnostics());
+  }
+  if (options.dump_template) {
+    std::cout << target->analysis().bundle.template_config;
+    return 0;
+  }
+  if (options.paths.empty()) {
+    std::cerr << "spexcheck: no config files or directories given\n" << kUsage;
+    return 2;
+  }
+  std::vector<ConfigInput> configs;
+  if (!CollectConfigs(options, &configs, &error)) {
+    return Fail(error);
+  }
+
+  BatchOptions batch;
+  batch.check.mode = options.mode;
+  batch.num_threads = options.threads;
+  JsonlWriter jsonl;
+  TextWriter text;
+  BatchObserver* writer = options.jsonl ? static_cast<BatchObserver*>(&jsonl) : &text;
+  BatchSummary summary = target->CheckConfigBatch(configs, batch, writer);
+  return summary.total_violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace spex
+
+int main(int argc, char** argv) { return spex::Run(argc, argv); }
