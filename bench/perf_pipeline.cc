@@ -12,10 +12,16 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "src/api/session.h"
 #include "src/corpus/pipeline.h"
 #include "src/ir/lowering.h"
 #include "src/lang/parser.h"
+#include "src/serve/server.h"
 
 namespace spex {
 namespace {
@@ -283,6 +289,95 @@ void BM_DynamicCheckWarm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(checks));
 }
 BENCHMARK(BM_DynamicCheckWarm)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// One HTTP round trip against a live CheckServer on loopback: connect,
+// send, read to EOF. The serving overhead the daemon adds on top of the
+// embedded check above.
+std::string ServeRoundTrip(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return std::string();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::string();
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return std::string();
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string ServeCheckRequest() {
+  std::string body(kSquidUserConfig);
+  std::string request = "POST /check?target=squid&name=user.conf HTTP/1.1\r\n";
+  request += "Host: localhost\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  return request;
+}
+
+// Cold serve path: a fresh CheckServer (empty target pool, empty snapshot
+// cache) per iteration — bind + target load + first dynamic check, the
+// worst-case first request after a daemon restart.
+void BM_ServeCheckCold(benchmark::State& state) {
+  const std::string request = ServeCheckRequest();
+  for (auto _ : state) {
+    CheckServer server;
+    if (!server.Start().ok()) {
+      std::cerr << "BM_ServeCheckCold: server failed to start\n";
+      std::abort();
+    }
+    benchmark::DoNotOptimize(ServeRoundTrip(server.port(), request));
+    state.PauseTiming();  // Drain is shutdown cost, not request latency.
+    server.Shutdown();
+    server.Join();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCheckCold)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Warm serve path: sustained checks/s through one live daemon whose
+// target pool and snapshot cache are hot — the steady state a fleet
+// checker sustains. items_per_second is the serve-path throughput number.
+void BM_ServeCheckWarm(benchmark::State& state) {
+  static CheckServer* kServer = [] {
+    auto* server = new CheckServer();
+    if (!server->Start().ok()) {
+      std::cerr << "BM_ServeCheckWarm: server failed to start\n";
+      std::abort();
+    }
+    return server;
+  }();
+  const std::string request = ServeCheckRequest();
+  ServeRoundTrip(kServer->port(), request);  // Warm the pool + snapshot cache.
+  uint64_t ok_before = kServer->stats().served_ok;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ServeRoundTrip(kServer->port(), request));
+  }
+  state.counters["served_ok"] =
+      static_cast<double>(kServer->stats().served_ok - ok_before);
+  state.counters["target_loads"] = static_cast<double>(kServer->targets().loads());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCheckWarm)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Fleet check: one target, a 50-config corpus whose suspects are ~70%
 // duplicated across users (the realistic shape of a misconfiguration

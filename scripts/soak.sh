@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Soak test for spexcheckd: one daemon with fault injection ARMED, a pack
+# of concurrent clients sending a hostile mix (valid checks, batches,
+# unknown targets, malformed bodies, oversized bodies, raw garbage,
+# slow-loris dribbles) for SOAK_SECONDS. Pass criteria:
+#
+#   1. the daemon never exits during the soak (zero crashes, zero aborts),
+#   2. its RSS stays under SOAK_RSS_LIMIT_KB (no per-request leak),
+#   3. SIGTERM produces a clean drain: exit code 0 and the final
+#      "drained;" stats line in the log.
+#
+# Usage: scripts/soak.sh [path-to-spexcheckd]
+# Env:   SOAK_SECONDS (default 15), SOAK_CLIENTS (default 8),
+#        SOAK_PORT (default 18321), SOAK_RSS_LIMIT_KB (default 786432).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${1:-build/spexcheckd}"
+PORT="${SOAK_PORT:-18321}"
+SECONDS_TO_RUN="${SOAK_SECONDS:-15}"
+CLIENTS="${SOAK_CLIENTS:-8}"
+RSS_LIMIT_KB="${SOAK_RSS_LIMIT_KB:-786432}"
+BASE="http://127.0.0.1:${PORT}"
+LOG="$(mktemp /tmp/spexcheckd-soak.XXXXXX.log)"
+
+[[ -x "${BIN}" ]] || { echo "soak: daemon binary not found: ${BIN}" >&2; exit 2; }
+
+# Faults armed: every dynamic check dawdles 20ms (overlapping in-flight
+# work, exercising the replay cap + shedding) and every request token is
+# force-cancelled after 4096 interpreter polls (exercising mid-replay
+# cancellation and cache-consistency under cancel).
+SPEXCHECKD_FAULTS="slow_replay:20,cancel_midway:4096" \
+  "${BIN}" --port "${PORT}" --workers 4 --queue-capacity 16 \
+  --deadline-ms 500 --read-timeout-ms 500 --drain-deadline-ms 5000 \
+  2> "${LOG}" &
+DAEMON_PID=$!
+cleanup() {
+  kill -KILL "${DAEMON_PID}" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+for _ in $(seq 1 50); do
+  if curl -fsS --max-time 2 "${BASE}/healthz" > /dev/null 2>&1; then
+    break
+  fi
+  kill -0 "${DAEMON_PID}" 2>/dev/null || { echo "soak: daemon died during startup"; cat "${LOG}"; exit 1; }
+  sleep 0.2
+done
+curl -fsS --max-time 2 "${BASE}/healthz" > /dev/null || { echo "soak: daemon never became healthy"; cat "${LOG}"; exit 1; }
+
+hostile_client() {
+  local id=$1 deadline=$2
+  local good_body=$'log_level = 99999\n'
+  local batch_body=$'=== a.conf\nlog_level = 2\n=== b.conf\nthis line has no equals\n=== c.conf\nlog_level = 99999\n'
+  local huge_file
+  huge_file="$(mktemp /tmp/spexcheckd-soak-huge.XXXXXX)"
+  head -c 2097152 /dev/zero | tr '\0' 'x' > "${huge_file}"
+  while (( $(date +%s) < deadline )); do
+    case $(( RANDOM % 7 )) in
+      0) curl -s --max-time 5 -X POST --data-binary "${good_body}" \
+           "${BASE}/check?target=storage_a&name=soak-${id}.conf" > /dev/null ;;
+      1) curl -s --max-time 5 -X POST --data-binary "${batch_body}" \
+           "${BASE}/batch?target=storage_a" > /dev/null ;;
+      2) curl -s --max-time 5 -X POST --data-binary "${good_body}" \
+           "${BASE}/check?target=no_such_target" > /dev/null ;;
+      3) curl -s --max-time 5 -X POST --data-binary "junk before frames" \
+           "${BASE}/batch?target=storage_a" > /dev/null ;;
+      4) curl -s --max-time 5 -X POST --data-binary "@${huge_file}" \
+           "${BASE}/check?target=storage_a" > /dev/null ;;
+      5) # Raw garbage straight onto the socket.
+         printf 'NOT HTTP AT ALL\r\n\r\n' | timeout 3 bash -c \
+           "cat > /dev/tcp/127.0.0.1/${PORT}" 2>/dev/null || true ;;
+      6) # Slow-loris: dribble half a request, hold, abandon.
+         timeout 3 bash -c \
+           "exec 3<>/dev/tcp/127.0.0.1/${PORT}; printf 'POST /check HTTP/1.1\r\n' >&3; sleep 2; exec 3<&-" \
+           2>/dev/null || true ;;
+    esac
+  done
+  rm -f "${huge_file}"
+}
+
+END=$(( $(date +%s) + SECONDS_TO_RUN ))
+CLIENT_PIDS=()
+for id in $(seq 1 "${CLIENTS}"); do
+  hostile_client "${id}" "${END}" &
+  CLIENT_PIDS+=($!)
+done
+
+# While the pack hammers: the daemon must stay up and its memory bounded.
+MAX_RSS=0
+while (( $(date +%s) < END )); do
+  if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
+    echo "soak: FAIL — daemon exited mid-soak"; cat "${LOG}"; exit 1
+  fi
+  RSS=$(awk '/VmRSS/{print $2}' "/proc/${DAEMON_PID}/status" 2>/dev/null || echo 0)
+  (( RSS > MAX_RSS )) && MAX_RSS=${RSS}
+  if (( RSS > RSS_LIMIT_KB )); then
+    echo "soak: FAIL — RSS ${RSS}kB exceeds limit ${RSS_LIMIT_KB}kB"; exit 1
+  fi
+  sleep 1
+done
+wait "${CLIENT_PIDS[@]}" 2>/dev/null || true
+
+kill -0 "${DAEMON_PID}" 2>/dev/null || { echo "soak: FAIL — daemon not alive after soak"; cat "${LOG}"; exit 1; }
+STATS=$(curl -fsS --max-time 5 "${BASE}/statz")
+echo "soak: post-soak stats: ${STATS}"
+
+# Clean SIGTERM drain, bounded by the drain deadline + margin.
+kill -TERM "${DAEMON_PID}"
+DRAIN_STATUS=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if kill -0 "${DAEMON_PID}" 2>/dev/null; then
+  echo "soak: FAIL — daemon did not drain within 20s of SIGTERM"; cat "${LOG}"; exit 1
+fi
+wait "${DAEMON_PID}" || DRAIN_STATUS=$?
+trap - EXIT
+if (( DRAIN_STATUS != 0 )); then
+  echo "soak: FAIL — daemon exited ${DRAIN_STATUS} on SIGTERM (want 0)"; cat "${LOG}"; exit 1
+fi
+grep -q "drained;" "${LOG}" || { echo "soak: FAIL — no drain stats line in log"; cat "${LOG}"; exit 1; }
+
+echo "soak: OK (${CLIENTS} clients x ${SECONDS_TO_RUN}s, peak RSS ${MAX_RSS}kB)"
+grep "drained;" "${LOG}"

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/api/dynamic_check.h"
+#include "src/support/strings.h"
 
 namespace spex {
 
@@ -51,6 +52,30 @@ std::string SuspectExecutionKey(const Misconfiguration& suspect) {
   return key;
 }
 
+Status ValidateConfigText(std::string_view text, ConfigDialect dialect) {
+  uint32_t line_number = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_number;
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#' || line[0] == ';') {
+      continue;
+    }
+    if (dialect != ConfigDialect::kKeyEqualsValue) {
+      continue;  // Bare directives are legal key-value dialect.
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": settings line has no '='");
+    }
+    if (TrimWhitespace(line.substr(0, eq)).empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": settings line has an empty key");
+    }
+  }
+  return Status::Ok();
+}
+
 BatchSummary RunBatchCheck(const ModuleConstraints& constraints,
                            const ConfigFile& template_config, ConfigDialect dialect,
                            InjectionCampaign* campaign, ThreadPool* pool,
@@ -63,17 +88,25 @@ BatchSummary RunBatchCheck(const ModuleConstraints& constraints,
   const bool dynamic = campaign != nullptr && options.check.mode == CheckMode::kDynamic;
 
   // --- Phase 1 (sharded): parse, static check and suspect extraction are
-  // independent per config — pure functions into pre-sized slots.
+  // independent per config — pure functions into pre-sized slots. A config
+  // that fails validation is contained right here: its slot carries the
+  // error and contributes nothing downstream, so the poisoned entry is
+  // invisible to every other config's phases (dedup, replay, fan-out).
   struct PerConfig {
     ConfigFile parsed;
     std::vector<Violation> violations;
     std::vector<Misconfiguration> suspects;
     std::vector<size_t> unique_index;  // Parallel to suspects.
+    Status status;
   };
   std::vector<PerConfig> state(count);
   auto analyze_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       PerConfig& slot = state[i];
+      slot.status = ValidateConfigText(configs[i].text, dialect);
+      if (!slot.status.ok()) {
+        continue;
+      }
       slot.parsed = ConfigFile::Parse(configs[i].text, dialect);
       slot.violations = CheckConfigFile(constraints, slot.parsed, configs[i].name);
       if (dynamic) {
@@ -119,8 +152,16 @@ BatchSummary RunBatchCheck(const ModuleConstraints& constraints,
     // Shard width is re-resolved for this phase: a 2-config batch can
     // still carry 20 unique suspects, and the replays are the expensive
     // part (ReplayExternal re-clamps to the unique count internally).
-    unique_results = campaign->ReplayExternal(
-        template_config, unique, options.check.use_parse_snapshot, pool, requested_workers);
+    // The per-replay deadline applies to each *unique* execution — a
+    // deduplicated replay that times out reports kDeadlineExceeded to
+    // every config that contributed it, exactly as N independent timed-out
+    // checks would.
+    ReplayLimits limits;
+    limits.cancel = options.check.cancel;
+    limits.per_replay_deadline = options.check.deadline;
+    unique_results =
+        campaign->ReplayExternal(template_config, unique, options.check.use_parse_snapshot,
+                                 pool, requested_workers, limits);
   }
 
   // --- Phase 4 (driver thread, batch order): fan each unique verdict out
@@ -136,13 +177,24 @@ BatchSummary RunBatchCheck(const ModuleConstraints& constraints,
     if (!slot.suspects.empty()) {
       std::vector<InjectionResult> results;
       results.reserve(slot.suspects.size());
+      size_t timed_out = 0;
       for (size_t j = 0; j < slot.suspects.size(); ++j) {
         results.push_back(
             ReattributeResult(unique_results[slot.unique_index[j]], slot.suspects[j]));
+        if (results.back().category == ReactionCategory::kDeadlineExceeded) {
+          ++timed_out;
+        }
       }
       AttachReactions(slot.suspects, results, slot.parsed, configs[i].name, &slot.violations);
       for (const InjectionResult& result : results) {
         ++summary.reactions_by_category[static_cast<size_t>(result.category)];
+      }
+      if (timed_out > 0) {
+        // The config's static findings and in-budget verdicts stand; the
+        // status says the dynamic picture is incomplete and why.
+        slot.status = Status::DeadlineExceeded(
+            std::to_string(timed_out) + " of " + std::to_string(slot.suspects.size()) +
+            " suspect replays exceeded the request budget");
       }
     }
 
@@ -150,6 +202,7 @@ BatchSummary RunBatchCheck(const ModuleConstraints& constraints,
     report.index = i;
     report.name = configs[i].name;
     report.suspects = slot.suspects.size();
+    report.status = std::move(slot.status);
     for (size_t unique_idx : slot.unique_index) {
       if (use_count[unique_idx] > 1) {
         ++report.shared_replays;
@@ -161,6 +214,9 @@ BatchSummary RunBatchCheck(const ModuleConstraints& constraints,
     summary.total_violations += report.violations.size();
     if (!report.violations.empty()) {
       ++summary.configs_with_violations;
+    }
+    if (!report.status.ok()) {
+      ++summary.configs_with_errors;
     }
     for (const Violation& violation : report.violations) {
       ++summary.violations_by_category[static_cast<size_t>(violation.category)];

@@ -38,6 +38,7 @@
 
 #include "src/api/config_checker.h"
 #include "src/inject/campaign.h"
+#include "src/support/status.h"
 
 namespace spex {
 
@@ -72,6 +73,15 @@ struct ConfigReport {
   // Of those, how many were served by an execution another config in the
   // batch also needed — the per-config view of cross-config dedup.
   size_t shared_replays = 0;
+  // Containment verdict. Errors are per-config, never per-batch: a config
+  // that fails validation (kInvalidArgument — see ValidateConfigText) or
+  // whose replays ran out of budget (kDeadlineExceeded) carries the error
+  // here, and every *other* config's report is bit-identical to what it
+  // would be with the poisoned config absent from the batch. An
+  // kInvalidArgument config contributes no violations and no suspects; a
+  // deadline-exceeded config keeps its static violations and whatever
+  // verdicts completed in time.
+  Status status;
 };
 
 // Batch-wide rollup. `reports` holds every ConfigReport in batch order;
@@ -79,6 +89,10 @@ struct ConfigReport {
 struct BatchSummary {
   size_t configs_checked = 0;
   size_t configs_with_violations = 0;
+  // Configs whose report carries a non-ok status (invalid input, replay
+  // budget exhausted). Always <= configs_checked; a caller deciding
+  // "did anything get checked at all" compares the two.
+  size_t configs_with_errors = 0;
   size_t total_violations = 0;
   // Violations by static category, indexed by
   // static_cast<size_t>(ViolationCategory).
@@ -120,6 +134,15 @@ class BatchObserver {
 // replay (the dedup key described in the header comment). Exposed so
 // tests can pin the guarantee down.
 std::string SuspectExecutionKey(const Misconfiguration& suspect);
+
+// Syntactic admission check for untrusted config text. ConfigFile::Parse
+// is deliberately lenient (a campaign replays whatever the user wrote);
+// a *service* boundary wants the opposite: reject text that cannot mean
+// anything in the dialect before paying for analysis. kKeyEqualsValue
+// flags a settings line with no '=' or an empty key; kKeyValue accepts
+// bare directives (Apache/Squid-style flag settings are legal). Returns
+// Status::Ok or kInvalidArgument naming the first offending line.
+Status ValidateConfigText(std::string_view text, ConfigDialect dialect);
 
 // The batch engine behind Target::CheckConfigBatch. `campaign` carries
 // the persistent snapshot cache and may be null for static-only batches

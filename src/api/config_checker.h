@@ -25,6 +25,7 @@
 #ifndef SPEX_API_CONFIG_CHECKER_H_
 #define SPEX_API_CONFIG_CHECKER_H_
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -33,6 +34,7 @@
 #include "src/confgen/config_file.h"
 #include "src/core/constraints.h"
 #include "src/inject/reaction.h"
+#include "src/support/cancellation.h"
 
 namespace spex {
 
@@ -78,6 +80,19 @@ struct CheckOptions {
   // Verdicts are bit-identical either way — the flag exists so tests and
   // embedders can prove exactly that.
   bool use_parse_snapshot = true;
+  // Dynamic mode only: per-suspect replay budget (0 = unlimited). A replay
+  // that exceeds it is cut off at the interpreter's next cancellation poll
+  // and reported with ReactionCategory::kDeadlineExceeded — a verdict about
+  // the *check's* time budget, never conflated with the target hanging.
+  // The budget restarts per suspect, so one pathological setting cannot
+  // starve the verdicts of its file-mates.
+  std::chrono::nanoseconds deadline{0};
+  // Borrowed request-wide kill switch (may be null; must outlive the
+  // check). Firing it — from any thread, at any time — converts every
+  // replay not yet finished to kDeadlineExceeded; static results produced
+  // so far are returned as-is. This is how a serving layer detaches a
+  // check whose client has gone away.
+  const CancelToken* cancel = nullptr;
 };
 
 // One file/line-addressable finding against a user's config file.

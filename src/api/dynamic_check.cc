@@ -251,6 +251,8 @@ std::string DescribeReaction(const InjectionResult& result) {
       return "the system detects this setting and pinpoints it in its error message" + detail;
     case ReactionCategory::kNoIssue:
       return "the system tolerates this setting" + detail;
+    case ReactionCategory::kDeadlineExceeded:
+      return "the check ran out of time before observing the system's reaction" + detail;
   }
   return detail;
 }

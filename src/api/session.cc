@@ -149,8 +149,11 @@ std::vector<Violation> Target::CheckConfig(std::string_view config_text,
   // pools the replay touches) alive even if another thread swaps the
   // target's campaign for one with different options mid-check.
   std::shared_ptr<InjectionCampaign> campaign = EnsureCampaign();
-  std::vector<InjectionResult> results =
-      campaign->ReplayExternal(template_config_, suspects, options.use_parse_snapshot);
+  ReplayLimits limits;
+  limits.cancel = options.cancel;
+  limits.per_replay_deadline = options.deadline;
+  std::vector<InjectionResult> results = campaign->ReplayExternal(
+      template_config_, suspects, options.use_parse_snapshot, nullptr, 1, limits);
   AttachReactions(suspects, results, config, file_name, &violations);
   return violations;
 }

@@ -89,6 +89,36 @@ std::vector<std::string> DeltaKeys(const Misconfiguration& config) {
   return delta_keys;
 }
 
+// Result for a replay that never ran (or was abandoned) because the
+// request's token fired. Carries no logs and no test count: nothing about
+// the target was observed.
+InjectionResult SkippedResult(const Misconfiguration& config, const CancelToken& cancel) {
+  InjectionResult result;
+  result.config = config;
+  result.vulnerability_loc = config.constraint_loc;
+  result.category = ReactionCategory::kDeadlineExceeded;
+  result.detail = cancel.reason() == CancelToken::Reason::kDeadline
+                      ? "replay skipped: request deadline exceeded"
+                      : "replay skipped: request cancelled";
+  return result;
+}
+
+// Scoped attach of a request token to a worker's interpreter. The token is
+// request state, the interpreter is campaign state — the guard guarantees
+// the borrow never outlives the replay it belongs to.
+class ScopedCancel {
+ public:
+  ScopedCancel(Interpreter& interp, const CancelToken* token) : interp_(interp) {
+    interp_.set_cancel_token(token);
+  }
+  ~ScopedCancel() { interp_.set_cancel_token(nullptr); }
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  Interpreter& interp_;
+};
+
 }  // namespace
 
 InjectionCampaign::InjectionCampaign(const Module& module, const SutSpec& sut,
@@ -260,6 +290,15 @@ InjectionResult InjectionCampaign::Classify(Interpreter& interp, const RunOutcom
   result.pinpointed = LogsPinpoint(result.logs, config, applied);
 
   // --- Classification per Table 3.
+  if (outcome.status == CallOutcome::Status::kCancelled) {
+    // Not a Table-3 verdict: the *request* ran out of time. Classified
+    // before kHang on purpose — a cancelled run observed nothing about the
+    // target and must never be reported as the target crashing or hanging.
+    result.category = ReactionCategory::kDeadlineExceeded;
+    result.detail = outcome.detail;
+    result.pinpointed = false;
+    return result;
+  }
   if (outcome.status == CallOutcome::Status::kTrap ||
       outcome.status == CallOutcome::Status::kHang) {
     result.category = ReactionCategory::kCrashHang;
@@ -334,12 +373,19 @@ InjectionResult InjectionCampaign::Classify(Interpreter& interp, const RunOutcom
 
 InjectionResult InjectionCampaign::FullReplay(Interpreter& interp, OsSimulator& os,
                                               const ConfigFile& applied,
-                                              const Misconfiguration& config) const {
+                                              const Misconfiguration& config,
+                                              const CancelToken* cancel) const {
+  if (cancel != nullptr && cancel->ShouldCancel()) {
+    // Already out of budget: skip the replay outright rather than paying
+    // for a poll interval of doomed execution.
+    return SkippedResult(config, *cancel);
+  }
   // Fresh template state: injected damage (occupied ports, allocations,
   // mutated globals) must never leak across runs.
   stat_full_replays_.fetch_add(1, std::memory_order_relaxed);
   os.RestoreFrom(os_template_);
   interp.Reset();
+  ScopedCancel scoped(interp, cancel);
   RunOutcome outcome = Execute(interp, applied);
   return Classify(interp, outcome, config, applied);
 }
@@ -355,7 +401,8 @@ constexpr int32_t kDeltaStamp = std::numeric_limits<int32_t>::max();
 std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
     Interpreter& interp, OsSimulator& os, const std::string& keyset,
     const ConfigFile& template_config, const ConfigFile& applied,
-    const Misconfiguration& config, const std::vector<std::string>& delta_keys) const {
+    const Misconfiguration& config, const std::vector<std::string>& delta_keys,
+    const CancelToken* cancel) const {
   SnapshotEntry* entry = nullptr;
   bool builder = false;
   {
@@ -372,6 +419,14 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
     // the shared prefix for every misconfiguration of this key-set. Each
     // entry's parse runs under its position stamp so the snapshot carries
     // a per-global access map for the hazard check below.
+    //
+    // The request token is deliberately NOT attached here: the prefix is
+    // template-only work — vendor-trusted input, bounded by max_steps, and
+    // shared by every later request of this key-set. Cancelling a build
+    // mid-way would publish a half-parsed snapshot (or waste the build for
+    // everyone because one caller was impatient); letting it finish keeps
+    // the cache's contents independent of which request happened to arrive
+    // first. The caller's budget still applies to *its own* replay below.
     os.RestoreFrom(os_template_);
     interp.Reset();
     bool ok = true;
@@ -417,9 +472,14 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
   if (state == SnapshotEntry::kBuilding || state == SnapshotEntry::kUnusable) {
     return std::nullopt;  // Another worker is mid-build, or permanent fallback.
   }
+  if (cancel != nullptr && cancel->ShouldCancel()) {
+    return std::nullopt;  // Out of budget; FullReplay short-circuits to a skip.
+  }
 
   // Restore the shared prefix and replay only the delta settings, in the
-  // order they hold in the applied file.
+  // order they hold in the applied file. The request token applies from
+  // here on — this is the caller's own replay, not shared work.
+  ScopedCancel scoped(interp, cancel);
   interp.RestoreSnapshot(entry->interp);
   os.RestoreFrom(entry->os);
   interp.set_access_stamp(kDeltaStamp);
@@ -484,6 +544,13 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
 
   InitAndTestPhases(interp, &outcome);
   InjectionResult result = Classify(interp, outcome, config, applied);
+  if (outcome.status == CallOutcome::Status::kCancelled) {
+    // The request ran out of time mid-delta. The result says nothing about
+    // the target, so it must not feed the verification bookkeeping: no
+    // verified_batch advance (the key-set's first *completed* replay this
+    // batch still gets ground-truthed) and no delta-replay stat.
+    return result;
+  }
 
   const uint64_t batch = batch_id_.load(std::memory_order_relaxed);
   if (state == SnapshotEntry::kReady ||
@@ -496,7 +563,16 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
     // (compare-exchange), so a divergence seen by any worker pins the
     // key-set to full replay.
     stat_verifications_.fetch_add(1, std::memory_order_relaxed);
-    InjectionResult full = FullReplay(interp, os, applied, config);
+    InjectionResult full = FullReplay(interp, os, applied, config, cancel);
+    if (full.category == ReactionCategory::kDeadlineExceeded) {
+      // The *verification* replay was cancelled, not refuted: the delta
+      // result may well be ground-truth-identical, we just ran out of time
+      // proving it. Surface the timeout, but leave the entry untouched —
+      // marking it kUnusable would let a request's deadline permanently
+      // degrade a shared cache that served every earlier request
+      // bit-identically.
+      return full;
+    }
     if (!SameInjectionResult(result, full)) {
       entry->state.store(SnapshotEntry::kUnusable, std::memory_order_release);
       return full;
@@ -514,7 +590,8 @@ std::optional<InjectionResult> InjectionCampaign::TryDeltaReplay(
 InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& os,
                                               const std::string* keyset,
                                               const ConfigFile& template_config,
-                                              const Misconfiguration& config) const {
+                                              const Misconfiguration& config,
+                                              const CancelToken* cancel) const {
   ConfigFile applied = template_config;
   applied.Set(config.param, config.value);
   for (const auto& [key, value] : config.extra_settings) {
@@ -522,13 +599,13 @@ InjectionResult InjectionCampaign::RunOneWith(Interpreter& interp, OsSimulator& 
   }
 
   if (keyset != nullptr && options_.use_parse_snapshot) {
-    auto replayed =
-        TryDeltaReplay(interp, os, *keyset, template_config, applied, config, DeltaKeys(config));
+    auto replayed = TryDeltaReplay(interp, os, *keyset, template_config, applied, config,
+                                   DeltaKeys(config), cancel);
     if (replayed.has_value()) {
       return *std::move(replayed);
     }
   }
-  return FullReplay(interp, os, applied, config);
+  return FullReplay(interp, os, applied, config, cancel);
 }
 
 InjectionCampaign::ProbeLease::ProbeLease(InjectionCampaign* campaign) : campaign_(campaign) {
@@ -557,7 +634,8 @@ InjectionResult ReattributeResult(const InjectionResult& base, const Misconfigur
 
 std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
     const ConfigFile& template_config, const std::vector<Misconfiguration>& configs,
-    bool use_parse_snapshot, ThreadPool* pool, size_t num_threads) {
+    bool use_parse_snapshot, ThreadPool* pool, size_t num_threads,
+    const ReplayLimits& limits) {
   // A user-config check is worth the snapshot path even for a key-set seen
   // once: the campaign persists, so the entry pays for itself on the next
   // check of the same keys (an embedded checker sees the same handful of
@@ -588,9 +666,29 @@ std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
     // replays (and concurrent ReplayExternal callers) safe.
     ProbeLease probe(this);
     for (size_t i = begin; i < end; ++i) {
+      if (limits.cancel != nullptr && limits.cancel->ShouldCancel()) {
+        // Request-wide token fired: everything not yet replayed in this
+        // shard is skipped, cheaply and uniformly — the shard boundary is
+        // the coarse cancellation point, the interpreter poll the fine one.
+        results[i] = SkippedResult(configs[i], *limits.cancel);
+        continue;
+      }
       const std::string keyset = KeysetId(DeltaKeys(configs[i]));
+      if (!limits.active()) {
+        results[i] = RunOneWith(probe.context().interp, probe.context().os,
+                                snapshot_ok ? &keyset : nullptr, template_config, configs[i]);
+        continue;
+      }
+      // Child token per replay: the per-replay deadline restarts for each
+      // config (one pathological replay burns its own budget, not its
+      // shard-mates'), while a fired parent still cancels everything.
+      CancelToken per_replay(limits.cancel);
+      if (limits.per_replay_deadline.count() > 0) {
+        per_replay.ArmDeadlineAfter(limits.per_replay_deadline);
+      }
       results[i] = RunOneWith(probe.context().interp, probe.context().os,
-                              snapshot_ok ? &keyset : nullptr, template_config, configs[i]);
+                              snapshot_ok ? &keyset : nullptr, template_config, configs[i],
+                              &per_replay);
     }
   };
   size_t workers = num_threads == 0 && pool != nullptr ? pool->size()

@@ -41,6 +41,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,7 @@
 #include "src/interp/interpreter.h"
 #include "src/ir/ir.h"
 #include "src/osim/os_simulator.h"
+#include "src/support/cancellation.h"
 #include "src/support/thread_pool.h"
 
 namespace spex {
@@ -177,6 +179,26 @@ struct CampaignCacheStats {
   size_t verifications = 0;     // First-use-per-batch ground-truth comparisons.
 };
 
+// Per-request guardrails for ReplayExternal — how a *service* keeps one
+// slow config from sinking the process. `cancel` is the request-wide kill
+// switch (borrowed; may be null): once it fires, replays not yet started
+// are skipped outright and the one in flight is cancelled at the next
+// interpreter poll. `per_replay_deadline` budgets each replay separately
+// (0 = unlimited) via a child token parented to `cancel`, so one
+// pathological config burns its own budget, not the batch's. Cancelled
+// runs classify as ReactionCategory::kDeadlineExceeded — a verdict about
+// the *checker's* time, never conflated with the target hanging — and are
+// excluded from snapshot-cache verification bookkeeping, so a cancelled
+// batch leaves the cache exactly as it found it.
+struct ReplayLimits {
+  const CancelToken* cancel = nullptr;
+  std::chrono::nanoseconds per_replay_deadline{0};
+
+  bool active() const {
+    return cancel != nullptr || per_replay_deadline.count() > 0;
+  }
+};
+
 class InjectionCampaign {
  public:
   // `os_template` is copied for every run so injected damage (occupied
@@ -223,11 +245,18 @@ class InjectionCampaign {
   // which drains the *whole* queue: callers sharing a pool across clients
   // (spex::Session) must serialize pool-using batches externally, exactly
   // as they do for RunAll.
+  //
+  // `limits` (see ReplayLimits) bounds each replay: the token is checked
+  // before every replay in a shard and polled inside the interpreter, so a
+  // fired request token converts the remaining slots to kDeadlineExceeded
+  // results within one poll interval. `limits.cancel` must outlive the
+  // call; cancellation may race the call from any thread.
   std::vector<InjectionResult> ReplayExternal(const ConfigFile& template_config,
                                               const std::vector<Misconfiguration>& configs,
                                               bool use_parse_snapshot = true,
                                               ThreadPool* pool = nullptr,
-                                              size_t num_threads = 1);
+                                              size_t num_threads = 1,
+                                              const ReplayLimits& limits = {});
 
   // Cumulative across every run this campaign executed. After a second
   // RunAll over the same template, snapshots_built stays flat — the point
@@ -296,15 +325,20 @@ class InjectionCampaign {
   // Resets `interp` / `os` to the template state, runs one misconfiguration
   // and classifies the reaction. `keyset` is the precomputed key-set id of
   // `config` (null = always full replay; RunAll only passes it for key-sets
-  // worth snapshotting). Thread-safe: only touches the interpreter and
-  // simulator owned by the calling worker, plus the state-gated shared
-  // snapshot cache.
+  // worth snapshotting). `cancel` (null = unlimited) is polled by the
+  // interpreter while *this run's* phases execute — never during prefix
+  // snapshot builds, which are template-only work shared across requests
+  // and already bounded by max_steps. Thread-safe: only touches the
+  // interpreter and simulator owned by the calling worker, plus the
+  // state-gated shared snapshot cache.
   InjectionResult RunOneWith(Interpreter& interp, OsSimulator& os,
                              const std::string* keyset, const ConfigFile& template_config,
-                             const Misconfiguration& config) const;
+                             const Misconfiguration& config,
+                             const CancelToken* cancel = nullptr) const;
   // Ground-truth path: fresh template state, parse everything in file order.
   InjectionResult FullReplay(Interpreter& interp, OsSimulator& os, const ConfigFile& applied,
-                             const Misconfiguration& config) const;
+                             const Misconfiguration& config,
+                             const CancelToken* cancel = nullptr) const;
   // Snapshot path; nullopt = caller must run FullReplay (cache entry still
   // building, key-set order-sensitive, or the delta parse ended the run).
   std::optional<InjectionResult> TryDeltaReplay(Interpreter& interp, OsSimulator& os,
@@ -312,7 +346,8 @@ class InjectionCampaign {
                                                 const ConfigFile& template_config,
                                                 const ConfigFile& applied,
                                                 const Misconfiguration& config,
-                                                const std::vector<std::string>& delta_keys) const;
+                                                const std::vector<std::string>& delta_keys,
+                                                const CancelToken* cancel) const;
 
   // Phase 1 over `config`'s settings; with `only_delta_keys`, parses just
   // those entries. (The snapshot builder's everything-but-the-delta loop

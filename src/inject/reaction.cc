@@ -18,6 +18,8 @@ const char* ReactionCategoryName(ReactionCategory category) {
       return "good reaction";
     case ReactionCategory::kNoIssue:
       return "no issue";
+    case ReactionCategory::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "?";
 }

@@ -25,10 +25,16 @@ enum class ReactionCategory {
   kSilentIgnorance,    // Input silently ignored.
   kGoodReaction,       // Error detected and pinpointed.
   kNoIssue,            // Setting tolerated with correct behaviour.
+  kDeadlineExceeded,   // Not a Table-3 row: the *checker's* deadline (or an
+                       // explicit cancellation) fired before the replay
+                       // finished. Says nothing about the target system —
+                       // distinct from kCrashHang on purpose, so a slow
+                       // check is never misreported as a hanging SUT.
 };
 
-inline constexpr size_t kReactionCategoryCount = 7;
-static_assert(kReactionCategoryCount == static_cast<size_t>(ReactionCategory::kNoIssue) + 1,
+inline constexpr size_t kReactionCategoryCount = 8;
+static_assert(kReactionCategoryCount ==
+                  static_cast<size_t>(ReactionCategory::kDeadlineExceeded) + 1,
               "keep kReactionCategoryCount in sync with the enum — arrays "
               "indexed by static_cast<size_t>(category) are sized by it");
 

@@ -539,6 +539,14 @@ void Interpreter::Step() {
   if (++steps_ > options_.max_steps) {
     throw HangError();
   }
+  // The deadline check rides the step-budget path: same counter, same
+  // unwind mechanism, polled once per kCancelPollInterval steps so the
+  // request deadline interrupts even a loop the step budget would take
+  // milliseconds to catch.
+  if ((steps_ & (kCancelPollInterval - 1)) == 0 && cancel_ != nullptr &&
+      cancel_->ShouldCancel()) {
+    throw CancelError();
+  }
 }
 
 CallOutcome Interpreter::Call(const std::string& function, std::vector<RtValue> args) {
@@ -561,6 +569,12 @@ CallOutcome Interpreter::Call(const std::string& function, std::vector<RtValue> 
   } catch (const HangError&) {
     outcome.status = CallOutcome::Status::kHang;
     outcome.trap_reason = "step budget exhausted";
+  } catch (const CancelError&) {
+    outcome.status = CallOutcome::Status::kCancelled;
+    outcome.trap_reason = cancel_ != nullptr &&
+                                  cancel_->reason() == CancelToken::Reason::kDeadline
+                              ? "request deadline exceeded mid-execution"
+                              : "request cancelled mid-execution";
   }
   // Trap/exit/hang unwinding skips RunFunction's frame pops.
   active_frames_.clear();
@@ -1210,6 +1224,12 @@ RtValue Interpreter::Intrinsic(IntrinsicId id, const std::string& name,
       if (steps_ > options_.max_steps) {
         throw HangError();
       }
+      // A simulated sleep can jump the step counter across many poll
+      // intervals at once — poll the deadline here so "sleep(600)" in a
+      // parse handler cannot dodge cancellation until the next real step.
+      if (cancel_ != nullptr && cancel_->ShouldCancel()) {
+        throw CancelError();
+      }
       return RtValue::Int(0);
     }
     case IntrinsicId::kUsleep: {
@@ -1219,6 +1239,12 @@ RtValue Interpreter::Intrinsic(IntrinsicId id, const std::string& name,
       if (steps_ > options_.max_steps) {
         throw HangError();
       }
+      // A simulated sleep can jump the step counter across many poll
+      // intervals at once — poll the deadline here so "sleep(600)" in a
+      // parse handler cannot dodge cancellation until the next real step.
+      if (cancel_ != nullptr && cancel_->ShouldCancel()) {
+        throw CancelError();
+      }
       return RtValue::Int(0);
     }
     case IntrinsicId::kPollWait: {
@@ -1227,6 +1253,12 @@ RtValue Interpreter::Intrinsic(IntrinsicId id, const std::string& name,
       steps_ += std::min<int64_t>(msec / 10, 100'000'000);
       if (steps_ > options_.max_steps) {
         throw HangError();
+      }
+      // A simulated sleep can jump the step counter across many poll
+      // intervals at once — poll the deadline here so "sleep(600)" in a
+      // parse handler cannot dodge cancellation until the next real step.
+      if (cancel_ != nullptr && cancel_->ShouldCancel()) {
+        throw CancelError();
       }
       return RtValue::Int(0);
     }

@@ -31,6 +31,7 @@
 
 #include "src/ir/ir.h"
 #include "src/osim/os_simulator.h"
+#include "src/support/cancellation.h"
 #include "src/support/hashing.h"
 #include "src/support/string_pool.h"
 
@@ -90,10 +91,13 @@ struct InterpOptions {
 
 struct CallOutcome {
   enum class Status {
-    kOk,    // Returned normally.
-    kExit,  // Called exit(code).
-    kTrap,  // Segfault / abort / division by zero / stack overflow.
-    kHang,  // Step budget exhausted.
+    kOk,         // Returned normally.
+    kExit,       // Called exit(code).
+    kTrap,       // Segfault / abort / division by zero / stack overflow.
+    kHang,       // Step budget exhausted.
+    kCancelled,  // The caller's CancelToken fired mid-execution. Unlike
+                 // kHang this says nothing about the *target* — the
+                 // request ran out of time, not the system under test.
   };
   Status status = Status::kOk;
   RtValue return_value;
@@ -196,6 +200,16 @@ class Interpreter {
   // segments read or wrote which globals — the conflict information the
   // snapshot-replay path needs to prove a reordered parse equivalent.
   void set_access_stamp(int32_t stamp) { access_stamp_ = stamp; }
+
+  // --- Cooperative cancellation. When a token is set, the step-budget
+  // path polls it every kCancelPollInterval steps (and every simulated
+  // sleep); a fired token unwinds the current Call() with
+  // Status::kCancelled. The token is borrowed, not owned — callers
+  // (the campaign's replay driver) set it for the duration of one request
+  // and clear it before returning the interpreter to a pool. Not part of
+  // snapshots: cancellation is request state, not run state.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
   const std::vector<int32_t>& global_read_stamps() const { return global_read_stamps_; }
   const std::vector<int32_t>& global_write_stamps() const { return global_write_stamps_; }
   int64_t os_ops() const { return os_ops_; }
@@ -297,6 +311,13 @@ class Interpreter {
     int64_t code_;
   };
   class HangError {};
+  class CancelError {};
+
+  // How many steps run between cancel-token polls: rare enough that the
+  // poll (one relaxed load; a clock read when a deadline is armed) is
+  // invisible next to the interpreter's per-step work, frequent enough
+  // that a runaway loop is interrupted within ~microseconds.
+  static constexpr int64_t kCancelPollInterval = 1024;
 
   void BuildModuleIndex();
   void BuildInitImage();
@@ -334,6 +355,7 @@ class Interpreter {
   const Module& module_;
   OsSimulator* os_;
   InterpOptions options_;
+  const CancelToken* cancel_ = nullptr;  // Borrowed; see set_cancel_token.
 
   // --- Per-instance interned-string pool. Append-only with stable
   // addresses; RtValues built by this interpreter point into it.

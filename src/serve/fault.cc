@@ -1,0 +1,92 @@
+#include "src/serve/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+namespace {
+
+// "slow_replay:50" -> ("slow_replay", 50); missing/invalid parameter
+// yields `fallback`.
+int64_t TokenParam(std::string_view token, int64_t fallback) {
+  size_t colon = token.find(':');
+  if (colon == std::string_view::npos) {
+    return fallback;
+  }
+  auto value = ParseInt64(token.substr(colon + 1));
+  return value.has_value() && *value > 0 ? *value : fallback;
+}
+
+}  // namespace
+
+FaultInjector FaultInjector::FromEnv() {
+  FaultInjector faults;
+  const char* spec = std::getenv("SPEXCHECKD_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') {
+    return faults;
+  }
+  for (const std::string& raw : SplitString(spec, ',')) {
+    std::string_view token = TrimWhitespace(raw);
+    if (token.rfind("slow_replay", 0) == 0) {
+      faults.slow_replay_ms_ = TokenParam(token, 200);
+    } else if (token.rfind("alloc_pressure", 0) == 0) {
+      faults.alloc_pressure_mb_ = TokenParam(token, 64);
+    } else if (token.rfind("cancel_midway", 0) == 0) {
+      faults.cancel_after_polls_ = TokenParam(token, 4096);
+    }
+    // Unknown tokens fall through silently: a typo must not stop startup.
+  }
+  return faults;
+}
+
+void FaultInjector::OnRequestToken(CancelToken* token) const {
+  if (cancel_after_polls_ > 0 && token != nullptr) {
+    token->CancelAfterPolls(cancel_after_polls_);
+  }
+}
+
+void FaultInjector::BeforeCheck() const {
+  if (slow_replay_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow_replay_ms_));
+  }
+  if (alloc_pressure_mb_ > 0) {
+    // Touch every page so the allocation is real RSS, then release it —
+    // the spike is per-request by construction, which is exactly the
+    // property the soak's bounded-memory assertion checks.
+    const size_t bytes = static_cast<size_t>(alloc_pressure_mb_) << 20;
+    std::vector<unsigned char> pressure(bytes);
+    for (size_t i = 0; i < bytes; i += 4096) {
+      pressure[i] = static_cast<unsigned char>(i);
+    }
+  }
+}
+
+std::string FaultInjector::Describe() const {
+  if (!armed()) {
+    return "disarmed";
+  }
+  std::string out;
+  auto append = [&](const std::string& part) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += part;
+  };
+  if (slow_replay_ms_ > 0) {
+    append("slow_replay=" + std::to_string(slow_replay_ms_) + "ms");
+  }
+  if (alloc_pressure_mb_ > 0) {
+    append("alloc_pressure=" + std::to_string(alloc_pressure_mb_) + "MiB");
+  }
+  if (cancel_after_polls_ > 0) {
+    append("cancel_midway=" + std::to_string(cancel_after_polls_) + " polls");
+  }
+  return out;
+}
+
+}  // namespace spex

@@ -1,0 +1,69 @@
+// Fault-injection seam for spexcheckd.
+//
+// A fault-contained service earns that adjective under *injected* fault,
+// not on the happy path: the soak job arms this seam and then asserts the
+// daemon sheds, degrades and drains instead of dying. The seam is
+// deliberately dumb — three faults, armed by an environment variable,
+// compiled into the binary but no-ops when disarmed — so production and
+// test run the identical request path and the only delta is the armed
+// flag. Nothing in src/serve/ branches on "am I under test".
+//
+// Arming: SPEXCHECKD_FAULTS is a comma-separated list of fault tokens,
+// each optionally parameterized with ":<n>":
+//
+//   slow_replay[:ms]      sleep <ms> (default 200) before every check —
+//                         simulates a pathological config / slow target,
+//                         drives the deadline and admission paths.
+//   alloc_pressure[:mb]   allocate and touch <mb> MiB (default 64) per
+//                         request, freed before the response — simulates
+//                         memory spikes; the soak asserts RSS stays
+//                         bounded because the spike never outlives its
+//                         request.
+//   cancel_midway[:n]     arm CancelToken::CancelAfterPolls(<n>, default
+//                         4096) on every request token — deterministic
+//                         mid-replay cancellation, the wall-clock-free way
+//                         to exercise the kCancelled path under load.
+//
+// Example: SPEXCHECKD_FAULTS=slow_replay:50,cancel_midway spexcheckd ...
+#ifndef SPEX_SERVE_FAULT_H_
+#define SPEX_SERVE_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/cancellation.h"
+
+namespace spex {
+
+class FaultInjector {
+ public:
+  // Disarmed: every hook is a no-op.
+  FaultInjector() = default;
+
+  // Parses SPEXCHECKD_FAULTS (absent/empty = disarmed). Unknown tokens are
+  // ignored with a note in Describe() rather than rejected — a typo in a
+  // fault spec must not keep the daemon from starting.
+  static FaultInjector FromEnv();
+
+  bool armed() const { return slow_replay_ms_ > 0 || alloc_pressure_mb_ > 0 || cancel_after_polls_ > 0; }
+
+  // Called once per request, before the check runs: arms the deterministic
+  // mid-replay cancellation on the request's token.
+  void OnRequestToken(CancelToken* token) const;
+
+  // Called on the worker thread immediately before the check executes:
+  // injects the latency and/or the allocation spike.
+  void BeforeCheck() const;
+
+  // Human-readable summary for the startup log ("faults: slow_replay=50ms").
+  std::string Describe() const;
+
+ private:
+  int64_t slow_replay_ms_ = 0;
+  int64_t alloc_pressure_mb_ = 0;
+  int64_t cancel_after_polls_ = 0;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SERVE_FAULT_H_

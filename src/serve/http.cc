@@ -1,0 +1,266 @@
+#include "src/serve/http.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/support/strings.h"
+
+namespace spex {
+
+namespace {
+
+// recv() wrapper distinguishing timeout (SO_RCVTIMEO) from close/error.
+// Returns >0 bytes, 0 on orderly close, -1 on timeout, -2 on hard error.
+ssize_t RecvSome(int fd, char* buffer, size_t capacity) {
+  while (true) {
+    ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n >= 0) {
+      return n;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return -1;
+    }
+    return -2;
+  }
+}
+
+std::string_view TrimOws(std::string_view text) { return TrimWhitespace(text); }
+
+}  // namespace
+
+Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out) {
+  // Phase 1: accumulate until the blank line ending the header block.
+  std::string data;
+  data.reserve(1024);
+  size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (data.size() > kMaxHeaderBytes) {
+      return Status::InvalidArgument("request header block exceeds " +
+                                     std::to_string(kMaxHeaderBytes) + " bytes");
+    }
+    ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
+    if (n == -1) {
+      return Status::DeadlineExceeded("timed out reading request headers");
+    }
+    if (n == -2) {
+      return Status::Unavailable("connection error while reading request");
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed the connection mid-request");
+    }
+    data.append(chunk, static_cast<size_t>(n));
+    header_end = data.find("\r\n\r\n");
+  }
+
+  // Phase 2: request line + headers.
+  std::string_view header_block = std::string_view(data).substr(0, header_end);
+  size_t line_end = header_block.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? header_block : header_block.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  out->method = std::string(request_line.substr(0, sp1));
+  out->path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view()
+                              : header_block.substr(line_end + 2);
+  while (!rest.empty()) {
+    size_t eol = rest.find("\r\n");
+    std::string_view line = eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view() : rest.substr(eol + 2);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      continue;  // Tolerate junk header lines; framing is what matters.
+    }
+    std::string name = ToLowerCopy(TrimOws(line.substr(0, colon)));
+    out->headers[name] = std::string(TrimOws(line.substr(colon + 1)));
+  }
+
+  // Phase 3: body, gated by Content-Length.
+  size_t body_length = 0;
+  auto it = out->headers.find("content-length");
+  if (it != out->headers.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed < 0) {
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    body_length = static_cast<size_t>(*parsed);
+  }
+  if (body_length > max_body) {
+    return Status::InvalidArgument("request body of " + std::to_string(body_length) +
+                                   " bytes exceeds the " + std::to_string(max_body) +
+                                   "-byte limit");
+  }
+  out->body = data.substr(header_end + 4);
+  if (out->body.size() > body_length) {
+    out->body.resize(body_length);  // Ignore pipelined trailing bytes.
+  }
+  while (out->body.size() < body_length) {
+    ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
+    if (n == -1) {
+      return Status::DeadlineExceeded("timed out reading request body");
+    }
+    if (n <= 0) {
+      return Status::Unavailable("peer closed the connection mid-body");
+    }
+    size_t want = body_length - out->body.size();
+    out->body.append(chunk, std::min(static_cast<size_t>(n), want));
+  }
+  return Status::Ok();
+}
+
+bool WriteHttpResponse(int fd, int status_code, std::string_view reason,
+                       std::string_view content_type, std::string_view body,
+                       const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string response;
+  response.reserve(128 + body.size());
+  response += "HTTP/1.1 ";
+  response += std::to_string(status_code);
+  response += ' ';
+  response += reason;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    response += name;
+    response += ": ";
+    response += value;
+    response += "\r\n";
+  }
+  response += "\r\n";
+  response += body;
+  size_t written = 0;
+  while (written < response.size()) {
+    ssize_t n = ::send(fd, response.data() + written, response.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // Client gone; its loss.
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::pair<std::string_view, std::string_view> SplitRequestTarget(std::string_view target) {
+  size_t question = target.find('?');
+  if (question == std::string_view::npos) {
+    return {target, std::string_view()};
+  }
+  return {target.substr(0, question), target.substr(question + 1)};
+}
+
+std::string QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair = amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view() : query.substr(amp + 1);
+    size_t eq = pair.find('=');
+    std::string_view pair_key = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (pair_key != key) {
+      continue;
+    }
+    std::string value(eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1));
+    for (char& c : value) {
+      if (c == '+') {
+        c = ' ';
+      }
+    }
+    return value;
+  }
+  return std::string();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kResourceExhausted:
+      return 503;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+const char* HttpReasonFor(int http_status) {
+  switch (http_status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 408:
+      return "Request Timeout";
+    case 499:
+      return "Client Closed Request";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace spex

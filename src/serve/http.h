@@ -1,0 +1,80 @@
+// Minimal HTTP/1.1 request/response handling over raw POSIX sockets.
+//
+// spexcheckd speaks just enough HTTP for curl, a load balancer's health
+// probe, and the soak harness: one request per connection, Content-Length
+// bodies only (no chunked upload, no keep-alive, no TLS). That floor is a
+// feature — every parsing decision here is a containment decision, because
+// the bytes are untrusted:
+//
+//   - the header block is capped (kMaxHeaderBytes) and the body is capped
+//     by the caller's `max_body` — an oversized request is a structured
+//     kInvalidArgument, never an allocation the client controls;
+//   - reads run under the socket's SO_RCVTIMEO (set by the server), so a
+//     slow-loris client that dribbles one byte a second is cut off with
+//     kDeadlineExceeded instead of parking a worker forever;
+//   - any malformed framing (bad request line, bad Content-Length) is a
+//     per-connection error report, and the connection is simply closed.
+//
+// The parser allocates at most header-cap + body-cap per connection and
+// touches nothing global, so a hostile request's blast radius is its own
+// worker slot — which the admission queue already bounds.
+#ifndef SPEX_SERVE_HTTP_H_
+#define SPEX_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace spex {
+
+// Parsed request. `path` is the raw request-target ("/check?target=mysql");
+// use SplitRequestTarget/QueryParam to decompose it. Header names are
+// lower-cased at parse time (HTTP headers are case-insensitive).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+inline constexpr size_t kMaxHeaderBytes = 16 * 1024;
+
+// Reads one request from `fd`. Returns kInvalidArgument for malformed or
+// oversized input, kDeadlineExceeded when the socket read timed out
+// (SO_RCVTIMEO — the slow-loris guard), kUnavailable when the peer closed
+// mid-request. Never throws; never blocks past the socket timeout.
+Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out);
+
+// Writes a complete response (status line, headers, Content-Length, body).
+// Best-effort: a client that vanished mid-write is its own problem — the
+// return only says whether every byte was accepted by the kernel.
+bool WriteHttpResponse(int fd, int status_code, std::string_view reason,
+                       std::string_view content_type, std::string_view body,
+                       const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+
+// "/check?target=mysql&mode=dynamic" -> {"/check", "target=mysql&mode=dynamic"}.
+std::pair<std::string_view, std::string_view> SplitRequestTarget(std::string_view target);
+
+// Value of `key` in a query string, or empty. No percent-decoding beyond
+// '+' -> ' ' — target names and modes are [a-z_]+ by construction.
+std::string QueryParam(std::string_view query, std::string_view key);
+
+// JSON string escaping for the JSONL verdict stream (quotes, backslashes,
+// control characters).
+std::string JsonEscape(std::string_view text);
+
+// The HTTP status line a spex::Status maps to. kOk -> 200; kCancelled maps
+// to 499 (the de-facto "client closed request" code), kResourceExhausted
+// and kUnavailable to 503 (the server tells the client to come back, with
+// Retry-After added by the caller), kDeadlineExceeded to 504.
+int HttpStatusFor(StatusCode code);
+const char* HttpReasonFor(int http_status);
+
+}  // namespace spex
+
+#endif  // SPEX_SERVE_HTTP_H_

@@ -1,0 +1,527 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/api/batch_check.h"
+#include "src/serve/http.h"
+#include "src/support/strings.h"
+
+namespace spex {
+
+namespace {
+
+// Closes the connection on every exit path from a worker — leaked fds are
+// the quiet way a "contained" failure still costs the process.
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+
+ private:
+  int fd_;
+};
+
+// RAII slot in the dynamic-replay cap. Not acquiring is not an error —
+// it is the degradation signal.
+class ReplayGate {
+ public:
+  ReplayGate(std::atomic<size_t>* inflight, size_t max) : inflight_(inflight) {
+    size_t current = inflight_->fetch_add(1, std::memory_order_acq_rel);
+    if (current >= max) {
+      inflight_->fetch_sub(1, std::memory_order_acq_rel);
+      inflight_ = nullptr;
+    }
+  }
+  ~ReplayGate() {
+    if (inflight_ != nullptr) {
+      inflight_->fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  ReplayGate(const ReplayGate&) = delete;
+  ReplayGate& operator=(const ReplayGate&) = delete;
+  bool acquired() const { return inflight_ != nullptr; }
+
+ private:
+  std::atomic<size_t>* inflight_;
+};
+
+void SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) {
+    return;
+  }
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::string StatusJson(const Status& status) {
+  return std::string("{\"type\":\"error\",\"status\":\"") + StatusCodeName(status.code()) +
+         "\",\"message\":\"" + JsonEscape(status.message()) + "\"}\n";
+}
+
+// One violation as a JSONL line. `config` tags batch lines with the
+// report they belong to; null for single checks.
+std::string ViolationJson(const Violation& violation, const std::string* config) {
+  std::string line = "{\"type\":\"violation\"";
+  if (config != nullptr) {
+    line += ",\"config\":\"" + JsonEscape(*config) + "\"";
+  }
+  line += ",\"file\":\"" + JsonEscape(violation.file) + "\"";
+  line += ",\"line\":" + std::to_string(violation.line);
+  line += ",\"category\":\"" + std::string(ViolationCategoryName(violation.category)) + "\"";
+  line += ",\"param\":\"" + JsonEscape(violation.param) + "\"";
+  line += ",\"value\":\"" + JsonEscape(violation.value) + "\"";
+  line += ",\"message\":\"" + JsonEscape(violation.message) + "\"";
+  if (violation.reaction.has_value()) {
+    line += ",\"reaction\":\"" +
+            std::string(ReactionCategoryName(*violation.reaction)) + "\"";
+    line += ",\"prediction\":\"" + JsonEscape(violation.prediction) + "\"";
+  }
+  line += "}\n";
+  return line;
+}
+
+// "=== <name>" framing for /batch bodies. Content before the first frame
+// marker must be blank — anything else is a malformed batch, reported as
+// such rather than silently dropped.
+Status ParseBatchBody(const std::string& body, std::vector<ConfigInput>* out) {
+  ConfigInput* current = nullptr;
+  uint32_t line_number = 0;
+  for (const std::string& line : SplitString(body, '\n')) {
+    ++line_number;
+    if (line.rfind("=== ", 0) == 0) {
+      std::string name(TrimWhitespace(std::string_view(line).substr(4)));
+      if (name.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": '===' frame with an empty config name");
+      }
+      out->push_back(ConfigInput{std::move(name), std::string()});
+      current = &out->back();
+      continue;
+    }
+    if (current == nullptr) {
+      if (!TrimWhitespace(line).empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": content before the first '=== <name>' frame");
+      }
+      continue;
+    }
+    current->text += line;
+    current->text += '\n';
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("batch body contains no '=== <name>' frames");
+  }
+  return Status::Ok();
+}
+
+// The request's effective budget: the client may ask for less than the
+// server default, never for more (worker time is the server's to ration).
+// A server default of zero disables deadlines (trusted-embedder mode).
+std::chrono::milliseconds EffectiveDeadline(const std::string& query,
+                                            std::chrono::milliseconds server_default) {
+  auto requested = ParseInt64(QueryParam(query, "deadline_ms"));
+  std::chrono::milliseconds asked{requested.has_value() && *requested > 0 ? *requested : 0};
+  if (server_default.count() == 0) {
+    return asked;
+  }
+  if (asked.count() == 0) {
+    return server_default;
+  }
+  return std::min(asked, server_default);
+}
+
+}  // namespace
+
+CheckServer::CheckServer(ServerOptions options)
+    : options_(std::move(options)),
+      targets_(std::make_unique<TargetPool>(options_.target_capacity, options_.session)),
+      queue_(std::make_unique<BoundedQueue<int>>(options_.queue_capacity)) {}
+
+CheckServer::~CheckServer() {
+  Shutdown();
+  Join();
+}
+
+Status CheckServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::Unavailable(std::string("bind(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status status = Status::Unavailable(std::string("listen(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void CheckServer::Shutdown() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  // The drain order is the containment order: (1) no new work past the
+  // listener, (2) queued + in-flight work finishes on its own under the
+  // drain deadline, (3) the deadline fires the drain token and every
+  // request token parented to it cancels cooperatively at the next poll.
+  if (options_.drain_deadline.count() > 0) {
+    drain_token_.ArmDeadlineAfter(options_.drain_deadline);
+  } else {
+    drain_token_.Cancel();
+  }
+  queue_->Close();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+void CheckServer::Join() {
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void CheckServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // Listener shut down (drain) or hard error: either way the accept
+      // loop is done; workers drain whatever is queued.
+      return;
+    }
+    stat_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (queue_->TryPush(fd)) {
+      continue;
+    }
+    // Admission shed: the queue is full (overload) or closed (draining).
+    // Answer from the accept thread — cheap, bounded work — so the client
+    // learns to back off instead of hanging on an unread socket.
+    stat_shed_.fetch_add(1, std::memory_order_relaxed);
+    Status status = draining()
+                        ? Status::Unavailable("server is draining; no new work accepted")
+                        : Status::ResourceExhausted(
+                              "request queue full (" +
+                              std::to_string(queue_->capacity()) + " pending); retry later");
+    int http = HttpStatusFor(status.code());
+    WriteHttpResponse(fd, http, HttpReasonFor(http), "application/json", StatusJson(status),
+                      {{"Retry-After", "1"}});
+    ::close(fd);
+  }
+}
+
+void CheckServer::WorkerLoop() {
+  while (true) {
+    std::optional<int> fd = queue_->Pop();
+    if (!fd.has_value()) {
+      return;  // Closed and drained: the worker-exit signal.
+    }
+    HandleConnection(*fd);
+  }
+}
+
+void CheckServer::WriteError(int fd, const Status& status) {
+  int http = HttpStatusFor(status.code());
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (http == 503) {
+    extra.emplace_back("Retry-After", "1");
+  }
+  WriteHttpResponse(fd, http, HttpReasonFor(http), "application/json", StatusJson(status),
+                    extra);
+}
+
+void CheckServer::HandleConnection(int fd) {
+  FdCloser closer(fd);
+  SetRecvTimeout(fd, options_.read_timeout);
+  HttpRequest request;
+  Status read_status = ReadHttpRequest(fd, options_.max_body_bytes, &request);
+  if (!read_status.ok()) {
+    if (read_status.code() == StatusCode::kDeadlineExceeded) {
+      // Slow-loris cutoff: a client that cannot finish its request within
+      // the read timeout gets 408 and its worker back.
+      stat_read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      WriteHttpResponse(fd, 408, HttpReasonFor(408), "application/json",
+                        StatusJson(read_status));
+    } else if (read_status.code() == StatusCode::kInvalidArgument) {
+      stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(fd, read_status);
+    }
+    // kUnavailable (peer vanished): nobody left to answer.
+    return;
+  }
+
+  auto [path, query_view] = SplitRequestTarget(request.path);
+  std::string query(query_view);
+  if (request.method == "GET" && path == "/healthz") {
+    if (draining()) {
+      WriteHttpResponse(fd, 503, HttpReasonFor(503), "text/plain", "draining\n",
+                        {{"Retry-After", "1"}});
+    } else {
+      WriteHttpResponse(fd, 200, "OK", "text/plain", "ok\n");
+    }
+    return;
+  }
+  if (request.method == "GET" && path == "/statz") {
+    ServerStats snapshot = stats();
+    std::string body = "{";
+    auto field = [&](const char* name, uint64_t value, bool first = false) {
+      if (!first) {
+        body += ',';
+      }
+      body += '"';
+      body += name;
+      body += "\":";
+      body += std::to_string(value);
+    };
+    field("accepted", snapshot.accepted, true);
+    field("served_ok", snapshot.served_ok);
+    field("shed", snapshot.shed);
+    field("degraded", snapshot.degraded);
+    field("invalid_requests", snapshot.invalid_requests);
+    field("not_found", snapshot.not_found);
+    field("deadline_exceeded", snapshot.deadline_exceeded);
+    field("cancelled", snapshot.cancelled);
+    field("read_timeouts", snapshot.read_timeouts);
+    field("internal_errors", snapshot.internal_errors);
+    field("batch_configs", snapshot.batch_configs);
+    field("queue_depth", queue_->size());
+    field("inflight_replays", inflight_replays_.load(std::memory_order_relaxed));
+    field("targets_loaded", targets_->size());
+    field("target_loads", targets_->loads());
+    field("target_hits", targets_->hits());
+    field("target_evictions", targets_->evictions());
+    body += ",\"draining\":";
+    body += draining() ? "true" : "false";
+    body += "}\n";
+    WriteHttpResponse(fd, 200, "OK", "application/json", body);
+    return;
+  }
+  if (request.method == "POST" && (path == "/check" || path == "/batch")) {
+    HandleCheck(fd, query, request.body, path == "/batch");
+    return;
+  }
+  stat_not_found_.fetch_add(1, std::memory_order_relaxed);
+  WriteError(fd, Status::NotFound("no route for " + request.method + " " +
+                                  std::string(path)));
+}
+
+void CheckServer::HandleCheck(int fd, const std::string& query, const std::string& body,
+                              bool batch) {
+  // The whole request path runs under catch-all containment: a thrown
+  // bad_alloc or logic error becomes this request's 500, never the
+  // daemon's last words.
+  try {
+    std::string target_name = QueryParam(query, "target");
+    if (target_name.empty()) {
+      stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(fd, Status::InvalidArgument("missing required query parameter 'target'"));
+      return;
+    }
+    Status status;
+    std::shared_ptr<TargetPool::Entry> entry = targets_->Acquire(target_name, &status);
+    if (!status.ok()) {
+      (status.code() == StatusCode::kNotFound ? stat_not_found_ : stat_internal_)
+          .fetch_add(1, std::memory_order_relaxed);
+      WriteError(fd, status);
+      return;
+    }
+
+    const bool want_dynamic = QueryParam(query, "mode") != "static";
+    CancelToken token(&drain_token_);
+    std::chrono::milliseconds deadline =
+        EffectiveDeadline(query, options_.default_deadline);
+    if (deadline.count() > 0) {
+      token.ArmDeadlineAfter(deadline);
+    }
+    options_.faults.OnRequestToken(&token);
+
+    CheckOptions check;
+    check.mode = want_dynamic ? CheckMode::kDynamic : CheckMode::kStatic;
+    check.cancel = &token;
+    auto replay_ms = ParseInt64(QueryParam(query, "replay_deadline_ms"));
+    if (replay_ms.has_value() && *replay_ms > 0) {
+      check.deadline = std::chrono::milliseconds(*replay_ms);
+    }
+
+    // Graceful degradation: at the replay cap a dynamic request is served
+    // statically instead of queueing behind slow replays or being shed —
+    // the static verdict is still the paper's pre-flight check, delivered
+    // in microseconds, and the response says it was degraded.
+    ReplayGate gate(&inflight_replays_,
+                    want_dynamic ? options_.max_inflight_replays : SIZE_MAX);
+    bool degraded = false;
+    if (want_dynamic && !gate.acquired()) {
+      check.mode = CheckMode::kStatic;
+      degraded = true;
+      stat_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    options_.faults.BeforeCheck();
+
+    std::string response;
+    if (!batch) {
+      Status valid = ValidateConfigText(body, entry->target->dialect());
+      if (!valid.ok()) {
+        stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, valid);
+        return;
+      }
+      std::string name = QueryParam(query, "name");
+      if (name.empty()) {
+        name = "config";
+      }
+      std::vector<Violation> violations = entry->target->CheckConfig(body, name, check);
+      for (const Violation& violation : violations) {
+        response += ViolationJson(violation, nullptr);
+      }
+      Status final = token.cancelled()
+                         ? (token.reason() == CancelToken::Reason::kDeadline
+                                ? Status::DeadlineExceeded("request budget exhausted mid-check")
+                                : Status::Cancelled("request cancelled mid-check"))
+                         : Status::Ok();
+      response += "{\"type\":\"summary\",\"status\":\"";
+      response += StatusCodeName(final.code());
+      response += "\",\"target\":\"" + JsonEscape(target_name) + "\"";
+      response += ",\"mode\":\"";
+      response += check.mode == CheckMode::kDynamic ? "dynamic" : "static";
+      response += "\",\"violations\":" + std::to_string(violations.size());
+      response += ",\"degraded\":";
+      response += degraded ? "true" : "false";
+      response += "}\n";
+      int http = HttpStatusFor(final.code());
+      (final.ok() ? stat_served_ok_
+                  : final.code() == StatusCode::kDeadlineExceeded ? stat_deadline_
+                                                                  : stat_cancelled_)
+          .fetch_add(1, std::memory_order_relaxed);
+      WriteHttpResponse(fd, http, HttpReasonFor(http), "application/jsonl", response);
+      return;
+    }
+
+    std::vector<ConfigInput> inputs;
+    Status framed = ParseBatchBody(body, &inputs);
+    if (!framed.ok()) {
+      stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(fd, framed);
+      return;
+    }
+    BatchOptions batch_options;
+    batch_options.check = check;
+    batch_options.num_threads = 1;  // Concurrency comes from the worker pool.
+    BatchSummary summary = entry->target->CheckConfigBatch(inputs, batch_options);
+    stat_batch_configs_.fetch_add(inputs.size(), std::memory_order_relaxed);
+    for (const ConfigReport& report : summary.reports) {
+      for (const Violation& violation : report.violations) {
+        response += ViolationJson(violation, &report.name);
+      }
+      response += "{\"type\":\"report\",\"index\":" + std::to_string(report.index);
+      response += ",\"config\":\"" + JsonEscape(report.name) + "\"";
+      response += ",\"status\":\"";
+      response += StatusCodeName(report.status.code());
+      response += "\"";
+      if (!report.status.ok()) {
+        response += ",\"error\":\"" + JsonEscape(report.status.message()) + "\"";
+      }
+      response += ",\"violations\":" + std::to_string(report.violations.size());
+      response += ",\"suspects\":" + std::to_string(report.suspects);
+      response += ",\"shared_replays\":" + std::to_string(report.shared_replays);
+      response += "}\n";
+    }
+    Status final = token.cancelled()
+                       ? (token.reason() == CancelToken::Reason::kDeadline
+                              ? Status::DeadlineExceeded("request budget exhausted mid-batch")
+                              : Status::Cancelled("request cancelled mid-batch"))
+                       : Status::Ok();
+    response += "{\"type\":\"batch_summary\",\"status\":\"";
+    response += StatusCodeName(final.code());
+    response += "\",\"configs\":" + std::to_string(summary.configs_checked);
+    response += ",\"errors\":" + std::to_string(summary.configs_with_errors);
+    response += ",\"violations\":" + std::to_string(summary.total_violations);
+    response += ",\"total_suspects\":" + std::to_string(summary.total_suspects);
+    response += ",\"unique_replays\":" + std::to_string(summary.unique_replays);
+    response += ",\"degraded\":";
+    response += degraded ? "true" : "false";
+    response += "}\n";
+    int http = HttpStatusFor(final.code());
+    (final.ok() ? stat_served_ok_
+                : final.code() == StatusCode::kDeadlineExceeded ? stat_deadline_
+                                                                : stat_cancelled_)
+        .fetch_add(1, std::memory_order_relaxed);
+    WriteHttpResponse(fd, http, HttpReasonFor(http), "application/jsonl", response);
+  } catch (const std::exception& error) {
+    stat_internal_.fetch_add(1, std::memory_order_relaxed);
+    WriteError(fd, Status::Internal(std::string("contained request failure: ") +
+                                    error.what()));
+  } catch (...) {
+    stat_internal_.fetch_add(1, std::memory_order_relaxed);
+    WriteError(fd, Status::Internal("contained request failure of unknown type"));
+  }
+}
+
+ServerStats CheckServer::stats() const {
+  ServerStats snapshot;
+  snapshot.accepted = stat_accepted_.load(std::memory_order_relaxed);
+  snapshot.served_ok = stat_served_ok_.load(std::memory_order_relaxed);
+  snapshot.shed = stat_shed_.load(std::memory_order_relaxed);
+  snapshot.degraded = stat_degraded_.load(std::memory_order_relaxed);
+  snapshot.invalid_requests = stat_invalid_.load(std::memory_order_relaxed);
+  snapshot.not_found = stat_not_found_.load(std::memory_order_relaxed);
+  snapshot.deadline_exceeded = stat_deadline_.load(std::memory_order_relaxed);
+  snapshot.cancelled = stat_cancelled_.load(std::memory_order_relaxed);
+  snapshot.read_timeouts = stat_read_timeouts_.load(std::memory_order_relaxed);
+  snapshot.internal_errors = stat_internal_.load(std::memory_order_relaxed);
+  snapshot.batch_configs = stat_batch_configs_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+}  // namespace spex

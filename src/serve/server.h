@@ -1,0 +1,179 @@
+// spexcheckd's serving core: config checking as a fault-contained service.
+//
+// CheckServer turns the embeddable spex::Session façade into a network
+// daemon with one non-negotiable invariant: NO REQUEST EVER TAKES THE
+// PROCESS DOWN, OR HOLDS IT HOSTAGE. Every layer enforces a piece of it:
+//
+//   admission    A bounded connection queue between the accept loop and
+//                the worker pool. Full queue => the request is shed with
+//                503 + Retry-After from the accept thread — the cost of
+//                an overload is one refused client, not an unbounded
+//                backlog.
+//   deadlines    Every request carries a CancelToken armed with its
+//                deadline (client-supplied ?deadline_ms, capped default).
+//                The token is polled inside the interpreter's step loop,
+//                so a pathological config is cut off mid-replay and
+//                reported as `deadline_exceeded` — a verdict about the
+//                request's budget, never confused with the paper's
+//                crash/hang verdict about the target.
+//   degradation  Dynamic replays are capped (max_inflight_replays). At
+//                the cap, a dynamic request is not shed: it degrades to
+//                the static-only check (milliseconds, no interpreter) and
+//                the response says so — partial answer over no answer.
+//   containment  Malformed requests, unknown targets, oversized bodies,
+//                slow-loris reads, replay faults: each maps to a
+//                structured per-request spex::Status (and its HTTP
+//                mapping), handled on the worker that owns the request.
+//                Batches keep their per-config containment semantics — a
+//                poisoned config errors its own report line only.
+//   drain        Shutdown() (SIGTERM in the daemon) stops accepting new
+//                connections and lets queued + in-flight requests finish
+//                under drain_deadline; past it, the drain token that
+//                parents every request token fires — cancelling stragglers
+//                cooperatively. No request is ever killed mid-write.
+//
+// Wire protocol (HTTP/1.1, one request per connection, JSONL bodies):
+//
+//   GET  /healthz                      "ok" (503 "draining" during drain)
+//   GET  /statz                        JSON counters (admission, pool, ...)
+//   POST /check?target=NAME[&...]      body = config text; response = one
+//                                      JSON line per violation + a summary
+//                                      line.
+//   POST /batch?target=NAME[&...]      body = configs framed by "=== name"
+//                                      lines; response = violation lines +
+//                                      one report line per config + a batch
+//                                      summary line.
+//
+//   Query knobs: mode=static|dynamic (default dynamic), deadline_ms=N
+//   (request budget; 0 = none, capped at the server's default),
+//   replay_deadline_ms=N (per-suspect budget), name=... (report label for
+//   /check).
+#ifndef SPEX_SERVE_SERVER_H_
+#define SPEX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/fault.h"
+#include "src/serve/target_pool.h"
+#include "src/support/bounded_queue.h"
+#include "src/support/cancellation.h"
+#include "src/support/status.h"
+
+namespace spex {
+
+struct ServerOptions {
+  // 0 = ephemeral; the bound port is CheckServer::port() after Start().
+  // The daemon listens on 127.0.0.1 only — fronting proxies own the
+  // external surface.
+  uint16_t port = 0;
+  size_t num_workers = 4;
+  // Admission: pending connections between accept and the workers. Full
+  // => 503 + Retry-After, written from the accept thread.
+  size_t queue_capacity = 64;
+  // Dynamic replays running at once; at the cap a dynamic request
+  // degrades to static instead of queueing behind slow replays.
+  size_t max_inflight_replays = 2;
+  size_t max_body_bytes = 1 << 20;
+  // Per-request budget when the client sends none; also the cap on what a
+  // client may ask for (a client must not buy unbounded worker time).
+  // Zero disables deadlines entirely (trusted-embedder mode).
+  std::chrono::milliseconds default_deadline{2000};
+  // Socket read timeout — the slow-loris guard.
+  std::chrono::milliseconds read_timeout{2000};
+  // How long Shutdown() lets in-flight requests finish before the drain
+  // token cancels them cooperatively.
+  std::chrono::milliseconds drain_deadline{5000};
+  // Hot targets kept loaded (LRU beyond this).
+  size_t target_capacity = 4;
+  SessionOptions session;
+  FaultInjector faults;
+};
+
+// Monotonic counters, snapshot via CheckServer::stats(). Every terminal
+// outcome of a request increments exactly one of the outcome counters.
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t served_ok = 0;
+  uint64_t shed = 0;               // 503 from admission (queue full / draining).
+  uint64_t degraded = 0;           // Dynamic request served static at the replay cap.
+  uint64_t invalid_requests = 0;   // 400s: framing, validation, oversize.
+  uint64_t not_found = 0;          // Unknown route or target.
+  uint64_t deadline_exceeded = 0;  // Request budget fired mid-check.
+  uint64_t cancelled = 0;          // Explicit cancellation (drain, faults).
+  uint64_t read_timeouts = 0;      // Slow-loris cutoffs.
+  uint64_t internal_errors = 0;    // Contained exceptions; 500s.
+  uint64_t batch_configs = 0;      // Configs checked via /batch.
+};
+
+class CheckServer {
+ public:
+  explicit CheckServer(ServerOptions options = {});
+  // Shutdown() + Join() if still running: destroying the server is always
+  // a graceful drain.
+  ~CheckServer();
+
+  CheckServer(const CheckServer&) = delete;
+  CheckServer& operator=(const CheckServer&) = delete;
+
+  // Binds, listens and spawns the accept + worker threads. kUnavailable
+  // when the port cannot be bound.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  // Graceful shutdown: idempotent, callable from any thread (not from a
+  // signal handler — the daemon's handler sets a flag its main loop
+  // polls). Returns immediately; Join() waits for the drain.
+  void Shutdown();
+  void Join();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+  // The pool, for tests asserting hit/eviction behavior.
+  const TargetPool& targets() const { return *targets_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  // Routes /check and /batch. `batch` selects the body framing.
+  void HandleCheck(int fd, const std::string& query, const std::string& body, bool batch);
+  void WriteError(int fd, const Status& status);
+
+  ServerOptions options_;
+  std::unique_ptr<TargetPool> targets_;
+  std::unique_ptr<BoundedQueue<int>> queue_;
+  // Parent of every request token; fired (with the drain deadline) by
+  // Shutdown so stragglers cancel cooperatively.
+  CancelToken drain_token_;
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> inflight_replays_{0};
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+
+  // Counters (relaxed; read as a snapshot).
+  std::atomic<uint64_t> stat_accepted_{0};
+  std::atomic<uint64_t> stat_served_ok_{0};
+  std::atomic<uint64_t> stat_shed_{0};
+  std::atomic<uint64_t> stat_degraded_{0};
+  std::atomic<uint64_t> stat_invalid_{0};
+  std::atomic<uint64_t> stat_not_found_{0};
+  std::atomic<uint64_t> stat_deadline_{0};
+  std::atomic<uint64_t> stat_cancelled_{0};
+  std::atomic<uint64_t> stat_read_timeouts_{0};
+  std::atomic<uint64_t> stat_internal_{0};
+  std::atomic<uint64_t> stat_batch_configs_{0};
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SERVE_SERVER_H_

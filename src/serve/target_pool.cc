@@ -1,0 +1,90 @@
+#include "src/serve/target_pool.h"
+
+#include <utility>
+
+#include "src/corpus/spec.h"
+
+namespace spex {
+
+TargetPool::TargetPool(size_t capacity, SessionOptions session_options)
+    : capacity_(capacity == 0 ? 1 : capacity), session_options_(std::move(session_options)) {}
+
+std::shared_ptr<TargetPool::Entry> TargetPool::Acquire(const std::string& name,
+                                                       Status* status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    it->second.last_used = ++tick_;
+    ++hits_;
+    *status = Status::Ok();
+    return it->second.entry;
+  }
+
+  // Validate the name before FindTarget — the corpus lookup aborts on
+  // unknown names, and turning untrusted input into an abort is the one
+  // thing a serving boundary must never do.
+  bool known = false;
+  for (const TargetSpec& spec : EvaluatedTargets()) {
+    if (spec.name == name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    *status = Status::NotFound("unknown target '" + name + "'");
+    return nullptr;
+  }
+
+  auto entry = std::make_shared<Entry>();
+  entry->name = name;
+  entry->session = std::make_unique<Session>(session_options_);
+  entry->target = entry->session->LoadTarget(name);
+  if (entry->target == nullptr) {
+    *status = Status::Internal("loading target '" + name +
+                               "' failed: " + entry->session->RenderDiagnostics());
+    return nullptr;
+  }
+  ++loads_;
+
+  if (slots_.size() >= capacity_) {
+    // Evict the least-recently-used entry. Dropping the map's shared_ptr
+    // is all eviction means — an in-flight request holding the entry keeps
+    // it alive until it finishes, so eviction can never pull a Session out
+    // from under a replay.
+    auto victim = slots_.end();
+    for (auto candidate = slots_.begin(); candidate != slots_.end(); ++candidate) {
+      if (victim == slots_.end() || candidate->second.last_used < victim->second.last_used) {
+        victim = candidate;
+      }
+    }
+    if (victim != slots_.end()) {
+      slots_.erase(victim);
+      ++evictions_;
+    }
+  }
+  slots_[name] = Slot{entry, ++tick_};
+  *status = Status::Ok();
+  return entry;
+}
+
+size_t TargetPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+size_t TargetPool::loads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loads_;
+}
+
+size_t TargetPool::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+size_t TargetPool::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace spex

@@ -1,0 +1,89 @@
+// Hot-target cache for spexcheckd: loaded spex::Session/Target pairs
+// keyed by corpus target name, LRU-evicted when the cache is full.
+//
+// Loading a target (parse -> lower -> constraint inference) costs orders
+// of magnitude more than checking one config against it, and a fleet
+// checker sees the same handful of targets over and over — so the daemon
+// keeps each loaded target hot, together with the campaign snapshot cache
+// living inside it (the warm-check fast path the benches measure). Memory
+// is the counter-pressure: each entry owns a full Session, so the pool
+// holds at most `capacity` of them and evicts the least-recently-used
+// entry when a new target needs the slot.
+//
+// Eviction vs. in-flight requests: Acquire hands out a shared_ptr. The
+// pool dropping its reference (eviction) therefore never destroys a
+// Session a request is still replaying on — the entry dies when the last
+// in-flight check returns its pointer. This is the same pinning idiom
+// Target::EnsureCampaign uses for campaign swaps, one level up.
+//
+// Thread-safety: all members are internally synchronized. Cold loads run
+// under the pool mutex, so two concurrent first-requests for different
+// targets serialize their loads; acceptable because loads are rare
+// (bounded by capacity x target-universe) and keeping it simple keeps it
+// obviously correct. Hot acquires are a map lookup + stamp bump.
+#ifndef SPEX_SERVE_TARGET_POOL_H_
+#define SPEX_SERVE_TARGET_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/api/session.h"
+#include "src/support/status.h"
+
+namespace spex {
+
+class TargetPool {
+ public:
+  // One hot target. `target` points into `session` and shares its
+  // lifetime; both are immutable after load (checks mutate only the
+  // campaign internals, which are themselves thread-safe).
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Session> session;
+    Target* target = nullptr;
+  };
+
+  // `capacity` is clamped to >= 1. `session_options` seeds every entry's
+  // Session (engine knobs, campaign threads).
+  explicit TargetPool(size_t capacity, SessionOptions session_options = {});
+
+  TargetPool(const TargetPool&) = delete;
+  TargetPool& operator=(const TargetPool&) = delete;
+
+  // Find-or-load. Unknown corpus names return kNotFound (checked against
+  // EvaluatedTargets() up front — corpus FindTarget aborts on unknown
+  // names, and an abort is exactly what a serving boundary exists to
+  // prevent); a load whose analysis fails returns kInternal with the
+  // diagnostics. On success the entry is pinned by the returned
+  // shared_ptr for as long as the caller holds it.
+  std::shared_ptr<Entry> Acquire(const std::string& name, Status* status);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Cumulative counters for /statz: cold loads vs. cache hits, evictions.
+  size_t loads() const;
+  size_t hits() const;
+  size_t evictions() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<Entry> entry;
+    uint64_t last_used = 0;
+  };
+
+  const size_t capacity_;
+  const SessionOptions session_options_;
+  mutable std::mutex mutex_;
+  uint64_t tick_ = 0;  // Monotonic use counter; drives LRU order.
+  std::unordered_map<std::string, Slot> slots_;
+  size_t loads_ = 0;
+  size_t hits_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SERVE_TARGET_POOL_H_

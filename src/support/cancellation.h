@@ -1,0 +1,131 @@
+// Cooperative cancellation and monotonic deadlines.
+//
+// A config-checking *service* is only as good as its worst request: a
+// pathological user config must not pin an interpreter forever. The repo's
+// answer is cooperative: hot loops (the interpreter's step counter, the
+// campaign's replay boundaries) poll a CancelToken, and the poll is cheap
+// enough to sit inside the step-budget path — one relaxed atomic load, plus
+// a steady_clock read only every few thousand polls when a deadline is
+// armed. A fired token is sticky: once ShouldCancel() returns true it
+// returns true forever, so every layer above the first detection sees a
+// consistent "this request is over" signal.
+//
+// Tokens chain: a per-replay token holds a pointer to the request-wide
+// token, which may hold the server's drain token. Firing anywhere up the
+// chain cancels everything below it. Reason() distinguishes an explicit
+// Cancel() (client gone, server draining) from a deadline expiry, so the
+// serve boundary can answer 499-style "cancelled" vs "deadline exceeded"
+// as distinct machine-readable statuses.
+//
+// Thread-safety: all state is atomic. Any number of threads may poll a
+// token while others Cancel() it; arming (ArmDeadlineAfter /
+// CancelAfterPolls) must happen before the token is shared, like any
+// publication.
+#ifndef SPEX_SUPPORT_CANCELLATION_H_
+#define SPEX_SUPPORT_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace spex {
+
+// Monotonic clock used for every deadline in the repo: never jumps on NTP
+// adjustments, comparable across threads.
+using MonotonicClock = std::chrono::steady_clock;
+using MonotonicTime = MonotonicClock::time_point;
+
+inline MonotonicTime MonotonicNow() { return MonotonicClock::now(); }
+
+class CancelToken {
+ public:
+  enum class Reason : int {
+    kNone = 0,      // Not fired.
+    kExplicit = 1,  // Cancel() was called (client disconnect, server drain).
+    kDeadline = 2,  // The armed deadline passed.
+  };
+
+  CancelToken() = default;
+  // A child token: fires when its own state fires *or* when `parent` does.
+  // The parent must outlive the child (the campaign's per-replay tokens are
+  // stack-local inside the request that owns the parent).
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Explicit cancellation; sticky, thread-safe, idempotent (the first
+  // reason to fire wins).
+  void Cancel() { Fire(Reason::kExplicit); }
+
+  // Arms an absolute monotonic deadline. A deadline in the past fires on
+  // the first poll — the deterministic way to test the expiry path.
+  void ArmDeadline(MonotonicTime when) {
+    deadline_ns_.store(when.time_since_epoch().count(), std::memory_order_release);
+  }
+  template <typename Rep, typename Period>
+  void ArmDeadlineAfter(std::chrono::duration<Rep, Period> budget) {
+    ArmDeadline(MonotonicNow() + std::chrono::duration_cast<MonotonicClock::duration>(budget));
+  }
+
+  // Test / fault-injection seam: fire (as kExplicit) on the n-th
+  // ShouldCancel() poll. Wall-clock-free, so containment tests are
+  // deterministic on any machine. n <= 0 disarms.
+  void CancelAfterPolls(int64_t n) { polls_left_.store(n, std::memory_order_release); }
+
+  // The cooperative check hot loops call. One relaxed load when nothing is
+  // armed; reads the clock only when a deadline is armed. Sticky.
+  bool ShouldCancel() const {
+    if (reason_.load(std::memory_order_relaxed) != static_cast<int>(Reason::kNone)) {
+      return true;
+    }
+    int64_t polls = polls_left_.load(std::memory_order_relaxed);
+    if (polls > 0 && polls_left_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      Fire(Reason::kExplicit);
+      return true;
+    }
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline &&
+        MonotonicNow().time_since_epoch().count() >= deadline) {
+      Fire(Reason::kDeadline);
+      return true;
+    }
+    if (parent_ != nullptr && parent_->ShouldCancel()) {
+      // Inherit the parent's reason so the serve boundary reports the
+      // root cause (drain vs. deadline) for the whole chain.
+      Fire(parent_->reason());
+      return true;
+    }
+    return false;
+  }
+
+  // Pure read (no side effects): has this token fired?
+  bool cancelled() const {
+    return reason_.load(std::memory_order_acquire) != static_cast<int>(Reason::kNone);
+  }
+
+  Reason reason() const {
+    return static_cast<Reason>(reason_.load(std::memory_order_acquire));
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  void Fire(Reason reason) const {
+    int expected = static_cast<int>(Reason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  const CancelToken* parent_ = nullptr;
+  // Mutable: polling is conceptually const (hot loops hold const pointers)
+  // but latches the fired state.
+  mutable std::atomic<int> reason_{static_cast<int>(Reason::kNone)};
+  mutable std::atomic<int64_t> polls_left_{0};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_CANCELLATION_H_

@@ -10,8 +10,11 @@
 //   spexcheck --target mysql --format jsonl my.cnf
 //   spexcheck --target squid --dump-template > base.conf
 //
-// Exit codes: 0 = every config clean, 1 = at least one violation,
-// 2 = usage / load / I/O error.
+// Exit codes: 0 = every config clean, 1 = at least one violation or
+// per-config error, 2 = usage / load error, or NO config could be checked
+// at all. A single unreadable or unparseable file inside a directory scan
+// is contained as a per-config error record — it never aborts the rest of
+// the fleet.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -48,7 +51,8 @@ options:
   --list-targets       print available corpus target names and exit
   --help               this message
 
-exit codes: 0 = all configs clean, 1 = violations found, 2 = error
+exit codes: 0 = all configs clean, 1 = violations or per-config errors,
+            2 = usage/load error or no config checked
 )";
 
 // Minimal * / ? glob over filenames (no character classes, no path
@@ -125,15 +129,33 @@ struct CliOptions {
   std::vector<std::string> paths;
 };
 
+// A config that could not be checked at all — unreadable on disk, or
+// rejected by the batch layer's admission validation. Reported alongside
+// the real reports so one bad file never hides the rest of the fleet.
+struct ConfigError {
+  std::string name;
+  std::string message;
+};
+
 // One JSON line per config as its report streams in, plus a final
 // summary line — the format a fleet pipeline tails.
 class JsonlWriter : public BatchObserver {
  public:
+  void OnConfigError(const ConfigError& error) {
+    std::cout << "{\"config\":\"" << JsonEscape(error.name) << "\",\"error\":\""
+              << JsonEscape(error.message) << "\"}\n";
+  }
+
   void OnConfigChecked(size_t index, const ConfigReport& report) override {
     std::ostringstream line;
     line << "{\"config\":\"" << JsonEscape(report.name) << "\",\"index\":" << index
          << ",\"suspects\":" << report.suspects
-         << ",\"shared_replays\":" << report.shared_replays << ",\"violations\":[";
+         << ",\"shared_replays\":" << report.shared_replays;
+    if (!report.status.ok()) {
+      line << ",\"status\":\"" << StatusCodeName(report.status.code()) << "\",\"error\":\""
+           << JsonEscape(report.status.message()) << "\"";
+    }
+    line << ",\"violations\":[";
     for (size_t i = 0; i < report.violations.size(); ++i) {
       const Violation& v = report.violations[i];
       if (i != 0) {
@@ -155,6 +177,7 @@ class JsonlWriter : public BatchObserver {
 
   void OnBatchEnd(const BatchSummary& summary) override {
     std::cout << "{\"summary\":{\"configs_checked\":" << summary.configs_checked
+              << ",\"configs_with_errors\":" << summary.configs_with_errors
               << ",\"configs_with_violations\":" << summary.configs_with_violations
               << ",\"total_violations\":" << summary.total_violations
               << ",\"total_suspects\":" << summary.total_suspects
@@ -165,7 +188,15 @@ class JsonlWriter : public BatchObserver {
 
 class TextWriter : public BatchObserver {
  public:
+  void OnConfigError(const ConfigError& error) {
+    std::cout << error.name << ": ERROR " << error.message << "\n";
+  }
+
   void OnConfigChecked(size_t, const ConfigReport& report) override {
+    if (!report.status.ok()) {
+      std::cout << report.name << ": ERROR " << report.status.message() << "\n";
+      return;
+    }
     if (report.violations.empty()) {
       std::cout << report.name << ": OK\n";
       return;
@@ -181,6 +212,9 @@ class TextWriter : public BatchObserver {
     std::cout << "checked " << summary.configs_checked << " config(s): "
               << summary.configs_with_violations << " with violations, "
               << summary.total_violations << " violation(s) total";
+    if (summary.configs_with_errors != 0) {
+      std::cout << "; " << summary.configs_with_errors << " with errors";
+    }
     if (summary.total_suspects != 0) {
       std::cout << "; " << summary.total_suspects << " suspect setting(s), "
                 << summary.unique_replays << " unique replay(s) (dedup "
@@ -265,8 +299,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, std::string* error) {
 // Expands files and directories into the config list. Directory scans are
 // non-recursive, filtered by `pattern`, sorted by name so report order
 // (and the JSONL stream) is stable across filesystems.
+//
+// Containment boundary: a file that cannot be READ (vanished mid-scan,
+// permission denied) becomes a per-config error record in `errors` and
+// the rest of the fleet is still checked. Only structural problems with
+// the invocation itself — a path that does not exist, an unlistable
+// directory, a glob matching nothing — fail the whole run.
 bool CollectConfigs(const CliOptions& options, std::vector<ConfigInput>* configs,
-                    std::string* error) {
+                    std::vector<ConfigError>* errors, std::string* error) {
   std::vector<std::string> files;
   for (const std::string& path : options.paths) {
     std::error_code ec;
@@ -303,11 +343,15 @@ bool CollectConfigs(const CliOptions& options, std::vector<ConfigInput>* configs
   for (const std::string& file : files) {
     std::ifstream stream(file, std::ios::binary);
     if (!stream) {
-      *error = "cannot read " + file;
-      return false;
+      errors->push_back(ConfigError{file, "cannot read file"});
+      continue;
     }
     std::ostringstream content;
     content << stream.rdbuf();
+    if (stream.bad()) {
+      errors->push_back(ConfigError{file, "read failed mid-file"});
+      continue;
+    }
     configs->push_back(ConfigInput{file, content.str()});
   }
   return true;
@@ -351,18 +395,35 @@ int Run(int argc, char** argv) {
     return 2;
   }
   std::vector<ConfigInput> configs;
-  if (!CollectConfigs(options, &configs, &error)) {
+  std::vector<ConfigError> read_errors;
+  if (!CollectConfigs(options, &configs, &read_errors, &error)) {
     return Fail(error);
+  }
+
+  JsonlWriter jsonl;
+  TextWriter text;
+  for (const ConfigError& record : read_errors) {
+    std::cerr << "spexcheck: " << record.name << ": " << record.message << "\n";
+    if (options.jsonl) {
+      jsonl.OnConfigError(record);
+    } else {
+      text.OnConfigError(record);
+    }
+  }
+  if (configs.empty()) {
+    // Exit 2 is reserved for "nothing was checked at all" — if even one
+    // config made it through, the run reports what it found instead.
+    return Fail("no config could be checked (" + std::to_string(read_errors.size()) +
+                " unreadable)");
   }
 
   BatchOptions batch;
   batch.check.mode = options.mode;
   batch.num_threads = options.threads;
-  JsonlWriter jsonl;
-  TextWriter text;
   BatchObserver* writer = options.jsonl ? static_cast<BatchObserver*>(&jsonl) : &text;
   BatchSummary summary = target->CheckConfigBatch(configs, batch, writer);
-  return summary.total_violations == 0 ? 0 : 1;
+  bool any_error = !read_errors.empty() || summary.configs_with_errors != 0;
+  return summary.total_violations == 0 && !any_error ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// spexcheckd — SPEX config checking as a long-running local service.
+//
+// Wraps spex::CheckServer (src/serve/server.h) in a daemon: parse flags,
+// bind 127.0.0.1, serve until SIGTERM/SIGINT, then drain gracefully. The
+// fault-containment story lives in the server; this binary owns only the
+// pieces a process must: flag parsing, signal handling, and the exit
+// status. See docs/operations.md for running it in anger.
+//
+//   spexcheckd --port 8080 --workers 8
+//   curl -sS 'http://127.0.0.1:8080/check?target=squid' --data-binary @my.conf
+//
+// Signals: SIGTERM and SIGINT both trigger one graceful drain (stop
+// accepting, finish in-flight work under --drain-deadline-ms, exit 0). A
+// second signal during the drain is ignored — the drain deadline, not an
+// operator's impatience, bounds shutdown.
+//
+// Fault injection: the SPEXCHECKD_FAULTS environment variable arms the
+// FaultInjector (e.g. "slow_replay:50,cancel_midway"). Disarmed (unset),
+// every hook is a no-op; the soak job in CI runs with it armed.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/serve/server.h"
+
+namespace spex {
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: spexcheckd [options]
+
+Serve SPEX config checks over loopback HTTP. Endpoints:
+  GET  /healthz               liveness ("ok", or 503 "draining")
+  GET  /statz                 JSON counters
+  POST /check?target=NAME     check one config (body = config text)
+  POST /batch?target=NAME     check many (body framed by "=== <name>" lines)
+
+options:
+  --port <n>                  listen port on 127.0.0.1 (default: 8080; 0 = ephemeral)
+  --workers <n>               request worker threads (default: 4)
+  --queue-capacity <n>        pending connections before shedding 503 (default: 64)
+  --max-inflight-replays <n>  concurrent dynamic replays; beyond this a
+                              dynamic request degrades to static (default: 2)
+  --max-body-kb <n>           largest accepted request body (default: 1024)
+  --deadline-ms <n>           default + maximum per-request budget; 0 disables
+                              deadlines entirely (default: 2000)
+  --read-timeout-ms <n>       socket read timeout, the slow-loris guard (default: 2000)
+  --drain-deadline-ms <n>     how long SIGTERM lets in-flight work finish
+                              before cancelling it cooperatively (default: 5000)
+  --target-capacity <n>       hot targets kept loaded, LRU beyond (default: 4)
+  --help                      this message
+
+environment:
+  SPEXCHECKD_FAULTS           arm fault injection (slow_replay[:ms],
+                              alloc_pressure[:mb], cancel_midway[:polls])
+
+exit codes: 0 = clean drain after a signal, 2 = usage or startup error
+)";
+
+// Signal handlers may only touch lock-free sig_atomic storage; the main
+// thread polls this and runs the actual (not async-signal-safe) drain.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnShutdownSignal(int) { g_shutdown_requested = 1; }
+
+bool ParseSizeFlag(const char* flag, const char* value, long min, long max, long* out,
+                   std::string* error) {
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < min || parsed > max) {
+    *error = std::string(flag) + " wants an integer in [" + std::to_string(min) + ", " +
+             std::to_string(max) + "], got: " + value;
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  ServerOptions options;
+  options.port = 8080;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string error;
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "spexcheckd: " << flag << " requires an argument\n" << kUsage;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto take = [&](const char* flag, long min, long max, auto assign) -> bool {
+      const char* value = next(flag);
+      if (value == nullptr) {
+        return false;
+      }
+      long parsed = 0;
+      if (!ParseSizeFlag(flag, value, min, max, &parsed, &error)) {
+        std::cerr << "spexcheckd: " << error << "\n" << kUsage;
+        return false;
+      }
+      assign(parsed);
+      return true;
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--port") {
+      ok = take("--port", 0, 65535, [&](long v) { options.port = static_cast<uint16_t>(v); });
+    } else if (arg == "--workers") {
+      ok = take("--workers", 1, 256, [&](long v) { options.num_workers = v; });
+    } else if (arg == "--queue-capacity") {
+      ok = take("--queue-capacity", 1, 65536, [&](long v) { options.queue_capacity = v; });
+    } else if (arg == "--max-inflight-replays") {
+      ok = take("--max-inflight-replays", 1, 1024,
+                [&](long v) { options.max_inflight_replays = v; });
+    } else if (arg == "--max-body-kb") {
+      ok = take("--max-body-kb", 1, 1 << 20,
+                [&](long v) { options.max_body_bytes = static_cast<size_t>(v) * 1024; });
+    } else if (arg == "--deadline-ms") {
+      ok = take("--deadline-ms", 0, 86400000,
+                [&](long v) { options.default_deadline = std::chrono::milliseconds(v); });
+    } else if (arg == "--read-timeout-ms") {
+      ok = take("--read-timeout-ms", 0, 86400000,
+                [&](long v) { options.read_timeout = std::chrono::milliseconds(v); });
+    } else if (arg == "--drain-deadline-ms") {
+      ok = take("--drain-deadline-ms", 0, 86400000,
+                [&](long v) { options.drain_deadline = std::chrono::milliseconds(v); });
+    } else if (arg == "--target-capacity") {
+      ok = take("--target-capacity", 1, 64, [&](long v) { options.target_capacity = v; });
+    } else {
+      std::cerr << "spexcheckd: unknown flag: " << arg << "\n" << kUsage;
+      return 2;
+    }
+    if (!ok) {
+      return 2;
+    }
+  }
+
+  options.faults = FaultInjector::FromEnv();
+  if (options.faults.armed()) {
+    std::cerr << "spexcheckd: FAULT INJECTION ARMED: " << options.faults.Describe() << "\n";
+  }
+
+  CheckServer server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "spexcheckd: startup failed: " << started.ToString() << "\n";
+    return 2;
+  }
+  std::cerr << "spexcheckd: serving on 127.0.0.1:" << server.port() << "\n";
+
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // Client disconnects are per-request events.
+  while (g_shutdown_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cerr << "spexcheckd: draining...\n";
+  server.Shutdown();
+  server.Join();
+  ServerStats stats = server.stats();
+  std::cerr << "spexcheckd: drained; accepted=" << stats.accepted
+            << " served_ok=" << stats.served_ok << " shed=" << stats.shed
+            << " degraded=" << stats.degraded << " deadline_exceeded=" << stats.deadline_exceeded
+            << " cancelled=" << stats.cancelled << " internal_errors=" << stats.internal_errors
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spex
+
+int main(int argc, char** argv) { return spex::Run(argc, argv); }

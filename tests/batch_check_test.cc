@@ -330,6 +330,116 @@ TEST(BatchCheckTest, StaticModeMatchesStaticChecksWithoutReplays) {
   }
 }
 
+// --- Partial-batch error semantics: one poisoned config must error its
+// own report line only; every healthy config's verdicts stay bit-identical
+// to checking it alone, at every thread count.
+
+TEST(BatchCheckTest, PoisonedParseFailureIsContainedToItsOwnReport) {
+  std::vector<ConfigInput> healthy = FleetCorpus();
+
+  // Ground truth: each healthy config checked alone, fresh session.
+  std::vector<std::vector<Violation>> independent;
+  {
+    Session session;
+    Target* target = LoadFleetServer(session);
+    ASSERT_NE(target, nullptr);
+    CheckOptions dynamic;
+    dynamic.mode = CheckMode::kDynamic;
+    for (const ConfigInput& config : healthy) {
+      independent.push_back(target->CheckConfig(config.text, config.name, dynamic));
+    }
+  }
+
+  // The poisoned config rides mid-batch: a settings line with no '=' in a
+  // key=value dialect fails admission validation before any analysis.
+  std::vector<ConfigInput> corpus = healthy;
+  corpus.insert(corpus.begin() + 3,
+                ConfigInput{"poisoned.conf", "worker_threads = 4\nthis line has no equals\n"});
+
+  for (int threads : {1, 4}) {
+    Session session(SessionOptions{.campaign_threads = 4});
+    Target* target = LoadFleetServer(session);
+    ASSERT_NE(target, nullptr);
+    BatchOptions options;
+    options.check.mode = CheckMode::kDynamic;
+    options.num_threads = threads;
+    BatchSummary summary = target->CheckConfigBatch(corpus, options);
+    ASSERT_EQ(summary.reports.size(), corpus.size());
+    EXPECT_EQ(summary.configs_with_errors, 1u);
+
+    const ConfigReport& poisoned = summary.reports[3];
+    EXPECT_EQ(poisoned.name, "poisoned.conf");
+    EXPECT_EQ(poisoned.status.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(poisoned.violations.empty())
+        << "an unparseable config contributes no verdicts, only its error";
+    EXPECT_EQ(poisoned.suspects, 0u);
+
+    // Every healthy report is bit-identical to its independent check —
+    // indices shifted by one past the insertion point.
+    for (size_t i = 0; i < healthy.size(); ++i) {
+      size_t batch_index = i < 3 ? i : i + 1;
+      EXPECT_TRUE(summary.reports[batch_index].status.ok()) << healthy[i].name;
+      ExpectSameViolations(independent[i], summary.reports[batch_index].violations,
+                           healthy[i].name + " beside poison @" + std::to_string(threads) +
+                               " threads");
+    }
+  }
+}
+
+TEST(BatchCheckTest, DeadlineExceededMarksOnlyConfigsWhoseReplaysTimedOut) {
+  // Clean configs have no suspects, so a per-replay deadline that expires
+  // instantly can only touch the configs that actually replay.
+  std::vector<ConfigInput> corpus = {
+      {"clean-1.conf", kFleetServerTemplate},
+      {"poisoned.conf", "worker_threads = 99\n"},
+      {"clean-2.conf", ""},
+      {"also-poisoned.conf", "worker_threads = 99\n"},  // Shares the replay.
+  };
+
+  for (int threads : {1, 4}) {
+    Session session(SessionOptions{.campaign_threads = 4});
+    Target* target = LoadFleetServer(session);
+    ASSERT_NE(target, nullptr);
+    BatchOptions options;
+    options.check.mode = CheckMode::kDynamic;
+    options.check.deadline = std::chrono::nanoseconds(1);  // Expired at first poll.
+    options.num_threads = threads;
+    BatchSummary summary = target->CheckConfigBatch(corpus, options);
+    ASSERT_EQ(summary.reports.size(), corpus.size());
+
+    std::string label = "@" + std::to_string(threads) + " threads";
+    EXPECT_TRUE(summary.reports[0].status.ok()) << label;
+    EXPECT_TRUE(summary.reports[2].status.ok()) << label;
+    EXPECT_EQ(summary.configs_with_errors, 2u) << label;
+    // The two sharers of the timed-out replay each report it — exactly as
+    // two independent timed-out checks would.
+    for (size_t index : {size_t{1}, size_t{3}}) {
+      const ConfigReport& report = summary.reports[index];
+      EXPECT_EQ(report.status.code(), StatusCode::kDeadlineExceeded) << label;
+      // Static findings survive; the dynamic verdict is the checker's own
+      // deadline, never a claim about the SUT's reaction.
+      ASSERT_FALSE(report.violations.empty()) << label;
+      for (const Violation& violation : report.violations) {
+        ASSERT_TRUE(violation.reaction.has_value()) << label;
+        EXPECT_EQ(*violation.reaction, ReactionCategory::kDeadlineExceeded) << label;
+      }
+    }
+  }
+}
+
+TEST(BatchCheckTest, ValidateConfigTextFlagsOnlyStructuralFailures) {
+  EXPECT_TRUE(ValidateConfigText("", ConfigDialect::kKeyEqualsValue).ok());
+  EXPECT_TRUE(ValidateConfigText("# comment\n\nkey = value\n", ConfigDialect::kKeyEqualsValue).ok());
+  EXPECT_EQ(ValidateConfigText("key value no equals\n", ConfigDialect::kKeyEqualsValue).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateConfigText("= dangling\n", ConfigDialect::kKeyEqualsValue).code(),
+            StatusCode::kInvalidArgument);
+  // Bare directives are legal key-value dialect (Apache/Squid style flags).
+  EXPECT_TRUE(ValidateConfigText("PassivePorts 30000 31000\nUseIPv6\n",
+                                 ConfigDialect::kKeyValue)
+                  .ok());
+}
+
 TEST(BatchCheckTest, ExecutionKeySeparatesEveryReplayRelevantField) {
   Misconfiguration base;
   base.param = "worker_threads";

@@ -1,0 +1,340 @@
+// Cooperative cancellation: CancelToken semantics (sticky latch, reasons,
+// parent chains, poll-count test seam), the interpreter surfacing a fired
+// token as a kDeadlineExceeded verdict distinct from the paper's hang
+// verdict, and the satellite invariant that matters for a shared service:
+// a replay cancelled MID-CAMPAIGN leaves the session's snapshot cache
+// consistent — the next warm check builds zero new snapshots and reports
+// verdicts bit-identical to a never-cancelled session.
+#include "src/support/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/inject/reaction.h"
+
+namespace spex {
+namespace {
+
+TEST(CancelTokenTest, ExplicitCancelIsStickyWithReason) {
+  CancelToken token;
+  EXPECT_FALSE(token.ShouldCancel());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kNone);
+  token.Cancel();
+  EXPECT_TRUE(token.ShouldCancel());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kExplicit);
+  // Sticky: stays fired, and the first reason wins over later ones.
+  token.ArmDeadline(MonotonicNow() - std::chrono::seconds(1));
+  EXPECT_TRUE(token.ShouldCancel());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kExplicit);
+}
+
+TEST(CancelTokenTest, PastDeadlineFiresOnFirstPollAsDeadline) {
+  CancelToken token;
+  token.ArmDeadline(MonotonicNow() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.ShouldCancel());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kDeadline);
+}
+
+TEST(CancelTokenTest, FutureDeadlineDoesNotFire) {
+  CancelToken token;
+  token.ArmDeadlineAfter(std::chrono::hours(1));
+  EXPECT_FALSE(token.ShouldCancel());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelAfterPollsFiresOnExactlyTheNthPoll) {
+  CancelToken token;
+  token.CancelAfterPolls(3);
+  EXPECT_FALSE(token.ShouldCancel());  // Poll 1.
+  EXPECT_FALSE(token.ShouldCancel());  // Poll 2.
+  EXPECT_TRUE(token.ShouldCancel());   // Poll 3 fires.
+  EXPECT_TRUE(token.ShouldCancel());   // And stays fired.
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kExplicit);
+}
+
+TEST(CancelTokenTest, ChildInheritsParentFiringAndReason) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_FALSE(child.ShouldCancel());
+  parent.ArmDeadline(MonotonicNow() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(child.ShouldCancel());
+  EXPECT_EQ(child.reason(), CancelToken::Reason::kDeadline)
+      << "the serve boundary needs the ROOT cause, not a generic 'cancelled'";
+  // Firing propagates down only: a child's own cancellation never touches
+  // the parent (one replay's budget must not kill the whole request).
+  CancelToken parent2;
+  CancelToken child2(&parent2);
+  child2.Cancel();
+  EXPECT_FALSE(parent2.ShouldCancel());
+}
+
+// --- Interpreter + campaign integration, on a miniature SUT whose
+// config mistakes replay deterministically.
+
+constexpr const char* kCancelServerSource = R"(
+  struct config_int { char *name; int *variable; int min; int max; };
+  int worker_threads = 4;
+  int idle_timeout = 60;
+  int cache_kb = 2048;
+  int slots[64];
+  int started = 0;
+  struct config_int int_options[] = {
+    { "worker_threads", &worker_threads, 1, 64 },
+    { "idle_timeout", &idle_timeout, 0, 3600 },
+    { "cache_kb", &cache_kb, 64, 1048576 },
+  };
+  int handle_config_line(char *key, char *value) {
+    int i;
+    for (i = 0; i < 3; i++) {
+      if (!strcmp(int_options[i].name, key)) {
+        *int_options[i].variable = atoi(value);
+        return 0;
+      }
+    }
+    return 0;
+  }
+  int server_init() {
+    int i;
+    for (i = 0; i < worker_threads; i++) { slots[i] = 1; }
+    malloc(cache_kb * 1024);
+    sleep(idle_timeout);
+    started = 1;
+    return 0;
+  }
+  int test_started() { return started; }
+)";
+
+constexpr const char* kCancelServerAnnotations =
+    "@STRUCT int_options { par = 0, var = 1, min = 2, max = 3 }";
+
+constexpr const char* kCancelServerTemplate =
+    "worker_threads = 4\n"
+    "idle_timeout = 60\n"
+    "cache_kb = 2048\n";
+
+// Three distinct mistakes => three unique replays, so a token fired
+// partway through the campaign genuinely interrupts it mid-flight.
+constexpr const char* kThreeMistakes =
+    "worker_threads = 99\n"
+    "idle_timeout = not_a_number\n"
+    "cache_kb = 9999999999\n";
+
+Target* LoadCancelServer(Session& session) {
+  SutSpec sut;
+  sut.tests.push_back({"started", "test_started", 1, 1});
+  for (const char* param : {"worker_threads", "idle_timeout", "cache_kb"}) {
+    sut.param_storage[param] = param;
+  }
+  Target* target =
+      session.LoadSource(kCancelServerSource, kCancelServerAnnotations, "cancelsut.c",
+                         ConfigDialect::kKeyEqualsValue, sut, kCancelServerTemplate);
+  EXPECT_NE(target, nullptr) << session.RenderDiagnostics();
+  return target;
+}
+
+void ExpectSameViolations(const std::vector<Violation>& expected,
+                          const std::vector<Violation>& actual, const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].category, actual[i].category) << label << " #" << i;
+    EXPECT_EQ(expected[i].param, actual[i].param) << label << " #" << i;
+    EXPECT_EQ(expected[i].value, actual[i].value) << label << " #" << i;
+    EXPECT_EQ(expected[i].line, actual[i].line) << label << " #" << i;
+    EXPECT_EQ(expected[i].message, actual[i].message) << label << " #" << i;
+    ASSERT_EQ(expected[i].reaction.has_value(), actual[i].reaction.has_value())
+        << label << " #" << i;
+    if (expected[i].reaction.has_value()) {
+      EXPECT_EQ(*expected[i].reaction, *actual[i].reaction) << label << " #" << i;
+    }
+    EXPECT_EQ(expected[i].reaction_detail, actual[i].reaction_detail) << label << " #" << i;
+    EXPECT_EQ(expected[i].prediction, actual[i].prediction) << label << " #" << i;
+  }
+}
+
+TEST(CancelCheckTest, AlreadyCancelledTokenSkipsEveryReplayAsDeadlineExceeded) {
+  Session session;
+  Target* target = LoadCancelServer(session);
+  ASSERT_NE(target, nullptr);
+
+  CancelToken token;
+  token.Cancel();
+  CheckOptions options;
+  options.mode = CheckMode::kDynamic;
+  options.cancel = &token;
+  std::vector<Violation> violations =
+      target->CheckConfig(kThreeMistakes, "dead.conf", options);
+
+  // Static findings still come back — cancellation kills replays, not the
+  // millisecond pre-flight — but every dynamic verdict is the checker's
+  // own deadline_exceeded, never a claim about the SUT.
+  ASSERT_FALSE(violations.empty());
+  for (const Violation& violation : violations) {
+    ASSERT_TRUE(violation.reaction.has_value()) << violation.param;
+    EXPECT_EQ(*violation.reaction, ReactionCategory::kDeadlineExceeded) << violation.param;
+    EXPECT_FALSE(IsVulnerability(*violation.reaction)) << violation.param;
+  }
+}
+
+TEST(CancelCheckTest, PerReplayDeadlineAlreadyExpiredReportsDeadlineExceeded) {
+  Session session;
+  Target* target = LoadCancelServer(session);
+  ASSERT_NE(target, nullptr);
+
+  CheckOptions options;
+  options.mode = CheckMode::kDynamic;
+  options.deadline = std::chrono::nanoseconds(1);  // Expired by the first poll.
+  std::vector<Violation> violations =
+      target->CheckConfig(kThreeMistakes, "slow.conf", options);
+  ASSERT_FALSE(violations.empty());
+  for (const Violation& violation : violations) {
+    ASSERT_TRUE(violation.reaction.has_value()) << violation.param;
+    EXPECT_EQ(*violation.reaction, ReactionCategory::kDeadlineExceeded) << violation.param;
+  }
+}
+
+// The satellite invariant. A replay cancelled mid-campaign must not
+// poison the snapshot cache it shares with every other request: the cache
+// stays exactly as warm as it was — no entry degraded to unusable, no
+// half-restored state — so the NEXT check (no cancellation) builds ZERO
+// new snapshots and reports exactly what an untouched session reports.
+TEST(CancelCheckTest, MidCampaignCancelLeavesSnapshotCacheConsistent) {
+  Session session;
+  Target* target = LoadCancelServer(session);
+  ASSERT_NE(target, nullptr);
+
+  // Cold reference run: completes, builds every snapshot the fleet needs.
+  CheckOptions clean;
+  clean.mode = CheckMode::kDynamic;
+  std::vector<Violation> reference = target->CheckConfig(kThreeMistakes, "fleet.conf", clean);
+  ASSERT_FALSE(reference.empty());
+  size_t snapshots_cold = target->campaign_cache_stats().snapshots_built;
+  ASSERT_GT(snapshots_cold, 0u);
+
+  // Cancelled run against the warm cache: the request token fires after a
+  // handful of polls — deterministically (poll counts, not wall clock),
+  // mid-campaign, inside a replay restored FROM a cached snapshot.
+  CancelToken token;
+  token.CancelAfterPolls(8);
+  CheckOptions cancelled;
+  cancelled.mode = CheckMode::kDynamic;
+  cancelled.cancel = &token;
+  std::vector<Violation> interrupted =
+      target->CheckConfig(kThreeMistakes, "fleet.conf", cancelled);
+  ASSERT_TRUE(token.cancelled()) << "token must have fired mid-campaign for this "
+                                    "test to exercise the invariant";
+  bool any_skipped = false;
+  for (const Violation& violation : interrupted) {
+    if (violation.reaction.has_value() &&
+        *violation.reaction == ReactionCategory::kDeadlineExceeded) {
+      any_skipped = true;
+    }
+  }
+  EXPECT_TRUE(any_skipped) << "cancellation fired but no verdict reports it";
+  EXPECT_EQ(target->campaign_cache_stats().snapshots_built, snapshots_cold)
+      << "a cancelled run must not rebuild (or discard and rebuild) snapshots";
+
+  // Warm run, same session, no cancellation: snapshots_built_warm == 0 and
+  // verdicts bit-identical to the pre-cancellation reference.
+  size_t snapshots_before_warm = target->campaign_cache_stats().snapshots_built;
+  std::vector<Violation> warm = target->CheckConfig(kThreeMistakes, "fleet.conf", clean);
+  EXPECT_EQ(target->campaign_cache_stats().snapshots_built, snapshots_before_warm)
+      << "warm check after a cancelled campaign must build zero new snapshots";
+  ExpectSameViolations(reference, warm, "post-cancel warm check");
+}
+
+// A cancellation during the COLD run (snapshots not all built yet) may
+// legitimately leave later key-sets unbuilt — but it must never leave a
+// half-built or unusable entry behind: the next clean check backfills and
+// from then on reports verdicts bit-identical to a never-cancelled
+// session's.
+TEST(CancelCheckTest, CancelDuringColdRunNeverLeavesHalfBuiltSnapshots) {
+  std::vector<Violation> reference;
+  {
+    Session session;
+    Target* target = LoadCancelServer(session);
+    ASSERT_NE(target, nullptr);
+    CheckOptions options;
+    options.mode = CheckMode::kDynamic;
+    reference = target->CheckConfig(kThreeMistakes, "fleet.conf", options);
+    ASSERT_FALSE(reference.empty());
+  }
+
+  Session session;
+  Target* target = LoadCancelServer(session);
+  ASSERT_NE(target, nullptr);
+  CancelToken token;
+  token.CancelAfterPolls(8);
+  CheckOptions cancelled;
+  cancelled.mode = CheckMode::kDynamic;
+  cancelled.cancel = &token;
+  target->CheckConfig(kThreeMistakes, "fleet.conf", cancelled);
+  ASSERT_TRUE(token.cancelled());
+
+  CheckOptions clean;
+  clean.mode = CheckMode::kDynamic;
+  std::vector<Violation> recovered = target->CheckConfig(kThreeMistakes, "fleet.conf", clean);
+  ExpectSameViolations(reference, recovered, "post-cold-cancel check");
+
+  // And once backfilled, the cache is fully warm again.
+  size_t snapshots = target->campaign_cache_stats().snapshots_built;
+  std::vector<Violation> warm = target->CheckConfig(kThreeMistakes, "fleet.conf", clean);
+  EXPECT_EQ(target->campaign_cache_stats().snapshots_built, snapshots);
+  ExpectSameViolations(reference, warm, "post-cold-cancel warm check");
+}
+
+// Same invariant at the batch layer: one batch interrupted by its request
+// token, then a clean batch over the same fleet on the same session.
+TEST(CancelCheckTest, CancelledBatchDoesNotPoisonTheNextBatch) {
+  std::vector<ConfigInput> corpus = {
+      {"a.conf", "worker_threads = 99\n"},
+      {"b.conf", "idle_timeout = not_a_number\n"},
+      {"c.conf", "cache_kb = 9999999999\n"},
+      {"clean.conf", kCancelServerTemplate},
+  };
+
+  BatchSummary reference;
+  {
+    Session session;
+    Target* target = LoadCancelServer(session);
+    ASSERT_NE(target, nullptr);
+    BatchOptions options;
+    options.check.mode = CheckMode::kDynamic;
+    reference = target->CheckConfigBatch(corpus, options);
+  }
+
+  Session session;
+  Target* target = LoadCancelServer(session);
+  ASSERT_NE(target, nullptr);
+  // Warm the cache with a completed batch first, then interrupt one.
+  BatchOptions warmup;
+  warmup.check.mode = CheckMode::kDynamic;
+  target->CheckConfigBatch(corpus, warmup);
+  size_t snapshots_before_warm = target->campaign_cache_stats().snapshots_built;
+
+  CancelToken token;
+  token.CancelAfterPolls(8);
+  BatchOptions interrupted;
+  interrupted.check.mode = CheckMode::kDynamic;
+  interrupted.check.cancel = &token;
+  target->CheckConfigBatch(corpus, interrupted);
+  ASSERT_TRUE(token.cancelled());
+  EXPECT_EQ(target->campaign_cache_stats().snapshots_built, snapshots_before_warm);
+  BatchOptions clean;
+  clean.check.mode = CheckMode::kDynamic;
+  BatchSummary warm = target->CheckConfigBatch(corpus, clean);
+  EXPECT_EQ(target->campaign_cache_stats().snapshots_built, snapshots_before_warm);
+  ASSERT_EQ(warm.reports.size(), reference.reports.size());
+  for (size_t i = 0; i < warm.reports.size(); ++i) {
+    EXPECT_TRUE(warm.reports[i].status.ok()) << corpus[i].name;
+    ExpectSameViolations(reference.reports[i].violations, warm.reports[i].violations,
+                         "post-cancel batch " + corpus[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace spex
