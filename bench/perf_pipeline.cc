@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "src/ir/lowering.h"
 #include "src/lang/parser.h"
 #include "src/serve/server.h"
+#include "src/support/verdict_store.h"
 
 namespace spex {
 namespace {
@@ -451,6 +453,234 @@ void BM_FleetCheck(benchmark::State& state) {
                           static_cast<int64_t>(kCorpus->size()));
 }
 BENCHMARK(BM_FleetCheck)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Re-check corpus: the opposite dedup regime from BuildFleetCorpus.
+// Every config carries ~28 mutations with values unique to that user, so
+// within-batch dedup has nothing to collapse and replay work dominates
+// the batch — the fleet shape where only a cross-run cache helps. Every
+// mutation class below is a statically flagged, replayable suspect.
+std::vector<ConfigInput>* BuildRecheckCorpus(Target* target) {
+  auto* corpus = new std::vector<ConfigInput>;
+  ConfigFile base = ConfigFile::Parse(target->analysis().bundle.template_config,
+                                      target->dialect());
+  corpus->reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    ConfigFile mutated = base;
+    for (int k = 0; k < 4; ++k) {  // 32-bit overflow.
+      mutated.Set("client_lifetime_" + std::to_string(k),
+                  std::to_string(9000000000LL + 4 * i + k));
+    }
+    for (int k = 0; k < 2; ++k) {  // Wrong unit scale: ms where seconds expected.
+      mutated.Set("connect_timeout_" + std::to_string(k),
+                  std::to_string(500 + 2 * i + k) + "ms");
+    }
+    for (int k = 0; k < 2; ++k) {  // Wrong unit scale: s where ms expected.
+      mutated.Set("dns_retransmit_msec_" + std::to_string(k),
+                  std::to_string(1 + 2 * i + k) + "s");
+    }
+    for (int k = 0; k < 3; ++k) {  // Wrong size suffix.
+      mutated.Set("cache_mem_bytes_" + std::to_string(k),
+                  std::to_string(1 + 3 * i + k) + "G");
+    }
+    for (int k = 0; k < 2; ++k) {  // Below the clamp range (512..65536).
+      mutated.Set("request_buffer_len_" + std::to_string(k),
+                  std::to_string(1 + 2 * i + k));
+    }
+    for (int k = 0; k < 6; ++k) {  // Not a boolean: silently treated as off.
+      mutated.Set("memory_pools_" + std::to_string(k),
+                  "maybe" + std::to_string(6 * i + k));
+    }
+    for (int k = 0; k < 6; ++k) {  // Unknown enum member.
+      mutated.Set("cache_replacement_" + std::to_string(k),
+                  "fifo" + std::to_string(6 * i + k));
+    }
+    mutated.Set("fqdn_cache_size", std::to_string(16385 + i));  // Above the range.
+    mutated.Set("cache_swap_low_0", std::to_string(85 + i));    // low > high relationship.
+    corpus->push_back(ConfigInput{"user" + std::to_string(i) + ".conf", mutated.Serialize()});
+  }
+  return corpus;
+}
+
+// O(diff) fleet re-check through the persistent verdict store. Arg 0:
+// 0 = cold (the store is deleted before every check — first-ever run),
+// 1 = warm (the store was seeded by a previous run — the nightly re-check
+// of an unchanged fleet). Each iteration pays a fresh Session + target
+// load + store open under PauseTiming, so the timed region is exactly the
+// batch check; warm must report unique_replays == 0 (every unique
+// execution served from disk) and land an order of magnitude under cold.
+void BM_FleetCheckRecheck(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() / "spex_bench_recheck.vst").string();
+  static std::vector<ConfigInput>* kCorpus = [] {
+    Session session;
+    Target* target = session.LoadTarget("squid");
+    if (target == nullptr) {
+      std::cerr << session.RenderDiagnostics();
+      std::abort();
+    }
+    return BuildRecheckCorpus(target);
+  }();
+  if (warm) {
+    // Seed from scratch: one cold batch writes the verdicts every timed
+    // iteration will read. Seeding is setup, outside the timed loop.
+    std::filesystem::remove(store_path);
+    std::filesystem::remove(store_path + ".lock");
+    Session session;
+    Target* target = session.LoadTarget("squid");
+    if (target == nullptr) {
+      std::cerr << session.RenderDiagnostics();
+      std::abort();
+    }
+    target->AttachVerdictStore(VerdictStore::Open(store_path));
+    BatchOptions options;
+    options.check.mode = CheckMode::kDynamic;
+    options.num_threads = 1;
+    target->CheckConfigBatch(*kCorpus, options);
+  }
+  BatchOptions options;
+  options.check.mode = CheckMode::kDynamic;
+  options.num_threads = 1;
+  BatchSummary last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!warm) {
+      std::filesystem::remove(store_path);
+      std::filesystem::remove(store_path + ".lock");
+    }
+    {
+      Session session;
+      Target* target = session.LoadTarget("squid");
+      if (target == nullptr) {
+        std::cerr << session.RenderDiagnostics();
+        std::abort();
+      }
+      target->AttachVerdictStore(VerdictStore::Open(store_path));
+      state.ResumeTiming();
+      last = target->CheckConfigBatch(*kCorpus, options);
+      benchmark::DoNotOptimize(last);
+      // Session + store teardown is setup cost, not check latency.
+      state.PauseTiming();
+    }
+    state.ResumeTiming();
+  }
+  state.counters["unique_replays"] = static_cast<double>(last.unique_replays);
+  state.counters["store_hits"] = static_cast<double>(last.store_hits);
+  state.counters["store_appends"] = static_cast<double>(last.store_appends);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kCorpus->size()));
+}
+BENCHMARK(BM_FleetCheckRecheck)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads exactly one response (headers + Content-Length body) so the
+// connection survives for the next request — keep-alive clients cannot
+// read to EOF.
+bool ReadOneHttpResponse(int fd, std::string* out) {
+  out->clear();
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return false;
+    }
+    out->append(chunk, static_cast<size_t>(n));
+    header_end = out->find("\r\n\r\n");
+  }
+  size_t marker = out->find("Content-Length: ");
+  if (marker == std::string::npos || marker > header_end) {
+    return false;
+  }
+  size_t body_length = std::strtoul(out->c_str() + marker + 16, nullptr, 10);
+  size_t body_have = out->size() - (header_end + 4);
+  while (body_have < body_length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return false;
+    }
+    out->append(chunk, static_cast<size_t>(n));
+    body_have += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Warm serve path over ONE persistent keep-alive connection: what
+// BM_ServeCheckWarm pays per request minus the per-request TCP connect +
+// teardown. The delta between the two is the keep-alive win.
+void BM_ServeCheckWarmKeepAlive(benchmark::State& state) {
+  static CheckServer* kServer = [] {
+    ServerOptions options;
+    options.keepalive_max_requests = 1 << 20;  // The bench reuses one connection.
+    auto* server = new CheckServer(std::move(options));
+    if (!server->Start().ok()) {
+      std::cerr << "BM_ServeCheckWarmKeepAlive: server failed to start\n";
+      std::abort();
+    }
+    return server;
+  }();
+  std::string body(kSquidUserConfig);
+  std::string request = "POST /check?target=squid&name=user.conf HTTP/1.1\r\n";
+  request += "Host: localhost\r\nConnection: keep-alive\r\nContent-Length: " +
+             std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  int fd = ConnectLoopback(kServer->port());
+  std::string response;
+  if (fd >= 0 && (!SendAll(fd, request) || !ReadOneHttpResponse(fd, &response))) {
+    ::close(fd);  // Warm-up round trip failed; reconnect in the loop.
+    fd = -1;
+  }
+  uint64_t reuses_before = kServer->stats().keepalive_reuses;
+  for (auto _ : state) {
+    if (fd < 0) {
+      fd = ConnectLoopback(kServer->port());
+      if (fd < 0) {
+        std::cerr << "BM_ServeCheckWarmKeepAlive: connect failed\n";
+        std::abort();
+      }
+    }
+    if (!SendAll(fd, request) || !ReadOneHttpResponse(fd, &response)) {
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    benchmark::DoNotOptimize(response.size());
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  state.counters["keepalive_reuses"] =
+      static_cast<double>(kServer->stats().keepalive_reuses - reuses_before);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCheckWarmKeepAlive)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace spex

@@ -32,7 +32,7 @@ cmake -B build-tsan -S . \
   -DSPEX_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test cancel_test serve_test
+cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test cancel_test serve_test verdict_store_test
 # The parallel-campaign and snapshot-replay determinism tests are the point
 # of the TSan build: num_threads=4 workers over shared module/SUT state plus
 # the state-gated shared snapshot cache. CorpusShardedTest additionally runs
@@ -60,5 +60,9 @@ cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_po
 # + target pool + drain token, driven over real loopback sockets with
 # hostile traffic and concurrent shutdown.
 ./build-tsan/serve_test
+# Persistent verdict store under TSan: lock-free index snapshots read by
+# 4-way sharded warm batches while the append path publishes copy-on-write
+# updates — the single-writer/lock-free-reader contract must be race-free.
+./build-tsan/verdict_store_test
 
 echo "smoke: OK"

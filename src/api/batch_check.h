@@ -102,12 +102,26 @@ struct BatchSummary {
   // entries sum to total_suspects. All zero in static mode.
   std::array<size_t, kReactionCategoryCount> reactions_by_category{};
   // Suspect executions requested across all configs vs. actually replayed
-  // after cross-config dedup.
+  // after cross-config dedup *and* persistent-store hits: a unique
+  // execution served from the verdict store is not a replay, so a fully
+  // warm re-check reports unique_replays == 0.
   size_t total_suspects = 0;
   size_t unique_replays = 0;
-  // Fraction of suspect replays saved by dedup: 1 - unique/total
+  // Persistent verdict-store accounting (all zero when the target has no
+  // store attached): unique executions served from disk without a replay,
+  // looked up and missed (replayed live), and appended after the batch.
+  size_t store_hits = 0;
+  size_t store_misses = 0;
+  size_t store_appends = 0;
+  // Configs whose finalization (verdict fan-out + report streaming)
+  // completed while at least one replay shard was still running — the
+  // observable that proves per-config finalization is pipelined behind
+  // the replays rather than barriered after them. Always 0 on the serial
+  // path (there is nothing to overlap with).
+  size_t finalized_overlapped = 0;
+  // Fraction of suspect replays saved by dedup + store: 1 - unique/total
   // (0.0 for an empty or static batch). ~0.7 on a fleet where 70% of
-  // users share their misconfigurations.
+  // users share their misconfigurations; 1.0 on a fully warm re-check.
   double DedupRatio() const;
 
   std::vector<ConfigReport> reports;
@@ -131,9 +145,9 @@ class BatchObserver {
 };
 
 // The execution identity two suspects must share to be served by one
-// replay (the dedup key described in the header comment). Exposed so
-// tests can pin the guarantee down.
-std::string SuspectExecutionKey(const Misconfiguration& suspect);
+// replay — SuspectExecutionKey — lives in src/inject/campaign.h now: the
+// persistent VerdictStore keys on the same identity, so the key belongs
+// next to the replay engine both consumers share.
 
 // Syntactic admission check for untrusted config text. ConfigFile::Parse
 // is deliberately lenient (a campaign replays whatever the user wrote);

@@ -5,6 +5,8 @@
 #include "src/api/dynamic_check.h"
 #include "src/ir/lowering.h"
 #include "src/lang/parser.h"
+#include "src/support/hashing.h"
+#include "src/support/verdict_store.h"
 
 namespace spex {
 
@@ -127,8 +129,75 @@ std::shared_ptr<InjectionCampaign> Target::EnsureCampaign() {
     campaign_ = std::make_shared<InjectionCampaign>(*analysis_.module, analysis_.bundle.sut,
                                                     OsSimulator::StandardEnvironment(),
                                                     campaign_options_);
+    if (verdict_store_ != nullptr) {
+      campaign_->AttachVerdictStore(verdict_store_, StoreScopeLocked());
+    }
   }
   return campaign_;
+}
+
+namespace {
+
+// One scope field, length-prefixed like the execution key itself: target
+// sources and SUT specs are free text, so no separator is safe.
+void AppendScopeField(std::string* scope, std::string_view field) {
+  *scope += std::to_string(field.size());
+  *scope += ':';
+  *scope += field;
+}
+
+}  // namespace
+
+std::string Target::StoreScopeLocked() const {
+  // Everything that could change a replay's verdict besides the template
+  // (the campaign folds the template in per call) — a change to any of
+  // these lands stored verdicts in a fresh scope, so they re-check cold.
+  // Deliberately absent: num_threads, use_parse_snapshot, worker_pool —
+  // the bit-identity machinery guarantees verdicts do not depend on them.
+  // Sources can be large, so they enter as stable 64-bit digests.
+  const TargetBundle& bundle = analysis_.bundle;
+  std::string scope = "spex-scope-v1|";
+  AppendScopeField(&scope, bundle.name);
+  scope += std::to_string(static_cast<int>(bundle.dialect));
+  scope += '|';
+  scope += std::to_string(Fnv1a64(bundle.source));
+  scope += '|';
+  scope += std::to_string(Fnv1a64(bundle.annotations));
+  scope += '|';
+  AppendScopeField(&scope, bundle.sut.parse_function);
+  AppendScopeField(&scope, bundle.sut.init_function);
+  scope += std::to_string(bundle.sut.tests.size());
+  for (const TestCase& test : bundle.sut.tests) {
+    AppendScopeField(&scope, test.name);
+    AppendScopeField(&scope, test.function);
+    scope += std::to_string(test.expected);
+    scope += ',';
+    scope += std::to_string(test.cost_hint);
+    scope += ';';
+  }
+  for (const auto& [param, storage] : bundle.sut.param_storage) {
+    AppendScopeField(&scope, param);
+    AppendScopeField(&scope, storage);
+  }
+  scope += campaign_options_.stop_at_first_failure ? '1' : '0';
+  scope += campaign_options_.sort_tests_by_cost ? '1' : '0';
+  scope += std::to_string(campaign_options_.interp.max_steps);
+  scope += ',';
+  scope += std::to_string(campaign_options_.interp.max_call_depth);
+  return scope;
+}
+
+void Target::AttachVerdictStore(std::shared_ptr<VerdictStore> store) {
+  std::lock_guard<std::mutex> lock(campaign_mutex_);
+  verdict_store_ = std::move(store);
+  if (campaign_ != nullptr) {
+    campaign_->AttachVerdictStore(verdict_store_, StoreScopeLocked());
+  }
+}
+
+std::shared_ptr<VerdictStore> Target::verdict_store() {
+  std::lock_guard<std::mutex> lock(campaign_mutex_);
+  return verdict_store_;
 }
 
 std::vector<Violation> Target::CheckConfig(std::string_view config_text,
@@ -222,6 +291,11 @@ CampaignSummary Target::RunCampaign(CampaignOptions options, CampaignObserver* o
           *analysis_.module, analysis_.bundle.sut, OsSimulator::StandardEnvironment(),
           options);
       campaign_options_ = options;
+      if (verdict_store_ != nullptr) {
+        // Re-derive the scope: campaign knobs are part of it, so a
+        // campaign with different behaviour reads/writes its own scope.
+        campaign_->AttachVerdictStore(verdict_store_, StoreScopeLocked());
+      }
     }
     campaign = campaign_.get();
   }

@@ -202,6 +202,18 @@ class Target {
   // RunCampaign) — lets embedders verify snapshot reuse across batches.
   CampaignCacheStats campaign_cache_stats();
 
+  // Attaches a persistent cross-run verdict store (src/support/
+  // verdict_store.h): dynamic checks and batches consult it before
+  // replaying and append fresh verdicts after, so a re-check of an
+  // unchanged fleet replays only never-before-seen executions. The store
+  // is scoped by a fingerprint of everything that could change a verdict
+  // — target source, annotations, SUT spec, template, campaign knobs — so
+  // an edited target lands in a fresh scope and re-checks cold; stale
+  // verdicts are structurally unreachable. Pass nullptr to detach.
+  // Thread-safe; takes effect for checks that start after the call.
+  void AttachVerdictStore(std::shared_ptr<VerdictStore> store);
+  std::shared_ptr<VerdictStore> verdict_store();
+
   // The generated misconfiguration batch (same order as the legacy
   // MisconfigGenerator path, so façade campaigns are bit-identical).
   const std::vector<Misconfiguration>& Misconfigurations();
@@ -220,6 +232,10 @@ class Target {
   // True when the target can be driven dynamically: a non-empty template
   // plus a module that defines the SUT's parse and init functions.
   bool SupportsDynamicCheck() const;
+  // The verdict-store scope for this target under the current campaign
+  // options — every verdict-affecting input folded into one string.
+  // Caller holds campaign_mutex_.
+  std::string StoreScopeLocked() const;
 
   Session* session_;
   TargetAnalysis analysis_;
@@ -230,6 +246,7 @@ class Target {
   std::vector<Misconfiguration> misconfigs_;
   CampaignOptions campaign_options_;
   std::shared_ptr<InjectionCampaign> campaign_;
+  std::shared_ptr<VerdictStore> verdict_store_;
 };
 
 }  // namespace spex

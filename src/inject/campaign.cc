@@ -6,6 +6,7 @@
 
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
+#include "src/support/verdict_store.h"
 
 namespace spex {
 
@@ -101,6 +102,52 @@ InjectionResult SkippedResult(const Misconfiguration& config, const CancelToken&
                       ? "replay skipped: request deadline exceeded"
                       : "replay skipped: request cancelled";
   return result;
+}
+
+// Length-prefixed field encoding for the execution key: config keys and
+// values are untrusted free text, so no separator character is safe —
+// "<length>:<bytes>" is unambiguous for any content.
+void AppendField(std::string* key, std::string_view field) {
+  *key += std::to_string(field.size());
+  *key += ':';
+  *key += field;
+}
+
+// Projects a replay's observable behaviour into a store record. The five
+// fields are exactly what SameInjectionResult compares and what
+// ReattributeResult copies — the store round-trip and the within-batch
+// dedup fan-out preserve verdicts by the same contract.
+StoredVerdict ToStoredVerdict(const InjectionResult& result) {
+  StoredVerdict verdict;
+  verdict.category = static_cast<uint8_t>(result.category);
+  verdict.pinpointed = result.pinpointed;
+  verdict.tests_run = result.tests_run;
+  verdict.detail = result.detail;
+  verdict.logs = result.logs;
+  return verdict;
+}
+
+InjectionResult ResultFromStored(const StoredVerdict& record,
+                                 const Misconfiguration& client) {
+  InjectionResult result;
+  result.config = client;
+  result.vulnerability_loc = client.constraint_loc;
+  result.category = static_cast<ReactionCategory>(record.category);
+  result.detail = record.detail;
+  result.logs = record.logs;
+  result.pinpointed = record.pinpointed;
+  result.tests_run = record.tests_run;
+  return result;
+}
+
+// A stored record is usable only when its category decodes to a real
+// Table-3 verdict. kDeadlineExceeded never belongs in the store (it
+// describes the checker's budget, not the target) and an out-of-range tag
+// means a foreign/corrupt record; both degrade to a cache miss.
+bool UsableStoredVerdict(const StoredVerdict& record) {
+  return record.category < kReactionCategoryCount &&
+         static_cast<ReactionCategory>(record.category) !=
+             ReactionCategory::kDeadlineExceeded;
 }
 
 // Scoped attach of a request token to a worker's interpreter. The token is
@@ -276,6 +323,9 @@ CampaignCacheStats InjectionCampaign::cache_stats() const {
   stats.delta_replays = stat_delta_replays_.load(std::memory_order_relaxed);
   stats.full_replays = stat_full_replays_.load(std::memory_order_relaxed);
   stats.verifications = stat_verifications_.load(std::memory_order_relaxed);
+  stats.store_hits = stat_store_hits_.load(std::memory_order_relaxed);
+  stats.store_misses = stat_store_misses_.load(std::memory_order_relaxed);
+  stats.store_appends = stat_store_appends_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -632,10 +682,45 @@ InjectionResult ReattributeResult(const InjectionResult& base, const Misconfigur
   return result;
 }
 
+std::string SuspectExecutionKey(const Misconfiguration& suspect) {
+  // Every replay-observable input, nothing else: the applied settings in
+  // application order (they fix the applied config and the snapshot
+  // key-set), the numeric intent (the silent-violation comparison point)
+  // and the ignore expectation (the silent-ignorance branch selector).
+  // Label-only fields (kind, rule, constraint_loc) are deliberately
+  // absent — ReattributeResult restores them per client after the shared
+  // replay.
+  std::string key;
+  key.reserve(suspect.param.size() + suspect.value.size() + 24);
+  AppendField(&key, suspect.param);
+  AppendField(&key, suspect.value);
+  for (const auto& [extra_key, extra_value] : suspect.extra_settings) {
+    AppendField(&key, extra_key);
+    AppendField(&key, extra_value);
+  }
+  AppendField(&key, suspect.intended_numeric.has_value()
+                        ? std::to_string(*suspect.intended_numeric)
+                        : "~");
+  key += suspect.expect_ignored ? '1' : '0';
+  return key;
+}
+
+void InjectionCampaign::AttachVerdictStore(std::shared_ptr<VerdictStore> store,
+                                           std::string scope) {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  store_ = std::move(store);
+  store_scope_ = std::move(scope);
+}
+
+std::shared_ptr<VerdictStore> InjectionCampaign::verdict_store() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  return store_;
+}
+
 std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
     const ConfigFile& template_config, const std::vector<Misconfiguration>& configs,
     bool use_parse_snapshot, ThreadPool* pool, size_t num_threads,
-    const ReplayLimits& limits) {
+    const ReplayLimits& limits, ReplayStats* stats) {
   // A user-config check is worth the snapshot path even for a key-set seen
   // once: the campaign persists, so the entry pays for itself on the next
   // check of the same keys (an embedded checker sees the same handful of
@@ -660,6 +745,37 @@ std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
     }
   }
 
+  // Snapshot the attached store (the pair may be swapped concurrently).
+  // The scope fingerprint folds the template serialization into the
+  // caller-provided scope, so a template edit lands in a fresh, empty
+  // scope — cached verdicts can never outlive the template they were
+  // observed against. ResolveScope is per-call on purpose, mirroring the
+  // snapshot-cache fingerprint recomputation above.
+  std::shared_ptr<VerdictStore> store;
+  uint64_t scope_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    store = store_;
+    if (store != nullptr) {
+      scope_id = store->ResolveScope(store_scope_ + '\0' + template_config.Serialize());
+    }
+  }
+  // Per-config store bookkeeping, written by shard workers at distinct
+  // indices and read by the driver after the ShardRange barrier — the same
+  // pre-sized-slot discipline as `results`.
+  std::vector<std::string> keys;
+  std::vector<uint8_t> consulted;  // 1 = we looked this config up.
+  std::vector<uint8_t> served;     // 1 = result came straight from the store.
+  std::vector<uint8_t> reverify;   // 1 = hit replayed anyway (sampling knob).
+  std::vector<StoredVerdict> cached;
+  if (store != nullptr) {
+    keys.resize(configs.size());
+    consulted.assign(configs.size(), 0);
+    served.assign(configs.size(), 0);
+    reverify.assign(configs.size(), 0);
+    cached.resize(configs.size());
+  }
+
   std::vector<InjectionResult> results(configs.size());
   auto replay_range = [&](size_t begin, size_t end) {
     // One probe context per shard: leases are what make concurrent
@@ -672,6 +788,23 @@ std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
         // the coarse cancellation point, the interpreter poll the fine one.
         results[i] = SkippedResult(configs[i], *limits.cancel);
         continue;
+      }
+      if (store != nullptr) {
+        keys[i] = SuspectExecutionKey(configs[i]);
+        consulted[i] = 1;
+        StoredVerdict record;
+        bool due = false;
+        if (store->Lookup(scope_id, keys[i], &record, &due) &&
+            UsableStoredVerdict(record)) {
+          if (!due) {
+            results[i] = ResultFromStored(record, configs[i]);
+            served[i] = 1;
+            continue;
+          }
+          // Sampled re-verification: replay live below, compare after.
+          reverify[i] = 1;
+          cached[i] = std::move(record);
+        }
       }
       const std::string keyset = KeysetId(DeltaKeys(configs[i]));
       if (!limits.active()) {
@@ -695,13 +828,53 @@ std::vector<InjectionResult> InjectionCampaign::ReplayExternal(
                                                        : ThreadPool::ResolveThreadCount(num_threads);
   if (pool == nullptr) {
     replay_range(0, configs.size());
-    return results;
+  } else {
+    // Contiguous shards into pre-sized slots: result order (and every
+    // verdict, by the hazard-check/verification machinery) is identical to
+    // the serial path. ShardRange Wait()s on the pool's whole queue — the
+    // caller serializes pool sharing, per the header contract.
+    pool->ShardRange(configs.size(), workers, replay_range);
   }
-  // Contiguous shards into pre-sized slots: result order (and every
-  // verdict, by the hazard-check/verification machinery) is identical to
-  // the serial path. ShardRange Wait()s on the pool's whole queue — the
-  // caller serializes pool sharing, per the header contract.
-  pool->ShardRange(configs.size(), workers, replay_range);
+
+  // Driver-side store epilogue (after the barrier): account hits, settle
+  // re-verifications, and persist fresh verdicts in one batched append.
+  // kDeadlineExceeded results — timeouts and cancel-skips alike — are
+  // never stored: they say the checker ran out of time, not what the
+  // target does, and caching one would freeze a transient budget miss
+  // into a permanent wrong answer.
+  ReplayStats call_stats;
+  if (store != nullptr) {
+    std::vector<VerdictAppend> pending;
+    for (size_t i = 0; i < configs.size(); ++i) {
+      if (consulted[i] == 0) continue;  // Cancel-skipped before lookup.
+      if (served[i] != 0) {
+        ++call_stats.store_hits;
+        continue;
+      }
+      const InjectionResult& result = results[i];
+      if (reverify[i] != 0) {
+        ++call_stats.store_reverified;
+        if (result.category == ReactionCategory::kDeadlineExceeded) continue;
+        if (!SameInjectionResult(result, ResultFromStored(cached[i], configs[i]))) {
+          // The store contradicted a live replay: the live replay wins,
+          // in the results and on disk (the append overwrites, last-wins).
+          ++call_stats.store_mismatches;
+          pending.push_back({scope_id, keys[i], ToStoredVerdict(result)});
+        }
+        continue;
+      }
+      ++call_stats.store_misses;
+      if (result.category == ReactionCategory::kDeadlineExceeded) continue;
+      pending.push_back({scope_id, keys[i], ToStoredVerdict(result)});
+    }
+    call_stats.store_appends = store->AppendBatch(std::move(pending));
+    stat_store_hits_.fetch_add(call_stats.store_hits, std::memory_order_relaxed);
+    stat_store_misses_.fetch_add(call_stats.store_misses, std::memory_order_relaxed);
+    stat_store_appends_.fetch_add(call_stats.store_appends, std::memory_order_relaxed);
+  }
+  if (stats != nullptr) {
+    *stats = call_stats;
+  }
   return results;
 }
 

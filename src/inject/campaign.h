@@ -62,6 +62,9 @@
 
 namespace spex {
 
+class VerdictStore;
+struct StoredVerdict;
+
 // One functional test of the SUT's driver surface. Tests run after a
 // successful parse + init; a test passes when `function` returns
 // `expected`. Campaigns may reorder tests by `cost_hint` (shortest first)
@@ -110,6 +113,15 @@ struct InjectionResult {
 // execution: N clients sharing one unique execution each get their own
 // result from a single replay.
 InjectionResult ReattributeResult(const InjectionResult& base, const Misconfiguration& client);
+
+// Execution-identity key: two misconfigurations with equal keys replay
+// identically, so one replay's verdict serves both (ReattributeResult).
+// Captures exactly the replay-relevant fields — applied settings in order,
+// numeric intent, ignore expectation — and none of the label-only ones
+// (kind, rule, locations). The same key, scoped by a target fingerprint,
+// indexes the persistent VerdictStore: execution identity across *time* is
+// the same contract as execution identity across a batch.
+std::string SuspectExecutionKey(const Misconfiguration& config);
 
 // Batch result of one RunAll. Plain value type; the accessor methods are
 // pure reads and safe to call from any thread once the summary is built.
@@ -177,6 +189,19 @@ struct CampaignCacheStats {
   size_t delta_replays = 0;     // Runs served by snapshot restore + delta parse.
   size_t full_replays = 0;      // Ground-truth replays (incl. verification runs).
   size_t verifications = 0;     // First-use-per-batch ground-truth comparisons.
+  size_t store_hits = 0;        // Replays served from the persistent store.
+  size_t store_misses = 0;      // Store consulted, no record: replayed live.
+  size_t store_appends = 0;     // Fresh verdicts persisted to the store.
+};
+
+// Per-call accounting for one ReplayExternal against the attached
+// VerdictStore (zeros when no store is attached).
+struct ReplayStats {
+  size_t store_hits = 0;        // Served straight from the store, no replay.
+  size_t store_misses = 0;      // Looked up, absent: replayed + appended.
+  size_t store_appends = 0;     // Records durably appended this call.
+  size_t store_reverified = 0;  // Sampled hits replayed anyway and compared.
+  size_t store_mismatches = 0;  // Re-verifications that contradicted the store.
 };
 
 // Per-request guardrails for ReplayExternal — how a *service* keeps one
@@ -251,12 +276,29 @@ class InjectionCampaign {
   // fired request token converts the remaining slots to kDeadlineExceeded
   // results within one poll interval. `limits.cancel` must outlive the
   // call; cancellation may race the call from any thread.
+  // With an attached VerdictStore (AttachVerdictStore), each config's
+  // execution key is looked up in the store's scope for this campaign
+  // before replaying: a hit synthesizes the result from the stored record
+  // (bit-identical to a replay — the stored fields are exactly the ones
+  // ReattributeResult copies); a miss replays live and the fresh verdict
+  // is appended afterwards (kDeadlineExceeded verdicts are never stored:
+  // they describe the checker's budget, not the target). `stats`, when
+  // non-null, receives this call's store accounting.
   std::vector<InjectionResult> ReplayExternal(const ConfigFile& template_config,
                                               const std::vector<Misconfiguration>& configs,
                                               bool use_parse_snapshot = true,
                                               ThreadPool* pool = nullptr,
                                               size_t num_threads = 1,
-                                              const ReplayLimits& limits = {});
+                                              const ReplayLimits& limits = {},
+                                              ReplayStats* stats = nullptr);
+
+  // Attaches (or replaces: pass nullptr to detach) the persistent verdict
+  // store consulted by ReplayExternal. `scope` must fold in every input
+  // that could change a verdict besides the template itself — target
+  // source, annotations, SUT spec, campaign knobs — because the store key
+  // is (scope + template fingerprint, execution key). Thread-safe.
+  void AttachVerdictStore(std::shared_ptr<VerdictStore> store, std::string scope);
+  std::shared_ptr<VerdictStore> verdict_store() const;
 
   // Cumulative across every run this campaign executed. After a second
   // RunAll over the same template, snapshots_built stays flat — the point
@@ -413,11 +455,20 @@ class InjectionCampaign {
   // batch re-verification bookkeeping) concurrently with RunAll bumping it.
   std::atomic<uint64_t> batch_id_{0};
 
+  // Persistent verdict store (optional; store_mutex_ guards the pair —
+  // lookups inside the store itself are lock-free).
+  mutable std::mutex store_mutex_;
+  std::shared_ptr<VerdictStore> store_;
+  std::string store_scope_;
+
   // Cumulative cache statistics (atomics: bumped from worker threads).
   mutable std::atomic<size_t> stat_snapshots_built_{0};
   mutable std::atomic<size_t> stat_delta_replays_{0};
   mutable std::atomic<size_t> stat_full_replays_{0};
   mutable std::atomic<size_t> stat_verifications_{0};
+  mutable std::atomic<size_t> stat_store_hits_{0};
+  mutable std::atomic<size_t> stat_store_misses_{0};
+  mutable std::atomic<size_t> stat_store_appends_{0};
 };
 
 }  // namespace spex

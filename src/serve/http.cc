@@ -35,6 +35,7 @@ std::string_view TrimOws(std::string_view text) { return TrimWhitespace(text); }
 }  // namespace
 
 Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out) {
+  *out = HttpRequest();  // Reusable across a keep-alive loop.
   // Phase 1: accumulate until the blank line ending the header block.
   std::string data;
   data.reserve(1024);
@@ -56,6 +57,7 @@ Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out) {
       return Status::Unavailable("peer closed the connection mid-request");
     }
     data.append(chunk, static_cast<size_t>(n));
+    out->wire_bytes += static_cast<size_t>(n);
     header_end = data.find("\r\n\r\n");
   }
 
@@ -116,13 +118,33 @@ Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out) {
     }
     size_t want = body_length - out->body.size();
     out->body.append(chunk, std::min(static_cast<size_t>(n), want));
+    out->wire_bytes += static_cast<size_t>(n);
   }
   return Status::Ok();
 }
 
+bool RequestWantsKeepAlive(const HttpRequest& request) {
+  auto it = request.headers.find("connection");
+  if (it == request.headers.end()) {
+    return false;
+  }
+  // The header is a comma-separated token list; scan for "keep-alive".
+  std::string_view value = it->second;
+  while (!value.empty()) {
+    size_t comma = value.find(',');
+    std::string_view token = comma == std::string_view::npos ? value : value.substr(0, comma);
+    value = comma == std::string_view::npos ? std::string_view() : value.substr(comma + 1);
+    if (ToLowerCopy(TrimOws(token)) == "keep-alive") {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool WriteHttpResponse(int fd, int status_code, std::string_view reason,
                        std::string_view content_type, std::string_view body,
-                       const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+                       const std::vector<std::pair<std::string, std::string>>& extra_headers,
+                       bool keep_alive) {
   std::string response;
   response.reserve(128 + body.size());
   response += "HTTP/1.1 ";
@@ -133,7 +155,7 @@ bool WriteHttpResponse(int fd, int status_code, std::string_view reason,
   response += content_type;
   response += "\r\nContent-Length: ";
   response += std::to_string(body.size());
-  response += "\r\nConnection: close\r\n";
+  response += keep_alive ? "\r\nConnection: keep-alive\r\n" : "\r\nConnection: close\r\n";
   for (const auto& [name, value] : extra_headers) {
     response += name;
     response += ": ";

@@ -1,8 +1,13 @@
 // Minimal HTTP/1.1 request/response handling over raw POSIX sockets.
 //
 // spexcheckd speaks just enough HTTP for curl, a load balancer's health
-// probe, and the soak harness: one request per connection, Content-Length
-// bodies only (no chunked upload, no keep-alive, no TLS). That floor is a
+// probe, and the soak harness: Content-Length bodies only (no chunked
+// upload, no TLS), one request at a time per connection. Connections are
+// close-by-default; a client that sends "Connection: keep-alive" may
+// reuse the connection for sequential requests (the server caps the count
+// and the idle gap — see ServerOptions). True pipelining is not
+// supported: bytes past the current request's Content-Length are
+// discarded, so clients must await each response. That floor is a
 // feature — every parsing decision here is a containment decision, because
 // the bytes are untrusted:
 //
@@ -40,6 +45,10 @@ struct HttpRequest {
   std::string path;
   std::map<std::string, std::string> headers;
   std::string body;
+  // Bytes received for this request so far (set even on failure). Lets a
+  // keep-alive server distinguish "idle connection expired" (0 bytes,
+  // silent close) from "client stalled mid-request" (408).
+  size_t wire_bytes = 0;
 };
 
 inline constexpr size_t kMaxHeaderBytes = 16 * 1024;
@@ -51,11 +60,20 @@ inline constexpr size_t kMaxHeaderBytes = 16 * 1024;
 Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out);
 
 // Writes a complete response (status line, headers, Content-Length, body).
+// `keep_alive` selects the Connection header: the caller decides whether
+// this connection survives the response (client asked + under the cap +
+// not draining) and must close the socket itself when it says false.
 // Best-effort: a client that vanished mid-write is its own problem — the
 // return only says whether every byte was accepted by the kernel.
 bool WriteHttpResponse(int fd, int status_code, std::string_view reason,
                        std::string_view content_type, std::string_view body,
-                       const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+                       const std::vector<std::pair<std::string, std::string>>& extra_headers = {},
+                       bool keep_alive = false);
+
+// True when the client opted into connection reuse ("Connection:
+// keep-alive", case-insensitive, possibly in a comma-separated list).
+// Close-by-default otherwise — existing read-to-EOF clients keep working.
+bool RequestWantsKeepAlive(const HttpRequest& request);
 
 // "/check?target=mysql&mode=dynamic" -> {"/check", "target=mysql&mode=dynamic"}.
 std::pair<std::string_view, std::string_view> SplitRequestTarget(std::string_view target);

@@ -150,7 +150,8 @@ std::chrono::milliseconds EffectiveDeadline(const std::string& query,
 
 CheckServer::CheckServer(ServerOptions options)
     : options_(std::move(options)),
-      targets_(std::make_unique<TargetPool>(options_.target_capacity, options_.session)),
+      targets_(std::make_unique<TargetPool>(options_.target_capacity, options_.session,
+                                            options_.store_dir)),
       queue_(std::make_unique<BoundedQueue<int>>(options_.queue_capacity)) {}
 
 CheckServer::~CheckServer() {
@@ -284,34 +285,60 @@ void CheckServer::WriteError(int fd, const Status& status) {
 
 void CheckServer::HandleConnection(int fd) {
   FdCloser closer(fd);
-  SetRecvTimeout(fd, options_.read_timeout);
-  HttpRequest request;
-  Status read_status = ReadHttpRequest(fd, options_.max_body_bytes, &request);
-  if (!read_status.ok()) {
-    if (read_status.code() == StatusCode::kDeadlineExceeded) {
-      // Slow-loris cutoff: a client that cannot finish its request within
-      // the read timeout gets 408 and its worker back.
-      stat_read_timeouts_.fetch_add(1, std::memory_order_relaxed);
-      WriteHttpResponse(fd, 408, HttpReasonFor(408), "application/json",
-                        StatusJson(read_status));
-    } else if (read_status.code() == StatusCode::kInvalidArgument) {
-      stat_invalid_.fetch_add(1, std::memory_order_relaxed);
-      WriteError(fd, read_status);
+  size_t served = 0;
+  while (true) {
+    // First request: the slow-loris read timeout. Reused connection: the
+    // (usually shorter) keep-alive idle bound — a parked client must not
+    // hold a worker hostage between requests.
+    SetRecvTimeout(fd, served == 0 ? options_.read_timeout : options_.keepalive_idle_timeout);
+    HttpRequest request;
+    Status read_status = ReadHttpRequest(fd, options_.max_body_bytes, &request);
+    if (!read_status.ok()) {
+      if (read_status.code() == StatusCode::kDeadlineExceeded) {
+        if (served > 0 && request.wire_bytes == 0) {
+          // Idle keep-alive expiry: the client simply had nothing more to
+          // send. Close silently — this is the protocol working, not a
+          // slow-loris cutoff.
+          return;
+        }
+        // Slow-loris cutoff: a client that cannot finish its request
+        // within the read timeout gets 408 and its worker back.
+        stat_read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        WriteHttpResponse(fd, 408, HttpReasonFor(408), "application/json",
+                          StatusJson(read_status));
+      } else if (read_status.code() == StatusCode::kInvalidArgument) {
+        stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, read_status);
+      }
+      // kUnavailable (peer vanished): nobody left to answer.
+      return;
     }
-    // kUnavailable (peer vanished): nobody left to answer.
-    return;
+    if (served > 0) {
+      stat_keepalive_reuses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The server's keep-alive decision for this response: the client must
+    // opt in, the per-connection request cap must have room, and a
+    // draining server wants its sockets back.
+    const bool keep_alive = RequestWantsKeepAlive(request) &&
+                            served + 1 < options_.keepalive_max_requests && !draining();
+    if (!HandleRequest(fd, request, keep_alive)) {
+      return;
+    }
+    ++served;
   }
+}
 
+bool CheckServer::HandleRequest(int fd, const HttpRequest& request, bool keep_alive) {
   auto [path, query_view] = SplitRequestTarget(request.path);
   std::string query(query_view);
   if (request.method == "GET" && path == "/healthz") {
     if (draining()) {
       WriteHttpResponse(fd, 503, HttpReasonFor(503), "text/plain", "draining\n",
                         {{"Retry-After", "1"}});
-    } else {
-      WriteHttpResponse(fd, 200, "OK", "text/plain", "ok\n");
+      return false;
     }
-    return;
+    WriteHttpResponse(fd, 200, "OK", "text/plain", "ok\n", {}, keep_alive);
+    return keep_alive;
   }
   if (request.method == "GET" && path == "/statz") {
     ServerStats snapshot = stats();
@@ -336,6 +363,7 @@ void CheckServer::HandleConnection(int fd) {
     field("read_timeouts", snapshot.read_timeouts);
     field("internal_errors", snapshot.internal_errors);
     field("batch_configs", snapshot.batch_configs);
+    field("keepalive_reuses", snapshot.keepalive_reuses);
     field("queue_depth", queue_->size());
     field("inflight_replays", inflight_replays_.load(std::memory_order_relaxed));
     field("targets_loaded", targets_->size());
@@ -345,20 +373,20 @@ void CheckServer::HandleConnection(int fd) {
     body += ",\"draining\":";
     body += draining() ? "true" : "false";
     body += "}\n";
-    WriteHttpResponse(fd, 200, "OK", "application/json", body);
-    return;
+    WriteHttpResponse(fd, 200, "OK", "application/json", body, {}, keep_alive);
+    return keep_alive;
   }
   if (request.method == "POST" && (path == "/check" || path == "/batch")) {
-    HandleCheck(fd, query, request.body, path == "/batch");
-    return;
+    return HandleCheck(fd, query, request.body, path == "/batch", keep_alive);
   }
   stat_not_found_.fetch_add(1, std::memory_order_relaxed);
   WriteError(fd, Status::NotFound("no route for " + request.method + " " +
                                   std::string(path)));
+  return false;
 }
 
-void CheckServer::HandleCheck(int fd, const std::string& query, const std::string& body,
-                              bool batch) {
+bool CheckServer::HandleCheck(int fd, const std::string& query, const std::string& body,
+                              bool batch, bool keep_alive) {
   // The whole request path runs under catch-all containment: a thrown
   // bad_alloc or logic error becomes this request's 500, never the
   // daemon's last words.
@@ -367,7 +395,7 @@ void CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
     if (target_name.empty()) {
       stat_invalid_.fetch_add(1, std::memory_order_relaxed);
       WriteError(fd, Status::InvalidArgument("missing required query parameter 'target'"));
-      return;
+      return false;
     }
     Status status;
     std::shared_ptr<TargetPool::Entry> entry = targets_->Acquire(target_name, &status);
@@ -375,7 +403,7 @@ void CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
       (status.code() == StatusCode::kNotFound ? stat_not_found_ : stat_internal_)
           .fetch_add(1, std::memory_order_relaxed);
       WriteError(fd, status);
-      return;
+      return false;
     }
 
     const bool want_dynamic = QueryParam(query, "mode") != "static";
@@ -415,7 +443,7 @@ void CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
       if (!valid.ok()) {
         stat_invalid_.fetch_add(1, std::memory_order_relaxed);
         WriteError(fd, valid);
-        return;
+        return false;
       }
       std::string name = QueryParam(query, "name");
       if (name.empty()) {
@@ -444,8 +472,12 @@ void CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
                   : final.code() == StatusCode::kDeadlineExceeded ? stat_deadline_
                                                                   : stat_cancelled_)
           .fetch_add(1, std::memory_order_relaxed);
-      WriteHttpResponse(fd, http, HttpReasonFor(http), "application/jsonl", response);
-      return;
+      // Only a clean verdict keeps the connection: a request that blew its
+      // budget leaves the connection in a state not worth reasoning about.
+      const bool stay_open = keep_alive && final.ok();
+      WriteHttpResponse(fd, http, HttpReasonFor(http), "application/jsonl", response, {},
+                        stay_open);
+      return stay_open;
     }
 
     std::vector<ConfigInput> inputs;
@@ -453,7 +485,7 @@ void CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
     if (!framed.ok()) {
       stat_invalid_.fetch_add(1, std::memory_order_relaxed);
       WriteError(fd, framed);
-      return;
+      return false;
     }
     BatchOptions batch_options;
     batch_options.check = check;
@@ -497,7 +529,10 @@ void CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
                 : final.code() == StatusCode::kDeadlineExceeded ? stat_deadline_
                                                                 : stat_cancelled_)
         .fetch_add(1, std::memory_order_relaxed);
-    WriteHttpResponse(fd, http, HttpReasonFor(http), "application/jsonl", response);
+    const bool stay_open = keep_alive && final.ok();
+    WriteHttpResponse(fd, http, HttpReasonFor(http), "application/jsonl", response, {},
+                      stay_open);
+    return stay_open;
   } catch (const std::exception& error) {
     stat_internal_.fetch_add(1, std::memory_order_relaxed);
     WriteError(fd, Status::Internal(std::string("contained request failure: ") +
@@ -506,6 +541,7 @@ void CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
     stat_internal_.fetch_add(1, std::memory_order_relaxed);
     WriteError(fd, Status::Internal("contained request failure of unknown type"));
   }
+  return false;
 }
 
 ServerStats CheckServer::stats() const {
@@ -521,6 +557,7 @@ ServerStats CheckServer::stats() const {
   snapshot.read_timeouts = stat_read_timeouts_.load(std::memory_order_relaxed);
   snapshot.internal_errors = stat_internal_.load(std::memory_order_relaxed);
   snapshot.batch_configs = stat_batch_configs_.load(std::memory_order_relaxed);
+  snapshot.keepalive_reuses = stat_keepalive_reuses_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -32,7 +32,11 @@
 //                parents every request token fires — cancelling stragglers
 //                cooperatively. No request is ever killed mid-write.
 //
-// Wire protocol (HTTP/1.1, one request per connection, JSONL bodies):
+// Wire protocol (HTTP/1.1, close-by-default with opt-in keep-alive, JSONL
+// bodies). A client sending "Connection: keep-alive" may reuse its
+// connection for sequential requests, bounded by keepalive_max_requests
+// and keepalive_idle_timeout — reuse amortizes the TCP handshake for
+// fleet drivers without letting one client park a worker forever:
 //
 //   GET  /healthz                      "ok" (503 "draining" during drain)
 //   GET  /statz                        JSON counters (admission, pool, ...)
@@ -67,6 +71,8 @@
 
 namespace spex {
 
+struct HttpRequest;
+
 struct ServerOptions {
   // 0 = ephemeral; the bound port is CheckServer::port() after Start().
   // The daemon listens on 127.0.0.1 only — fronting proxies own the
@@ -91,6 +97,17 @@ struct ServerOptions {
   std::chrono::milliseconds drain_deadline{5000};
   // Hot targets kept loaded (LRU beyond this).
   size_t target_capacity = 4;
+  // HTTP/1.1 keep-alive ("Connection: keep-alive" from the client): how
+  // many requests one connection may carry before the server closes it
+  // (the fairness cap — a chatty client cannot own a worker forever), and
+  // how long an idle reused connection is held open between requests.
+  // Connections stay close-by-default for clients that do not opt in.
+  size_t keepalive_max_requests = 100;
+  std::chrono::milliseconds keepalive_idle_timeout{2000};
+  // Directory for per-target persistent verdict stores ("" = disabled).
+  // Each target loaded by the pool gets "<store_dir>/<name>.vst"; re-checks
+  // of unchanged configs are then served from disk without replaying.
+  std::string store_dir;
   SessionOptions session;
   FaultInjector faults;
 };
@@ -109,6 +126,7 @@ struct ServerStats {
   uint64_t read_timeouts = 0;      // Slow-loris cutoffs.
   uint64_t internal_errors = 0;    // Contained exceptions; 500s.
   uint64_t batch_configs = 0;      // Configs checked via /batch.
+  uint64_t keepalive_reuses = 0;   // Requests served on a reused connection.
 };
 
 class CheckServer {
@@ -140,9 +158,17 @@ class CheckServer {
  private:
   void AcceptLoop();
   void WorkerLoop();
+  // Owns a connection for its whole life: reads requests in a loop while
+  // the client keeps the connection alive (opt-in, capped, idle-bounded).
   void HandleConnection(int fd);
-  // Routes /check and /batch. `batch` selects the body framing.
-  void HandleCheck(int fd, const std::string& query, const std::string& body, bool batch);
+  // Routes one parsed request. `keep_alive` is the server's decision for
+  // this response; the return says whether the connection stays open
+  // (every error path closes).
+  bool HandleRequest(int fd, const HttpRequest& request, bool keep_alive);
+  // Routes /check and /batch. `batch` selects the body framing. Returns
+  // whether the connection stays open.
+  bool HandleCheck(int fd, const std::string& query, const std::string& body, bool batch,
+                   bool keep_alive);
   void WriteError(int fd, const Status& status);
 
   ServerOptions options_;
@@ -172,6 +198,7 @@ class CheckServer {
   std::atomic<uint64_t> stat_read_timeouts_{0};
   std::atomic<uint64_t> stat_internal_{0};
   std::atomic<uint64_t> stat_batch_configs_{0};
+  std::atomic<uint64_t> stat_keepalive_reuses_{0};
 };
 
 }  // namespace spex

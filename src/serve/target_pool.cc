@@ -1,13 +1,18 @@
 #include "src/serve/target_pool.h"
 
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "src/corpus/spec.h"
+#include "src/support/verdict_store.h"
 
 namespace spex {
 
-TargetPool::TargetPool(size_t capacity, SessionOptions session_options)
-    : capacity_(capacity == 0 ? 1 : capacity), session_options_(std::move(session_options)) {}
+TargetPool::TargetPool(size_t capacity, SessionOptions session_options, std::string store_dir)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      session_options_(std::move(session_options)),
+      store_dir_(std::move(store_dir)) {}
 
 std::shared_ptr<TargetPool::Entry> TargetPool::Acquire(const std::string& name,
                                                        Status* status) {
@@ -43,6 +48,16 @@ std::shared_ptr<TargetPool::Entry> TargetPool::Acquire(const std::string& name,
     *status = Status::Internal("loading target '" + name +
                                "' failed: " + entry->session->RenderDiagnostics());
     return nullptr;
+  }
+  if (!store_dir_.empty()) {
+    // Persistent verdicts: the store outlives both this entry (eviction)
+    // and the process (restart), which is the whole point — Open never
+    // hard-fails, so a corrupt or unwritable store means checking without
+    // one, not a failed load.
+    std::error_code ec;
+    std::filesystem::create_directories(store_dir_, ec);
+    entry->target->AttachVerdictStore(
+        VerdictStore::Open(store_dir_ + "/" + name + ".vst"));
   }
   ++loads_;
 

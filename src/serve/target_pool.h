@@ -47,8 +47,13 @@ class TargetPool {
   };
 
   // `capacity` is clamped to >= 1. `session_options` seeds every entry's
-  // Session (engine knobs, campaign threads).
-  explicit TargetPool(size_t capacity, SessionOptions session_options = {});
+  // Session (engine knobs, campaign threads). A non-empty `store_dir`
+  // attaches a persistent verdict store ("<store_dir>/<name>.vst") to each
+  // target on cold load, so verdicts survive evictions AND daemon
+  // restarts — a re-loaded target starts warm from disk. Store-open
+  // failures degrade to checking without a store; they never fail a load.
+  explicit TargetPool(size_t capacity, SessionOptions session_options = {},
+                      std::string store_dir = {});
 
   TargetPool(const TargetPool&) = delete;
   TargetPool& operator=(const TargetPool&) = delete;
@@ -76,6 +81,7 @@ class TargetPool {
 
   const size_t capacity_;
   const SessionOptions session_options_;
+  const std::string store_dir_;
   mutable std::mutex mutex_;
   uint64_t tick_ = 0;  // Monotonic use counter; drives LRU order.
   std::unordered_map<std::string, Slot> slots_;

@@ -3,12 +3,26 @@
 #define SPEX_SUPPORT_HASHING_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string_view>
 
 namespace spex {
 
 // Boost-style hash combine: folds `value` into `seed`.
 inline size_t HashCombine(size_t seed, size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+// FNV-1a over bytes. Stable across runs and platforms, unlike std::hash,
+// so it is safe to persist (verdict-store scope fingerprints) and to put
+// in logs that get diffed across machines.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 }  // namespace spex

@@ -1,0 +1,203 @@
+// Persistent cross-run verdict store: an on-disk map from
+// (scope fingerprint, execution key) -> stored verdict.
+//
+// PR 5 proved that suspects with the same execution identity produce the
+// same verdict *within* a batch (SuspectExecutionKey dedup). This store
+// extends that identity across time: a fleet re-check after a small config
+// push replays only never-before-seen executions — O(diff) instead of
+// O(fleet). The store itself is deliberately semantics-free: it maps
+// opaque (scope, key) pairs to small records with an opaque category tag.
+// The injection layer owns what the fields mean and, critically, what goes
+// into the scope fingerprint — any input that could change a verdict
+// (target source, annotations, SUT spec, template, campaign options) must
+// be folded into the scope so an edit lands in a fresh, empty scope.
+//
+// Durability model — append log + compaction:
+//   header | record | record | ...
+// Each record is CRC32-framed ([crc][len][payload]); payloads are
+// fingerprint interns, verdicts, or tombstones. A corrupt, truncated, or
+// version-mismatched store is *never trusted*: parsing stops at the first
+// bad frame, the valid prefix is kept (writable handles truncate the bad
+// tail away), and a bad header means "start empty". Every failure mode
+// degrades to a cache miss, never to a wrong verdict.
+//
+// Concurrency model — single writer, lock-free readers:
+//   - Lookup() is wait-free on the hot path: it loads an atomic
+//     shared_ptr snapshot of the index. Any number of threads may call it
+//     concurrently with appends.
+//   - AppendBatch()/Invalidate()/Compact() serialize on an internal
+//     mutex and publish a fresh index snapshot (copy-on-write).
+//   - Cross-process: the writer role is claimed via flock() on a sidecar
+//     "<path>.lock" file. A second process opening the same path gets a
+//     read-only handle (lookups work, appends are counted and dropped).
+#ifndef SPEX_SUPPORT_VERDICT_STORE_H_
+#define SPEX_SUPPORT_VERDICT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace spex {
+
+// One cached verdict. `category` is an opaque tag owned by the caller
+// (the injection layer stores ReactionCategory); the store never
+// interprets it. The fields are exactly the replay-produced fields that
+// re-attribution copies between suspects sharing an execution identity,
+// so a stored verdict reproduces a replay bit-for-bit.
+struct StoredVerdict {
+  uint8_t category = 0;
+  bool pinpointed = false;
+  int64_t tests_run = 0;
+  std::string detail;
+  std::vector<std::string> logs;
+
+  bool operator==(const StoredVerdict& other) const {
+    return category == other.category && pinpointed == other.pinpointed &&
+           tests_run == other.tests_run && detail == other.detail &&
+           logs == other.logs;
+  }
+};
+
+struct VerdictStoreOptions {
+  // Open without claiming the writer lock; all appends are dropped.
+  bool read_only = false;
+  // Sampled re-verification: when > 0, every Nth hit of a key (counting
+  // from the first hit each process makes) reports `reverify_due`, telling
+  // the caller to replay anyway and compare. 0 disables sampling — the
+  // scope fingerprint is then the only staleness guard.
+  size_t reverify_period = 0;
+  // Compact at open when dead records exceed this fraction of live ones.
+  double compact_dead_ratio = 0.5;
+  // ...but never bother compacting fewer dead records than this.
+  size_t compact_min_dead = 64;
+};
+
+// Counters. Snapshot via stats(); all fields are cumulative for the
+// lifetime of this handle except live_records (current index size).
+struct VerdictStoreStats {
+  uint64_t hits = 0;             // Lookups that found a record.
+  uint64_t misses = 0;           // Lookups that found nothing.
+  uint64_t appends = 0;          // Records durably appended by this handle.
+  uint64_t dropped_appends = 0;  // Appends discarded (read-only handle).
+  uint64_t invalidations = 0;    // Tombstones written.
+  uint64_t live_records = 0;     // Verdicts currently in the index.
+  uint64_t loaded_records = 0;   // Verdicts recovered from disk at open.
+  uint64_t dropped_bytes = 0;    // Corrupt/truncated tail ignored at open.
+  uint64_t compactions = 0;      // Log rewrites (open-time + explicit).
+  bool read_only = false;        // True when this handle cannot write.
+};
+
+// One pending write for AppendBatch().
+struct VerdictAppend {
+  uint64_t scope_id = 0;
+  std::string key;
+  StoredVerdict verdict;
+};
+
+class VerdictStore {
+ public:
+  // Opens (creating if needed) the store at `path`. Never fails hard: the
+  // returned handle is always usable — worst case it behaves as an empty
+  // read-only store. `status`, when non-null, reports the first
+  // degradation (writer lock held elsewhere, corrupt tail dropped, bad
+  // header reset) or Ok for a clean open.
+  static std::shared_ptr<VerdictStore> Open(const std::string& path,
+                                            VerdictStoreOptions options = {},
+                                            Status* status = nullptr);
+  ~VerdictStore();
+
+  VerdictStore(const VerdictStore&) = delete;
+  VerdictStore& operator=(const VerdictStore&) = delete;
+
+  // Maps a scope fingerprint (arbitrary bytes) to a dense store-local id.
+  // Ids are stable across reopen and compaction for the life of the file.
+  // Thread-safe.
+  uint64_t ResolveScope(std::string_view fingerprint);
+
+  // Looks up a verdict. Lock-free; safe concurrently with appends.
+  // `reverify_due`, when non-null, is set true when the sampling knob says
+  // this hit should be replayed anyway and compared (see
+  // VerdictStoreOptions::reverify_period).
+  bool Lookup(uint64_t scope_id, std::string_view key, StoredVerdict* out,
+              bool* reverify_due = nullptr) const;
+
+  // Appends a batch of verdicts (last-wins on duplicate keys) and
+  // publishes them for lookup. Returns how many records were durably
+  // written — 0 on a read-only handle. Serialized internally; safe from
+  // any thread.
+  size_t AppendBatch(std::vector<VerdictAppend> appends);
+
+  // Single-record convenience over AppendBatch.
+  void Append(uint64_t scope_id, std::string_view key, StoredVerdict verdict);
+
+  // Writes a tombstone for (scope_id, key) and removes it from the index.
+  void Invalidate(uint64_t scope_id, std::string_view key);
+
+  // fsync()s the log. Appends are otherwise buffered by the OS only.
+  void Flush();
+
+  // Rewrites the log with only live records (scope ids preserved).
+  // No-op (Unavailable) on a read-only handle.
+  Status Compact();
+
+  VerdictStoreStats stats() const;
+  size_t size() const;
+  bool read_only() const { return !writable_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    StoredVerdict verdict;
+    // Per-process hit counter driving sampled re-verification.
+    mutable std::atomic<uint64_t> hits{0};
+  };
+  // Keys are scope_id (8 bytes little-endian) + execution key bytes.
+  using Index = std::unordered_map<std::string, std::shared_ptr<Entry>>;
+
+  VerdictStore(std::string path, VerdictStoreOptions options);
+
+  Status OpenInternal();
+  // Parses [data, data+size), filling index/fingerprints. Returns the
+  // offset just past the last valid record.
+  size_t LoadRecords(const char* data, size_t size, Index* index);
+  // Serializes pending fingerprint interns + appends under mutex_.
+  bool WriteAll(const std::string& bytes);
+  Status CompactLocked();
+
+  const std::string path_;
+  const VerdictStoreOptions options_;
+
+  // Reader-visible snapshot; swapped wholesale by writers.
+  std::atomic<std::shared_ptr<const Index>> index_;
+
+  // Writer state, all under mutex_.
+  mutable std::mutex mutex_;
+  int fd_ = -1;       // Data file (O_APPEND when writable).
+  int lock_fd_ = -1;  // Sidecar lock file holding the flock.
+  bool writable_ = false;
+  std::vector<std::string> fingerprints_;          // id -> fingerprint.
+  std::unordered_map<std::string, uint64_t> fingerprint_ids_;
+  size_t durable_fingerprints_ = 0;  // Prefix of fingerprints_ on disk.
+  size_t dead_records_ = 0;          // Overwritten/tombstoned log entries.
+
+  // Stats (atomics: hits/misses are bumped from lock-free readers).
+  mutable std::atomic<uint64_t> stat_hits_{0};
+  mutable std::atomic<uint64_t> stat_misses_{0};
+  std::atomic<uint64_t> stat_appends_{0};
+  std::atomic<uint64_t> stat_dropped_appends_{0};
+  std::atomic<uint64_t> stat_invalidations_{0};
+  std::atomic<uint64_t> stat_loaded_{0};
+  std::atomic<uint64_t> stat_dropped_bytes_{0};
+  std::atomic<uint64_t> stat_compactions_{0};
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_VERDICT_STORE_H_

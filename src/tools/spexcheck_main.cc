@@ -27,6 +27,7 @@
 
 #include "src/api/session.h"
 #include "src/corpus/spec.h"
+#include "src/support/verdict_store.h"
 
 namespace spex {
 namespace {
@@ -47,6 +48,9 @@ options:
   --format <f>         text | jsonl (default: text)
   --pattern <glob>     filename filter for directories, * and ? wildcards
                        (default: *.conf)
+  --store <path>       persistent verdict store: known verdicts are served
+                       from disk instead of replayed, fresh ones appended —
+                       a re-check of an unchanged fleet replays nothing
   --dump-template      print the target's known-good template config and exit
   --list-targets       print available corpus target names and exit
   --help               this message
@@ -124,6 +128,7 @@ struct CliOptions {
   int threads = 0;
   bool jsonl = false;
   std::string pattern = "*.conf";
+  std::string store_path;
   bool dump_template = false;
   bool list_targets = false;
   std::vector<std::string> paths;
@@ -182,7 +187,9 @@ class JsonlWriter : public BatchObserver {
               << ",\"total_violations\":" << summary.total_violations
               << ",\"total_suspects\":" << summary.total_suspects
               << ",\"unique_replays\":" << summary.unique_replays << ",\"dedup_ratio\":"
-              << summary.DedupRatio() << "}}\n";
+              << summary.DedupRatio() << ",\"store_hits\":" << summary.store_hits
+              << ",\"store_misses\":" << summary.store_misses
+              << ",\"store_appends\":" << summary.store_appends << "}}\n";
   }
 };
 
@@ -219,6 +226,10 @@ class TextWriter : public BatchObserver {
       std::cout << "; " << summary.total_suspects << " suspect setting(s), "
                 << summary.unique_replays << " unique replay(s) (dedup "
                 << static_cast<int>(summary.DedupRatio() * 100.0) << "%)";
+    }
+    if (summary.store_hits != 0 || summary.store_appends != 0) {
+      std::cout << "; verdict store: " << summary.store_hits << " hit(s), "
+                << summary.store_appends << " appended";
     }
     std::cout << "\n";
   }
@@ -282,6 +293,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, std::string* error) {
       const char* value = next("--pattern");
       if (value == nullptr) return false;
       options->pattern = value;
+    } else if (arg == "--store") {
+      const char* value = next("--store");
+      if (value == nullptr) return false;
+      options->store_path = value;
     } else if (arg == "--dump-template") {
       options->dump_template = true;
     } else if (arg == "--list-targets") {
@@ -385,6 +400,17 @@ int Run(int argc, char** argv) {
   Target* target = session.LoadTarget(options.target);
   if (target == nullptr) {
     return Fail("loading target failed:\n" + session.RenderDiagnostics());
+  }
+  if (!options.store_path.empty()) {
+    // Open never hard-fails: a corrupt/locked/unwritable store degrades to
+    // checking without one (warn so the operator knows re-checks stay cold).
+    Status store_status;
+    std::shared_ptr<VerdictStore> store =
+        VerdictStore::Open(options.store_path, {}, &store_status);
+    if (!store_status.ok()) {
+      std::cerr << "spexcheck: verdict store degraded: " << store_status.message() << "\n";
+    }
+    target->AttachVerdictStore(std::move(store));
   }
   if (options.dump_template) {
     std::cout << target->analysis().bundle.template_config;

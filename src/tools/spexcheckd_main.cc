@@ -53,6 +53,13 @@ options:
   --drain-deadline-ms <n>     how long SIGTERM lets in-flight work finish
                               before cancelling it cooperatively (default: 5000)
   --target-capacity <n>       hot targets kept loaded, LRU beyond (default: 4)
+  --store <dir>               persistent per-target verdict stores
+                              (<dir>/<target>.vst); verdicts survive
+                              evictions and restarts (default: disabled)
+  --keepalive-max-requests <n> requests one keep-alive connection may carry
+                              before the server closes it (default: 100)
+  --keepalive-idle-ms <n>     idle bound between requests on a reused
+                              connection (default: 2000)
   --help                      this message
 
 environment:
@@ -134,6 +141,18 @@ int Run(int argc, char** argv) {
                 [&](long v) { options.drain_deadline = std::chrono::milliseconds(v); });
     } else if (arg == "--target-capacity") {
       ok = take("--target-capacity", 1, 64, [&](long v) { options.target_capacity = v; });
+    } else if (arg == "--store") {
+      const char* value = next("--store");
+      if (value == nullptr) {
+        return 2;
+      }
+      options.store_dir = value;
+    } else if (arg == "--keepalive-max-requests") {
+      ok = take("--keepalive-max-requests", 1, 1 << 20,
+                [&](long v) { options.keepalive_max_requests = static_cast<size_t>(v); });
+    } else if (arg == "--keepalive-idle-ms") {
+      ok = take("--keepalive-idle-ms", 0, 86400000,
+                [&](long v) { options.keepalive_idle_timeout = std::chrono::milliseconds(v); });
     } else {
       std::cerr << "spexcheckd: unknown flag: " << arg << "\n" << kUsage;
       return 2;
