@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -571,6 +572,162 @@ void BM_FleetCheckRecheck(benchmark::State& state) {
                           static_cast<int64_t>(kCorpus->size()));
 }
 BENCHMARK(BM_FleetCheckRecheck)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Two inline versions of a MiniC server for the matrix benchmark: v2
+// tightens worker_threads (64 -> 8) — the upgrade-regression shape.
+constexpr const char* kMatrixV1 = R"(
+  struct config_int { char *name; int *variable; int min; int max; };
+  int worker_threads = 4;
+  int idle_timeout = 60;
+  int cache_kb = 2048;
+  int cache_ttl = 300;
+  int slots[64];
+  int started = 0;
+  struct config_int int_options[] = {
+    { "worker_threads", &worker_threads, 1, 64 },
+    { "idle_timeout", &idle_timeout, 0, 3600 },
+    { "cache_kb", &cache_kb, 64, 1048576 },
+    { "cache_ttl", &cache_ttl, 1, 86400 },
+  };
+  int handle_config_line(char *key, char *value) {
+    int i;
+    for (i = 0; i < 4; i++) {
+      if (!strcmp(int_options[i].name, key)) {
+        *int_options[i].variable = atoi(value);
+        return 0;
+      }
+    }
+    return 0;
+  }
+  int server_init() {
+    int i;
+    for (i = 0; i < worker_threads; i++) { slots[i] = 1; }
+    sleep(idle_timeout);
+    sleep(cache_ttl);
+    started = 1;
+    return 0;
+  }
+  int test_started() { return started; }
+)";
+
+constexpr const char* kMatrixTemplate =
+    "worker_threads = 4\nidle_timeout = 60\ncache_kb = 2048\ncache_ttl = 300\n";
+
+TargetVersion MatrixBenchVersion(const std::string& label, std::string source) {
+  TargetVersion version;
+  version.label = label;
+  version.source = std::move(source);
+  version.annotations = "@STRUCT int_options { par = 0, var = 1, min = 2, max = 3 }";
+  version.file_name = label + ".c";
+  version.sut.tests.push_back({"started", "test_started", 1, 1});
+  for (const char* param : {"worker_threads", "idle_timeout", "cache_kb", "cache_ttl"}) {
+    version.sut.param_storage[param] = param;
+  }
+  version.template_config = kMatrixTemplate;
+  return version;
+}
+
+std::string MatrixBenchV2() {
+  std::string v2 = kMatrixV1;
+  v2.replace(v2.find("{ \"worker_threads\", &worker_threads, 1, 64 }"),
+             std::strlen("{ \"worker_threads\", &worker_threads, 1, 64 }"),
+             "{ \"worker_threads\", &worker_threads, 1, 8 }");
+  return v2;
+}
+
+// A duplicated upgrade fleet: 10 configs, 4 unique suspect executions.
+std::vector<ConfigInput> MatrixBenchFleet() {
+  std::vector<ConfigInput> fleet;
+  fleet.push_back({"clean-a.conf", kMatrixTemplate});
+  fleet.push_back({"clean-b.conf", kMatrixTemplate});
+  for (int i = 0; i < 3; ++i) {
+    fleet.push_back({"threads-" + std::to_string(i) + ".conf", "worker_threads = 12\n"});
+  }
+  for (int i = 0; i < 2; ++i) {
+    fleet.push_back({"idle-" + std::to_string(i) + ".conf", "idle_timeout = 5400\n"});
+  }
+  for (int i = 0; i < 2; ++i) {
+    fleet.push_back({"cache-" + std::to_string(i) + ".conf", "cache_kb = 32\n"});
+  }
+  fleet.push_back({"ttl.conf", "cache_ttl = 0\n"});
+  return fleet;
+}
+
+// Version-matrix check through the per-version verdict-store scopes.
+// Arg 0: 0 = cold (store deleted per iteration — the first matrix run),
+// 1 = store-warm column refresh: the store was seeded by a {v1, v2}
+// matrix, then v2 is bumped — the timed {v1, v2'} matrix must serve the
+// unchanged v1 column entirely from disk (unique_replays_unchanged == 0)
+// and replay only the bumped column. Each iteration pays Session +
+// version loads + store open under PauseTiming (and warm iterations
+// restore a pristine copy of the seeded store, so the bumped column's
+// appends from iteration N cannot warm iteration N+1); the timed region
+// is exactly CheckMatrix.
+void BM_VersionMatrix(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() / "spex_bench_matrix.vst").string();
+  const std::string pristine_path = store_path + ".pristine";
+  std::vector<ConfigInput> fleet = MatrixBenchFleet();
+  std::vector<TargetVersion> versions = {MatrixBenchVersion("v1", kMatrixV1),
+                                         MatrixBenchVersion("v2", MatrixBenchV2())};
+  std::filesystem::remove(store_path);
+  std::filesystem::remove(store_path + ".lock");
+  if (warm) {
+    // Seed {v1, v2}, then bump v2: the timed matrix is {v1, v2'} where
+    // only v2' is cold. Keep a pristine copy of the seeded store to
+    // restore every iteration.
+    {
+      Session session;
+      MatrixOptions seed_options;
+      seed_options.check.mode = CheckMode::kDynamic;
+      seed_options.store = VerdictStore::Open(store_path);
+      session.CheckMatrix(versions, fleet, seed_options);
+    }
+    std::filesystem::copy_file(store_path, pristine_path,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::string bumped = MatrixBenchV2();
+    bumped.replace(bumped.find("{ \"worker_threads\", &worker_threads, 1, 8 }"),
+                   std::strlen("{ \"worker_threads\", &worker_threads, 1, 8 }"),
+                   "{ \"worker_threads\", &worker_threads, 1, 16 }");
+    versions[1] = MatrixBenchVersion("v2-bumped", std::move(bumped));
+  }
+  MatrixOptions options;
+  options.check.mode = CheckMode::kDynamic;
+  MatrixSummary last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (warm) {
+      std::filesystem::copy_file(pristine_path, store_path,
+                                 std::filesystem::copy_options::overwrite_existing);
+    } else {
+      std::filesystem::remove(store_path);
+    }
+    std::filesystem::remove(store_path + ".lock");
+    {
+      Session session;
+      options.store = VerdictStore::Open(store_path);
+      state.ResumeTiming();
+      last = session.CheckMatrix(versions, fleet, options);
+      benchmark::DoNotOptimize(last);
+      // Session + store teardown is setup cost, not matrix latency.
+      state.PauseTiming();
+      options.store.reset();
+    }
+    state.ResumeTiming();
+  }
+  state.counters["cells"] = static_cast<double>(last.cells);
+  state.counters["regressions"] = static_cast<double>(
+      last.transitions_by_kind[static_cast<size_t>(Transition::kRegression)]);
+  state.counters["unique_replays_unchanged"] =
+      static_cast<double>(last.columns[0].batch.unique_replays);
+  state.counters["unique_replays_bumped"] =
+      static_cast<double>(last.columns[1].batch.unique_replays);
+  state.counters["store_hits"] = static_cast<double>(last.store_hits);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(last.cells));
+}
+BENCHMARK(BM_VersionMatrix)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 int ConnectLoopback(uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);

@@ -1,0 +1,6 @@
+worker_threads = 4
+idle_timeout = 60
+cache_kb = 2048
+cache_ttl = 300
+log_format = plain
+use_cache = on

@@ -1,0 +1,48 @@
+struct config_int { char *name; int *variable; int min; int max; };
+int worker_threads = 4;
+int idle_timeout = 60;
+int cache_kb = 2048;
+int cache_ttl = 300;
+int log_format = 0;
+int use_cache = 1;
+int slots[64];
+int started = 0;
+struct config_int int_options[] = {
+  { "worker_threads", &worker_threads, 1, 8 },
+  { "idle_timeout", &idle_timeout, 0, 3600 },
+  { "cache_kb", &cache_kb, 64, 1048576 },
+  { "cache_ttl", &cache_ttl, 1, 86400 },
+};
+void parse_extra(char *key, char *value) {
+  if (!strcasecmp(key, "log_format")) {
+    if (!strcmp(value, "plain")) { log_format = 0; }
+    else if (!strcmp(value, "json")) { log_format = 1; }
+  }
+  if (!strcasecmp(key, "use_cache")) {
+    if (!strcasecmp(value, "on")) { use_cache = 1; } else { use_cache = 0; }
+  }
+}
+int handle_config_line(char *key, char *value) {
+  int i;
+  for (i = 0; i < 4; i++) {
+    if (!strcmp(int_options[i].name, key)) {
+      *int_options[i].variable = atoi(value);
+      return 0;
+    }
+  }
+  parse_extra(key, value);
+  return 0;
+}
+int server_init() {
+  int i;
+  for (i = 0; i < worker_threads; i++) { slots[i] = 1; }
+  long bytes = cache_kb * 1024;
+  malloc(bytes);
+  sleep(idle_timeout);
+  if (use_cache != 0) {
+    sleep(cache_ttl);
+  }
+  started = 1;
+  return 0;
+}
+int test_started() { return started; }

@@ -20,7 +20,7 @@ echo "== Release configuration =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 if [[ "${QUICK}" == "1" ]]; then
-  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test|session_test|dynamic_check_test|batch_check_test|cancel_test|serve_test'
+  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test|session_test|dynamic_check_test|batch_check_test|matrix_check_test|cancel_test|serve_test'
 else
   ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 fi
@@ -32,7 +32,7 @@ cmake -B build-tsan -S . \
   -DSPEX_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test cancel_test serve_test verdict_store_test
+cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test matrix_check_test cancel_test serve_test verdict_store_test
 # The parallel-campaign and snapshot-replay determinism tests are the point
 # of the TSan build: num_threads=4 workers over shared module/SUT state plus
 # the state-gated shared snapshot cache. CorpusShardedTest additionally runs
@@ -52,6 +52,10 @@ cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_po
 # fan-out plus sharded unique-suspect replays through the shared snapshot
 # cache) must be race-free and bit-identical to the serial path.
 ./build-tsan/batch_check_test
+# Version-matrix checking: every (version, config) cell must be bit-identical
+# to an independent CheckConfigBatch at both serial and 4-worker column
+# settings, with the shared verdict store's copy-on-write index in play.
+./build-tsan/matrix_check_test
 # Cooperative cancellation under TSan: tokens polled from interpreter step
 # loops and shard boundaries while another thread fires them, and the
 # snapshot cache staying consistent when a campaign is cancelled mid-replay.

@@ -40,6 +40,7 @@
 #include "src/api/batch_check.h"
 #include "src/api/config_checker.h"
 #include "src/corpus/pipeline.h"
+#include "src/matrix/matrix_check.h"
 #include "src/support/string_pool.h"
 #include "src/support/thread_pool.h"
 
@@ -81,6 +82,29 @@ class Session {
 
   // Loads one of the synthesized corpus targets ("mysql", "squid", ...).
   Target* LoadTarget(const std::string& name);
+
+  // Version-matrix checking: every config in `configs` checked against
+  // every version in `versions` ("which upgrade breaks whose config").
+  // Each version loads as a session-owned Target (corpus name or
+  // LoadSource triple — src/matrix/version_set.h) and its column runs as
+  // one CheckConfigBatch, so every cell is bit-identical to an
+  // independent fleet check of that version and each column keeps the
+  // batch layer's cross-config dedup. Adjacent checked columns are
+  // diffed into per-config regression/fix/changed-reaction/stable
+  // transitions (src/matrix/matrix_diff.h). With options.store attached,
+  // every version gets its own store scope automatically, so a warm
+  // matrix refresh after one version bump replays only the bumped
+  // column. Version load failures are contained per column; `observer`
+  // streams cells/columns/transitions on the calling thread.
+  //
+  // Thread-safety follows CheckConfigBatch: serial columns
+  // (options.num_threads == 1) may run concurrently with anything;
+  // sharded columns serialize session-wide with campaigns and other
+  // sharded batches.
+  MatrixSummary CheckMatrix(std::span<const TargetVersion> versions,
+                            std::span<const ConfigInput> configs,
+                            const MatrixOptions& options = {},
+                            MatrixObserver* observer = nullptr);
 
   // Sharded corpus regeneration through the session's registry and engine
   // options: one analysis + campaign per target name, fanned over

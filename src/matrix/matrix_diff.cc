@@ -1,0 +1,173 @@
+#include "src/matrix/matrix_diff.h"
+
+#include <map>
+
+#include "src/inject/reaction.h"
+
+namespace spex {
+namespace {
+
+// Length-prefixed join, the execution-key idiom: params and values are
+// user-controlled text, so no separator is collision-safe.
+void AppendField(std::string* out, const std::string& field) {
+  *out += std::to_string(field.size());
+  *out += ':';
+  *out += field;
+}
+
+// The identity of a flagged setting across versions: which line of the
+// user's file drew a finding. Category and message stay OUT of the key —
+// they are the verdict, and a verdict that changes is a changed reaction,
+// not an unrelated remove+add.
+std::string SettingKey(const Violation& violation) {
+  std::string key;
+  AppendField(&key, violation.param);
+  AppendField(&key, violation.value);
+  key += std::to_string(violation.line);
+  return key;
+}
+
+// Everything the user would read as "the verdict" for one finding,
+// canonically serialized so two versions' findings compare by content.
+std::string VerdictFingerprint(const Violation& violation) {
+  std::string fingerprint;
+  fingerprint += ViolationCategoryName(violation.category);
+  AppendField(&fingerprint, violation.message);
+  fingerprint += violation.reaction.has_value()
+                     ? ReactionCategoryName(*violation.reaction)
+                     : "none";
+  AppendField(&fingerprint, violation.reaction_detail);
+  AppendField(&fingerprint, violation.prediction);
+  return fingerprint;
+}
+
+std::string DescribeFinding(const Violation& violation) {
+  std::string text = "[";
+  text += ViolationCategoryName(violation.category);
+  text += "] " + violation.param + " = " + violation.value;
+  if (violation.reaction.has_value()) {
+    text += " (";
+    text += ReactionCategoryName(*violation.reaction);
+    text += ")";
+  }
+  return text;
+}
+
+// One config side folded to key -> concatenated verdict fingerprints
+// (a line can draw several findings; their joint content is the verdict)
+// plus a representative Violation for detail rendering.
+struct SideIndex {
+  std::map<std::string, std::string> verdicts;
+  std::map<std::string, const Violation*> samples;
+};
+
+SideIndex IndexSide(const ConfigReport& report) {
+  SideIndex side;
+  for (const Violation& violation : report.violations) {
+    std::string key = SettingKey(violation);
+    side.verdicts[key] += VerdictFingerprint(violation);
+    side.samples.emplace(key, &violation);
+  }
+  return side;
+}
+
+}  // namespace
+
+const char* TransitionName(Transition transition) {
+  switch (transition) {
+    case Transition::kStable:
+      return "stable";
+    case Transition::kChangedReaction:
+      return "changed-reaction";
+    case Transition::kFix:
+      return "fix";
+    case Transition::kRegression:
+      return "regression";
+  }
+  return "stable";
+}
+
+Transition ClassifyTransition(const ConfigReport& from, const ConfigReport& to,
+                              size_t* added, size_t* removed, size_t* changed,
+                              std::string* detail) {
+  SideIndex before = IndexSide(from);
+  SideIndex after = IndexSide(to);
+
+  size_t n_added = 0;
+  size_t n_removed = 0;
+  size_t n_changed = 0;
+  std::string first_added;
+  std::string first_removed;
+  std::string first_changed;
+
+  for (const auto& [key, verdict] : after.verdicts) {
+    auto it = before.verdicts.find(key);
+    if (it == before.verdicts.end()) {
+      ++n_added;
+      if (first_added.empty()) {
+        first_added = "+ " + DescribeFinding(*after.samples[key]);
+      }
+    } else if (it->second != verdict) {
+      ++n_changed;
+      if (first_changed.empty()) {
+        first_changed = "~ " + DescribeFinding(*before.samples[key]) + " -> " +
+                        DescribeFinding(*after.samples[key]);
+      }
+    }
+  }
+  for (const auto& [key, verdict] : before.verdicts) {
+    if (after.verdicts.find(key) == after.verdicts.end()) {
+      ++n_removed;
+      if (first_removed.empty()) {
+        first_removed = "- " + DescribeFinding(*before.samples[key]);
+      }
+    }
+  }
+
+  if (added != nullptr) *added = n_added;
+  if (removed != nullptr) *removed = n_removed;
+  if (changed != nullptr) *changed = n_changed;
+
+  // Severity order: a pair that both breaks and repairs is a regression —
+  // the broken user is the one the upgrade report exists for.
+  Transition transition = Transition::kStable;
+  std::string first;
+  if (n_added > 0) {
+    transition = Transition::kRegression;
+    first = first_added;
+  } else if (n_removed > 0) {
+    transition = Transition::kFix;
+    first = first_removed;
+  } else if (n_changed > 0) {
+    transition = Transition::kChangedReaction;
+    first = first_changed;
+  }
+  if (detail != nullptr) *detail = first;
+  return transition;
+}
+
+std::vector<ConfigTransition> DiffColumns(size_t from_version,
+                                          const std::string& from_label,
+                                          const BatchSummary& from, size_t to_version,
+                                          const std::string& to_label,
+                                          const BatchSummary& to) {
+  std::vector<ConfigTransition> transitions;
+  size_t count = std::min(from.reports.size(), to.reports.size());
+  transitions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ConfigTransition transition;
+    transition.config_index = i;
+    transition.config = to.reports[i].name;
+    transition.from_version = from_version;
+    transition.to_version = to_version;
+    transition.from_label = from_label;
+    transition.to_label = to_label;
+    transition.transition =
+        ClassifyTransition(from.reports[i], to.reports[i], &transition.added,
+                           &transition.removed, &transition.changed, &transition.detail);
+    transitions.push_back(std::move(transition));
+  }
+  return transitions;
+}
+
+}  // namespace spex

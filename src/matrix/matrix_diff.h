@@ -1,0 +1,84 @@
+// Transition classification between two versions' verdicts on one config.
+//
+// The matrix checker's deliverable is not N independent fleet reports but
+// the *differences* between adjacent columns: an upgrade is safe for a
+// user exactly when their config's verdicts do not get worse. Each
+// (config, version-pair) is classified into one of four transitions:
+//
+//   regression        the newer version flags something the older one
+//                     accepted — the upgrade breaks this config.
+//   fix               the older version's finding is gone and nothing new
+//                     appeared — the upgrade repairs this config.
+//   changed-reaction  the same settings are flagged on both sides, but
+//                     the verdict changed (different category, message,
+//                     or observed Table-3 reaction) — same mistake, new
+//                     behaviour.
+//   stable            verdict-identical on both sides (clean or equally
+//                     broken).
+//
+// Identity is per flagged setting — (param, value, line) — so a finding
+// whose *description* changes is a changed reaction, not a coincidental
+// fix+regression pair. When a pair both adds and removes findings the
+// label is regression: breaking a user outranks repairing them.
+#ifndef SPEX_MATRIX_MATRIX_DIFF_H_
+#define SPEX_MATRIX_MATRIX_DIFF_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/api/batch_check.h"
+
+namespace spex {
+
+enum class Transition {
+  kStable = 0,
+  kChangedReaction,
+  kFix,
+  kRegression,
+};
+inline constexpr size_t kTransitionCount = 4;
+
+// Stable lowercase names ("stable", "changed-reaction", "fix",
+// "regression") — the JSONL vocabulary.
+const char* TransitionName(Transition transition);
+
+// One classified (config, adjacent-version-pair) cell-pair. Self-contained
+// value type: labels and detail are copies.
+struct ConfigTransition {
+  size_t config_index = 0;      // Position in the fleet (cell row).
+  std::string config;           // ConfigInput::name.
+  size_t from_version = 0;      // Version indices in the matrix (columns).
+  size_t to_version = 0;
+  std::string from_label;
+  std::string to_label;
+  Transition transition = Transition::kStable;
+  // The violation-level counts behind the label: findings only the newer
+  // version reports, only the older one reports, and findings present on
+  // both sides whose verdict differs.
+  size_t added = 0;
+  size_t removed = 0;
+  size_t changed = 0;
+  // First difference, human-oriented: "+ [range] worker_threads = 12"
+  // (added), "- ..." (removed), "~ ..." (changed). Empty when stable.
+  std::string detail;
+};
+
+// Classifies one config's transition between two reports (the same config
+// checked against the older and newer version). Out-params may be null.
+Transition ClassifyTransition(const ConfigReport& from, const ConfigReport& to,
+                              size_t* added, size_t* removed, size_t* changed,
+                              std::string* detail);
+
+// Diffs two whole columns (BatchSummary::reports are in batch order on
+// both sides — same fleet, same order). Returns one ConfigTransition per
+// config, in batch order.
+std::vector<ConfigTransition> DiffColumns(size_t from_version,
+                                          const std::string& from_label,
+                                          const BatchSummary& from, size_t to_version,
+                                          const std::string& to_label,
+                                          const BatchSummary& to);
+
+}  // namespace spex
+
+#endif  // SPEX_MATRIX_MATRIX_DIFF_H_

@@ -364,6 +364,7 @@ bool CheckServer::HandleRequest(int fd, const HttpRequest& request, bool keep_al
     field("internal_errors", snapshot.internal_errors);
     field("batch_configs", snapshot.batch_configs);
     field("keepalive_reuses", snapshot.keepalive_reuses);
+    field("store_hits", snapshot.store_hits);
     field("queue_depth", queue_->size());
     field("inflight_replays", inflight_replays_.load(std::memory_order_relaxed));
     field("targets_loaded", targets_->size());
@@ -449,7 +450,18 @@ bool CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
       if (name.empty()) {
         name = "config";
       }
-      std::vector<Violation> violations = entry->target->CheckConfig(body, name, check);
+      // Routed through a 1-config batch rather than CheckConfig: verdicts
+      // are bit-identical (the batch identity guarantee), and the
+      // BatchSummary carries the verdict-store counters a bare CheckConfig
+      // cannot report — so /check can say whether it was served from disk.
+      std::vector<ConfigInput> single;
+      single.push_back(ConfigInput{name, body});
+      BatchOptions single_options;
+      single_options.check = check;
+      single_options.num_threads = 1;
+      BatchSummary single_summary = entry->target->CheckConfigBatch(single, single_options);
+      stat_store_hits_.fetch_add(single_summary.store_hits, std::memory_order_relaxed);
+      const std::vector<Violation>& violations = single_summary.reports.front().violations;
       for (const Violation& violation : violations) {
         response += ViolationJson(violation, nullptr);
       }
@@ -466,6 +478,13 @@ bool CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
       response += "\",\"violations\":" + std::to_string(violations.size());
       response += ",\"degraded\":";
       response += degraded ? "true" : "false";
+      // cached: every suspect execution was served from the persistent
+      // verdict store — nothing replayed for this request.
+      const bool cached = single_summary.total_suspects > 0 &&
+                          single_summary.unique_replays == 0 &&
+                          single_summary.store_hits > 0;
+      response += ",\"cached\":";
+      response += cached ? "true" : "false";
       response += "}\n";
       int http = HttpStatusFor(final.code());
       (final.ok() ? stat_served_ok_
@@ -492,6 +511,7 @@ bool CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
     batch_options.num_threads = 1;  // Concurrency comes from the worker pool.
     BatchSummary summary = entry->target->CheckConfigBatch(inputs, batch_options);
     stat_batch_configs_.fetch_add(inputs.size(), std::memory_order_relaxed);
+    stat_store_hits_.fetch_add(summary.store_hits, std::memory_order_relaxed);
     for (const ConfigReport& report : summary.reports) {
       for (const Violation& violation : report.violations) {
         response += ViolationJson(violation, &report.name);
@@ -523,6 +543,11 @@ bool CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
     response += ",\"unique_replays\":" + std::to_string(summary.unique_replays);
     response += ",\"degraded\":";
     response += degraded ? "true" : "false";
+    response += ",\"cached\":";
+    response += (summary.total_suspects > 0 && summary.unique_replays == 0 &&
+                 summary.store_hits > 0)
+                    ? "true"
+                    : "false";
     response += "}\n";
     int http = HttpStatusFor(final.code());
     (final.ok() ? stat_served_ok_
@@ -558,6 +583,7 @@ ServerStats CheckServer::stats() const {
   snapshot.internal_errors = stat_internal_.load(std::memory_order_relaxed);
   snapshot.batch_configs = stat_batch_configs_.load(std::memory_order_relaxed);
   snapshot.keepalive_reuses = stat_keepalive_reuses_.load(std::memory_order_relaxed);
+  snapshot.store_hits = stat_store_hits_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -127,6 +127,7 @@ struct ServerStats {
   uint64_t internal_errors = 0;    // Contained exceptions; 500s.
   uint64_t batch_configs = 0;      // Configs checked via /batch.
   uint64_t keepalive_reuses = 0;   // Requests served on a reused connection.
+  uint64_t store_hits = 0;         // Unique executions served from the verdict store.
 };
 
 class CheckServer {
@@ -199,6 +200,7 @@ class CheckServer {
   std::atomic<uint64_t> stat_internal_{0};
   std::atomic<uint64_t> stat_batch_configs_{0};
   std::atomic<uint64_t> stat_keepalive_reuses_{0};
+  std::atomic<uint64_t> stat_store_hits_{0};
 };
 
 }  // namespace spex

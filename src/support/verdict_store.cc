@@ -184,11 +184,19 @@ Status VerdictStore::OpenInternal() {
                       0644);
     if (lock_fd_ >= 0 && ::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0) {
       writable_ = true;
-    } else {
-      if (lock_fd_ >= 0) ::close(lock_fd_);
+    } else if (lock_fd_ >= 0) {
+      ::close(lock_fd_);
       lock_fd_ = -1;
       degradation = Status::Unavailable(
           "verdict store writer lock is held elsewhere; opened read-only");
+    } else {
+      // The lock file could not even be created (unwritable directory,
+      // missing parent, path is a directory, ...) — a different failure
+      // from contention, and the operator's fix is different too: make
+      // the path writable, don't hunt for the other writer.
+      degradation = Status::Unavailable(
+          std::string("verdict store path unwritable (") +
+          std::strerror(errno) + "); opened read-only");
     }
   }
 

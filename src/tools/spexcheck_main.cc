@@ -1,25 +1,34 @@
 // spexcheck — fleet-scale configuration checking from the command line.
 //
-// The first end-user-runnable binary of the reproduction: load a corpus
-// target, glob a directory of user configs, run one batch check
-// (Target::CheckConfigBatch — unique mistakes replay once, verdicts fan
-// out), and report per config as text or JSON-lines. See docs/api.md
-// ("spexcheck CLI reference") for flags, exit codes and the JSONL schema.
+// The first end-user-runnable binary of the reproduction: load a target
+// (corpus name or MiniC source + annotations), glob a directory of user
+// configs, run one batch check (Target::CheckConfigBatch — unique
+// mistakes replay once, verdicts fan out), and report per config as text
+// or JSON-lines. With --matrix, the same fleet is checked against every
+// listed version of the target (Session::CheckMatrix) and each config's
+// transition between adjacent versions is classified — "which upgrade
+// breaks whose config". See docs/api.md ("spexcheck CLI reference") for
+// flags, exit codes and the JSONL schema.
 //
 //   spexcheck --target squid configs/                 # every *.conf in configs/
 //   spexcheck --target mysql --format jsonl my.cnf
+//   spexcheck --source server.c --annotations server.ann --template base.conf my.conf
+//   spexcheck --matrix --source v1.c --annotations s.ann \
+//             --source v2.c --annotations s.ann configs/  # upgrade report
 //   spexcheck --target squid --dump-template > base.conf
 //
-// Exit codes: 0 = every config clean, 1 = at least one violation or
-// per-config error, 2 = usage / load error, or NO config could be checked
-// at all. A single unreadable or unparseable file inside a directory scan
-// is contained as a per-config error record — it never aborts the rest of
+// Exit codes: 0 = every config clean (--matrix: no regressions), 1 = at
+// least one violation or per-config error (--matrix: at least one
+// regression), 2 = usage / load error, or NO config could be checked at
+// all. A single unreadable or unparseable file inside a directory scan is
+// contained as a per-config error record — it never aborts the rest of
 // the fleet.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -36,13 +45,31 @@ namespace fs = std::filesystem;
 
 constexpr const char* kUsage =
     R"(usage: spexcheck --target <name> [options] <config-file-or-dir>...
+       spexcheck --source <f> --annotations <f> [--template <f>] [options] <configs>...
+       spexcheck --matrix (--target <name> | --source <f> ...)... [options] <configs>...
 
-Check a fleet of configuration files against a corpus target and report,
-per file, which inferred constraint each line violates and (in dynamic
-mode) what the system will actually do with the setting.
+Check a fleet of configuration files against a target and report, per
+file, which inferred constraint each line violates and (in dynamic mode)
+what the system will actually do with the setting. With --matrix, check
+the fleet against every listed version of the target and classify each
+config's transition between adjacent versions — regression, fix,
+changed-reaction or stable ("which upgrade breaks whose config").
+
+target selection (each --target or --source starts a version; repeatable
+with --matrix, exactly one otherwise):
+  --target <name>      corpus target to check against (see --list-targets)
+  --source <file>      target from MiniC source instead of the corpus
+  --annotations <file> mapping annotations for the preceding --source
+  --template <file>    known-good template config for the preceding --source
+                       (required for dynamic replay; optional for static)
+  --dialect <d>        config dialect for the preceding --source:
+                       key=value | key-value (default: key=value)
+  --label <name>       report label for the preceding version
 
 options:
-  --target <name>      corpus target to check against (see --list-targets)
+  --matrix             version-matrix mode: check the fleet against every
+                       listed version, diff adjacent columns (text: grid +
+                       transitions; jsonl: cell/version/diff records)
   --mode <m>           static | dynamic (default: dynamic)
   --threads <n>        batch shards: 1 = serial, 0 = hardware (default: 0)
   --format <f>         text | jsonl (default: text)
@@ -51,11 +78,14 @@ options:
   --store <path>       persistent verdict store: known verdicts are served
                        from disk instead of replayed, fresh ones appended —
                        a re-check of an unchanged fleet replays nothing
+                       (--matrix: each version gets its own scope, so a
+                       version bump re-checks only the bumped column)
   --dump-template      print the target's known-good template config and exit
   --list-targets       print available corpus target names and exit
   --help               this message
 
-exit codes: 0 = all configs clean, 1 = violations or per-config errors,
+exit codes: 0 = all configs clean (--matrix: no regressions),
+            1 = violations or per-config errors (--matrix: a regression),
             2 = usage/load error or no config checked
 )";
 
@@ -122,8 +152,20 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+// One version of the target as named on the command line — file paths,
+// not contents; BuildVersions reads them.
+struct VersionArg {
+  std::string label;
+  std::string corpus;
+  std::string source_path;
+  std::string annotations_path;
+  std::string template_path;
+  ConfigDialect dialect = ConfigDialect::kKeyEqualsValue;
+};
+
 struct CliOptions {
-  std::string target;
+  bool matrix = false;
+  std::vector<VersionArg> versions;
   CheckMode mode = CheckMode::kDynamic;
   int threads = 0;
   bool jsonl = false;
@@ -142,6 +184,38 @@ struct ConfigError {
   std::string message;
 };
 
+// The violation object shared by every JSONL record that carries
+// verdicts (per-config lines and matrix cell records).
+void AppendViolationJson(std::ostream& out, const Violation& v) {
+  out << "{\"category\":\"" << ViolationCategoryName(v.category) << "\",\"param\":\""
+      << JsonEscape(v.param) << "\",\"value\":\"" << JsonEscape(v.value)
+      << "\",\"line\":" << v.line << ",\"message\":\"" << JsonEscape(v.message) << "\"";
+  if (v.reaction.has_value()) {
+    out << ",\"reaction\":\"" << ReactionCategoryName(*v.reaction)
+        << "\",\"vulnerability\":" << (IsVulnerability(*v.reaction) ? "true" : "false")
+        << ",\"prediction\":\"" << JsonEscape(v.prediction) << "\"";
+  }
+  out << "}";
+}
+
+void AppendReportJson(std::ostream& out, size_t index, const ConfigReport& report) {
+  out << "\"config\":\"" << JsonEscape(report.name) << "\",\"index\":" << index
+      << ",\"suspects\":" << report.suspects
+      << ",\"shared_replays\":" << report.shared_replays;
+  if (!report.status.ok()) {
+    out << ",\"status\":\"" << StatusCodeName(report.status.code()) << "\",\"error\":\""
+        << JsonEscape(report.status.message()) << "\"";
+  }
+  out << ",\"violations\":[";
+  for (size_t i = 0; i < report.violations.size(); ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    AppendViolationJson(out, report.violations[i]);
+  }
+  out << "]";
+}
+
 // One JSON line per config as its report streams in, plus a final
 // summary line — the format a fleet pipeline tails.
 class JsonlWriter : public BatchObserver {
@@ -153,30 +227,9 @@ class JsonlWriter : public BatchObserver {
 
   void OnConfigChecked(size_t index, const ConfigReport& report) override {
     std::ostringstream line;
-    line << "{\"config\":\"" << JsonEscape(report.name) << "\",\"index\":" << index
-         << ",\"suspects\":" << report.suspects
-         << ",\"shared_replays\":" << report.shared_replays;
-    if (!report.status.ok()) {
-      line << ",\"status\":\"" << StatusCodeName(report.status.code()) << "\",\"error\":\""
-           << JsonEscape(report.status.message()) << "\"";
-    }
-    line << ",\"violations\":[";
-    for (size_t i = 0; i < report.violations.size(); ++i) {
-      const Violation& v = report.violations[i];
-      if (i != 0) {
-        line << ",";
-      }
-      line << "{\"category\":\"" << ViolationCategoryName(v.category) << "\",\"param\":\""
-           << JsonEscape(v.param) << "\",\"value\":\"" << JsonEscape(v.value)
-           << "\",\"line\":" << v.line << ",\"message\":\"" << JsonEscape(v.message) << "\"";
-      if (v.reaction.has_value()) {
-        line << ",\"reaction\":\"" << ReactionCategoryName(*v.reaction)
-             << "\",\"vulnerability\":" << (IsVulnerability(*v.reaction) ? "true" : "false")
-             << ",\"prediction\":\"" << JsonEscape(v.prediction) << "\"";
-      }
-      line << "}";
-    }
-    line << "]}";
+    line << "{";
+    AppendReportJson(line, index, report);
+    line << "}";
     std::cout << line.str() << "\n";
   }
 
@@ -235,12 +288,207 @@ class TextWriter : public BatchObserver {
   }
 };
 
+// Matrix text report: per-version summary lines and non-stable
+// transitions as they stream, then the config × version grid. Per-cell
+// violation detail is the jsonl format's job — a text grid that printed
+// every violation of every cell would bury the upgrade story.
+class MatrixTextWriter : public MatrixObserver {
+ public:
+  void OnConfigError(const ConfigError& error) {
+    std::cout << error.name << ": ERROR " << error.message << "\n";
+  }
+
+  void OnMatrixBegin(size_t versions, size_t configs) override {
+    std::cout << "matrix: " << versions << " version(s) x " << configs
+              << " config(s)\n";
+  }
+
+  void OnVersionLoaded(const LoadedVersion& version) override {
+    if (!version.status.ok()) {
+      std::cerr << "spexcheck: version '" << version.label
+                << "' failed to load: " << version.status.message() << "\n";
+    }
+  }
+
+  void OnVersionChecked(const VersionReport& column) override {
+    if (!column.status.ok()) {
+      return;
+    }
+    std::cout << "version " << column.label << ": "
+              << column.batch.configs_with_violations << "/"
+              << column.batch.configs_checked << " config(s) with violations, "
+              << column.batch.total_violations << " violation(s)";
+    if (column.batch.total_suspects != 0) {
+      std::cout << "; " << column.batch.unique_replays << " unique replay(s)";
+      if (column.batch.store_hits != 0) {
+        std::cout << ", " << column.batch.store_hits << " store hit(s)";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  void OnTransition(const ConfigTransition& transition) override {
+    if (transition.transition == Transition::kStable) {
+      return;
+    }
+    std::cout << "  " << transition.from_label << " -> " << transition.to_label
+              << "  " << transition.config << ": "
+              << TransitionName(transition.transition);
+    if (!transition.detail.empty()) {
+      std::cout << "  " << transition.detail;
+    }
+    std::cout << "\n";
+  }
+
+  void OnMatrixEnd(const MatrixSummary& summary) override {
+    // Grid of violation counts, checked columns only.
+    size_t name_width = std::strlen("config");
+    for (const ConfigRollup& rollup : summary.per_config) {
+      name_width = std::max(name_width, rollup.name.size());
+    }
+    std::cout << "\n" << std::left << std::setw(static_cast<int>(name_width))
+              << "config" << std::right;
+    for (const VersionReport& column : summary.columns) {
+      if (column.status.ok()) {
+        std::cout << "  " << std::setw(ColumnWidth(column)) << column.label;
+      }
+    }
+    std::cout << "  trend\n";
+    for (const ConfigRollup& rollup : summary.per_config) {
+      std::cout << std::left << std::setw(static_cast<int>(name_width)) << rollup.name
+                << std::right;
+      for (const VersionReport& column : summary.columns) {
+        if (!column.status.ok()) {
+          continue;
+        }
+        std::cout << "  " << std::setw(ColumnWidth(column));
+        if (rollup.index < column.batch.reports.size()) {
+          std::cout << column.batch.reports[rollup.index].violations.size();
+        } else {
+          std::cout << "-";
+        }
+      }
+      std::cout << "  " << Trend(rollup) << "\n";
+    }
+    std::cout << "matrix: " << summary.versions_checked << " version(s) checked, "
+              << summary.cells << " cell(s), "
+              << summary.transitions_by_kind[static_cast<size_t>(Transition::kRegression)]
+              << " regression(s), "
+              << summary.transitions_by_kind[static_cast<size_t>(Transition::kFix)]
+              << " fix(es), "
+              << summary.transitions_by_kind[static_cast<size_t>(
+                     Transition::kChangedReaction)]
+              << " changed reaction(s)\n";
+  }
+
+ private:
+  static int ColumnWidth(const VersionReport& column) {
+    return static_cast<int>(std::max<size_t>(column.label.size(), 3));
+  }
+
+  static const char* Trend(const ConfigRollup& rollup) {
+    if (rollup.regressions != 0) return "REGRESSED";
+    if (rollup.changed_reactions != 0) return "changed";
+    if (rollup.fixes != 0) return "fixed";
+    return "";
+  }
+};
+
+// Matrix JSONL: typed records — "cell" per (version, config), "version"
+// per column, "diff" per classified transition, one "matrix_summary".
+class MatrixJsonlWriter : public MatrixObserver {
+ public:
+  void OnConfigError(const ConfigError& error) {
+    std::cout << "{\"type\":\"config_error\",\"config\":\"" << JsonEscape(error.name)
+              << "\",\"error\":\"" << JsonEscape(error.message) << "\"}\n";
+  }
+
+  void OnVersionLoaded(const LoadedVersion& version) override {
+    if (!version.status.ok()) {
+      std::cerr << "spexcheck: version '" << version.label
+                << "' failed to load: " << version.status.message() << "\n";
+    }
+  }
+
+  void OnCellChecked(size_t version, const std::string& version_label,
+                     const ConfigReport& report) override {
+    std::ostringstream line;
+    line << "{\"type\":\"cell\",\"version\":" << version << ",\"version_label\":\""
+         << JsonEscape(version_label) << "\",";
+    AppendReportJson(line, report.index, report);
+    line << "}";
+    std::cout << line.str() << "\n";
+  }
+
+  void OnVersionChecked(const VersionReport& column) override {
+    std::ostringstream line;
+    line << "{\"type\":\"version\",\"version\":" << column.index << ",\"label\":\""
+         << JsonEscape(column.label) << "\"";
+    if (!column.status.ok()) {
+      line << ",\"status\":\"" << StatusCodeName(column.status.code())
+           << "\",\"error\":\"" << JsonEscape(column.status.message()) << "\"";
+    } else {
+      line << ",\"configs_checked\":" << column.batch.configs_checked
+           << ",\"configs_with_violations\":" << column.batch.configs_with_violations
+           << ",\"configs_with_errors\":" << column.batch.configs_with_errors
+           << ",\"total_violations\":" << column.batch.total_violations
+           << ",\"total_suspects\":" << column.batch.total_suspects
+           << ",\"unique_replays\":" << column.batch.unique_replays
+           << ",\"store_hits\":" << column.batch.store_hits
+           << ",\"store_appends\":" << column.batch.store_appends;
+    }
+    line << "}";
+    std::cout << line.str() << "\n";
+  }
+
+  void OnTransition(const ConfigTransition& transition) override {
+    std::cout << "{\"type\":\"diff\",\"config\":\"" << JsonEscape(transition.config)
+              << "\",\"config_index\":" << transition.config_index
+              << ",\"from\":" << transition.from_version
+              << ",\"to\":" << transition.to_version << ",\"from_label\":\""
+              << JsonEscape(transition.from_label) << "\",\"to_label\":\""
+              << JsonEscape(transition.to_label) << "\",\"transition\":\""
+              << TransitionName(transition.transition)
+              << "\",\"added\":" << transition.added
+              << ",\"removed\":" << transition.removed
+              << ",\"changed\":" << transition.changed << ",\"detail\":\""
+              << JsonEscape(transition.detail) << "\"}\n";
+  }
+
+  void OnMatrixEnd(const MatrixSummary& summary) override {
+    std::cout << "{\"type\":\"matrix_summary\",\"versions_requested\":"
+              << summary.versions_requested
+              << ",\"versions_checked\":" << summary.versions_checked
+              << ",\"configs\":" << summary.configs << ",\"cells\":" << summary.cells
+              << ",\"total_violations\":" << summary.total_violations
+              << ",\"unique_replays\":" << summary.unique_replays
+              << ",\"store_hits\":" << summary.store_hits << ",\"regressions\":"
+              << summary.transitions_by_kind[static_cast<size_t>(Transition::kRegression)]
+              << ",\"fixes\":"
+              << summary.transitions_by_kind[static_cast<size_t>(Transition::kFix)]
+              << ",\"changed_reactions\":"
+              << summary.transitions_by_kind[static_cast<size_t>(
+                     Transition::kChangedReaction)]
+              << ",\"stable\":"
+              << summary.transitions_by_kind[static_cast<size_t>(Transition::kStable)]
+              << "}\n";
+  }
+};
+
 int Fail(const std::string& message) {
   std::cerr << "spexcheck: " << message << "\n";
   return 2;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options, std::string* error) {
+  // Binds a per-version flag to the version it follows.
+  auto last_source = [&](const char* flag) -> VersionArg* {
+    if (options->versions.empty() || options->versions.back().corpus.empty() == false) {
+      *error = std::string(flag) + " must follow a --source version";
+      return nullptr;
+    }
+    return &options->versions.back();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -253,10 +501,53 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, std::string* error) {
     if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
       std::exit(0);
+    } else if (arg == "--matrix") {
+      options->matrix = true;
     } else if (arg == "--target") {
       const char* value = next("--target");
       if (value == nullptr) return false;
-      options->target = value;
+      VersionArg version;
+      version.corpus = value;
+      options->versions.push_back(std::move(version));
+    } else if (arg == "--source") {
+      const char* value = next("--source");
+      if (value == nullptr) return false;
+      VersionArg version;
+      version.source_path = value;
+      options->versions.push_back(std::move(version));
+    } else if (arg == "--annotations") {
+      const char* value = next("--annotations");
+      if (value == nullptr) return false;
+      VersionArg* version = last_source("--annotations");
+      if (version == nullptr) return false;
+      version->annotations_path = value;
+    } else if (arg == "--template") {
+      const char* value = next("--template");
+      if (value == nullptr) return false;
+      VersionArg* version = last_source("--template");
+      if (version == nullptr) return false;
+      version->template_path = value;
+    } else if (arg == "--dialect") {
+      const char* value = next("--dialect");
+      if (value == nullptr) return false;
+      VersionArg* version = last_source("--dialect");
+      if (version == nullptr) return false;
+      if (std::strcmp(value, "key=value") == 0) {
+        version->dialect = ConfigDialect::kKeyEqualsValue;
+      } else if (std::strcmp(value, "key-value") == 0) {
+        version->dialect = ConfigDialect::kKeyValue;
+      } else {
+        *error = "unknown --dialect (want key=value|key-value): " + std::string(value);
+        return false;
+      }
+    } else if (arg == "--label") {
+      const char* value = next("--label");
+      if (value == nullptr) return false;
+      if (options->versions.empty()) {
+        *error = "--label must follow a --target or --source version";
+        return false;
+      }
+      options->versions.back().label = value;
     } else if (arg == "--mode") {
       const char* value = next("--mode");
       if (value == nullptr) return false;
@@ -372,6 +663,66 @@ bool CollectConfigs(const CliOptions& options, std::vector<ConfigInput>* configs
   return true;
 }
 
+// Reads one target-definition file whole. Unlike fleet configs, these are
+// structural inputs: a missing annotations file fails the run (exit 2).
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream content;
+  content << stream.rdbuf();
+  if (stream.bad()) {
+    *error = "read failed mid-file: " + path;
+    return false;
+  }
+  *out = content.str();
+  return true;
+}
+
+// Turns command-line version args into loadable TargetVersion specs:
+// corpus names pass through; source versions read their files here so a
+// missing file is a clean exit 2 before any analysis runs.
+bool BuildVersions(const CliOptions& options, std::vector<TargetVersion>* versions,
+                   std::string* error) {
+  // Validate corpus names up front (FindTarget aborts on unknown names).
+  std::vector<TargetSpec> known = EvaluatedTargets();
+  for (const VersionArg& arg : options.versions) {
+    TargetVersion version;
+    version.label = arg.label;
+    if (!arg.corpus.empty()) {
+      if (std::none_of(known.begin(), known.end(), [&](const TargetSpec& spec) {
+            return spec.name == arg.corpus;
+          })) {
+        *error = "unknown target '" + arg.corpus + "' (try --list-targets)";
+        return false;
+      }
+      version.corpus = arg.corpus;
+    } else {
+      if (arg.annotations_path.empty()) {
+        *error = "--source " + arg.source_path + " needs --annotations";
+        return false;
+      }
+      if (!ReadFile(arg.source_path, &version.source, error) ||
+          !ReadFile(arg.annotations_path, &version.annotations, error)) {
+        return false;
+      }
+      if (!arg.template_path.empty() &&
+          !ReadFile(arg.template_path, &version.template_config, error)) {
+        return false;
+      }
+      version.file_name = fs::path(arg.source_path).filename().string();
+      version.dialect = arg.dialect;
+      if (version.label.empty()) {
+        version.label = fs::path(arg.source_path).stem().string();
+      }
+    }
+    versions->push_back(std::move(version));
+  }
+  return true;
+}
+
 int Run(int argc, char** argv) {
   CliOptions options;
   std::string error;
@@ -385,36 +736,90 @@ int Run(int argc, char** argv) {
     }
     return 0;
   }
-  if (options.target.empty()) {
-    std::cerr << "spexcheck: --target is required\n" << kUsage;
+  if (options.versions.empty()) {
+    std::cerr << "spexcheck: --target or --source is required\n" << kUsage;
     return 2;
   }
-  // FindTarget aborts on unknown names; validate first for a clean exit.
-  std::vector<TargetSpec> known = EvaluatedTargets();
-  if (std::none_of(known.begin(), known.end(),
-                   [&](const TargetSpec& spec) { return spec.name == options.target; })) {
-    return Fail("unknown target '" + options.target + "' (try --list-targets)");
+  if (!options.matrix && options.versions.size() > 1) {
+    std::cerr << "spexcheck: multiple versions need --matrix\n" << kUsage;
+    return 2;
+  }
+
+  std::vector<TargetVersion> versions;
+  if (!BuildVersions(options, &versions, &error)) {
+    return Fail(error);
+  }
+
+  // Open never hard-fails: a corrupt/locked/unwritable store degrades to
+  // read-only or empty (warn so the operator knows re-checks stay cold).
+  std::shared_ptr<VerdictStore> store;
+  if (!options.store_path.empty()) {
+    Status store_status;
+    store = VerdictStore::Open(options.store_path, {}, &store_status);
+    if (!store_status.ok()) {
+      std::cerr << "spexcheck: verdict store '" << options.store_path
+                << "' degraded: " << store_status.message() << "\n";
+    }
   }
 
   Session session;
-  Target* target = session.LoadTarget(options.target);
-  if (target == nullptr) {
-    return Fail("loading target failed:\n" + session.RenderDiagnostics());
-  }
-  if (!options.store_path.empty()) {
-    // Open never hard-fails: a corrupt/locked/unwritable store degrades to
-    // checking without one (warn so the operator knows re-checks stay cold).
-    Status store_status;
-    std::shared_ptr<VerdictStore> store =
-        VerdictStore::Open(options.store_path, {}, &store_status);
-    if (!store_status.ok()) {
-      std::cerr << "spexcheck: verdict store degraded: " << store_status.message() << "\n";
+
+  if (!options.matrix) {
+    const TargetVersion& spec = versions.front();
+    Target* target =
+        !spec.corpus.empty()
+            ? session.LoadTarget(spec.corpus)
+            : session.LoadSource(spec.source, spec.annotations, spec.file_name,
+                                 spec.dialect, spec.sut, spec.template_config);
+    if (target == nullptr) {
+      return Fail("loading target failed:\n" + session.RenderDiagnostics());
     }
-    target->AttachVerdictStore(std::move(store));
+    if (store != nullptr) {
+      target->AttachVerdictStore(store);
+    }
+    if (options.dump_template) {
+      std::cout << target->analysis().bundle.template_config;
+      return 0;
+    }
+    if (options.paths.empty()) {
+      std::cerr << "spexcheck: no config files or directories given\n" << kUsage;
+      return 2;
+    }
+    std::vector<ConfigInput> configs;
+    std::vector<ConfigError> read_errors;
+    if (!CollectConfigs(options, &configs, &read_errors, &error)) {
+      return Fail(error);
+    }
+
+    JsonlWriter jsonl;
+    TextWriter text;
+    for (const ConfigError& record : read_errors) {
+      std::cerr << "spexcheck: " << record.name << ": " << record.message << "\n";
+      if (options.jsonl) {
+        jsonl.OnConfigError(record);
+      } else {
+        text.OnConfigError(record);
+      }
+    }
+    if (configs.empty()) {
+      // Exit 2 is reserved for "nothing was checked at all" — if even one
+      // config made it through, the run reports what it found instead.
+      return Fail("no config could be checked (" + std::to_string(read_errors.size()) +
+                  " unreadable)");
+    }
+
+    BatchOptions batch;
+    batch.check.mode = options.mode;
+    batch.num_threads = options.threads;
+    BatchObserver* writer = options.jsonl ? static_cast<BatchObserver*>(&jsonl) : &text;
+    BatchSummary summary = target->CheckConfigBatch(configs, batch, writer);
+    bool any_error = !read_errors.empty() || summary.configs_with_errors != 0;
+    return summary.total_violations == 0 && !any_error ? 0 : 1;
   }
+
+  // --matrix: the fleet against every version, columns diffed pairwise.
   if (options.dump_template) {
-    std::cout << target->analysis().bundle.template_config;
-    return 0;
+    return Fail("--dump-template takes a single version, not --matrix");
   }
   if (options.paths.empty()) {
     std::cerr << "spexcheck: no config files or directories given\n" << kUsage;
@@ -425,31 +830,36 @@ int Run(int argc, char** argv) {
   if (!CollectConfigs(options, &configs, &read_errors, &error)) {
     return Fail(error);
   }
-
-  JsonlWriter jsonl;
-  TextWriter text;
+  MatrixJsonlWriter matrix_jsonl;
+  MatrixTextWriter matrix_text;
   for (const ConfigError& record : read_errors) {
     std::cerr << "spexcheck: " << record.name << ": " << record.message << "\n";
     if (options.jsonl) {
-      jsonl.OnConfigError(record);
+      matrix_jsonl.OnConfigError(record);
     } else {
-      text.OnConfigError(record);
+      matrix_text.OnConfigError(record);
     }
   }
   if (configs.empty()) {
-    // Exit 2 is reserved for "nothing was checked at all" — if even one
-    // config made it through, the run reports what it found instead.
     return Fail("no config could be checked (" + std::to_string(read_errors.size()) +
                 " unreadable)");
   }
 
-  BatchOptions batch;
-  batch.check.mode = options.mode;
-  batch.num_threads = options.threads;
-  BatchObserver* writer = options.jsonl ? static_cast<BatchObserver*>(&jsonl) : &text;
-  BatchSummary summary = target->CheckConfigBatch(configs, batch, writer);
-  bool any_error = !read_errors.empty() || summary.configs_with_errors != 0;
-  return summary.total_violations == 0 && !any_error ? 0 : 1;
+  MatrixOptions matrix_options;
+  matrix_options.check.mode = options.mode;
+  matrix_options.num_threads = options.threads;
+  matrix_options.store = store;
+  MatrixObserver* writer =
+      options.jsonl ? static_cast<MatrixObserver*>(&matrix_jsonl) : &matrix_text;
+  MatrixSummary summary = session.CheckMatrix(versions, configs, matrix_options, writer);
+  if (summary.versions_checked != summary.versions_requested) {
+    return Fail(std::to_string(summary.versions_requested - summary.versions_checked) +
+                " version(s) failed to load");
+  }
+  // The matrix verdict is the upgrade story: only a regression — a config
+  // some version-step breaks — is a failure. A fleet that is equally
+  // broken everywhere is stable, and stable is exit 0.
+  return summary.AnyRegression() ? 1 : 0;
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 
@@ -117,6 +118,50 @@ TEST(ServeTest, CheckReturnsViolationLinesAndSummary) {
   ServerStats stats = server.stats();
   EXPECT_EQ(stats.served_ok, 1u);
   EXPECT_EQ(stats.internal_errors, 0u);
+}
+
+// With a per-target verdict store, the second identical /check is served
+// entirely from disk — the response says "cached":true and /statz counts
+// the store hits. The first (cold) request must say "cached":false.
+TEST(ServeTest, CheckReportsCachedWhenServedFromVerdictStore) {
+  std::string store_dir =
+      (std::filesystem::temp_directory_path() / "spex_serve_store_test").string();
+  std::filesystem::remove_all(store_dir);
+  std::filesystem::create_directories(store_dir);
+
+  ServerOptions options;
+  options.store_dir = store_dir;
+  CheckServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string request =
+      Request("POST", std::string("/check?target=") + kTarget + "&name=bad.conf",
+              "log_level = 99999\n");
+
+  std::string cold = BodyOf(RoundTrip(server.port(), request));
+  EXPECT_NE(cold.find("\"cached\":false"), std::string::npos) << cold;
+  EXPECT_EQ(server.stats().store_hits, 0u);
+
+  std::string warm = BodyOf(RoundTrip(server.port(), request));
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos) << warm;
+  EXPECT_GT(server.stats().store_hits, 0u);
+
+  // Same verdicts either way: the violation lines are byte-identical.
+  EXPECT_EQ(cold.substr(0, cold.find("{\"type\":\"summary\"")),
+            warm.substr(0, warm.find("{\"type\":\"summary\"")));
+
+  // /statz surfaces the counter.
+  std::string statz = BodyOf(RoundTrip(server.port(), Request("GET", "/statz")));
+  EXPECT_NE(statz.find("\"store_hits\":"), std::string::npos) << statz;
+
+  // /batch over the same config is warm too and says so.
+  std::string batch = BodyOf(RoundTrip(
+      server.port(), Request("POST", std::string("/batch?target=") + kTarget,
+                             "=== user.conf\nlog_level = 99999\n")));
+  EXPECT_NE(batch.find("\"cached\":true"), std::string::npos) << batch;
+
+  server.Shutdown();
+  server.Join();
+  std::filesystem::remove_all(store_dir);
 }
 
 TEST(ServeTest, UnknownTargetIs404NotAnAbort) {

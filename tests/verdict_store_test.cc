@@ -182,6 +182,34 @@ TEST(VerdictStoreTest, SecondHandleDegradesToReadOnlyAndDropsAppends) {
   EXPECT_FALSE(reader->Lookup(reader->ResolveScope("scope"), "key-2", &loaded));
 }
 
+// An unwritable store path (here: a missing parent directory, which fails
+// even for root) must degrade to read-only-acting-empty with a status that
+// blames the path, NOT the "writer lock held elsewhere" contention message
+// — the operator's fix is completely different. Appends are dropped and
+// counted; checking continues.
+TEST(VerdictStoreTest, UnwritablePathDegradesWithPathBlamingStatus) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "spex_vst_no_such_parent" / "store.vst")
+                         .string();
+  std::filesystem::remove_all(std::filesystem::temp_directory_path() /
+                              "spex_vst_no_such_parent");
+  Status status;
+  auto store = VerdictStore::Open(path, {}, &status);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("unwritable"), std::string::npos) << status.ToString();
+  EXPECT_EQ(status.message().find("held elsewhere"), std::string::npos)
+      << "lock-creation failure must not masquerade as writer contention: "
+      << status.ToString();
+  EXPECT_TRUE(store->read_only());
+
+  // Degraded handles stay usable: lookups miss, appends drop and count.
+  StoredVerdict loaded;
+  EXPECT_FALSE(store->Lookup(store->ResolveScope("scope"), "key", &loaded));
+  store->Append(store->ResolveScope("scope"), "key", MakeVerdict(1, "dropped"));
+  EXPECT_EQ(store->stats().dropped_appends, 1u);
+}
+
 TEST(VerdictStoreTest, ReverifyPeriodSamplesHits) {
   std::string path = TempStorePath("reverify");
   VerdictStoreOptions options;
