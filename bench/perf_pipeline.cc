@@ -839,6 +839,57 @@ void BM_ServeCheckWarmKeepAlive(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeCheckWarmKeepAlive)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Warm serve throughput with 64 idle keep-alive connections parked on the
+// event loop for the whole measurement — the epoll front end's load
+// claim, as a number: held connections are a heap entry and an fd, so
+// sustained checks/s here should match BM_ServeCheckWarm. Under the old
+// thread-per-read design this bench could not exist (64 parked
+// connections would pin every worker).
+void BM_ServeCheckWarmUnderIdleConnections(benchmark::State& state) {
+  static CheckServer* kServer = [] {
+    ServerOptions options;
+    options.max_connections = 256;
+    options.keepalive_max_requests = 1 << 20;
+    options.keepalive_idle_timeout = std::chrono::hours(1);  // Parked for the run.
+    auto* server = new CheckServer(std::move(options));
+    if (!server->Start().ok()) {
+      std::cerr << "BM_ServeCheckWarmUnderIdleConnections: server failed to start\n";
+      std::abort();
+    }
+    return server;
+  }();
+  static std::vector<int>* kHolders = [] {
+    auto* holders = new std::vector<int>();
+    const std::string ping =
+        "GET /healthz HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive\r\n"
+        "Content-Length: 0\r\n\r\n";
+    for (int i = 0; i < 64; ++i) {
+      int fd = ConnectLoopback(kServer->port());
+      if (fd < 0) {
+        continue;
+      }
+      std::string response;
+      if (!SendAll(fd, ping) || !ReadOneHttpResponse(fd, &response)) {
+        ::close(fd);
+        continue;
+      }
+      holders->push_back(fd);  // Served once, now parked idle.
+    }
+    return holders;
+  }();
+  const std::string request = ServeCheckRequest();
+  ServeRoundTrip(kServer->port(), request);  // Warm the pool + snapshot cache.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ServeRoundTrip(kServer->port(), request));
+  }
+  state.counters["held_connections"] = static_cast<double>(kHolders->size());
+  state.counters["idle_keepalive"] = static_cast<double>(kServer->stats().idle_keepalive);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCheckWarmUnderIdleConnections)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace spex
 

@@ -20,7 +20,7 @@ echo "== Release configuration =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 if [[ "${QUICK}" == "1" ]]; then
-  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test|session_test|dynamic_check_test|batch_check_test|matrix_check_test|cancel_test|serve_test'
+  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test|session_test|dynamic_check_test|batch_check_test|matrix_check_test|cancel_test|serve_test|serve_concurrency_test'
 else
   ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 fi
@@ -32,7 +32,7 @@ cmake -B build-tsan -S . \
   -DSPEX_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test matrix_check_test cancel_test serve_test verdict_store_test
+cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test matrix_check_test cancel_test serve_test serve_concurrency_test verdict_store_test
 # The parallel-campaign and snapshot-replay determinism tests are the point
 # of the TSan build: num_threads=4 workers over shared module/SUT state plus
 # the state-gated shared snapshot cache. CorpusShardedTest additionally runs
@@ -60,10 +60,15 @@ cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_po
 # loops and shard boundaries while another thread fires them, and the
 # snapshot cache staying consistent when a campaign is cancelled mid-replay.
 ./build-tsan/cancel_test
-# The serving core under TSan: accept thread + bounded queue + worker pool
-# + target pool + drain token, driven over real loopback sockets with
+# The serving core under TSan: epoll event loop + bounded queue + worker
+# pool + target pool + drain token, driven over real loopback sockets with
 # hostile traffic and concurrent shutdown.
 ./build-tsan/serve_test
+# The deterministic concurrency suite under TSan: the event loop's
+# connection handoffs (dispatch queue, keep-alive handback, manual-clock
+# waker) with 64 hostile connections against one worker — the richest
+# cross-thread traffic the serve layer has.
+./build-tsan/serve_concurrency_test
 # Persistent verdict store under TSan: lock-free index snapshots read by
 # 4-way sharded warm batches while the append path publishes copy-on-write
 # updates — the single-writer/lock-free-reader contract must be race-free.

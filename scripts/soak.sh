@@ -2,16 +2,22 @@
 # Soak test for spexcheckd: one daemon with fault injection ARMED, a pack
 # of concurrent clients sending a hostile mix (valid checks, batches,
 # unknown targets, malformed bodies, oversized bodies, raw garbage,
-# slow-loris dribbles) for SOAK_SECONDS. Pass criteria:
+# slow-loris dribbles) for SOAK_SECONDS — plus a connection ramp: a herd
+# of idle keep-alive and half-sent slow connections held open for the
+# WHOLE soak. Pass criteria:
 #
 #   1. the daemon never exits during the soak (zero crashes, zero aborts),
 #   2. its RSS stays under SOAK_RSS_LIMIT_KB (no per-request leak),
-#   3. SIGTERM produces a clean drain: exit code 0 and the final
+#   3. the held connections cost connection slots, not workers:
+#      /statz shows open_connections >= the ramp size while queue_depth
+#      stays near zero and real requests keep being served,
+#   4. SIGTERM produces a clean drain: exit code 0 and the final
 #      "drained;" stats line in the log.
 #
 # Usage: scripts/soak.sh [path-to-spexcheckd]
 # Env:   SOAK_SECONDS (default 15), SOAK_CLIENTS (default 8),
-#        SOAK_PORT (default 18321), SOAK_RSS_LIMIT_KB (default 786432).
+#        SOAK_RAMP_CONNS (default 24), SOAK_PORT (default 18321),
+#        SOAK_RSS_LIMIT_KB (default 786432).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,6 +25,7 @@ BIN="${1:-build/spexcheckd}"
 PORT="${SOAK_PORT:-18321}"
 SECONDS_TO_RUN="${SOAK_SECONDS:-15}"
 CLIENTS="${SOAK_CLIENTS:-8}"
+RAMP_CONNS="${SOAK_RAMP_CONNS:-24}"
 RSS_LIMIT_KB="${SOAK_RSS_LIMIT_KB:-786432}"
 BASE="http://127.0.0.1:${PORT}"
 LOG="$(mktemp /tmp/spexcheckd-soak.XXXXXX.log)"
@@ -29,9 +36,17 @@ LOG="$(mktemp /tmp/spexcheckd-soak.XXXXXX.log)"
 # work, exercising the replay cap + shedding) and every request token is
 # force-cancelled after 4096 interpreter polls (exercising mid-replay
 # cancellation and cache-consistency under cancel).
+#
+# The socket timeouts are set LONGER than the soak on purpose: the
+# connection ramp below holds idle keep-alive and half-sent connections
+# open for the whole run, proving they cost connection slots (not
+# workers, not queue depth) for as long as they live.
+HOLD_MS=$(( (SECONDS_TO_RUN + 60) * 1000 ))
 SPEXCHECKD_FAULTS="slow_replay:20,cancel_midway:4096" \
   "${BIN}" --port "${PORT}" --workers 4 --queue-capacity 16 \
-  --deadline-ms 500 --read-timeout-ms 500 --drain-deadline-ms 5000 \
+  --max-connections 256 --per-target-replay-budget 64 \
+  --deadline-ms 500 --read-timeout-ms "${HOLD_MS}" \
+  --keepalive-idle-ms "${HOLD_MS}" --drain-deadline-ms 5000 \
   2> "${LOG}" &
 DAEMON_PID=$!
 cleanup() {
@@ -79,15 +94,50 @@ hostile_client() {
   rm -f "${huge_file}"
 }
 
+# Connection ramp: half idle keep-alive (one served request, then parked),
+# half slow-loris (a few header bytes, then silence). Each holder keeps
+# its socket open until past END — these connections exist for the whole
+# soak and must never occupy a worker or a queue slot.
+ramp_idle_holder() {
+  local hold=$1
+  exec 3<>"/dev/tcp/127.0.0.1/${PORT}" 2>/dev/null || return 0
+  printf 'GET /healthz HTTP/1.1\r\nHost: soak\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n' >&3
+  head -c 1 <&3 > /dev/null 2>&1 || true
+  sleep "${hold}"
+  exec 3<&- 3>&- 2>/dev/null || true
+}
+ramp_slow_holder() {
+  local hold=$1
+  exec 3<>"/dev/tcp/127.0.0.1/${PORT}" 2>/dev/null || return 0
+  printf 'POST /check?target=storage_a HTTP/1.1\r\nConte' >&3
+  sleep "${hold}"
+  exec 3<&- 3>&- 2>/dev/null || true
+}
+
 END=$(( $(date +%s) + SECONDS_TO_RUN ))
+RAMP_PIDS=()
+for id in $(seq 1 "${RAMP_CONNS}"); do
+  if (( id % 2 == 0 )); then
+    ramp_idle_holder $(( SECONDS_TO_RUN + 5 )) &
+  else
+    ramp_slow_holder $(( SECONDS_TO_RUN + 5 )) &
+  fi
+  RAMP_PIDS+=($!)
+done
+
 CLIENT_PIDS=()
 for id in $(seq 1 "${CLIENTS}"); do
   hostile_client "${id}" "${END}" &
   CLIENT_PIDS+=($!)
 done
 
-# While the pack hammers: the daemon must stay up and its memory bounded.
+# While the pack hammers: the daemon must stay up, its memory bounded,
+# and — once mid-soak — the ramp's held connections must show up as
+# open_connections on /statz with the queue still near empty: connection
+# slots are cheap state, worker time is not, and the two never mix.
 MAX_RSS=0
+RAMP_CHECKED=0
+MIDPOINT=$(( END - SECONDS_TO_RUN / 2 ))
 while (( $(date +%s) < END )); do
   if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
     echo "soak: FAIL — daemon exited mid-soak"; cat "${LOG}"; exit 1
@@ -97,9 +147,30 @@ while (( $(date +%s) < END )); do
   if (( RSS > RSS_LIMIT_KB )); then
     echo "soak: FAIL — RSS ${RSS}kB exceeds limit ${RSS_LIMIT_KB}kB"; exit 1
   fi
+  if (( RAMP_CHECKED == 0 && $(date +%s) >= MIDPOINT )); then
+    MID_STATS=$(curl -fsS --max-time 5 "${BASE}/statz" || echo '')
+    OPEN=$(sed -n 's/.*"open_connections":\([0-9]*\).*/\1/p' <<< "${MID_STATS}")
+    DEPTH=$(sed -n 's/.*"queue_depth":\([0-9]*\).*/\1/p' <<< "${MID_STATS}")
+    if [[ -z "${OPEN}" || -z "${DEPTH}" ]]; then
+      echo "soak: FAIL — /statz unreadable mid-soak: ${MID_STATS}"; exit 1
+    fi
+    if (( OPEN < RAMP_CONNS )); then
+      echo "soak: FAIL — open_connections ${OPEN} < ramp ${RAMP_CONNS} (held connections not held?)"; exit 1
+    fi
+    if (( DEPTH > 8 )); then
+      echo "soak: FAIL — queue_depth ${DEPTH} with ${OPEN} open connections (held connections are costing workers)"; exit 1
+    fi
+    echo "soak: ramp check OK — open_connections=${OPEN} queue_depth=${DEPTH}"
+    RAMP_CHECKED=1
+  fi
   sleep 1
 done
+if (( RAMP_CHECKED == 0 )); then
+  echo "soak: FAIL — soak ended before the ramp check ran"; exit 1
+fi
 wait "${CLIENT_PIDS[@]}" 2>/dev/null || true
+kill "${RAMP_PIDS[@]}" 2>/dev/null || true
+wait "${RAMP_PIDS[@]}" 2>/dev/null || true
 
 kill -0 "${DAEMON_PID}" 2>/dev/null || { echo "soak: FAIL — daemon not alive after soak"; cat "${LOG}"; exit 1; }
 STATS=$(curl -fsS --max-time 5 "${BASE}/statz")

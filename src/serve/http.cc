@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,57 +13,29 @@ namespace spex {
 
 namespace {
 
-// recv() wrapper distinguishing timeout (SO_RCVTIMEO) from close/error.
-// Returns >0 bytes, 0 on orderly close, -1 on timeout, -2 on hard error.
-ssize_t RecvSome(int fd, char* buffer, size_t capacity) {
-  while (true) {
-    ssize_t n = ::recv(fd, buffer, capacity, 0);
-    if (n >= 0) {
-      return n;
-    }
-    if (errno == EINTR) {
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return -1;
-    }
-    return -2;
-  }
-}
-
 std::string_view TrimOws(std::string_view text) { return TrimWhitespace(text); }
 
 }  // namespace
 
-Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out) {
-  *out = HttpRequest();  // Reusable across a keep-alive loop.
-  // Phase 1: accumulate until the blank line ending the header block.
-  std::string data;
-  data.reserve(1024);
-  size_t header_end = std::string::npos;
-  char chunk[4096];
-  while (header_end == std::string::npos) {
-    if (data.size() > kMaxHeaderBytes) {
-      return Status::InvalidArgument("request header block exceeds " +
-                                     std::to_string(kMaxHeaderBytes) + " bytes");
-    }
-    ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
-    if (n == -1) {
-      return Status::DeadlineExceeded("timed out reading request headers");
-    }
-    if (n == -2) {
-      return Status::Unavailable("connection error while reading request");
-    }
-    if (n == 0) {
-      return Status::Unavailable("peer closed the connection mid-request");
-    }
-    data.append(chunk, static_cast<size_t>(n));
-    out->wire_bytes += static_cast<size_t>(n);
-    header_end = data.find("\r\n\r\n");
-  }
+void HttpParser::Reset() {
+  state_ = State::kNeedMore;
+  error_ = Status::Ok();
+  request_ = HttpRequest();
+  buffer_.clear();
+  body_length_ = 0;
+  in_body_ = false;
+  wire_bytes_ = 0;
+}
 
-  // Phase 2: request line + headers.
-  std::string_view header_block = std::string_view(data).substr(0, header_end);
+HttpParser::State HttpParser::Fail(std::string message) {
+  state_ = State::kError;
+  error_ = Status::InvalidArgument(std::move(message));
+  buffer_.clear();
+  return state_;
+}
+
+HttpParser::State HttpParser::FinishHeaders(size_t header_end) {
+  std::string_view header_block = std::string_view(buffer_).substr(0, header_end);
   size_t line_end = header_block.find("\r\n");
   std::string_view request_line =
       line_end == std::string_view::npos ? header_block : header_block.substr(0, line_end);
@@ -70,10 +43,10 @@ Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out) {
   size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
                                              : request_line.find(' ', sp1 + 1);
   if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
-    return Status::InvalidArgument("malformed request line");
+    return Fail("malformed request line");
   }
-  out->method = std::string(request_line.substr(0, sp1));
-  out->path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
   std::string_view rest = line_end == std::string_view::npos
                               ? std::string_view()
                               : header_block.substr(line_end + 2);
@@ -86,41 +59,64 @@ Status ReadHttpRequest(int fd, size_t max_body, HttpRequest* out) {
       continue;  // Tolerate junk header lines; framing is what matters.
     }
     std::string name = ToLowerCopy(TrimOws(line.substr(0, colon)));
-    out->headers[name] = std::string(TrimOws(line.substr(colon + 1)));
+    request_.headers[name] = std::string(TrimOws(line.substr(colon + 1)));
   }
 
-  // Phase 3: body, gated by Content-Length.
-  size_t body_length = 0;
-  auto it = out->headers.find("content-length");
-  if (it != out->headers.end()) {
+  body_length_ = 0;
+  auto it = request_.headers.find("content-length");
+  if (it != request_.headers.end()) {
     auto parsed = ParseInt64(it->second);
     if (!parsed.has_value() || *parsed < 0) {
-      return Status::InvalidArgument("malformed Content-Length");
+      return Fail("malformed Content-Length");
     }
-    body_length = static_cast<size_t>(*parsed);
+    body_length_ = static_cast<size_t>(*parsed);
   }
-  if (body_length > max_body) {
-    return Status::InvalidArgument("request body of " + std::to_string(body_length) +
-                                   " bytes exceeds the " + std::to_string(max_body) +
-                                   "-byte limit");
+  if (body_length_ > max_body_) {
+    return Fail("request body of " + std::to_string(body_length_) +
+                " bytes exceeds the " + std::to_string(max_body_) + "-byte limit");
   }
-  out->body = data.substr(header_end + 4);
-  if (out->body.size() > body_length) {
-    out->body.resize(body_length);  // Ignore pipelined trailing bytes.
+
+  // Whatever followed the blank line is body (possibly all of it).
+  request_.body = buffer_.substr(header_end + 4);
+  buffer_.clear();
+  if (request_.body.size() >= body_length_) {
+    request_.body.resize(body_length_);  // Ignore pipelined trailing bytes.
+    state_ = State::kComplete;
+  } else {
+    in_body_ = true;
+    state_ = State::kNeedMore;
   }
-  while (out->body.size() < body_length) {
-    ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
-    if (n == -1) {
-      return Status::DeadlineExceeded("timed out reading request body");
+  return state_;
+}
+
+HttpParser::State HttpParser::Consume(const char* data, size_t n) {
+  if (state_ != State::kNeedMore) {
+    return state_;  // Already terminal; extra bytes are the client's loss.
+  }
+  wire_bytes_ += n;
+  if (in_body_) {
+    size_t want = body_length_ - request_.body.size();
+    request_.body.append(data, std::min(n, want));
+    if (request_.body.size() >= body_length_) {
+      state_ = State::kComplete;
     }
-    if (n <= 0) {
-      return Status::Unavailable("peer closed the connection mid-body");
-    }
-    size_t want = body_length - out->body.size();
-    out->body.append(chunk, std::min(static_cast<size_t>(n), want));
-    out->wire_bytes += static_cast<size_t>(n);
+    return state_;
   }
-  return Status::Ok();
+  buffer_.append(data, n);
+  size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      // An attacker streaming endless headers hits the cap, not the heap.
+      return Fail("request header block exceeds " + std::to_string(kMaxHeaderBytes) +
+                  " bytes");
+    }
+    return state_;  // Still accumulating headers.
+  }
+  if (header_end > kMaxHeaderBytes) {
+    return Fail("request header block exceeds " + std::to_string(kMaxHeaderBytes) +
+                " bytes");
+  }
+  return FinishHeaders(header_end);
 }
 
 bool RequestWantsKeepAlive(const HttpRequest& request) {
@@ -144,7 +140,7 @@ bool RequestWantsKeepAlive(const HttpRequest& request) {
 bool WriteHttpResponse(int fd, int status_code, std::string_view reason,
                        std::string_view content_type, std::string_view body,
                        const std::vector<std::pair<std::string, std::string>>& extra_headers,
-                       bool keep_alive) {
+                       bool keep_alive, int eagain_timeout_ms) {
   std::string response;
   response.reserve(128 + body.size());
   response += "HTTP/1.1 ";
@@ -165,10 +161,27 @@ bool WriteHttpResponse(int fd, int status_code, std::string_view reason,
   response += "\r\n";
   response += body;
   size_t written = 0;
+  int wait_budget_ms = eagain_timeout_ms;
   while (written < response.size()) {
     ssize_t n = ::send(fd, response.data() + written, response.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nonblocking socket, full send buffer: the client is not reading.
+        // Wait for writability within the caller's budget — a worker may
+        // spare a bounded wait, the event loop (budget 0) never waits.
+        if (wait_budget_ms <= 0) {
+          return false;
+        }
+        int slice = wait_budget_ms < 100 ? wait_budget_ms : 100;
+        struct pollfd pfd{fd, POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, slice);
+        wait_budget_ms -= slice;
+        if (ready < 0 && errno != EINTR) {
+          return false;
+        }
         continue;
       }
       return false;  // Client gone; its loss.

@@ -6,7 +6,10 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -17,23 +20,6 @@
 namespace spex {
 
 namespace {
-
-// Closes the connection on every exit path from a worker — leaked fds are
-// the quiet way a "contained" failure still costs the process.
-class FdCloser {
- public:
-  explicit FdCloser(int fd) : fd_(fd) {}
-  ~FdCloser() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-    }
-  }
-  FdCloser(const FdCloser&) = delete;
-  FdCloser& operator=(const FdCloser&) = delete;
-
- private:
-  int fd_;
-};
 
 // RAII slot in the dynamic-replay cap. Not acquiring is not an error —
 // it is the degradation signal.
@@ -59,14 +45,11 @@ class ReplayGate {
   std::atomic<size_t>* inflight_;
 };
 
-void SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
-  if (timeout.count() <= 0) {
-    return;
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   }
-  struct timeval tv;
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 std::string StatusJson(const Status& status) {
@@ -148,15 +131,39 @@ std::chrono::milliseconds EffectiveDeadline(const std::string& query,
 
 }  // namespace
 
+// All connection accounting lives here: whoever destroys the Conn —
+// worker after a closed response, event loop on expiry, drain cleanup,
+// a shed race — the fd is closed and the gauges stay truthful.
+CheckServer::Conn::~Conn() {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
 CheckServer::CheckServer(ServerOptions options)
     : options_(std::move(options)),
       targets_(std::make_unique<TargetPool>(options_.target_capacity, options_.session,
-                                            options_.store_dir)),
-      queue_(std::make_unique<BoundedQueue<int>>(options_.queue_capacity)) {}
+                                            options_.store_dir,
+                                            options_.per_target_replay_budget,
+                                            options_.clock)),
+      queue_(std::make_unique<BoundedQueue<std::unique_ptr<Conn>>>(options_.queue_capacity)) {}
 
 CheckServer::~CheckServer() {
   Shutdown();
   Join();
+}
+
+MonotonicTime CheckServer::Now() const {
+  return options_.clock ? options_.clock->Now() : MonotonicNow();
+}
+
+void CheckServer::Wake() {
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
 }
 
 Status CheckServer::Start() {
@@ -185,13 +192,34 @@ Status CheckServer::Start() {
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status status = Status::Unavailable(std::string("epoll/eventfd: ") + std::strerror(errno));
+    Join();  // Closes whatever opened.
+    return status;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event);
+  event.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+
+  // A ManualClock only moves when a test advances it; the waker turns
+  // that advance into an epoll wakeup so armed deadlines are re-checked.
+  if (auto* manual = dynamic_cast<ManualClock*>(options_.clock.get())) {
+    manual->SetWaker([this] { Wake(); });
+  }
 
   size_t workers = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  event_thread_ = std::thread([this] { EventLoop(); });
   started_ = true;
   return Status::Ok();
 }
@@ -202,9 +230,11 @@ void CheckServer::Shutdown() {
     return;
   }
   // The drain order is the containment order: (1) no new work past the
-  // listener, (2) queued + in-flight work finishes on its own under the
-  // drain deadline, (3) the deadline fires the drain token and every
-  // request token parented to it cancels cooperatively at the next poll.
+  // listener (the event loop also closes idle + mid-read connections —
+  // their requests were never admitted), (2) queued + in-flight work
+  // finishes on its own under the drain deadline, (3) the deadline fires
+  // the drain token and every request token parented to it cancels
+  // cooperatively at the next poll.
   if (options_.drain_deadline.count() > 0) {
     drain_token_.ArmDeadlineAfter(options_.drain_deadline);
   } else {
@@ -214,11 +244,12 @@ void CheckServer::Shutdown() {
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
+  Wake();
 }
 
 void CheckServer::Join() {
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
+  if (event_thread_.joinable()) {
+    event_thread_.join();
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) {
@@ -226,51 +257,346 @@ void CheckServer::Join() {
     }
   }
   workers_.clear();
+  // Workers racing the drain may have handed connections back after the
+  // event loop exited; destroy them now (the Conn destructor closes).
+  {
+    std::lock_guard<std::mutex> lock(returned_mutex_);
+    for (auto& conn : returned_) {
+      DestroyConn(std::move(conn));
+    }
+    returned_.clear();
+  }
+  if (auto* manual = dynamic_cast<ManualClock*>(options_.clock.get())) {
+    manual->SetWaker(nullptr);
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
 }
 
-void CheckServer::AcceptLoop() {
+// ---------------------------------------------------------------------------
+// Event-loop thread: accept, read, expire. Never checks a config, never
+// blocks on a client.
+
+void CheckServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
   while (true) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int timeout_ms = -1;
+    if (!deadlines_.empty()) {
+      MonotonicTime now = Now();
+      MonotonicTime next = deadlines_.next_deadline();
+      if (next <= now) {
+        timeout_ms = 0;
+      } else {
+        auto delta =
+            std::chrono::duration_cast<std::chrono::milliseconds>(next - now).count() + 1;
+        timeout_ms = static_cast<int>(std::min<long long>(delta, 60'000));
+      }
+    }
+    int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // epoll fd gone: the server is being torn down.
+    }
+    for (int i = 0; i < ready; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        ssize_t ignored = ::read(wake_fd_, &drained, sizeof(drained));
+        (void)ignored;
+      } else if (fd == listen_fd_) {
+        HandleAccept();
+      } else {
+        HandleReadable(fd);
+      }
+    }
+    AdoptReturnedConns();
+    if (draining()) {
+      break;
+    }
+    ExpireDeadlines(Now());
+  }
+  // Drain: every connection still owned by the event loop holds work that
+  // was never admitted (partial requests, parked keep-alives) — close
+  // them all; admitted requests finish on the workers.
+  for (auto& [fd, conn] : conns_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    DestroyConn(std::move(conn));
+  }
+  conns_.clear();
+  AdoptReturnedConns();  // Destroys (draining) whatever workers returned.
+}
+
+void CheckServer::HandleAccept() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
       }
-      // Listener shut down (drain) or hard error: either way the accept
-      // loop is done; workers drain whatever is queued.
-      return;
+      return;  // EAGAIN (no more arrivals) or listener shut down.
     }
     stat_accepted_.fetch_add(1, std::memory_order_relaxed);
-    if (queue_->TryPush(fd)) {
+    if (draining()) {
+      ShedConn(fd, Status::Unavailable("server is draining; no new work accepted"));
       continue;
     }
-    // Admission shed: the queue is full (overload) or closed (draining).
-    // Answer from the accept thread — cheap, bounded work — so the client
-    // learns to back off instead of hanging on an unread socket.
-    stat_shed_.fetch_add(1, std::memory_order_relaxed);
-    Status status = draining()
-                        ? Status::Unavailable("server is draining; no new work accepted")
-                        : Status::ResourceExhausted(
-                              "request queue full (" +
-                              std::to_string(queue_->capacity()) + " pending); retry later");
-    int http = HttpStatusFor(status.code());
-    WriteHttpResponse(fd, http, HttpReasonFor(http), "application/json", StatusJson(status),
-                      {{"Retry-After", "1"}});
-    ::close(fd);
+    if (gauge_open_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      // Connection-slot admission: cheap state, but still bounded — a
+      // slow-loris herd must exhaust this cap, not the process's fds.
+      ShedConn(fd, Status::ResourceExhausted(
+                       "connection limit (" + std::to_string(options_.max_connections) +
+                       " open) reached; retry later"));
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = ++next_conn_id_;
+    conn->parser = std::make_unique<HttpParser>(options_.max_body_bytes);
+    gauge_open_connections_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+    Conn* raw = conn.get();
+    conns_[fd] = std::move(conn);
+    // The slow-loris budget starts at accept: one complete request within
+    // read_timeout, or 408.
+    ArmConnDeadline(raw, options_.read_timeout);
   }
 }
 
+void CheckServer::HandleReadable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;  // Stale event for a connection already dispatched or closed.
+  }
+  Conn* conn = it->second.get();
+  char chunk[16384];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;  // Read everything available; request still incomplete.
+      }
+      // Hard socket error mid-request: nobody left to answer.
+      if (!conn->idle && conn->parser->wire_bytes() > 0) {
+        stat_client_aborts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      CloseConn(fd);
+      return;
+    }
+    if (n == 0) {
+      // Peer closed. An idle keep-alive close is the protocol working; a
+      // close mid-request (partial headers, mid-body) is a client abort —
+      // count it, clean up, and the pool never hears about it.
+      if (!conn->idle && conn->parser->wire_bytes() > 0) {
+        stat_client_aborts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      CloseConn(fd);
+      return;
+    }
+    if (conn->idle) {
+      // First bytes of the next request on a reused connection: the idle
+      // bound is over, the read bound begins.
+      conn->idle = false;
+      gauge_idle_keepalive_.fetch_sub(1, std::memory_order_relaxed);
+      ArmConnDeadline(conn, options_.read_timeout);
+    }
+    HttpParser::State state = conn->parser->Consume(chunk, static_cast<size_t>(n));
+    if (state == HttpParser::State::kError) {
+      stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+      Status error = conn->parser->error();
+      int http = HttpStatusFor(error.code());
+      WriteHttpResponse(fd, http, HttpReasonFor(http), "application/json", StatusJson(error),
+                        {}, false, /*eagain_timeout_ms=*/0);
+      CloseConn(fd);
+      return;
+    }
+    if (state == HttpParser::State::kComplete) {
+      DispatchConn(fd);
+      return;
+    }
+  }
+  if (conn->parser->wire_bytes() > 0) {
+    stat_partial_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CheckServer::ArmConnDeadline(Conn* conn, std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) {
+    conn->deadline = MonotonicTime();  // Disarmed; stale heap entries never match.
+    return;
+  }
+  conn->deadline = Now() + timeout;
+  deadlines_.Push(conn->deadline, DeadlineEntry{conn->fd, conn->id, conn->deadline});
+}
+
+void CheckServer::ExpireDeadlines(MonotonicTime now) {
+  deadlines_.PopExpired(now, [&](DeadlineEntry entry) {
+    auto it = conns_.find(entry.fd);
+    if (it == conns_.end()) {
+      return;  // Connection already dispatched or closed: lazy-cancelled.
+    }
+    Conn* conn = it->second.get();
+    if (conn->id != entry.conn_id || conn->deadline != entry.armed) {
+      return;  // Re-armed since this entry was pushed: superseded.
+    }
+    if (conn->idle) {
+      // Idle keep-alive expiry: the client simply had nothing more to
+      // send. Close silently — this is the protocol working, not a
+      // slow-loris cutoff.
+      CloseConn(entry.fd);
+      return;
+    }
+    // Slow-loris cutoff: a client that cannot finish its request within
+    // the read timeout gets 408 and its connection slot back.
+    stat_read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    WriteHttpResponse(entry.fd, 408, HttpReasonFor(408), "application/json",
+                      StatusJson(Status::DeadlineExceeded("timed out reading request")), {},
+                      false, /*eagain_timeout_ms=*/0);
+    CloseConn(entry.fd);
+  });
+}
+
+void CheckServer::AdoptReturnedConns() {
+  std::vector<std::unique_ptr<Conn>> adopted;
+  {
+    std::lock_guard<std::mutex> lock(returned_mutex_);
+    adopted.swap(returned_);
+  }
+  for (auto& conn : adopted) {
+    if (draining()) {
+      DestroyConn(std::move(conn));
+      continue;
+    }
+    conn->idle = true;
+    gauge_idle_keepalive_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = conn->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &event);
+    Conn* raw = conn.get();
+    conns_[conn->fd] = std::move(conn);
+    ArmConnDeadline(raw, options_.keepalive_idle_timeout);
+  }
+}
+
+void CheckServer::DispatchConn(int fd) {
+  auto node = conns_.extract(fd);
+  if (node.empty()) {
+    return;
+  }
+  std::unique_ptr<Conn> conn = std::move(node.mapped());
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  conn->deadline = MonotonicTime();  // Socket deadlines are the front end's; disarm.
+  // The event loop is the queue's only producer, so this pre-check is
+  // authoritative: consumers only ever shrink the queue under us.
+  bool admitted = false;
+  if (!draining() && queue_->size() < queue_->capacity()) {
+    admitted = queue_->TryPush(std::move(conn));
+  }
+  if (admitted) {
+    return;
+  }
+  // Admission shed: the queue is full (overload) or closed (draining).
+  // Answer from the event loop — cheap, bounded, zero-wait — so the
+  // client learns to back off instead of hanging on an unread socket.
+  stat_shed_.fetch_add(1, std::memory_order_relaxed);
+  if (conn == nullptr) {
+    return;  // Lost the drain race inside TryPush; the Conn closed itself.
+  }
+  Status status = draining()
+                      ? Status::Unavailable("server is draining; no new work accepted")
+                      : Status::ResourceExhausted(
+                            "request queue full (" +
+                            std::to_string(queue_->capacity()) + " pending); retry later");
+  int http = HttpStatusFor(status.code());
+  WriteHttpResponse(fd, http, HttpReasonFor(http), "application/json", StatusJson(status),
+                    {{"Retry-After", "1"}}, false, /*eagain_timeout_ms=*/0);
+  DestroyConn(std::move(conn));
+}
+
+void CheckServer::ShedConn(int fd, const Status& status) {
+  stat_shed_.fetch_add(1, std::memory_order_relaxed);
+  int http = HttpStatusFor(status.code());
+  WriteHttpResponse(fd, http, HttpReasonFor(http), "application/json", StatusJson(status),
+                    {{"Retry-After", "1"}}, false, /*eagain_timeout_ms=*/0);
+  ::close(fd);
+}
+
+void CheckServer::CloseConn(int fd) {
+  auto node = conns_.extract(fd);
+  if (node.empty()) {
+    return;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  DestroyConn(std::move(node.mapped()));
+}
+
+void CheckServer::DestroyConn(std::unique_ptr<Conn> conn) {
+  if (conn == nullptr) {
+    return;
+  }
+  if (conn->idle) {
+    gauge_idle_keepalive_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  gauge_open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  conn.reset();  // ~Conn closes the fd.
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads: check configs, write responses. Never read a socket.
+
 void CheckServer::WorkerLoop() {
   while (true) {
-    std::optional<int> fd = queue_->Pop();
-    if (!fd.has_value()) {
+    std::optional<std::unique_ptr<Conn>> conn = queue_->Pop();
+    if (!conn.has_value()) {
       return;  // Closed and drained: the worker-exit signal.
     }
-    HandleConnection(*fd);
+    ServeConn(std::move(*conn));
   }
+}
+
+void CheckServer::ServeConn(std::unique_ptr<Conn> conn) {
+  const HttpRequest& request = conn->parser->request();
+  if (conn->served > 0) {
+    stat_keepalive_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The server's keep-alive decision for this response: the client must
+  // opt in, the per-connection request cap must have room, and a
+  // draining server wants its sockets back.
+  const bool keep_alive = RequestWantsKeepAlive(request) &&
+                          conn->served + 1 < options_.keepalive_max_requests && !draining();
+  const bool stay_open = HandleRequest(conn->fd, request, keep_alive);
+  if (!stay_open || draining()) {
+    DestroyConn(std::move(conn));
+    return;
+  }
+  // Keep-alive: hand the connection back to the event loop, which owns
+  // idle time. The worker is free the moment the response is written.
+  ++conn->served;
+  conn->parser->Reset();
+  {
+    std::lock_guard<std::mutex> lock(returned_mutex_);
+    returned_.push_back(std::move(conn));
+  }
+  Wake();
 }
 
 void CheckServer::WriteError(int fd, const Status& status) {
@@ -281,51 +607,6 @@ void CheckServer::WriteError(int fd, const Status& status) {
   }
   WriteHttpResponse(fd, http, HttpReasonFor(http), "application/json", StatusJson(status),
                     extra);
-}
-
-void CheckServer::HandleConnection(int fd) {
-  FdCloser closer(fd);
-  size_t served = 0;
-  while (true) {
-    // First request: the slow-loris read timeout. Reused connection: the
-    // (usually shorter) keep-alive idle bound — a parked client must not
-    // hold a worker hostage between requests.
-    SetRecvTimeout(fd, served == 0 ? options_.read_timeout : options_.keepalive_idle_timeout);
-    HttpRequest request;
-    Status read_status = ReadHttpRequest(fd, options_.max_body_bytes, &request);
-    if (!read_status.ok()) {
-      if (read_status.code() == StatusCode::kDeadlineExceeded) {
-        if (served > 0 && request.wire_bytes == 0) {
-          // Idle keep-alive expiry: the client simply had nothing more to
-          // send. Close silently — this is the protocol working, not a
-          // slow-loris cutoff.
-          return;
-        }
-        // Slow-loris cutoff: a client that cannot finish its request
-        // within the read timeout gets 408 and its worker back.
-        stat_read_timeouts_.fetch_add(1, std::memory_order_relaxed);
-        WriteHttpResponse(fd, 408, HttpReasonFor(408), "application/json",
-                          StatusJson(read_status));
-      } else if (read_status.code() == StatusCode::kInvalidArgument) {
-        stat_invalid_.fetch_add(1, std::memory_order_relaxed);
-        WriteError(fd, read_status);
-      }
-      // kUnavailable (peer vanished): nobody left to answer.
-      return;
-    }
-    if (served > 0) {
-      stat_keepalive_reuses_.fetch_add(1, std::memory_order_relaxed);
-    }
-    // The server's keep-alive decision for this response: the client must
-    // opt in, the per-connection request cap must have room, and a
-    // draining server wants its sockets back.
-    const bool keep_alive = RequestWantsKeepAlive(request) &&
-                            served + 1 < options_.keepalive_max_requests && !draining();
-    if (!HandleRequest(fd, request, keep_alive)) {
-      return;
-    }
-    ++served;
-  }
 }
 
 bool CheckServer::HandleRequest(int fd, const HttpRequest& request, bool keep_alive) {
@@ -356,6 +637,7 @@ bool CheckServer::HandleRequest(int fd, const HttpRequest& request, bool keep_al
     field("served_ok", snapshot.served_ok);
     field("shed", snapshot.shed);
     field("degraded", snapshot.degraded);
+    field("budget_degraded", snapshot.budget_degraded);
     field("invalid_requests", snapshot.invalid_requests);
     field("not_found", snapshot.not_found);
     field("deadline_exceeded", snapshot.deadline_exceeded);
@@ -365,12 +647,33 @@ bool CheckServer::HandleRequest(int fd, const HttpRequest& request, bool keep_al
     field("batch_configs", snapshot.batch_configs);
     field("keepalive_reuses", snapshot.keepalive_reuses);
     field("store_hits", snapshot.store_hits);
+    field("partial_reads", snapshot.partial_reads);
+    field("client_aborts", snapshot.client_aborts);
+    field("open_connections", snapshot.open_connections);
+    field("idle_keepalive", snapshot.idle_keepalive);
+    field("max_connections", options_.max_connections);
     field("queue_depth", queue_->size());
     field("inflight_replays", inflight_replays_.load(std::memory_order_relaxed));
+    field("per_target_replay_budget", targets_->replay_budget());
     field("targets_loaded", targets_->size());
     field("target_loads", targets_->loads());
     field("target_hits", targets_->hits());
     field("target_evictions", targets_->evictions());
+    // Per-target budget state: how many replay tokens each hot target has
+    // left and how often its traffic degraded — the operator's view of
+    // "which target is the noisy one".
+    body += ",\"target_budget\":[";
+    bool first_target = true;
+    for (const TargetPool::BudgetState& state : targets_->BudgetStates()) {
+      if (!first_target) {
+        body += ',';
+      }
+      first_target = false;
+      body += "{\"name\":\"" + JsonEscape(state.name) + "\"";
+      body += ",\"tokens\":" + std::to_string(static_cast<uint64_t>(state.tokens));
+      body += ",\"degraded\":" + std::to_string(state.degraded) + "}";
+    }
+    body += "]";
     body += ",\"draining\":";
     body += draining() ? "true" : "false";
     body += "}\n";
@@ -387,7 +690,7 @@ bool CheckServer::HandleRequest(int fd, const HttpRequest& request, bool keep_al
 }
 
 bool CheckServer::HandleCheck(int fd, const std::string& query, const std::string& body,
-                              bool batch, bool keep_alive) {
+                              bool batch, bool keep_alive, TargetPool::Entry*) {
   // The whole request path runs under catch-all containment: a thrown
   // bad_alloc or logic error becomes this request's 500, never the
   // daemon's last words.
@@ -424,14 +727,23 @@ bool CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
       check.deadline = std::chrono::milliseconds(*replay_ms);
     }
 
-    // Graceful degradation: at the replay cap a dynamic request is served
-    // statically instead of queueing behind slow replays or being shed —
-    // the static verdict is still the paper's pre-flight check, delivered
-    // in microseconds, and the response says it was degraded.
-    ReplayGate gate(&inflight_replays_,
-                    want_dynamic ? options_.max_inflight_replays : SIZE_MAX);
+    // Graceful degradation, two gates before a dynamic replay may run:
+    // the target's own token bucket (one noisy target degrades alone),
+    // then the global in-flight cap (the whole daemon's replay budget).
+    // At either, a dynamic request is served statically instead of
+    // queueing behind slow replays or being shed — the static verdict is
+    // still the paper's pre-flight check, delivered in microseconds, and
+    // the response says it was degraded.
     bool degraded = false;
-    if (want_dynamic && !gate.acquired()) {
+    if (want_dynamic && !targets_->TryConsumeReplayToken(entry.get())) {
+      check.mode = CheckMode::kStatic;
+      degraded = true;
+      stat_degraded_.fetch_add(1, std::memory_order_relaxed);
+      stat_budget_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ReplayGate gate(&inflight_replays_,
+                    want_dynamic && !degraded ? options_.max_inflight_replays : SIZE_MAX);
+    if (want_dynamic && !degraded && !gate.acquired()) {
       check.mode = CheckMode::kStatic;
       degraded = true;
       stat_degraded_.fetch_add(1, std::memory_order_relaxed);
@@ -575,6 +887,7 @@ ServerStats CheckServer::stats() const {
   snapshot.served_ok = stat_served_ok_.load(std::memory_order_relaxed);
   snapshot.shed = stat_shed_.load(std::memory_order_relaxed);
   snapshot.degraded = stat_degraded_.load(std::memory_order_relaxed);
+  snapshot.budget_degraded = stat_budget_degraded_.load(std::memory_order_relaxed);
   snapshot.invalid_requests = stat_invalid_.load(std::memory_order_relaxed);
   snapshot.not_found = stat_not_found_.load(std::memory_order_relaxed);
   snapshot.deadline_exceeded = stat_deadline_.load(std::memory_order_relaxed);
@@ -584,6 +897,10 @@ ServerStats CheckServer::stats() const {
   snapshot.batch_configs = stat_batch_configs_.load(std::memory_order_relaxed);
   snapshot.keepalive_reuses = stat_keepalive_reuses_.load(std::memory_order_relaxed);
   snapshot.store_hits = stat_store_hits_.load(std::memory_order_relaxed);
+  snapshot.partial_reads = stat_partial_reads_.load(std::memory_order_relaxed);
+  snapshot.client_aborts = stat_client_aborts_.load(std::memory_order_relaxed);
+  snapshot.open_connections = gauge_open_connections_.load(std::memory_order_relaxed);
+  snapshot.idle_keepalive = gauge_idle_keepalive_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

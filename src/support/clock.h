@@ -1,0 +1,88 @@
+// Injectable monotonic clock — the test seam behind every serve-layer
+// timeout.
+//
+// The serving front end (src/serve/server.cc) expires slow-loris reads
+// and idle keep-alive connections against deadlines. Testing those paths
+// with real sleeps is the road to flaky CI: a loaded runner turns a 50ms
+// idle bound into a race. So the server never reads the wall clock
+// directly — it reads a Clock, which defaults to steady_clock and can be
+// swapped for a ManualClock that only moves when the test says so. With
+// a ManualClock installed, "wait for the idle timeout" becomes a single
+// deterministic Advance() call, identical on a laptop and a saturated CI
+// box.
+//
+// ManualClock::Advance also fires a registered waker, because a server
+// blocked in epoll_wait has no reason to re-check deadlines until either
+// real time passes (real clock) or the test moves time (manual clock) —
+// the waker is how moved time becomes an event the loop can see.
+#ifndef SPEX_SUPPORT_CLOCK_H_
+#define SPEX_SUPPORT_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "src/support/cancellation.h"
+
+namespace spex {
+
+// Abstract monotonic time source. Implementations must be thread-safe
+// and non-decreasing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual MonotonicTime Now() const = 0;
+};
+
+// The production clock: steady_clock, no state.
+class SteadyClock : public Clock {
+ public:
+  MonotonicTime Now() const override { return MonotonicNow(); }
+};
+
+// Test clock: time moves only on Advance(). Any number of threads may
+// read Now() while one advances.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(MonotonicTime start = MonotonicNow())
+      : now_ns_(start.time_since_epoch().count()) {}
+
+  MonotonicTime Now() const override {
+    return MonotonicTime(
+        MonotonicClock::duration(now_ns_.load(std::memory_order_acquire)));
+  }
+
+  template <typename Rep, typename Period>
+  void Advance(std::chrono::duration<Rep, Period> step) {
+    auto delta = std::chrono::duration_cast<MonotonicClock::duration>(step);
+    now_ns_.fetch_add(delta.count(), std::memory_order_acq_rel);
+    std::function<void()> waker;
+    {
+      std::lock_guard<std::mutex> lock(waker_mutex_);
+      waker = waker_;
+    }
+    if (waker) {
+      waker();  // Moved time is an event; tell the sleeper to look again.
+    }
+  }
+
+  // Installed by the component whose timeouts this clock drives (the
+  // serve front end registers its epoll wakeup here). Pass nullptr to
+  // clear before the component dies.
+  void SetWaker(std::function<void()> waker) {
+    std::lock_guard<std::mutex> lock(waker_mutex_);
+    waker_ = std::move(waker);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+  std::mutex waker_mutex_;
+  std::function<void()> waker_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_CLOCK_H_

@@ -1,0 +1,71 @@
+// Min-heap of deadlines — the idle/read-expiry index for the serve
+// front end.
+//
+// The event loop tracks one armed deadline per connection (slow-loris
+// read bound while a request is mid-read, keep-alive idle bound while a
+// reused connection waits for its next request). It needs two cheap
+// queries per loop iteration: "when is the next expiry?" (to size the
+// epoll timeout) and "which entries are due?" (to cut off the expired).
+// A binary heap gives both in O(log n) / O(k log n).
+//
+// Cancellation is lazy: re-arming a connection pushes a fresh entry and
+// simply abandons the old one, and closed connections leave their entries
+// behind. The caller validates each popped entry against the connection's
+// current state (same generation, same armed deadline) and drops stale
+// ones — the classic timer-wheel trick without the wheel. Heap size is
+// therefore bounded by total arms, which is bounded by requests served,
+// and every entry is eventually popped and discarded.
+//
+// Single-threaded by design: only the event loop touches it.
+#ifndef SPEX_SUPPORT_DEADLINE_HEAP_H_
+#define SPEX_SUPPORT_DEADLINE_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/support/cancellation.h"
+
+namespace spex {
+
+template <typename T>
+class DeadlineHeap {
+ public:
+  void Push(MonotonicTime when, T item) {
+    heap_.push_back(Node{when, std::move(item)});
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Earliest armed deadline; only meaningful when !empty().
+  MonotonicTime next_deadline() const { return heap_.front().when; }
+
+  // Pops every entry with deadline <= now and hands it to `fn(item)`.
+  // `fn` must tolerate stale entries (lazy cancellation).
+  template <typename Fn>
+  void PopExpired(MonotonicTime now, Fn&& fn) {
+    while (!heap_.empty() && heap_.front().when <= now) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later);
+      Node node = std::move(heap_.back());
+      heap_.pop_back();
+      fn(std::move(node.item));
+    }
+  }
+
+ private:
+  struct Node {
+    MonotonicTime when;
+    T item;
+  };
+  // std::push_heap builds a max-heap; invert the comparison for a min-heap.
+  static bool Later(const Node& a, const Node& b) { return a.when > b.when; }
+
+  std::vector<Node> heap_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SUPPORT_DEADLINE_HEAP_H_

@@ -43,9 +43,19 @@ Serve SPEX config checks over loopback HTTP. Endpoints:
 options:
   --port <n>                  listen port on 127.0.0.1 (default: 8080; 0 = ephemeral)
   --workers <n>               request worker threads (default: 4)
-  --queue-capacity <n>        pending connections before shedding 503 (default: 64)
+  --max-connections <n>       open connections the event loop holds at once
+                              (reading, queued, served, idle keep-alive);
+                              beyond this, arrivals are shed 503 (default: 256)
+  --queue-capacity <n>        complete parsed requests pending between the
+                              event loop and workers before shedding 503
+                              (default: 64)
   --max-inflight-replays <n>  concurrent dynamic replays; beyond this a
                               dynamic request degrades to static (default: 2)
+  --per-target-replay-budget <n>
+                              replay token bucket per hot target (capacity n,
+                              refill n/s); an exhausted target degrades to
+                              static while others keep full dynamic service
+                              (default: 0 = unlimited)
   --max-body-kb <n>           largest accepted request body (default: 1024)
   --deadline-ms <n>           default + maximum per-request budget; 0 disables
                               deadlines entirely (default: 2000)
@@ -122,11 +132,17 @@ int Run(int argc, char** argv) {
       ok = take("--port", 0, 65535, [&](long v) { options.port = static_cast<uint16_t>(v); });
     } else if (arg == "--workers") {
       ok = take("--workers", 1, 256, [&](long v) { options.num_workers = v; });
+    } else if (arg == "--max-connections") {
+      ok = take("--max-connections", 1, 1 << 20,
+                [&](long v) { options.max_connections = static_cast<size_t>(v); });
     } else if (arg == "--queue-capacity") {
       ok = take("--queue-capacity", 1, 65536, [&](long v) { options.queue_capacity = v; });
     } else if (arg == "--max-inflight-replays") {
       ok = take("--max-inflight-replays", 1, 1024,
                 [&](long v) { options.max_inflight_replays = v; });
+    } else if (arg == "--per-target-replay-budget") {
+      ok = take("--per-target-replay-budget", 0, 1 << 20,
+                [&](long v) { options.per_target_replay_budget = static_cast<size_t>(v); });
     } else if (arg == "--max-body-kb") {
       ok = take("--max-body-kb", 1, 1 << 20,
                 [&](long v) { options.max_body_bytes = static_cast<size_t>(v) * 1024; });

@@ -1,0 +1,440 @@
+// Deterministic serve-concurrency suite: the event-loop front end under
+// hostile connection patterns, driven by a ManualClock so every timeout
+// in here is a statement, not a sleep.
+//
+// The invariant under test is the tentpole of the epoll front end: slow
+// and idle connections cost a CONNECTION SLOT, never a WORKER. Each test
+// runs a server with ONE worker and piles slow-loris dribblers and parked
+// keep-alive connections against it — if any of them pinned the worker,
+// the fast client's check in the middle would hang and the test's socket
+// deadline would fail it. Idle/read expiry is then driven by advancing
+// the manual clock, so the suite passes identically on a laptop and a
+// saturated CI runner.
+#include "src/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/serve/http.h"
+#include "src/support/clock.h"
+
+namespace spex {
+namespace {
+
+constexpr const char* kTarget = "storage_a";
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Arms a real-time receive deadline on a client socket. This is the
+// test's enforcement mechanism: if the server ever blocks a worker on a
+// slow socket, the fast client's recv hits this deadline and the test
+// fails — instead of hanging the whole suite.
+void SetRecvDeadline(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+// Reads exactly one HTTP response off a (possibly kept-alive) connection:
+// headers to the blank line, then Content-Length bytes of body. Empty
+// string on timeout or EOF.
+std::string RecvResponse(int fd) {
+  std::string data;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return std::string();
+    }
+    data.append(chunk, static_cast<size_t>(n));
+    header_end = data.find("\r\n\r\n");
+  }
+  size_t content_length = 0;
+  size_t label = data.find("Content-Length:");
+  if (label != std::string::npos && label < header_end) {
+    content_length = static_cast<size_t>(std::atoll(data.c_str() + label + 15));
+  }
+  while (data.size() < header_end + 4 + content_length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return std::string();
+    }
+    data.append(chunk, static_cast<size_t>(n));
+  }
+  return data;
+}
+
+std::string Request(const std::string& method, const std::string& target,
+                    const std::string& body = "", bool keep_alive = false) {
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n";
+  if (keep_alive) {
+    request += "Connection: keep-alive\r\n";
+  }
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  return request;
+}
+
+int StatusOf(const std::string& response) {
+  if (response.rfind("HTTP/1.1 ", 0) != 0) {
+    return -1;
+  }
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+// One-shot request/response on a fresh connection, under a real-time
+// receive deadline.
+std::string RoundTrip(uint16_t port, const std::string& request, int deadline_ms = 10000) {
+  int fd = ConnectLoopback(port);
+  if (fd < 0) {
+    return "<connect failed>";
+  }
+  SetRecvDeadline(fd, deadline_ms);
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return "<send failed>";
+  }
+  std::string response = RecvResponse(fd);
+  ::close(fd);
+  return response;
+}
+
+// Spins (real time, bounded) until `predicate` over a stats snapshot
+// holds. The handoffs under test are asynchronous (worker -> event loop
+// handback, accept processing), so assertions on gauges poll; the
+// TIMEOUTS under test never depend on real time — those advance the
+// manual clock.
+template <typename Predicate>
+bool AwaitStats(const CheckServer& server, Predicate predicate, int timeout_ms = 5000) {
+  auto give_up = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (predicate(server.stats())) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+// The tentpole invariant: 32 slow-loris dribblers plus 32 parked
+// keep-alive connections — 64 open sockets against ONE worker — and a
+// fast client's warm /check still completes within its socket deadline,
+// because none of the 64 ever reaches the worker. Then the manual clock
+// advances past both timeouts: dribblers get 408, parked connections
+// close silently, and the gauges return to zero.
+TEST(ServeConcurrencyTest, SlowLorisAndIdleKeepaliveNeverPinWorkers) {
+  auto clock = std::make_shared<ManualClock>();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_connections = 128;
+  options.queue_capacity = 8;
+  options.read_timeout = std::chrono::milliseconds(2000);
+  options.keepalive_idle_timeout = std::chrono::milliseconds(2000);
+  options.clock = clock;
+  CheckServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Warm the target first so the fast check below measures serving, not
+  // a cold corpus load.
+  ASSERT_EQ(StatusOf(RoundTrip(server.port(),
+                               Request("POST", std::string("/check?target=") + kTarget,
+                                       "log_level = 99999\n"))),
+            200);
+
+  // 32 slow-loris connections: a dribble of header bytes, then silence.
+  std::vector<int> loris;
+  for (int i = 0; i < 32; ++i) {
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    SetRecvDeadline(fd, 10000);
+    ASSERT_TRUE(SendAll(fd, "POST /check?targ"));
+    loris.push_back(fd);
+  }
+
+  // 32 idle keep-alive connections: one served request each, then parked.
+  std::vector<int> parked;
+  for (int i = 0; i < 32; ++i) {
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    SetRecvDeadline(fd, 10000);
+    ASSERT_TRUE(SendAll(fd, Request("GET", "/healthz", "", /*keep_alive=*/true)));
+    std::string response = RecvResponse(fd);
+    ASSERT_EQ(StatusOf(response), 200) << "parked conn " << i;
+    parked.push_back(fd);
+  }
+
+  // All 64 are the event loop's problem, none the worker's.
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) {
+    return s.open_connections >= 64 && s.idle_keepalive == 32;
+  })) << "open=" << server.stats().open_connections
+      << " idle=" << server.stats().idle_keepalive;
+  EXPECT_GE(server.stats().partial_reads, 32u);
+
+  // THE assertion: with 64 hostile connections held open, a fast client's
+  // warm check completes — within the socket deadline, through the single
+  // worker those 64 never touched.
+  std::string fast = RoundTrip(server.port(),
+                               Request("POST", std::string("/check?target=") + kTarget,
+                                       "log_level = 99999\n"),
+                               /*deadline_ms=*/10000);
+  ASSERT_EQ(StatusOf(fast), 200) << fast;
+  EXPECT_NE(BodyOf(fast).find("\"type\":\"summary\""), std::string::npos);
+
+  // Move time past both timeouts. No sleeps: expiry happens because the
+  // clock says so.
+  clock->Advance(std::chrono::milliseconds(3000));
+
+  // Dribblers are cut off with 408; parked connections close silently.
+  for (int fd : loris) {
+    std::string response = RecvResponse(fd);
+    EXPECT_EQ(StatusOf(response), 408) << response;
+    ::close(fd);
+  }
+  for (int fd : parked) {
+    char byte;
+    ssize_t n = ::recv(fd, &byte, 1, 0);  // EOF, not data.
+    EXPECT_EQ(n, 0);
+    ::close(fd);
+  }
+  EXPECT_TRUE(AwaitStats(server, [](const ServerStats& s) {
+    return s.open_connections == 0 && s.idle_keepalive == 0;
+  })) << "open=" << server.stats().open_connections;
+  EXPECT_EQ(server.stats().read_timeouts, 32u);
+}
+
+// A client that sends part of a request and closes leaves no residue: the
+// abort is counted, the connection slot is returned, no worker ever saw
+// it, and the target pool is untouched.
+TEST(ServeConcurrencyTest, PartialRequestThenCloseLeavesCountersConsistent) {
+  auto clock = std::make_shared<ManualClock>();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.clock = clock;
+  CheckServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "POST /check?target=storage_a HTTP/1.1\r\nContent-Le"));
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) { return s.partial_reads >= 1; }));
+  ::close(fd);
+
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) {
+    return s.client_aborts == 1 && s.open_connections == 0;
+  })) << "aborts=" << server.stats().client_aborts;
+  // Nothing was admitted, nothing was served, nothing was loaded.
+  EXPECT_EQ(server.stats().served_ok, 0u);
+  EXPECT_EQ(server.stats().invalid_requests, 0u);
+  EXPECT_EQ(server.targets().loads(), 0u);
+  EXPECT_EQ(StatusOf(RoundTrip(server.port(), Request("GET", "/healthz"))), 200);
+}
+
+// Same for a disconnect midway through a declared body: headers complete,
+// Content-Length promised more than was sent — still never admitted.
+TEST(ServeConcurrencyTest, MidBodyDisconnectLeavesCountersConsistent) {
+  auto clock = std::make_shared<ManualClock>();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.clock = clock;
+  CheckServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd,
+                      "POST /check?target=storage_a HTTP/1.1\r\n"
+                      "Content-Length: 400\r\n\r\n"
+                      "log_level = 1\n"));
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) { return s.partial_reads >= 1; }));
+  ::close(fd);
+
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) {
+    return s.client_aborts == 1 && s.open_connections == 0;
+  })) << "aborts=" << server.stats().client_aborts;
+  EXPECT_EQ(server.stats().served_ok, 0u);
+  EXPECT_EQ(server.targets().loads(), 0u);
+  EXPECT_EQ(StatusOf(RoundTrip(server.port(), Request("GET", "/healthz"))), 200);
+}
+
+// Per-target fairness: saturating target A's replay budget degrades ONLY
+// A — its over-budget requests get the static check and say so — while
+// target B's dynamic service is untouched, byte-identical to the same
+// request against a server with no budgets at all. Advancing the clock
+// refills A's bucket.
+TEST(ServeConcurrencyTest, PerTargetBudgetDegradesOnlyTheNoisyTarget) {
+  auto clock = std::make_shared<ManualClock>();
+  ServerOptions options;
+  options.per_target_replay_budget = 2;
+  options.max_inflight_replays = 8;  // The global cap must not interfere.
+  options.clock = clock;
+  CheckServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Unbudgeted control server: the baseline for "bit-identical".
+  ServerOptions control_options;
+  control_options.max_inflight_replays = 8;
+  CheckServer control(std::move(control_options));
+  ASSERT_TRUE(control.Start().ok());
+
+  const std::string noisy =
+      Request("POST", "/check?target=storage_a&name=noisy.conf", "log_level = 99999\n");
+  const std::string quiet =
+      Request("POST", "/check?target=vsftpd&name=quiet.conf", "anonymous_enable=YES\n");
+
+  // Saturate storage_a: budget 2, no refill (the clock is ours and is not
+  // moving) — the third dynamic request must degrade.
+  for (int i = 0; i < 2; ++i) {
+    std::string body = BodyOf(RoundTrip(server.port(), noisy));
+    EXPECT_NE(body.find("\"mode\":\"dynamic\""), std::string::npos) << body;
+    EXPECT_NE(body.find("\"degraded\":false"), std::string::npos) << body;
+  }
+  std::string degraded = BodyOf(RoundTrip(server.port(), noisy));
+  EXPECT_NE(degraded.find("\"mode\":\"static\""), std::string::npos) << degraded;
+  EXPECT_NE(degraded.find("\"degraded\":true"), std::string::npos) << degraded;
+  EXPECT_GE(server.stats().budget_degraded, 1u);
+
+  // The quiet target is unaffected: full dynamic service, byte-identical
+  // to the unbudgeted control run.
+  std::string quiet_body = BodyOf(RoundTrip(server.port(), quiet));
+  EXPECT_NE(quiet_body.find("\"mode\":\"dynamic\""), std::string::npos) << quiet_body;
+  EXPECT_NE(quiet_body.find("\"degraded\":false"), std::string::npos) << quiet_body;
+  EXPECT_EQ(quiet_body, BodyOf(RoundTrip(control.port(), quiet)));
+
+  // /statz names the noisy target.
+  std::string statz = BodyOf(RoundTrip(server.port(), Request("GET", "/statz")));
+  EXPECT_NE(statz.find("\"per_target_replay_budget\":2"), std::string::npos) << statz;
+  EXPECT_NE(statz.find("\"target_budget\":["), std::string::npos) << statz;
+  EXPECT_NE(statz.find("\"name\":\"storage_a\""), std::string::npos) << statz;
+  EXPECT_NE(statz.find("\"budget_degraded\":"), std::string::npos) << statz;
+
+  // Refill is clock time, which the test owns: one second buys the full
+  // bucket back.
+  clock->Advance(std::chrono::seconds(1));
+  std::string refilled = BodyOf(RoundTrip(server.port(), noisy));
+  EXPECT_NE(refilled.find("\"mode\":\"dynamic\""), std::string::npos) << refilled;
+  EXPECT_NE(refilled.find("\"degraded\":false"), std::string::npos) << refilled;
+}
+
+// Keep-alive idle expiry is a property of the injected clock, not of how
+// fast the machine runs this test: with a 30-second idle bound, the
+// connection survives 29 simulated seconds and dies at 31 — in
+// milliseconds of real time.
+TEST(ServeConcurrencyTest, IdleKeepaliveExpiryIsDeterministic) {
+  auto clock = std::make_shared<ManualClock>();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.keepalive_idle_timeout = std::chrono::seconds(30);
+  options.clock = clock;
+  CheckServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  SetRecvDeadline(fd, 10000);
+  ASSERT_TRUE(SendAll(fd, Request("GET", "/healthz", "", /*keep_alive=*/true)));
+  ASSERT_EQ(StatusOf(RecvResponse(fd)), 200);
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) { return s.idle_keepalive == 1; }));
+
+  // 29 simulated seconds of idling: still parked, still usable.
+  clock->Advance(std::chrono::seconds(29));
+  ASSERT_TRUE(SendAll(fd, Request("GET", "/healthz", "", /*keep_alive=*/true)));
+  std::string reused = RecvResponse(fd);
+  ASSERT_EQ(StatusOf(reused), 200) << reused;
+  EXPECT_GE(server.stats().keepalive_reuses, 1u);
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) { return s.idle_keepalive == 1; }));
+
+  // The reuse re-armed the idle bound; 31 more simulated seconds put the
+  // connection one second past it: EOF.
+  clock->Advance(std::chrono::seconds(31));
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  EXPECT_TRUE(AwaitStats(server, [](const ServerStats& s) {
+    return s.open_connections == 0 && s.idle_keepalive == 0;
+  }));
+}
+
+// The connection cap is the first admission bound: beyond max_connections
+// open sockets, new arrivals are answered 503 from the event loop — the
+// fd table cannot be exhausted by a patient herd.
+TEST(ServeConcurrencyTest, ConnectionCapShedsNewArrivalsWith503) {
+  auto clock = std::make_shared<ManualClock>();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_connections = 4;
+  options.clock = clock;
+  CheckServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<int> holders;
+  for (int i = 0; i < 4; ++i) {
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, "GET /he"));  // A byte or two: counted, never admitted.
+    holders.push_back(fd);
+  }
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) {
+    return s.open_connections == 4;
+  }));
+
+  std::string response = RoundTrip(server.port(), Request("GET", "/healthz"));
+  EXPECT_EQ(StatusOf(response), 503) << response;
+  EXPECT_NE(BodyOf(response).find("connection limit"), std::string::npos) << response;
+  EXPECT_GE(server.stats().shed, 1u);
+
+  for (int fd : holders) {
+    ::close(fd);
+  }
+  // Slots come back as the holders leave; service resumes.
+  ASSERT_TRUE(AwaitStats(server, [](const ServerStats& s) {
+    return s.open_connections == 0;
+  }));
+  EXPECT_EQ(StatusOf(RoundTrip(server.port(), Request("GET", "/healthz"))), 200);
+}
+
+}  // namespace
+}  // namespace spex

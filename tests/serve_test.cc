@@ -258,24 +258,40 @@ TEST(ServeTest, DynamicDegradesToStaticAtTheReplayCap) {
 }
 
 TEST(ServeTest, QueueOverflowShedsWith503AndRetryAfter) {
+  // A half-sent request can no longer pin a worker (the event loop admits
+  // only complete requests), so the worker must be pinned with real
+  // checking work: slow_replay holds it mid-check while complete requests
+  // pile into the one-slot queue.
+  ::setenv("SPEXCHECKD_FAULTS", "slow_replay:800", 1);
   ServerOptions options;
+  options.faults = FaultInjector::FromEnv();
+  ::unsetenv("SPEXCHECKD_FAULTS");
   options.num_workers = 1;
   options.queue_capacity = 1;
-  options.read_timeout = std::chrono::milliseconds(3000);
   CheckServer server(std::move(options));
   ASSERT_TRUE(server.Start().ok());
 
-  // Occupy the single worker with a half-sent request, and the single
-  // queue slot with an idle connection.
+  // Warm the target so the pinned requests spend their time in the
+  // injected delay, not a cold load.
+  EXPECT_EQ(StatusOf(RoundTrip(server.port(),
+                               Request("POST", std::string("/check?target=") + kTarget,
+                                       "log_level = 2\n"))),
+            200);
+
+  // Occupy the single worker with one slow check, the single queue slot
+  // with another.
+  const std::string slow_check =
+      Request("POST", std::string("/check?target=") + kTarget, "log_level = 2\n");
   int busy = ConnectLoopback(server.port());
   ASSERT_GE(busy, 0);
-  ASSERT_GT(::send(busy, "GET ", 4, MSG_NOSIGNAL), 0);
+  ASSERT_GT(::send(busy, slow_check.data(), slow_check.size(), MSG_NOSIGNAL), 0);
   std::this_thread::sleep_for(std::chrono::milliseconds(200));  // Worker picks it up.
   int queued = ConnectLoopback(server.port());
   ASSERT_GE(queued, 0);
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_GT(::send(queued, slow_check.data(), slow_check.size(), MSG_NOSIGNAL), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // Parsed and queued.
 
-  // The next arrival must be shed from the accept thread, not hung.
+  // The next complete request must be shed from the event loop, not hung.
   std::string response = RoundTrip(server.port(), Request("GET", "/healthz"));
   EXPECT_EQ(StatusOf(response), 503) << response;
   EXPECT_NE(response.find("Retry-After"), std::string::npos);
