@@ -20,7 +20,7 @@ echo "== Release configuration =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 if [[ "${QUICK}" == "1" ]]; then
-  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test|session_test|dynamic_check_test|batch_check_test|matrix_check_test|cancel_test|serve_test|serve_concurrency_test'
+  ctest --test-dir build-release --output-on-failure -R 'inject_test|interp_test|session_test|dynamic_check_test|batch_check_test|matrix_check_test|cancel_test|serve_test|serve_concurrency_test|config_set_test|parser_robustness_test'
 else
   ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 fi
@@ -32,7 +32,7 @@ cmake -B build-tsan -S . \
   -DSPEX_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test matrix_check_test cancel_test serve_test serve_concurrency_test verdict_store_test
+cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_pool_test corpus_test session_test dynamic_check_test batch_check_test matrix_check_test cancel_test serve_test serve_concurrency_test verdict_store_test config_set_test parser_robustness_test
 # The parallel-campaign and snapshot-replay determinism tests are the point
 # of the TSan build: num_threads=4 workers over shared module/SUT state plus
 # the state-gated shared snapshot cache. CorpusShardedTest additionally runs
@@ -73,5 +73,14 @@ cmake --build build-tsan -j "${JOBS}" --target inject_test interp_test string_po
 # 4-way sharded warm batches while the append path publishes copy-on-write
 # updates — the single-writer/lock-free-reader contract must be race-free.
 ./build-tsan/verdict_store_test
+# Multi-file config sets under TSan: the seeded differential harness runs
+# the 4-worker sharded CheckConfigSet path (resolution + provenance rewrite
+# around the sharded batch), which must be race-free and bit-identical to
+# the serial single-file reference.
+./build-tsan/config_set_test
+# Malformed-input corpus (truncated includes, self-includes, include
+# bombs, non-UTF8, megabyte lines, hostile JSON bodies): containment must
+# hold under TSan too — no crash, no race, clean error records.
+./build-tsan/parser_robustness_test
 
 echo "smoke: OK"

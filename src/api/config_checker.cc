@@ -25,6 +25,8 @@ const char* ViolationCategoryName(ViolationCategory category) {
       return "unknown-param";
     case ViolationCategory::kDynamicReaction:
       return "dynamic";
+    case ViolationCategory::kPermission:
+      return "permission";
   }
   return "?";
 }
@@ -36,6 +38,9 @@ std::string Violation::ToString() const {
     out += " = " + value;
   }
   out += ": " + message;
+  if (!override_note.empty()) {
+    out += " [" + override_note + "]";
+  }
   if (reaction.has_value()) {
     out += " | observed: " + std::string(ReactionCategoryName(*reaction));
     if (!prediction.empty()) {
@@ -63,6 +68,24 @@ std::optional<int64_t> EffectiveConfigInt(std::string_view value) {
     }
   }
   return std::nullopt;
+}
+
+std::optional<uint32_t> ParseOctalMode(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.empty() || text.size() > 7) {
+    return std::nullopt;  // Longest sensible spelling: "0007777".
+  }
+  uint32_t mode = 0;
+  for (char c : text) {
+    if (c < '0' || c > '7') {
+      return std::nullopt;
+    }
+    mode = (mode << 3) | static_cast<uint32_t>(c - '0');
+    if (mode > 07777) {
+      return std::nullopt;
+    }
+  }
+  return mode;
 }
 
 std::optional<SuffixedConfigValue> ParseSuffixedConfigValue(std::string_view text) {
@@ -198,6 +221,13 @@ class Checker {
     const ParamConstraints* param = constraints_.FindParam(entry.key);
     if (param == nullptr) {
       CheckUnknownKey(entry);
+      return;
+    }
+    if (param->permission.has_value()) {
+      // Mode parameters are octal: "644" means 0644, and the generic
+      // decimal checks below would misread it — permission checking
+      // replaces them wholesale.
+      CheckPermissionValue(entry, *param);
       return;
     }
     if (param->range.has_value() && param->range->is_enum &&
@@ -336,6 +366,48 @@ class Checker {
                "value not in the accepted set (" + DescribeValidRanges(range) + ")",
                range.loc);
       }
+    }
+  }
+
+  static std::string OctalModeString(uint32_t bits) {
+    std::string out;
+    do {
+      out.insert(out.begin(), static_cast<char>('0' + (bits & 7)));
+      bits >>= 3;
+    } while (bits != 0);
+    return "0" + out;
+  }
+
+  void CheckPermissionValue(const ConfigEntry& entry, const ParamConstraints& param) {
+    const PermissionConstraint& policy = *param.permission;
+    auto mode = ParseOctalMode(entry.value);
+    if (!mode.has_value()) {
+      Report(ViolationCategory::kPermission, entry.key, entry.value, entry.line,
+             "'" + entry.value + "' is not an octal permission mode (want e.g. 0644; digits "
+             "0-7 only, at most 07777)",
+             policy.loc);
+      return;
+    }
+    // Both directions are misconfigurations (the survey literature's point):
+    // granting too much exposes the system, granting too little breaks it.
+    uint32_t granted_forbidden = *mode & policy.forbidden_bits;
+    if (granted_forbidden != 0) {
+      Report(ViolationCategory::kPermission, entry.key, entry.value, entry.line,
+             "mode " + OctalModeString(*mode) + " is too permissive: it grants " +
+                 OctalModeString(granted_forbidden) +
+                 ", which this parameter must not allow (policy forbids " +
+                 OctalModeString(policy.forbidden_bits) + ")",
+             policy.loc);
+      return;
+    }
+    uint32_t missing_required = policy.required_bits & ~*mode;
+    if (missing_required != 0) {
+      Report(ViolationCategory::kPermission, entry.key, entry.value, entry.line,
+             "mode " + OctalModeString(*mode) + " is too restrictive: it drops " +
+                 OctalModeString(missing_required) +
+                 ", without which the system cannot use what it protects (policy requires " +
+                 OctalModeString(policy.required_bits) + ")",
+             policy.loc);
     }
   }
 

@@ -50,11 +50,15 @@ enum class ViolationCategory {
   kUnknownParam,     // Key matches no inferred parameter (likely a typo).
   kDynamicReaction,  // Passed every static constraint, but the dynamic
                      // replay observed a Table-3 vulnerability reaction.
+  kPermission,       // Octal-mode/ACL parameter outside its permission
+                     // policy: grants bits the code treats as dangerous
+                     // (too permissive) or drops bits the system needs to
+                     // function (too restrictive), or is not a mode at all.
 };
 
-inline constexpr size_t kViolationCategoryCount = 8;
+inline constexpr size_t kViolationCategoryCount = 9;
 static_assert(kViolationCategoryCount ==
-                  static_cast<size_t>(ViolationCategory::kDynamicReaction) + 1,
+                  static_cast<size_t>(ViolationCategory::kPermission) + 1,
               "keep kViolationCategoryCount in sync with the enum — arrays "
               "indexed by static_cast<size_t>(category) are sized by it");
 
@@ -105,6 +109,13 @@ struct Violation {
   std::string message; // Human-facing explanation with the expected form.
   SourceLoc constraint_loc;  // Where in the target's source the constraint
                              // was inferred (for "fix the code" reports).
+  // Multi-file checks only (src/api/config_set.h): the assignments this
+  // setting's effective value overrode ("overridden at base.conf:5 ...")
+  // and, for cross-parameter findings, the file the peer parameter
+  // resolved from. Empty for single-file checks — the field is additive,
+  // so a flattened-set violation stays bit-identical to its single-file
+  // twin in every other field.
+  std::string override_note;
 
   // --- Dynamic-mode verdict (nullopt/empty after a static-only check).
   // The Table-3 reaction observed when the user's delta was replayed
@@ -152,6 +163,13 @@ struct SuffixedConfigValue {
 
 // nullopt for plain numbers, plain text, and unknown suffixes.
 std::optional<SuffixedConfigValue> ParseSuffixedConfigValue(std::string_view text);
+
+// A Unix permission mode as users write them: octal digits, optional
+// leading zeros ("644", "0644", "02755"), at most the 12 mode bits
+// (07777). nullopt for anything else — including decimal-looking values
+// with digits 8/9, which an octal-expecting parser would reject or,
+// worse, strtol-with-base-8 would silently truncate.
+std::optional<uint32_t> ParseOctalMode(std::string_view text);
 
 // Convenience overload: parse `config_text` in `dialect`, then check.
 std::vector<Violation> CheckConfigText(const ModuleConstraints& constraints,

@@ -250,6 +250,62 @@ BatchSummary Target::CheckConfigBatch(std::span<const ConfigInput> configs,
                        nullptr, configs, options, observer);
 }
 
+BatchSummary Target::CheckConfigSet(std::span<const ConfigSetInput> sets,
+                                    const BatchOptions& options, BatchObserver* observer,
+                                    std::vector<ResolvedConfigSet>* resolutions,
+                                    const ConfigSetOptions& set_options) {
+  std::vector<ResolvedConfigSet> local;
+  std::vector<ResolvedConfigSet>& resolved = resolutions != nullptr ? *resolutions : local;
+  resolved.clear();
+  resolved.reserve(sets.size());
+  for (const ConfigSetInput& set : sets) {
+    ResolvedConfigSet resolution = ResolveConfigSet(set.files, dialect(), set_options);
+    if (!set.name.empty()) {
+      resolution.name = set.name;
+    }
+    resolved.push_back(std::move(resolution));
+  }
+  return CheckResolvedConfigSets(resolved, options, observer);
+}
+
+BatchSummary Target::CheckResolvedConfigSets(std::span<const ResolvedConfigSet> sets,
+                                             const BatchOptions& options,
+                                             BatchObserver* observer) {
+  std::vector<ConfigInput> effective;
+  effective.reserve(sets.size());
+  for (const ResolvedConfigSet& resolution : sets) {
+    effective.push_back(ConfigInput{resolution.name, resolution.effective.Serialize()});
+  }
+  // The batch sees only the flattened configs, so dedup across sets keys
+  // on effective values exactly as it does for single files. The observer
+  // is withheld here and replayed below: reports stream only after their
+  // violations have been re-addressed to winning-assignment origins.
+  BatchSummary summary = CheckConfigBatch(effective, options, nullptr);
+  for (size_t i = 0; i < summary.reports.size() && i < sets.size(); ++i) {
+    ConfigReport& report = summary.reports[i];
+    const ResolvedConfigSet& resolution = sets[i];
+    if (!resolution.resolved()) {
+      if (report.status.ok()) {
+        ++summary.configs_with_errors;
+      }
+      std::string detail = resolution.errors.empty() ? std::string("no files resolved")
+                                                     : resolution.errors.front().ToString();
+      report.status =
+          Status::InvalidArgument("config set '" + resolution.name + "' unresolvable: " + detail);
+      continue;  // An empty effective config produced no violations to rewrite.
+    }
+    RewriteViolationsWithProvenance(resolution, analysis_.constraints, &report.violations);
+  }
+  if (observer != nullptr) {
+    observer->OnBatchBegin(summary.reports.size());
+    for (const ConfigReport& report : summary.reports) {
+      observer->OnConfigChecked(report.index, report);
+    }
+    observer->OnBatchEnd(summary);
+  }
+  return summary;
+}
+
 const std::vector<Misconfiguration>& Target::MisconfigsLocked() {
   if (!misconfigs_ready_) {
     MisconfigGenerator generator;

@@ -39,6 +39,7 @@
 
 #include "src/api/batch_check.h"
 #include "src/api/config_checker.h"
+#include "src/api/config_set.h"
 #include "src/corpus/pipeline.h"
 #include "src/matrix/matrix_check.h"
 #include "src/support/string_pool.h"
@@ -212,6 +213,38 @@ class Target {
   BatchSummary CheckConfigBatch(std::span<const ConfigInput> configs,
                                 const BatchOptions& options = {},
                                 BatchObserver* observer = nullptr);
+
+  // Multi-file fleet checking: each ConfigSetInput is an include tree
+  // (files[0] the root) that is resolved to its flattened effective
+  // config (src/api/config_set.h) and then checked through
+  // CheckConfigBatch — so a suspect's execution identity is the
+  // *effective* value, and two sets differing only in include structure
+  // deduplicate to the same replay. Per set the result is bit-identical
+  // to checking the serialized effective config as a single file (same
+  // violations, verdicts and counters, at every options.num_threads),
+  // except that each violation's file/line point at the *winning*
+  // assignment's origin and `override_note` records what it shadowed.
+  // Resolution faults (missing includes, cycles, depth/file caps) are
+  // contained per set: they land on the set's ResolvedConfigSet (written
+  // to `resolutions` when non-null, batch order) and checking continues
+  // with the partial effective config; only a set whose root cannot be
+  // loaded carries kInvalidArgument in its report. `observer` streams
+  // per-set reports on the calling thread in batch order — after the
+  // whole batch, since provenance rewriting happens batch-wide.
+  // Thread-safety matches CheckConfigBatch.
+  BatchSummary CheckConfigSet(std::span<const ConfigSetInput> sets,
+                              const BatchOptions& options = {},
+                              BatchObserver* observer = nullptr,
+                              std::vector<ResolvedConfigSet>* resolutions = nullptr,
+                              const ConfigSetOptions& set_options = {});
+
+  // As CheckConfigSet, but over sets the caller already resolved (e.g.
+  // spexcheck's --include-roots, which resolves against the filesystem
+  // rather than an in-memory file list). Same guarantees and observer
+  // contract; the resolution step is simply the caller's.
+  BatchSummary CheckResolvedConfigSets(std::span<const ResolvedConfigSet> sets,
+                                       const BatchOptions& options = {},
+                                       BatchObserver* observer = nullptr);
 
   // SPEX-INJ through the façade: generates misconfigurations from the
   // inferred constraints (once, cached) and runs the campaign. The

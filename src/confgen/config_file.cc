@@ -6,6 +6,31 @@
 
 namespace spex {
 
+const char* ConfigDialectName(ConfigDialect dialect) {
+  switch (dialect) {
+    case ConfigDialect::kKeyEqualsValue:
+      return "key=value";
+    case ConfigDialect::kKeyValue:
+      return "key-value";
+  }
+  return "?";
+}
+
+std::optional<ConfigDialect> ParseConfigDialectName(std::string_view name) {
+  if (name == "key=value") {
+    return ConfigDialect::kKeyEqualsValue;
+  }
+  if (name == "key-value") {
+    return ConfigDialect::kKeyValue;
+  }
+  return std::nullopt;
+}
+
+std::string SupportedConfigDialectNames() {
+  return std::string(ConfigDialectName(ConfigDialect::kKeyEqualsValue)) + ", " +
+         ConfigDialectName(ConfigDialect::kKeyValue);
+}
+
 ConfigFile ConfigFile::Parse(std::string_view text, ConfigDialect dialect) {
   ConfigFile file(dialect);
   uint32_t line_number = 0;

@@ -19,6 +19,16 @@ enum class ConfigDialect {
   kKeyValue,        // `key value`     (Apache/Squid-style)
 };
 
+// Canonical user-facing name ("key=value" / "key-value").
+const char* ConfigDialectName(ConfigDialect dialect);
+
+// Parses a user-supplied dialect name; nullopt for anything unknown.
+std::optional<ConfigDialect> ParseConfigDialectName(std::string_view name);
+
+// "key=value, key-value" — the single source of truth for every "unknown
+// dialect" error message (spexcheck's --dialect, tools that grow one later).
+std::string SupportedConfigDialectNames();
+
 struct ConfigEntry {
   enum class Kind { kSetting, kComment, kBlank };
   Kind kind = Kind::kSetting;

@@ -31,6 +31,29 @@ std::string RangeInterval::ToString() const {
   return out.str();
 }
 
+namespace {
+
+std::string OctalString(uint32_t bits) {
+  std::string out;
+  do {
+    out.insert(out.begin(), static_cast<char>('0' + (bits & 7)));
+    bits >>= 3;
+  } while (bits != 0);
+  return "0" + out;
+}
+
+}  // namespace
+
+std::string PermissionConstraint::ToString() const {
+  std::ostringstream out;
+  out << "mode: forbid " << OctalString(forbidden_bits) << ", require "
+      << OctalString(required_bits);
+  if (!evidence_api.empty()) {
+    out << " via " << evidence_api;
+  }
+  return out.str();
+}
+
 bool RangeConstraint::HasInvalidInterval() const {
   if (is_enum) {
     return true;  // Everything outside the enumerated set is invalid.

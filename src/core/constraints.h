@@ -85,6 +85,24 @@ struct UnsafeApiUse {
   SourceLoc loc;
 };
 
+// Permission policy for an octal-mode/ACL parameter (one whose value
+// flows into a kPermissionMask API argument — chmod, umask, open's mode).
+// Misconfigured permissions cut both ways, so the policy has two sides:
+// `forbidden_bits` the mode must not grant (too permissive — the classic
+// world-writable config), `required_bits` it must grant (too restrictive
+// — a mode the owner cannot even read breaks the system just as surely).
+// Defaults encode the least-surprise policy (no world-write, owner-read
+// present); bits the target's own code masks out and rejects are folded
+// into forbidden_bits by the engine.
+struct PermissionConstraint {
+  uint32_t forbidden_bits = 0002;
+  uint32_t required_bits = 0400;
+  std::string evidence_api;  // The call that revealed the mode semantics.
+  SourceLoc loc;
+
+  std::string ToString() const;
+};
+
 struct ParamConstraints {
   std::string param;
   MappingStyle style = MappingStyle::kStructureDirect;
@@ -93,6 +111,7 @@ struct ParamConstraints {
   std::optional<BasicTypeConstraint> basic_type;
   std::vector<SemanticTypeConstraint> semantic_types;
   std::optional<RangeConstraint> range;
+  std::optional<PermissionConstraint> permission;
 
   CaseSensitivity case_sensitivity = CaseSensitivity::kUnknown;
   TimeUnit time_unit = TimeUnit::kNone;

@@ -174,6 +174,7 @@ ModuleConstraints SpexEngine::InferFromMappings(const std::vector<MappedParam>& 
     InferBasicType(state, &constraints);
     InferSemanticTypes(state, &constraints);
     InferRange(state, &constraints);
+    InferPermission(state, &constraints);
     result.params.push_back(std::move(constraints));
   }
   InferControlDeps(states, &result);
@@ -401,6 +402,37 @@ void SpexEngine::InferSemanticTypes(ParamState& state, ParamConstraints* out) {
       out->size_unit = constraint.size_unit;
     }
   }
+}
+
+void SpexEngine::InferPermission(ParamState& state, ParamConstraints* out) {
+  // A parameter is a permission mode iff its value reaches a
+  // kPermissionMask API argument (chmod, umask, open's mode...) — the
+  // semantic-type pass already found that evidence, so the policy anchors
+  // on it rather than re-walking the calls.
+  const SemanticTypeConstraint* semantic = out->FindSemantic(SemanticType::kPermissionMask);
+  if (semantic == nullptr) {
+    return;
+  }
+  PermissionConstraint constraint;  // Defaults: forbid 0002, require 0400.
+  constraint.evidence_api = semantic->evidence_api;
+  constraint.loc = semantic->loc;
+  // Refinement from the code's own checks: a bitwise AND of the parameter
+  // against an octal literal (`if (mode & 022) reject(...)`) names the
+  // bits the target itself treats as dangerous. Only the group/other
+  // *write* bits of such masks are folded in — inspecting read bits is
+  // normalization, not policy.
+  const ParamDataflow& df = state.dataflow;
+  for (const TransformUse& use : df.transforms) {
+    if (use.binop->bin_op() != IrBinOp::kAnd || use.other == nullptr ||
+        use.other->value_kind() != ValueKind::kConstantInt) {
+      continue;
+    }
+    int64_t mask = use.other->constant_int();
+    if (mask > 0 && mask <= 07777) {
+      constraint.forbidden_bits |= static_cast<uint32_t>(mask) & 0022;
+    }
+  }
+  out->permission = constraint;
 }
 
 void SpexEngine::InferRange(ParamState& state, ParamConstraints* out) {

@@ -66,6 +66,7 @@ class SpexEngine {
   void InferBasicType(ParamState& state, ParamConstraints* out);
   void InferSemanticTypes(ParamState& state, ParamConstraints* out);
   void InferRange(ParamState& state, ParamConstraints* out);
+  void InferPermission(ParamState& state, ParamConstraints* out);
   void CollectUsageSites(ParamState& state);
   void InferControlDeps(std::vector<ParamState>& states, ModuleConstraints* out);
   void InferValueRels(std::vector<ParamState>& states, ModuleConstraints* out);

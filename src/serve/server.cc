@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "src/api/batch_check.h"
+#include "src/api/config_set.h"
 #include "src/serve/http.h"
 #include "src/support/strings.h"
 
@@ -70,6 +71,9 @@ std::string ViolationJson(const Violation& violation, const std::string* config)
   line += ",\"param\":\"" + JsonEscape(violation.param) + "\"";
   line += ",\"value\":\"" + JsonEscape(violation.value) + "\"";
   line += ",\"message\":\"" + JsonEscape(violation.message) + "\"";
+  if (!violation.override_note.empty()) {
+    line += ",\"note\":\"" + JsonEscape(violation.override_note) + "\"";
+  }
   if (violation.reaction.has_value()) {
     line += ",\"reaction\":\"" +
             std::string(ReactionCategoryName(*violation.reaction)) + "\"";
@@ -752,26 +756,59 @@ bool CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
 
     std::string response;
     if (!batch) {
-      Status valid = ValidateConfigText(body, entry->target->dialect());
-      if (!valid.ok()) {
-        stat_invalid_.fetch_add(1, std::memory_order_relaxed);
-        WriteError(fd, valid);
-        return false;
+      // A body opening with '{' is the multi-file form: a JSON object
+      // naming the set's files, resolved (includes, last-wins overrides)
+      // to one flattened effective config before checking. Anything else
+      // is the classic raw-config-text form.
+      size_t first_byte = body.find_first_not_of(" \t\r\n");
+      const bool set_body = first_byte != std::string::npos && body[first_byte] == '{';
+      ConfigSetInput set_input;
+      if (set_body) {
+        Status parsed = ParseConfigSetJson(body, &set_input);
+        if (!parsed.ok()) {
+          stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+          WriteError(fd, parsed);
+          return false;
+        }
+      } else {
+        Status valid = ValidateConfigText(body, entry->target->dialect());
+        if (!valid.ok()) {
+          stat_invalid_.fetch_add(1, std::memory_order_relaxed);
+          WriteError(fd, valid);
+          return false;
+        }
       }
       std::string name = QueryParam(query, "name");
       if (name.empty()) {
-        name = "config";
+        name = set_body ? set_input.name : "config";
       }
       // Routed through a 1-config batch rather than CheckConfig: verdicts
       // are bit-identical (the batch identity guarantee), and the
       // BatchSummary carries the verdict-store counters a bare CheckConfig
       // cannot report — so /check can say whether it was served from disk.
-      std::vector<ConfigInput> single;
-      single.push_back(ConfigInput{name, body});
       BatchOptions single_options;
       single_options.check = check;
       single_options.num_threads = 1;
-      BatchSummary single_summary = entry->target->CheckConfigBatch(single, single_options);
+      BatchSummary single_summary;
+      std::vector<ResolvedConfigSet> resolutions;
+      if (set_body) {
+        set_input.name = name;
+        std::vector<ConfigSetInput> sets;
+        sets.push_back(std::move(set_input));
+        single_summary =
+            entry->target->CheckConfigSet(sets, single_options, nullptr, &resolutions);
+        for (const ConfigSetError& set_error : resolutions.front().errors) {
+          response += "{\"type\":\"config_set_error\",\"kind\":\"";
+          response += ConfigSetErrorKindName(set_error.kind);
+          response += "\",\"file\":\"" + JsonEscape(set_error.file) + "\"";
+          response += ",\"line\":" + std::to_string(set_error.line);
+          response += ",\"target\":\"" + JsonEscape(set_error.target) + "\"}\n";
+        }
+      } else {
+        std::vector<ConfigInput> single;
+        single.push_back(ConfigInput{name, body});
+        single_summary = entry->target->CheckConfigBatch(single, single_options);
+      }
       stat_store_hits_.fetch_add(single_summary.store_hits, std::memory_order_relaxed);
       const std::vector<Violation>& violations = single_summary.reports.front().violations;
       for (const Violation& violation : violations) {
@@ -788,6 +825,9 @@ bool CheckServer::HandleCheck(int fd, const std::string& query, const std::strin
       response += ",\"mode\":\"";
       response += check.mode == CheckMode::kDynamic ? "dynamic" : "static";
       response += "\",\"violations\":" + std::to_string(violations.size());
+      if (set_body) {
+        response += ",\"files\":" + std::to_string(resolutions.front().files_resolved);
+      }
       response += ",\"degraded\":";
       response += degraded ? "true" : "false";
       // cached: every suspect execution was served from the persistent

@@ -34,6 +34,9 @@
 #include <string>
 #include <vector>
 
+#include <set>
+
+#include "src/api/config_set.h"
 #include "src/api/session.h"
 #include "src/corpus/spec.h"
 #include "src/support/verdict_store.h"
@@ -75,6 +78,16 @@ options:
   --format <f>         text | jsonl (default: text)
   --pattern <glob>     filename filter for directories, * and ? wildcards
                        (default: *.conf)
+  --include-roots <dir> multi-file mode (repeatable): every file matching
+                       --pattern directly in <dir> is the root of a config
+                       *set* — its include/include_dir directives are
+                       resolved (relative to the including file), later
+                       assignments override earlier ones, and the flattened
+                       effective config is checked. Violations point at the
+                       winning assignment's file:line; missing includes and
+                       include cycles are contained per set as config_set
+                       error records (exit 1). Exit 2 only when no set
+                       could be resolved at all. Not available with --matrix.
   --store <path>       persistent verdict store: known verdicts are served
                        from disk instead of replayed, fresh ones appended —
                        a re-check of an unchanged fleet replays nothing
@@ -170,6 +183,7 @@ struct CliOptions {
   int threads = 0;
   bool jsonl = false;
   std::string pattern = "*.conf";
+  std::vector<std::string> include_roots;
   std::string store_path;
   bool dump_template = false;
   bool list_targets = false;
@@ -188,8 +202,12 @@ struct ConfigError {
 // verdicts (per-config lines and matrix cell records).
 void AppendViolationJson(std::ostream& out, const Violation& v) {
   out << "{\"category\":\"" << ViolationCategoryName(v.category) << "\",\"param\":\""
-      << JsonEscape(v.param) << "\",\"value\":\"" << JsonEscape(v.value)
-      << "\",\"line\":" << v.line << ",\"message\":\"" << JsonEscape(v.message) << "\"";
+      << JsonEscape(v.param) << "\",\"value\":\"" << JsonEscape(v.value) << "\",\"file\":\""
+      << JsonEscape(v.file) << "\",\"line\":" << v.line << ",\"message\":\""
+      << JsonEscape(v.message) << "\"";
+  if (!v.override_note.empty()) {
+    out << ",\"note\":\"" << JsonEscape(v.override_note) << "\"";
+  }
   if (v.reaction.has_value()) {
     out << ",\"reaction\":\"" << ReactionCategoryName(*v.reaction)
         << "\",\"vulnerability\":" << (IsVulnerability(*v.reaction) ? "true" : "false")
@@ -225,6 +243,20 @@ class JsonlWriter : public BatchObserver {
               << JsonEscape(error.message) << "\"}\n";
   }
 
+  // One record per config set ahead of its report: how many files the
+  // include tree resolved and every contained resolution fault.
+  void OnConfigSet(const ResolvedConfigSet& set) {
+    std::cout << "{\"type\":\"config_set\",\"config\":\"" << JsonEscape(set.name)
+              << "\",\"files\":" << set.files_resolved << ",\"errors\":[";
+    for (size_t i = 0; i < set.errors.size(); ++i) {
+      const ConfigSetError& error = set.errors[i];
+      std::cout << (i == 0 ? "" : ",") << "{\"kind\":\"" << ConfigSetErrorKindName(error.kind)
+                << "\",\"file\":\"" << JsonEscape(error.file) << "\",\"line\":" << error.line
+                << ",\"target\":\"" << JsonEscape(error.target) << "\"}";
+    }
+    std::cout << "]}\n";
+  }
+
   void OnConfigChecked(size_t index, const ConfigReport& report) override {
     std::ostringstream line;
     line << "{";
@@ -250,6 +282,12 @@ class TextWriter : public BatchObserver {
  public:
   void OnConfigError(const ConfigError& error) {
     std::cout << error.name << ": ERROR " << error.message << "\n";
+  }
+
+  void OnConfigSet(const ResolvedConfigSet& set) {
+    for (const ConfigSetError& error : set.errors) {
+      std::cout << set.name << ": include error: " << error.ToString() << "\n";
+    }
   }
 
   void OnConfigChecked(size_t, const ConfigReport& report) override {
@@ -532,14 +570,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, std::string* error) {
       if (value == nullptr) return false;
       VersionArg* version = last_source("--dialect");
       if (version == nullptr) return false;
-      if (std::strcmp(value, "key=value") == 0) {
-        version->dialect = ConfigDialect::kKeyEqualsValue;
-      } else if (std::strcmp(value, "key-value") == 0) {
-        version->dialect = ConfigDialect::kKeyValue;
-      } else {
-        *error = "unknown --dialect (want key=value|key-value): " + std::string(value);
+      std::optional<ConfigDialect> dialect = ParseConfigDialectName(value);
+      if (!dialect.has_value()) {
+        *error = "unknown dialect '" + std::string(value) +
+                 "' (supported dialects: " + SupportedConfigDialectNames() + ")";
         return false;
       }
+      version->dialect = *dialect;
     } else if (arg == "--label") {
       const char* value = next("--label");
       if (value == nullptr) return false;
@@ -584,6 +621,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, std::string* error) {
       const char* value = next("--pattern");
       if (value == nullptr) return false;
       options->pattern = value;
+    } else if (arg == "--include-roots") {
+      const char* value = next("--include-roots");
+      if (value == nullptr) return false;
+      options->include_roots.push_back(value);
     } else if (arg == "--store") {
       const char* value = next("--store");
       if (value == nullptr) return false;
@@ -645,6 +686,21 @@ bool CollectConfigs(const CliOptions& options, std::vector<ConfigInput>* configs
       return false;
     }
   }
+  // A config reachable twice — a directory listed twice, a symlinked
+  // sibling of itself, a file repeated on the command line — is checked
+  // and counted once: dedup by canonical path, first mention wins (so
+  // report order still follows the command line).
+  std::set<std::string> seen;
+  std::vector<std::string> unique_files;
+  unique_files.reserve(files.size());
+  for (const std::string& file : files) {
+    std::error_code canon_ec;
+    fs::path canonical = fs::weakly_canonical(file, canon_ec);
+    if (seen.insert(canon_ec ? file : canonical.string()).second) {
+      unique_files.push_back(file);
+    }
+  }
+  files = std::move(unique_files);
   configs->reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream stream(file, std::ios::binary);
@@ -659,6 +715,92 @@ bool CollectConfigs(const CliOptions& options, std::vector<ConfigInput>* configs
       continue;
     }
     configs->push_back(ConfigInput{file, content.str()});
+  }
+  return true;
+}
+
+// Filesystem loader behind --include-roots. Load never throws: an
+// unreadable file is a missing include (contained per set). include_dir
+// applies the same --pattern filter as root collection, so an include
+// tree and a flat directory scan agree about what counts as a config.
+class FileConfigSetSource : public ConfigSetSource {
+ public:
+  explicit FileConfigSetSource(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  std::optional<std::string> Load(const std::string& name) override {
+    std::ifstream stream(name, std::ios::binary);
+    if (!stream) {
+      return std::nullopt;
+    }
+    std::ostringstream content;
+    content << stream.rdbuf();
+    if (stream.bad()) {
+      return std::nullopt;
+    }
+    return content.str();
+  }
+
+  std::optional<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      return std::nullopt;
+    }
+    std::vector<std::string> names;
+    for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
+      std::error_code entry_ec;
+      if (it->is_regular_file(entry_ec) && GlobMatch(pattern_, it->path().filename())) {
+        names.push_back(it->path().generic_string());
+      }
+    }
+    if (ec) {
+      return std::nullopt;
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+ private:
+  std::string pattern_;
+};
+
+// Expands --include-roots directories into root file paths (every
+// --pattern match directly in each directory, sorted; deduped by
+// canonical path like CollectConfigs). Structural problems — a root dir
+// that is not a directory, zero matches overall — fail the run (exit 2).
+bool CollectConfigSetRoots(const CliOptions& options, std::vector<std::string>* roots,
+                           std::string* error) {
+  std::set<std::string> seen;
+  for (const std::string& dir : options.include_roots) {
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      *error = "--include-roots: not a directory: " + dir;
+      return false;
+    }
+    std::vector<std::string> in_dir;
+    fs::directory_iterator it(dir, ec);
+    for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
+      std::error_code entry_ec;
+      if (it->is_regular_file(entry_ec) && GlobMatch(options.pattern, it->path().filename())) {
+        in_dir.push_back(it->path().generic_string());
+      }
+    }
+    if (ec) {
+      *error = "cannot read directory " + dir + ": " + ec.message();
+      return false;
+    }
+    std::sort(in_dir.begin(), in_dir.end());
+    for (std::string& root : in_dir) {
+      std::error_code canon_ec;
+      fs::path canonical = fs::weakly_canonical(root, canon_ec);
+      if (seen.insert(canon_ec ? root : canonical.string()).second) {
+        roots->push_back(std::move(root));
+      }
+    }
+  }
+  if (roots->empty()) {
+    *error = "no files matching '" + options.pattern + "' in any --include-roots directory";
+    return false;
   }
   return true;
 }
@@ -744,6 +886,14 @@ int Run(int argc, char** argv) {
     std::cerr << "spexcheck: multiple versions need --matrix\n" << kUsage;
     return 2;
   }
+  if (!options.include_roots.empty()) {
+    if (options.matrix) {
+      return Fail("--include-roots is not supported with --matrix");
+    }
+    if (!options.paths.empty()) {
+      return Fail("--include-roots and positional config paths are mutually exclusive");
+    }
+  }
 
   std::vector<TargetVersion> versions;
   if (!BuildVersions(options, &versions, &error)) {
@@ -781,6 +931,56 @@ int Run(int argc, char** argv) {
       std::cout << target->analysis().bundle.template_config;
       return 0;
     }
+
+    if (!options.include_roots.empty()) {
+      // Multi-file mode: each root file in the include-roots directories
+      // is an include tree, resolved against the filesystem and checked
+      // as one flattened effective config.
+      std::vector<std::string> roots;
+      if (!CollectConfigSetRoots(options, &roots, &error)) {
+        return Fail(error);
+      }
+      FileConfigSetSource source(options.pattern);
+      std::vector<ResolvedConfigSet> sets;
+      sets.reserve(roots.size());
+      size_t resolvable = 0;
+      bool any_set_error = false;
+      for (const std::string& root : roots) {
+        ResolvedConfigSet set = ResolveConfigSet(root, source, target->dialect());
+        resolvable += set.resolved() ? 1 : 0;
+        any_set_error = any_set_error || !set.errors.empty();
+        sets.push_back(std::move(set));
+      }
+      if (resolvable == 0) {
+        // The multi-file twin of "no config could be checked": exit 2 is
+        // reserved for a run that produced no verdicts at all.
+        return Fail("no config set could be resolved (" + std::to_string(sets.size()) +
+                    " unresolvable root(s))");
+      }
+      BatchOptions batch;
+      batch.check.mode = options.mode;
+      batch.num_threads = options.threads;
+      BatchSummary summary = target->CheckResolvedConfigSets(sets, batch, nullptr);
+      JsonlWriter jsonl;
+      TextWriter text;
+      for (size_t i = 0; i < summary.reports.size(); ++i) {
+        if (options.jsonl) {
+          jsonl.OnConfigSet(sets[i]);
+          jsonl.OnConfigChecked(i, summary.reports[i]);
+        } else {
+          text.OnConfigSet(sets[i]);
+          text.OnConfigChecked(i, summary.reports[i]);
+        }
+      }
+      if (options.jsonl) {
+        jsonl.OnBatchEnd(summary);
+      } else {
+        text.OnBatchEnd(summary);
+      }
+      bool any_error = any_set_error || summary.configs_with_errors != 0;
+      return summary.total_violations == 0 && !any_error ? 0 : 1;
+    }
+
     if (options.paths.empty()) {
       std::cerr << "spexcheck: no config files or directories given\n" << kUsage;
       return 2;

@@ -37,7 +37,10 @@ constexpr const char* kUsage =
 Serve SPEX config checks over loopback HTTP. Endpoints:
   GET  /healthz               liveness ("ok", or 503 "draining")
   GET  /statz                 JSON counters
-  POST /check?target=NAME     check one config (body = config text)
+  POST /check?target=NAME     check one config (body = config text, or a
+                              {"files":[{"name":...,"text":...},...]} JSON
+                              object naming a multi-file include tree; the
+                              set is flattened last-wins before checking)
   POST /batch?target=NAME     check many (body framed by "=== <name>" lines)
 
 options:

@@ -120,6 +120,46 @@ TEST(ServeTest, CheckReturnsViolationLinesAndSummary) {
   EXPECT_EQ(stats.internal_errors, 0u);
 }
 
+// A '{'-opening /check body is the multi-file form: an include tree that
+// is flattened last-wins before checking, with violations re-addressed
+// to the winning assignment's file and annotated with what it overrode.
+TEST(ServeTest, CheckAcceptsMultiFileConfigSetBody) {
+  CheckServer server;
+  ASSERT_TRUE(server.Start().ok());
+  std::string body =
+      "{\"files\":["
+      "{\"name\":\"base.conf\",\"text\":\"wafl.readahead.chunk = 64\\n"
+      "include conf.d/site.conf\\n\"},"
+      "{\"name\":\"conf.d/site.conf\",\"text\":\"wafl.readahead.chunk = 99999\\n\"}]}";
+  std::string response = RoundTrip(
+      server.port(), Request("POST", std::string("/check?target=") + kTarget, body));
+  EXPECT_EQ(StatusOf(response), 200) << response;
+  std::string out = BodyOf(response);
+  EXPECT_NE(out.find("\"file\":\"conf.d/site.conf\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"note\":\"overridden at base.conf:1 (earlier value '64')\""),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"files\":2"), std::string::npos) << out;
+
+  // Contained resolution faults surface as config_set_error records, not
+  // request failures.
+  std::string cyclic =
+      "{\"files\":[{\"name\":\"loop.conf\",\"text\":\"include loop.conf\\n\"}]}";
+  response = RoundTrip(server.port(),
+                       Request("POST", std::string("/check?target=") + kTarget, cyclic));
+  EXPECT_EQ(StatusOf(response), 200) << response;
+  out = BodyOf(response);
+  EXPECT_NE(out.find("\"type\":\"config_set_error\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"kind\":\"include-cycle\""), std::string::npos) << out;
+
+  // A malformed JSON body is a clean 400; the daemon keeps serving.
+  response = RoundTrip(server.port(),
+                       Request("POST", std::string("/check?target=") + kTarget, "{\"files\":[}"));
+  EXPECT_EQ(StatusOf(response), 400) << response;
+  EXPECT_NE(BodyOf(response).find("config-set body"), std::string::npos);
+  EXPECT_EQ(StatusOf(RoundTrip(server.port(), Request("GET", "/healthz"))), 200);
+}
+
 // With a per-target verdict store, the second identical /check is served
 // entirely from disk — the response says "cached":true and /statz counts
 // the store hits. The first (cold) request must say "cached":false.
